@@ -1,0 +1,147 @@
+//! Bandwidth estimation from observed transfer times (paper §3.3).
+//!
+//! "The bandwidth between each pair of clusters is estimated during the
+//! computation by measuring data transfer times, and the bandwidth to the
+//! removed cluster is set as a minimum requirement." The engines feed
+//! every wide-area payload transfer (bytes, elapsed) into this estimator;
+//! the coordinator reads per-cluster effective-bandwidth estimates from it
+//! when it learns requirements.
+//!
+//! The estimate is an exponentially weighted moving average of
+//! `bytes / elapsed` per *cluster endpoint* (a transfer between clusters A
+//! and B is charged to both: the shaped uplink dominates whichever side it
+//! is on, and the coordinator only ever consults the estimate of the
+//! cluster it is about to remove). Elapsed times include queueing delay,
+//! so a congested link reads *lower* than its physical rate — which is
+//! exactly the application-observed bandwidth the requirement should
+//! encode.
+
+use sagrid_core::ids::ClusterId;
+use sagrid_core::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// EWMA effective-bandwidth estimator, per cluster.
+#[derive(Clone, Debug)]
+pub struct BandwidthEstimator {
+    /// Smoothing factor in `(0, 1]`: weight of the newest observation.
+    alpha: f64,
+    /// Current estimate (bytes/second) and observation count per cluster.
+    estimates: BTreeMap<ClusterId, (f64, u64)>,
+}
+
+impl Default for BandwidthEstimator {
+    fn default() -> Self {
+        Self::new(0.2)
+    }
+}
+
+impl BandwidthEstimator {
+    /// Creates an estimator with the given EWMA smoothing factor.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Self {
+            alpha,
+            estimates: BTreeMap::new(),
+        }
+    }
+
+    /// Records one wide-area transfer touching `cluster`'s uplink.
+    /// Transfers too small or too fast to resolve (sub-microsecond) are
+    /// ignored — they carry no bandwidth signal, only latency.
+    pub fn observe(&mut self, cluster: ClusterId, bytes: u64, elapsed: SimDuration) {
+        if bytes < 1024 || elapsed == SimDuration::ZERO {
+            return;
+        }
+        let sample = bytes as f64 / elapsed.as_secs_f64();
+        let entry = self.estimates.entry(cluster).or_insert((sample, 0));
+        entry.0 = if entry.1 == 0 {
+            sample
+        } else {
+            self.alpha * sample + (1.0 - self.alpha) * entry.0
+        };
+        entry.1 += 1;
+    }
+
+    /// Current effective-bandwidth estimate for `cluster` (bytes/second),
+    /// or `None` before any observation.
+    pub fn estimate(&self, cluster: ClusterId) -> Option<f64> {
+        self.estimates.get(&cluster).map(|&(bw, _)| bw)
+    }
+
+    /// Number of observations recorded for `cluster`.
+    pub fn observations(&self, cluster: ClusterId) -> u64 {
+        self.estimates.get(&cluster).map_or(0, |&(_, n)| n)
+    }
+
+    /// Forgets a cluster (it was removed and blacklisted).
+    pub fn forget(&mut self, cluster: ClusterId) {
+        self.estimates.remove(&cluster);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn estimates_simple_rate() {
+        let mut e = BandwidthEstimator::new(0.5);
+        e.observe(ClusterId(0), 100_000, secs(1.0));
+        assert!((e.estimate(ClusterId(0)).unwrap() - 100_000.0).abs() < 1.0);
+        assert_eq!(e.observations(ClusterId(0)), 1);
+    }
+
+    #[test]
+    fn ewma_converges_toward_new_rate() {
+        let mut e = BandwidthEstimator::new(0.5);
+        e.observe(ClusterId(1), 1_000_000, secs(1.0)); // 1 MB/s
+        for _ in 0..20 {
+            e.observe(ClusterId(1), 100_000, secs(1.0)); // 100 KB/s
+        }
+        let bw = e.estimate(ClusterId(1)).unwrap();
+        assert!(
+            (bw - 100_000.0).abs() / 100_000.0 < 0.01,
+            "estimate {bw} should converge to the shaped rate"
+        );
+    }
+
+    #[test]
+    fn queueing_lowers_the_estimate() {
+        // Two identical transfers, the second delayed by queueing: its
+        // sample is lower and drags the EWMA down.
+        let mut e = BandwidthEstimator::new(0.5);
+        e.observe(ClusterId(2), 100_000, secs(1.0));
+        e.observe(ClusterId(2), 100_000, secs(10.0));
+        let bw = e.estimate(ClusterId(2)).unwrap();
+        assert!(bw < 100_000.0);
+        assert!(bw > 10_000.0);
+    }
+
+    #[test]
+    fn tiny_messages_are_ignored() {
+        let mut e = BandwidthEstimator::default();
+        e.observe(ClusterId(0), 64, secs(0.001));
+        assert_eq!(e.estimate(ClusterId(0)), None);
+    }
+
+    #[test]
+    fn clusters_are_independent_and_forgettable() {
+        let mut e = BandwidthEstimator::default();
+        e.observe(ClusterId(0), 1_000_000, secs(1.0));
+        e.observe(ClusterId(1), 100_000, secs(1.0));
+        assert!(e.estimate(ClusterId(0)).unwrap() > e.estimate(ClusterId(1)).unwrap());
+        e.forget(ClusterId(1));
+        assert_eq!(e.estimate(ClusterId(1)), None);
+        assert!(e.estimate(ClusterId(0)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let _ = BandwidthEstimator::new(0.0);
+    }
+}

@@ -1,0 +1,655 @@
+//! The adaptation coordinator (paper §3.3, Figure 2).
+//!
+//! An extra process added to the computation. It periodically collects
+//! [`MonitoringReport`]s from the application processors, computes the
+//! weighted average efficiency, and walks the flowchart of Figure 2:
+//!
+//! ```text
+//!   collect statistics
+//!   compute wa_efficiency E
+//!   if a cluster's ic_overhead is exceptionally high → remove that cluster
+//!   if E > E_MAX → request (more) nodes; prefer faster ones if available
+//!   if E < E_MIN → rank nodes by badness, remove the worst
+//!   otherwise    → no action (unless opportunistic migration is enabled)
+//! ```
+//!
+//! The coordinator *learns* application requirements along the way: removed
+//! resources are blacklisted, and each removed badly-connected cluster
+//! tightens the lower bound on the bandwidth the application needs, which is
+//! passed to the scheduler on subsequent requests.
+
+use crate::badness::{cluster_views, rank_nodes_by_badness, worst_cluster};
+use crate::efficiency::wa_efficiency_of_reports;
+use crate::policy::AdaptPolicy;
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::stats::MonitoringReport;
+use sagrid_core::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Requirements the coordinator has learned and passes to the scheduler.
+/// (Mirrors `sagrid_sched::Requirements`; kept separate so this crate stays
+/// engine- and scheduler-agnostic.)
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LearnedRequirements {
+    /// Lower bound on site uplink bandwidth (bytes/s).
+    pub min_uplink_bps: Option<f64>,
+    /// Lower bound on node speed (used by opportunistic migration).
+    pub min_speed: Option<f64>,
+}
+
+/// What the coordinator wants the engine/scheduler to do after one
+/// evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Efficiency within thresholds (or no data yet): leave the set alone.
+    None,
+    /// Efficiency above `E_MAX`: request `count` extra nodes.
+    Add {
+        /// How many nodes to request.
+        count: usize,
+        /// Learned requirements to pass to the scheduler.
+        requirements: LearnedRequirements,
+        /// Clusters the application already occupies (locality preference).
+        prefer: Vec<ClusterId>,
+    },
+    /// Efficiency below `E_MIN`: remove these (worst-first) nodes.
+    RemoveNodes {
+        /// Nodes to signal out of the computation, worst first.
+        nodes: Vec<NodeId>,
+    },
+    /// A cluster's inter-cluster overhead is exceptionally high: drop the
+    /// whole site.
+    RemoveCluster {
+        /// The badly-connected cluster.
+        cluster: ClusterId,
+        /// Its (reporting) member nodes.
+        nodes: Vec<NodeId>,
+    },
+    /// Opportunistic migration (future-work extension, off by default):
+    /// faster nodes exist — add replacements, then retire the slow nodes.
+    OpportunisticSwap {
+        /// Slow nodes to retire once replacements have joined.
+        remove: Vec<NodeId>,
+        /// Number of replacement nodes to request.
+        add: usize,
+        /// Requirements ensuring replacements are actually faster.
+        requirements: LearnedRequirements,
+    },
+}
+
+impl Decision {
+    /// Short human-readable tag for logs and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Decision::None => "none",
+            Decision::Add { .. } => "add",
+            Decision::RemoveNodes { .. } => "remove-nodes",
+            Decision::RemoveCluster { .. } => "remove-cluster",
+            Decision::OpportunisticSwap { .. } => "opportunistic-swap",
+        }
+    }
+}
+
+/// One line of the coordinator's decision log (drives the experiment
+/// reports' event annotations, e.g. "badly connected cluster removed").
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionLogEntry {
+    /// When the evaluation happened.
+    pub at: SimTime,
+    /// Weighted average efficiency at that moment.
+    pub wa_efficiency: f64,
+    /// Number of nodes that contributed reports.
+    pub nodes: usize,
+    /// The decision taken.
+    pub decision: Decision,
+}
+
+/// The adaptation coordinator state machine.
+///
+/// ```
+/// use sagrid_adapt::{AdaptPolicy, Coordinator, Decision};
+/// use sagrid_core::ids::{ClusterId, NodeId};
+/// use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
+/// use sagrid_core::time::{SimDuration, SimTime};
+///
+/// let mut coordinator = Coordinator::new(AdaptPolicy::default());
+/// // Four fully-busy nodes report in: efficiency is ~1.0, far above
+/// // E_MAX = 0.5, so the coordinator asks the scheduler for more nodes.
+/// for i in 0..4 {
+///     coordinator.record_report(MonitoringReport {
+///         node: NodeId(i),
+///         cluster: ClusterId(0),
+///         period_end: SimTime::from_secs(180),
+///         breakdown: OverheadBreakdown {
+///             busy: SimDuration::from_secs(180),
+///             ..Default::default()
+///         },
+///         speed: 1.0,
+///     });
+/// }
+/// match coordinator.evaluate(SimTime::from_secs(180), None) {
+///     Decision::Add { count, .. } => assert!(count >= 1),
+///     other => panic!("expected growth, got {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Coordinator {
+    policy: AdaptPolicy,
+    /// Latest report per live node. The paper: when the coordinator misses a
+    /// node's data at a period boundary it simply uses the previous report.
+    latest: BTreeMap<NodeId, MonitoringReport>,
+    blacklisted_nodes: BTreeSet<NodeId>,
+    blacklisted_clusters: BTreeSet<ClusterId>,
+    /// Engine-supplied observations of per-cluster uplink bandwidth
+    /// (measured from data transfer times, §3.3).
+    uplink_observations: BTreeMap<ClusterId, f64>,
+    learned: LearnedRequirements,
+    log: Vec<DecisionLogEntry>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator with the given policy. Panics on an invalid
+    /// policy — a misconfigured coordinator silently produces wrong
+    /// adaptation, which is worse than failing fast.
+    pub fn new(policy: AdaptPolicy) -> Self {
+        policy.validate().expect("invalid adaptation policy");
+        Self {
+            policy,
+            latest: BTreeMap::new(),
+            blacklisted_nodes: BTreeSet::new(),
+            blacklisted_clusters: BTreeSet::new(),
+            uplink_observations: BTreeMap::new(),
+            learned: LearnedRequirements::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &AdaptPolicy {
+        &self.policy
+    }
+
+    /// Replaces the badness coefficients (feedback control, paper §7).
+    pub fn set_coefficients(&mut self, coefficients: crate::badness::BadnessCoefficients) {
+        self.policy.coefficients = coefficients;
+    }
+
+    /// Stores a node's end-of-period report (overwrites the previous one).
+    pub fn record_report(&mut self, report: MonitoringReport) {
+        self.latest.insert(report.node, report);
+    }
+
+    /// Forgets a node that left or died.
+    pub fn node_gone(&mut self, node: NodeId) {
+        self.latest.remove(&node);
+    }
+
+    /// Records a bandwidth observation for a cluster's uplink (bytes/s),
+    /// estimated from data-transfer times during the computation.
+    pub fn observe_uplink(&mut self, cluster: ClusterId, bps: f64) {
+        self.uplink_observations.insert(cluster, bps);
+    }
+
+    /// Nodes currently known (reported at least once and not gone).
+    pub fn known_nodes(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Iterates over the latest report per live node.
+    pub fn latest_reports(&self) -> impl Iterator<Item = &MonitoringReport> {
+        self.latest.values()
+    }
+
+    /// The learned application requirements so far.
+    pub fn learned_requirements(&self) -> LearnedRequirements {
+        self.learned
+    }
+
+    /// Blacklisted nodes (never to be re-added).
+    pub fn blacklisted_nodes(&self) -> &BTreeSet<NodeId> {
+        &self.blacklisted_nodes
+    }
+
+    /// Blacklisted clusters.
+    pub fn blacklisted_clusters(&self) -> &BTreeSet<ClusterId> {
+        &self.blacklisted_clusters
+    }
+
+    /// The full decision log.
+    pub fn log(&self) -> &[DecisionLogEntry] {
+        &self.log
+    }
+
+    /// Weighted average efficiency over the currently known reports.
+    pub fn current_wa_efficiency(&self) -> f64 {
+        wa_efficiency_of_reports(self.latest.values())
+    }
+
+    /// One walk of the Figure-2 flowchart.
+    ///
+    /// `fastest_available_speed` is the scheduler's advertisement of the
+    /// best relative speed among currently *free* nodes; it is only
+    /// consulted when the opportunistic-migration extension is enabled
+    /// (the paper's grid schedulers could not provide such notifications —
+    /// ours can, which is exactly the §7 future-work experiment).
+    pub fn evaluate(
+        &mut self,
+        now: SimTime,
+        fastest_available_speed: Option<f64>,
+    ) -> Decision {
+        let reports: Vec<MonitoringReport> = self.latest.values().copied().collect();
+        if reports.is_empty() {
+            return self.log_and_return(now, 0.0, 0, Decision::None);
+        }
+        let wa_eff = wa_efficiency_of_reports(&reports);
+        let n = reports.len();
+
+        // Step 1: exceptional inter-cluster overhead ⇒ the uplink bandwidth
+        // to that cluster is insufficient; remove the whole cluster rather
+        // than computing node badness (paper §3.3). Only meaningful when
+        // the application spans more than one cluster.
+        let views = cluster_views(&reports);
+        if views.len() >= 2 {
+            let second_worst_ic = {
+                let mut ics: Vec<f64> = views.iter().map(|v| v.ic_overhead).collect();
+                ics.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                ics.get(1).copied().unwrap_or(0.0)
+            };
+            if let Some(bad) = views
+                .iter()
+                .filter(|v| {
+                    v.ic_overhead > self.policy.exceptional_ic_overhead
+                        && v.ic_overhead
+                            >= second_worst_ic * self.policy.exceptional_ic_dominance
+                })
+                .max_by(|a, b| {
+                    a.ic_overhead
+                        .partial_cmp(&b.ic_overhead)
+                        .expect("overheads are finite")
+                        .then(b.cluster.cmp(&a.cluster))
+                })
+            {
+                let cluster = bad.cluster;
+                let nodes = bad.nodes.clone();
+                if self.policy.blacklist_removed {
+                    self.blacklisted_clusters.insert(cluster);
+                }
+                // Learn the bandwidth requirement: the application needs
+                // strictly more than this cluster's uplink provided.
+                if let Some(&bw) = self.uplink_observations.get(&cluster) {
+                    let bound = self.learned.min_uplink_bps.unwrap_or(0.0).max(bw);
+                    self.learned.min_uplink_bps = Some(bound);
+                }
+                for node in &nodes {
+                    self.latest.remove(node);
+                }
+                return self.log_and_return(
+                    now,
+                    wa_eff,
+                    n,
+                    Decision::RemoveCluster { cluster, nodes },
+                );
+            }
+        }
+
+        // Step 2: efficiency above E_MAX ⇒ the application can use more
+        // processors; ask the scheduler, preferring sites we already occupy.
+        if wa_eff > self.policy.e_max {
+            let count = self.policy.grow_size(wa_eff, n);
+            let mut prefer: Vec<ClusterId> =
+                reports.iter().map(|r| r.cluster).collect();
+            prefer.sort_unstable();
+            prefer.dedup();
+            let decision = Decision::Add {
+                count,
+                requirements: self.learned,
+                prefer,
+            };
+            return self.log_and_return(now, wa_eff, n, decision);
+        }
+
+        // Step 3: efficiency below E_MIN ⇒ performance problem (or simply
+        // too many processors); rank nodes by badness and remove the worst.
+        // The removal set is the proportional count, extended to cover every
+        // clear badness *outlier* (more than `badness_outlier_factor` × the
+        // median): when one cluster's processors are overloaded, all of them
+        // go in one decision, as in the paper's scenario 3.
+        if wa_eff < self.policy.e_min {
+            let count = self.policy.shrink_size(wa_eff, n);
+            if count == 0 {
+                return self.log_and_return(now, wa_eff, n, Decision::None);
+            }
+            let worst = worst_cluster(&self.policy.coefficients, &views);
+            let ranked = rank_nodes_by_badness(&self.policy.coefficients, &reports, worst);
+            let median = ranked[ranked.len() / 2].1;
+            let outliers = ranked
+                .iter()
+                .take_while(|&&(_, b)| b > median * self.policy.badness_outlier_factor)
+                .count();
+            let removable = n.saturating_sub(self.policy.min_nodes);
+            let count = count.max(outliers).min(removable);
+            let nodes: Vec<NodeId> = ranked.iter().take(count).map(|&(id, _)| id).collect();
+            if self.policy.blacklist_removed {
+                self.blacklisted_nodes.extend(nodes.iter().copied());
+            }
+            for node in &nodes {
+                self.latest.remove(node);
+            }
+            return self.log_and_return(now, wa_eff, n, Decision::RemoveNodes { nodes });
+        }
+
+        // Step 4 (extension, §7): efficiency is acceptable, but distinctly
+        // faster nodes are available — opportunistic migration.
+        if self.policy.opportunistic_migration {
+            if let Some(avail) = fastest_available_speed {
+                let margin = self.policy.opportunistic_speed_margin;
+                let mut slow: Vec<(NodeId, f64)> = reports
+                    .iter()
+                    .filter(|r| r.speed * margin < avail)
+                    .map(|r| (r.node, r.speed))
+                    .collect();
+                if !slow.is_empty() {
+                    // Slowest first; cap at the growth budget.
+                    slow.sort_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .expect("speeds are finite")
+                            .then(a.0.cmp(&b.0))
+                    });
+                    slow.truncate(self.policy.max_growth_per_period);
+                    let remove: Vec<NodeId> = slow.iter().map(|&(id, _)| id).collect();
+                    let add = remove.len();
+                    let mut requirements = self.learned;
+                    // Replacements must beat the best node we are retiring.
+                    let fastest_removed =
+                        slow.iter().map(|&(_, s)| s).fold(0.0_f64, f64::max);
+                    requirements.min_speed = Some(fastest_removed * margin);
+                    for node in &remove {
+                        self.latest.remove(node);
+                    }
+                    let decision = Decision::OpportunisticSwap {
+                        remove,
+                        add,
+                        requirements,
+                    };
+                    return self.log_and_return(now, wa_eff, n, decision);
+                }
+            }
+        }
+
+        self.log_and_return(now, wa_eff, n, Decision::None)
+    }
+
+    fn log_and_return(
+        &mut self,
+        at: SimTime,
+        wa_efficiency: f64,
+        nodes: usize,
+        decision: Decision,
+    ) -> Decision {
+        self.log.push(DecisionLogEntry {
+            at,
+            wa_efficiency,
+            nodes,
+            decision: decision.clone(),
+        });
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_core::stats::OverheadBreakdown;
+    use sagrid_core::time::SimDuration;
+
+    /// Builds a report with the given busy fraction split so that
+    /// `ic_frac` of the period is inter-cluster overhead and the rest of the
+    /// overhead is idle time.
+    fn report(id: u32, cluster: u16, speed: f64, busy_frac: f64, ic_frac: f64) -> MonitoringReport {
+        let total = 1_000_000u64;
+        let busy = (busy_frac * total as f64) as u64;
+        let inter = (ic_frac * total as f64) as u64;
+        assert!(busy + inter <= total);
+        MonitoringReport {
+            node: NodeId(id),
+            cluster: ClusterId(cluster),
+            period_end: SimTime::from_secs(180),
+            breakdown: OverheadBreakdown {
+                busy: SimDuration(busy),
+                inter_comm: SimDuration(inter),
+                idle: SimDuration(total - busy - inter),
+                ..Default::default()
+            },
+            speed,
+        }
+    }
+
+    fn coordinator() -> Coordinator {
+        Coordinator::new(AdaptPolicy::default())
+    }
+
+    #[test]
+    fn no_reports_means_no_action() {
+        let mut c = coordinator();
+        assert_eq!(c.evaluate(SimTime::ZERO, None), Decision::None);
+        assert_eq!(c.log().len(), 1);
+    }
+
+    #[test]
+    fn efficiency_in_band_means_no_action() {
+        let mut c = coordinator();
+        // busy 0.4, overhead 0.6 → wa_eff = 0.4, inside (0.3, 0.5).
+        for i in 0..4 {
+            c.record_report(report(i, 0, 1.0, 0.4, 0.0));
+        }
+        assert_eq!(c.evaluate(SimTime::ZERO, None), Decision::None);
+    }
+
+    #[test]
+    fn high_efficiency_adds_nodes_preferring_current_clusters() {
+        let mut c = coordinator();
+        for i in 0..8 {
+            c.record_report(report(i, (i % 2) as u16, 1.0, 0.9, 0.0));
+        }
+        match c.evaluate(SimTime::ZERO, None) {
+            Decision::Add {
+                count,
+                prefer,
+                requirements,
+            } => {
+                // wa_eff = 0.9 → grow by the policy's sizing rule.
+                assert_eq!(count, AdaptPolicy::default().grow_size(0.9, 8));
+                assert_eq!(prefer, vec![ClusterId(0), ClusterId(1)]);
+                assert_eq!(requirements, LearnedRequirements::default());
+            }
+            d => panic!("expected Add, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn low_efficiency_removes_worst_nodes_and_blacklists() {
+        let mut c = coordinator();
+        // 3 good nodes, 1 very slow node: wa_eff = (3*0.25 + 0.1*0.25)/4 …
+        // craft busy fractions so wa_eff < 0.3.
+        c.record_report(report(0, 0, 1.0, 0.3, 0.0));
+        c.record_report(report(1, 0, 1.0, 0.3, 0.0));
+        c.record_report(report(2, 1, 1.0, 0.3, 0.0));
+        c.record_report(report(3, 1, 0.1, 0.3, 0.0)); // slow node
+        let wa = c.current_wa_efficiency();
+        assert!(wa < 0.3, "test setup: wa_eff {wa} must be below e_min");
+        match c.evaluate(SimTime::ZERO, None) {
+            Decision::RemoveNodes { nodes } => {
+                assert!(!nodes.is_empty());
+                // The slow node must be the first removed.
+                assert_eq!(nodes[0], NodeId(3));
+                assert!(c.blacklisted_nodes().contains(&NodeId(3)));
+                // Removed nodes drop out of the report set.
+                assert!(c.known_nodes() < 4);
+            }
+            d => panic!("expected RemoveNodes, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn exceptional_ic_overhead_removes_whole_cluster() {
+        let mut c = coordinator();
+        // Cluster 1 sits behind a shaped uplink: 40% inter-cluster overhead.
+        c.record_report(report(0, 0, 1.0, 0.6, 0.02));
+        c.record_report(report(1, 0, 1.0, 0.6, 0.02));
+        c.record_report(report(2, 1, 1.0, 0.2, 0.4));
+        c.record_report(report(3, 1, 1.0, 0.2, 0.45));
+        c.observe_uplink(ClusterId(1), 100_000.0);
+        match c.evaluate(SimTime::ZERO, None) {
+            Decision::RemoveCluster { cluster, nodes } => {
+                assert_eq!(cluster, ClusterId(1));
+                assert_eq!(nodes, vec![NodeId(2), NodeId(3)]);
+                assert!(c.blacklisted_clusters().contains(&ClusterId(1)));
+                // Bandwidth requirement learned from the observation.
+                assert_eq!(
+                    c.learned_requirements().min_uplink_bps,
+                    Some(100_000.0)
+                );
+                assert_eq!(c.known_nodes(), 2);
+            }
+            d => panic!("expected RemoveCluster, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_removal_takes_priority_over_thresholds() {
+        let mut c = coordinator();
+        // Very high efficiency overall, but one cluster is badly connected:
+        // Figure 2 checks the exceptional cluster first.
+        c.record_report(report(0, 0, 1.0, 0.95, 0.0));
+        c.record_report(report(1, 1, 1.0, 0.6, 0.4));
+        let d = c.evaluate(SimTime::ZERO, None);
+        assert!(matches!(d, Decision::RemoveCluster { .. }), "got {d:?}");
+    }
+
+    #[test]
+    fn single_cluster_never_removed_wholesale() {
+        let mut c = coordinator();
+        // One cluster with (bogus) high inter-cluster overhead reading:
+        // no second cluster exists, so wholesale removal is impossible.
+        c.record_report(report(0, 0, 1.0, 0.4, 0.4));
+        let d = c.evaluate(SimTime::ZERO, None);
+        assert!(!matches!(d, Decision::RemoveCluster { .. }), "got {d:?}");
+    }
+
+    #[test]
+    fn learned_bandwidth_bound_tightens_monotonically() {
+        let mut c = coordinator();
+        c.record_report(report(0, 0, 1.0, 0.6, 0.02));
+        c.record_report(report(1, 1, 1.0, 0.2, 0.4));
+        c.observe_uplink(ClusterId(1), 50_000.0);
+        let _ = c.evaluate(SimTime::ZERO, None);
+        assert_eq!(c.learned_requirements().min_uplink_bps, Some(50_000.0));
+        // A second bad cluster with an even slower uplink must not loosen
+        // the bound.
+        c.record_report(report(2, 2, 1.0, 0.2, 0.5));
+        c.observe_uplink(ClusterId(2), 20_000.0);
+        let _ = c.evaluate(SimTime::from_secs(180), None);
+        assert_eq!(c.learned_requirements().min_uplink_bps, Some(50_000.0));
+    }
+
+    #[test]
+    fn add_passes_learned_requirements_to_scheduler() {
+        let mut c = coordinator();
+        c.record_report(report(0, 0, 1.0, 0.6, 0.02));
+        c.record_report(report(1, 1, 1.0, 0.2, 0.4));
+        c.observe_uplink(ClusterId(1), 100_000.0);
+        let _ = c.evaluate(SimTime::ZERO, None); // removes cluster 1
+        // Survivor now runs at high efficiency → Add with the learned bound.
+        match c.evaluate(SimTime::from_secs(180), None) {
+            Decision::Add { requirements, .. } => {
+                assert_eq!(requirements.min_uplink_bps, Some(100_000.0));
+            }
+            d => panic!("expected Add, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn opportunistic_migration_disabled_by_default() {
+        let mut c = coordinator();
+        for i in 0..4 {
+            c.record_report(report(i, 0, 0.5, 0.8, 0.0));
+        }
+        // wa_eff = 0.4, in band; fast nodes available — but the paper's
+        // default cannot migrate opportunistically.
+        assert_eq!(c.evaluate(SimTime::ZERO, Some(1.0)), Decision::None);
+    }
+
+    #[test]
+    fn opportunistic_migration_swaps_slow_nodes_when_enabled() {
+        let policy = AdaptPolicy {
+            opportunistic_migration: true,
+            ..Default::default()
+        };
+        let mut c = Coordinator::new(policy);
+        c.record_report(report(0, 0, 1.0, 0.42, 0.0));
+        c.record_report(report(1, 0, 0.5, 0.8, 0.0)); // slow
+        c.record_report(report(2, 0, 0.45, 0.8, 0.0)); // slower
+        let wa = c.current_wa_efficiency();
+        assert!(wa > 0.3 && wa < 0.5, "in band: {wa}");
+        match c.evaluate(SimTime::ZERO, Some(1.0)) {
+            Decision::OpportunisticSwap {
+                remove,
+                add,
+                requirements,
+            } => {
+                assert_eq!(remove, vec![NodeId(2), NodeId(1)], "slowest first");
+                assert_eq!(add, 2);
+                let min = requirements.min_speed.unwrap();
+                assert!(min > 0.5, "replacements must beat the retired nodes");
+            }
+            d => panic!("expected OpportunisticSwap, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn opportunistic_margin_prevents_thrashing() {
+        let policy = AdaptPolicy {
+            opportunistic_migration: true,
+            opportunistic_speed_margin: 1.5,
+            ..Default::default()
+        };
+        let mut c = Coordinator::new(policy);
+        // Node at 0.8 speed; available 1.0 < 0.8*1.5 → no swap.
+        c.record_report(report(0, 0, 0.8, 0.5, 0.0));
+        c.record_report(report(1, 0, 1.0, 0.42, 0.0));
+        assert_eq!(c.evaluate(SimTime::ZERO, Some(1.0)), Decision::None);
+    }
+
+    #[test]
+    fn decision_log_records_every_evaluation() {
+        let mut c = coordinator();
+        for i in 0..4 {
+            c.record_report(report(i, 0, 1.0, 0.9, 0.0));
+        }
+        let _ = c.evaluate(SimTime::from_secs(180), None);
+        let _ = c.evaluate(SimTime::from_secs(360), None);
+        assert_eq!(c.log().len(), 2);
+        assert_eq!(c.log()[0].decision.kind(), "add");
+        assert_eq!(c.log()[0].nodes, 4);
+        assert!(c.log()[0].wa_efficiency > 0.5);
+    }
+
+    #[test]
+    fn node_gone_drops_reports() {
+        let mut c = coordinator();
+        c.record_report(report(0, 0, 1.0, 0.4, 0.0));
+        c.record_report(report(1, 0, 1.0, 0.4, 0.0));
+        c.node_gone(NodeId(0));
+        assert_eq!(c.known_nodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid adaptation policy")]
+    fn invalid_policy_is_rejected_at_construction() {
+        let _ = Coordinator::new(AdaptPolicy {
+            e_min: 0.9,
+            e_max: 0.5,
+            ..Default::default()
+        });
+    }
+}

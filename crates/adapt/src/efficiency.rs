@@ -1,0 +1,134 @@
+//! Efficiency metrics (paper §3.1).
+//!
+//! Classic parallel efficiency is the average utilization of the processors:
+//!
+//! ```text
+//! efficiency = (1/N) Σᵢ (1 − overheadᵢ)
+//! ```
+//!
+//! For heterogeneous resource sets the paper weights each processor's useful
+//! work by its relative speed, so that "slower processors are modeled as
+//! fast ones that spend a large fraction of the time being idle":
+//!
+//! ```text
+//! wa_efficiency = (1/N) Σᵢ speedᵢ · (1 − overheadᵢ)
+//! ```
+//!
+//! with `speedᵢ ∈ (0, 1]` relative to the fastest processor.
+
+use sagrid_core::stats::MonitoringReport;
+
+/// Classic homogeneous parallel efficiency from per-node overhead fractions.
+///
+/// Returns 0.0 for an empty slice (no processors do no useful work).
+pub fn efficiency(overheads: &[f64]) -> f64 {
+    if overheads.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = overheads.iter().map(|o| 1.0 - o.clamp(0.0, 1.0)).sum();
+    sum / overheads.len() as f64
+}
+
+/// Weighted average efficiency over `(speed, overhead)` pairs.
+///
+/// Speeds are clamped to `(0, 1]` and overheads to `[0, 1]`; the paper's
+/// normalization guarantees both, but measured data can wobble at the edges
+/// (unsynchronized clocks, §3.2) and the metric must stay in `[0, 1]`.
+pub fn wa_efficiency(pairs: impl IntoIterator<Item = (f64, f64)>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (speed, overhead) in pairs {
+        let s = speed.clamp(f64::MIN_POSITIVE, 1.0);
+        let o = overhead.clamp(0.0, 1.0);
+        sum += s * (1.0 - o);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Weighted average efficiency straight from monitoring reports.
+pub fn wa_efficiency_of_reports<'a>(
+    reports: impl IntoIterator<Item = &'a MonitoringReport>,
+) -> f64 {
+    wa_efficiency(
+        reports
+            .into_iter()
+            .map(|r| (r.speed, r.overhead_fraction())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_core::ids::{ClusterId, NodeId};
+    use sagrid_core::stats::OverheadBreakdown;
+    use sagrid_core::time::{SimDuration, SimTime};
+
+    #[test]
+    fn perfect_nodes_have_efficiency_one() {
+        assert_eq!(efficiency(&[0.0, 0.0, 0.0]), 1.0);
+        assert_eq!(wa_efficiency([(1.0, 0.0), (1.0, 0.0)]), 1.0);
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        assert_eq!(efficiency(&[]), 0.0);
+        assert_eq!(wa_efficiency(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn efficiency_averages_overheads() {
+        let e = efficiency(&[0.2, 0.4]);
+        assert!((e - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_nodes_count_less() {
+        // Two fully busy nodes, one at half speed: wa_eff = (1 + 0.5)/2.
+        let e = wa_efficiency([(1.0, 0.0), (0.5, 0.0)]);
+        assert!((e - 0.75).abs() < 1e-12);
+        // A slow busy node is indistinguishable from a fast idle-half node —
+        // the paper's central modelling idea.
+        let slow_busy = wa_efficiency([(0.5, 0.0)]);
+        let fast_half_idle = wa_efficiency([(1.0, 0.5)]);
+        assert!((slow_busy - fast_half_idle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn garbage_inputs_are_clamped() {
+        let e = wa_efficiency([(2.0, -0.5), (0.5, 1.5)]);
+        // (1.0 * 1.0 + 0.5 * 0.0) / 2
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_based_metric_matches_manual_computation() {
+        let mk = |busy: u64, idle: u64, speed: f64, id: u32| MonitoringReport {
+            node: NodeId(id),
+            cluster: ClusterId(0),
+            period_end: SimTime::from_secs(180),
+            breakdown: OverheadBreakdown {
+                busy: SimDuration(busy),
+                idle: SimDuration(idle),
+                ..Default::default()
+            },
+            speed,
+        };
+        let reports = vec![mk(80, 20, 1.0, 0), mk(60, 40, 0.5, 1)];
+        let e = wa_efficiency_of_reports(&reports);
+        let expected = (1.0 * 0.8 + 0.5 * 0.6) / 2.0;
+        assert!((e - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_idle_nodes_lowers_wa_efficiency() {
+        let busy = vec![(1.0, 0.0); 4];
+        let mut with_idle = busy.clone();
+        with_idle.push((1.0, 0.9));
+        assert!(wa_efficiency(with_idle) < wa_efficiency(busy));
+    }
+}

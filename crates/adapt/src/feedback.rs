@@ -1,0 +1,160 @@
+//! Feedback control over the badness coefficients (paper §7).
+//!
+//! "Another line of research … is using feedback control to refine the
+//! adaptation strategy during the application run: the node badness
+//! formula could be refined at runtime based on the effectiveness of the
+//! previous adaptation decisions."
+//!
+//! Concrete rule implemented here (documented interpretation): after every
+//! node-removal decision the tuner compares the next period's weighted
+//! average efficiency with the one that triggered the removal.
+//!
+//! * If removing nodes that were flagged mainly by their **inter-cluster
+//!   overhead** (β-dominant) failed to improve efficiency, the bandwidth
+//!   hypothesis was wrong — shift weight from β to α (speed problems).
+//! * Symmetrically, an ineffective **speed-dominant** (α) removal shifts
+//!   weight toward β.
+//! * Effective removals reinforce nothing: the formula already works.
+//!
+//! Coefficients move multiplicatively and are clamped to a bounded range
+//! around their initial values, so a run of unlucky periods cannot wedge
+//! the formula.
+
+use crate::badness::BadnessCoefficients;
+
+/// Which badness term contributed most to the removed nodes' scores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DominantTerm {
+    /// `α / speed` dominated: the nodes looked slow.
+    Speed,
+    /// `β · ic_overhead` dominated: the nodes looked badly connected.
+    IcOverhead,
+}
+
+/// Classifies a removed node's badness contributions.
+pub fn dominant_term(coeff: &BadnessCoefficients, speed: f64, ic_overhead: f64) -> DominantTerm {
+    let speed_term = coeff.alpha / speed.max(1e-6);
+    let ic_term = coeff.beta * ic_overhead;
+    if ic_term >= speed_term {
+        DominantTerm::IcOverhead
+    } else {
+        DominantTerm::Speed
+    }
+}
+
+/// Multiplicative-weights tuner over (α, β).
+#[derive(Clone, Debug)]
+pub struct FeedbackTuner {
+    initial: BadnessCoefficients,
+    /// Minimum efficiency gain for a removal to count as effective.
+    min_gain: f64,
+    /// Multiplicative step per ineffective decision.
+    step: f64,
+    /// Clamp: coefficients stay within `initial / bound .. initial * bound`.
+    bound: f64,
+}
+
+impl FeedbackTuner {
+    /// Creates a tuner anchored at `initial` coefficients.
+    pub fn new(initial: BadnessCoefficients) -> Self {
+        Self {
+            initial,
+            min_gain: 0.02,
+            step: 1.5,
+            bound: 8.0,
+        }
+    }
+
+    /// Updates `coeff` after observing the efficiency before and after a
+    /// node-removal decision whose removed nodes were flagged mainly by
+    /// `dominant`. Returns `true` when the coefficients changed.
+    pub fn update(
+        &self,
+        coeff: &mut BadnessCoefficients,
+        dominant: DominantTerm,
+        eff_before: f64,
+        eff_after: f64,
+    ) -> bool {
+        if eff_after - eff_before >= self.min_gain {
+            return false; // the removal worked; leave the formula alone
+        }
+        match dominant {
+            DominantTerm::IcOverhead => {
+                coeff.beta /= self.step;
+                coeff.alpha *= self.step;
+            }
+            DominantTerm::Speed => {
+                coeff.alpha /= self.step;
+                coeff.beta *= self.step;
+            }
+        }
+        coeff.alpha = coeff
+            .alpha
+            .clamp(self.initial.alpha / self.bound, self.initial.alpha * self.bound);
+        coeff.beta = coeff
+            .beta
+            .clamp(self.initial.beta / self.bound, self.initial.beta * self.bound);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_dominant_terms() {
+        let c = BadnessCoefficients::default();
+        // Very slow, well-connected node: speed term dominates.
+        assert_eq!(dominant_term(&c, 0.05, 0.01), DominantTerm::Speed);
+        // Fast node behind a bad link: ic term dominates.
+        assert_eq!(dominant_term(&c, 1.0, 0.3), DominantTerm::IcOverhead);
+    }
+
+    #[test]
+    fn effective_removals_leave_coefficients_alone() {
+        let tuner = FeedbackTuner::new(BadnessCoefficients::default());
+        let mut c = BadnessCoefficients::default();
+        let before = c;
+        let changed = tuner.update(&mut c, DominantTerm::IcOverhead, 0.25, 0.55);
+        assert!(!changed);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn ineffective_ic_removals_shift_weight_to_speed() {
+        let tuner = FeedbackTuner::new(BadnessCoefficients::default());
+        let mut c = BadnessCoefficients::default();
+        let changed = tuner.update(&mut c, DominantTerm::IcOverhead, 0.25, 0.26);
+        assert!(changed);
+        assert!(c.beta < BadnessCoefficients::default().beta);
+        assert!(c.alpha > BadnessCoefficients::default().alpha);
+    }
+
+    #[test]
+    fn ineffective_speed_removals_shift_weight_to_ic() {
+        let tuner = FeedbackTuner::new(BadnessCoefficients::default());
+        let mut c = BadnessCoefficients::default();
+        tuner.update(&mut c, DominantTerm::Speed, 0.25, 0.24);
+        assert!(c.alpha < BadnessCoefficients::default().alpha);
+        assert!(c.beta > BadnessCoefficients::default().beta);
+    }
+
+    #[test]
+    fn coefficients_stay_bounded_under_repeated_failures() {
+        let initial = BadnessCoefficients::default();
+        let tuner = FeedbackTuner::new(initial);
+        let mut c = initial;
+        for _ in 0..100 {
+            tuner.update(&mut c, DominantTerm::IcOverhead, 0.2, 0.2);
+        }
+        assert!(c.alpha <= initial.alpha * 8.0 + 1e-9);
+        assert!(c.beta >= initial.beta / 8.0 - 1e-9);
+        // Flip direction: must be able to come back.
+        for _ in 0..100 {
+            tuner.update(&mut c, DominantTerm::Speed, 0.2, 0.2);
+        }
+        assert!(c.beta <= initial.beta * 8.0 + 1e-9);
+        assert!(c.alpha >= initial.alpha / 8.0 - 1e-9);
+    }
+}

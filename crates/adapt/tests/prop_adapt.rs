@@ -1,0 +1,177 @@
+//! Property tests for the adaptation machinery.
+
+use proptest::prelude::*;
+use sagrid_adapt::coordinator::Decision;
+use sagrid_adapt::hierarchy::HierarchicalCoordinator;
+use sagrid_adapt::{
+    wa_efficiency_of_reports, AdaptPolicy, BenchmarkScheduler, Coordinator,
+};
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
+use sagrid_core::time::{SimDuration, SimTime};
+
+/// Strategy: a plausible monitoring report.
+fn arb_report(id: u32, n_clusters: u16) -> impl Strategy<Value = MonitoringReport> {
+    (
+        0u16..n_clusters,
+        0.01f64..1.0,  // speed
+        0.0f64..1.0,   // busy fraction
+        0.0f64..0.5,   // ic fraction (of what's left)
+    )
+        .prop_map(move |(cluster, speed, busy_f, ic_f)| {
+            let total = 1_000_000u64;
+            let busy = (busy_f * total as f64) as u64;
+            let inter = (ic_f * (total - busy) as f64) as u64;
+            MonitoringReport {
+                node: NodeId(id),
+                cluster: ClusterId(cluster),
+                period_end: SimTime::from_secs(180),
+                breakdown: OverheadBreakdown {
+                    busy: SimDuration(busy),
+                    inter_comm: SimDuration(inter),
+                    idle: SimDuration(total - busy - inter),
+                    ..Default::default()
+                },
+                speed,
+            }
+        })
+}
+
+fn arb_reports(n: usize, clusters: u16) -> impl Strategy<Value = Vec<MonitoringReport>> {
+    (0..n as u32)
+        .map(|i| arb_report(i, clusters))
+        .collect::<Vec<_>>()
+}
+
+proptest! {
+    /// Whatever the inputs, the coordinator's decisions respect structural
+    /// invariants: it never removes nodes it has not seen, never removes
+    /// more than it knows, and never asks for a non-positive addition.
+    #[test]
+    fn decisions_are_structurally_sound(reports in arb_reports(24, 3)) {
+        let mut c = Coordinator::new(AdaptPolicy::default());
+        let known: Vec<NodeId> = reports.iter().map(|r| r.node).collect();
+        for r in &reports {
+            c.record_report(*r);
+        }
+        match c.evaluate(SimTime::from_secs(180), None) {
+            Decision::Add { count, .. } => prop_assert!(count >= 1),
+            Decision::RemoveNodes { nodes } => {
+                prop_assert!(!nodes.is_empty());
+                prop_assert!(nodes.len() < known.len(), "must not empty the computation");
+                for n in &nodes {
+                    prop_assert!(known.contains(n));
+                }
+            }
+            Decision::RemoveCluster { nodes, cluster } => {
+                prop_assert!(!nodes.is_empty());
+                for n in &nodes {
+                    let r = reports.iter().find(|r| r.node == *n).expect("known node");
+                    prop_assert_eq!(r.cluster, cluster);
+                }
+            }
+            Decision::OpportunisticSwap { .. } => {
+                prop_assert!(false, "extension disabled by default");
+            }
+            Decision::None => {}
+        }
+    }
+
+    /// Evaluation is deterministic: the same reports yield the same
+    /// decision.
+    #[test]
+    fn evaluation_is_deterministic(reports in arb_reports(16, 3)) {
+        let mut a = Coordinator::new(AdaptPolicy::default());
+        let mut b = Coordinator::new(AdaptPolicy::default());
+        for r in &reports {
+            a.record_report(*r);
+            b.record_report(*r);
+        }
+        prop_assert_eq!(
+            a.evaluate(SimTime::from_secs(180), None),
+            b.evaluate(SimTime::from_secs(180), None)
+        );
+    }
+
+    /// The hierarchical coordinator is decision-equivalent to the flat one
+    /// for arbitrary report sets — the §7 hierarchy changes message
+    /// counts, never behaviour.
+    #[test]
+    fn hierarchy_is_always_equivalent(reports in arb_reports(20, 4)) {
+        let mut flat = Coordinator::new(AdaptPolicy::default());
+        let mut hier = HierarchicalCoordinator::new(AdaptPolicy::default());
+        for r in &reports {
+            flat.record_report(*r);
+            hier.record_report(*r);
+        }
+        let t = SimTime::from_secs(180);
+        prop_assert_eq!(flat.evaluate(t, None), hier.evaluate(t, None));
+    }
+
+    /// Blacklists only grow, across arbitrary evaluation sequences.
+    #[test]
+    fn blacklists_are_monotone(batches in prop::collection::vec(arb_reports(12, 3), 1..5)) {
+        let mut c = Coordinator::new(AdaptPolicy::default());
+        let mut prev_nodes = 0usize;
+        let mut prev_clusters = 0usize;
+        for (i, batch) in batches.iter().enumerate() {
+            for r in batch {
+                c.record_report(*r);
+            }
+            let _ = c.evaluate(SimTime::from_secs(180 * (i as u64 + 1)), None);
+            prop_assert!(c.blacklisted_nodes().len() >= prev_nodes);
+            prop_assert!(c.blacklisted_clusters().len() >= prev_clusters);
+            prev_nodes = c.blacklisted_nodes().len();
+            prev_clusters = c.blacklisted_clusters().len();
+        }
+    }
+
+    /// The benchmark scheduler honours its overhead budget over long
+    /// random histories: total benchmark time / elapsed ≤ budget (up to
+    /// the one in-flight run).
+    #[test]
+    fn benchmark_budget_is_respected(
+        budget in 0.01f64..0.3,
+        durations in prop::collection::vec(100_000u64..10_000_000, 2..40),
+    ) {
+        let mut s = BenchmarkScheduler::new(budget, SimDuration(durations[0]));
+        let mut now = SimTime::ZERO;
+        let mut bench_total = 0u64;
+        for &d in &durations {
+            // Jump to the earliest allowed start.
+            now = now.max(s.next_run_at());
+            prop_assert!(s.should_run(now));
+            s.record_run(now, SimDuration(d));
+            bench_total += d;
+            now += SimDuration(d);
+        }
+        let elapsed = now.saturating_since(SimTime::ZERO).0.max(1);
+        let overhead = bench_total as f64 / elapsed as f64;
+        // The final run may overshoot the window; allow one-run slack.
+        let last = *durations.last().expect("non-empty") as f64 / elapsed as f64;
+        prop_assert!(
+            overhead <= budget + last + 1e-9,
+            "overhead {overhead} exceeds budget {budget} (+ slack {last})"
+        );
+    }
+
+    /// wa_efficiency over reconstructed-from-fractions reports matches the
+    /// original to floating-point accuracy (the digest loses nothing the
+    /// metric needs).
+    #[test]
+    fn digest_reconstruction_preserves_the_metric(reports in arb_reports(16, 3)) {
+        let original = wa_efficiency_of_reports(reports.iter());
+        let mut hier = HierarchicalCoordinator::new(AdaptPolicy::default());
+        for r in &reports {
+            hier.record_report(*r);
+        }
+        let _ = hier.evaluate(SimTime::from_secs(180), None);
+        // After evaluation the main coordinator holds reconstructed
+        // reports (minus any it removed); when nothing was removed the
+        // metric must match.
+        if hier.main().known_nodes() == reports.len() {
+            let rebuilt = hier.main().current_wa_efficiency();
+            prop_assert!((rebuilt - original).abs() < 1e-6, "{rebuilt} vs {original}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # sagrid-apps
+//!
+//! Divide-and-conquer applications for the `sagrid` runtime — the workload
+//! side of the paper. Satin's canonical application set is represented by:
+//!
+//! * [`fib`] — the classic spawn/sync micro-benchmark (fine-grained,
+//!   maximally irregular spawn tree);
+//! * [`nqueens`] — combinatorial search with irregular subtree sizes;
+//! * [`quadrature`] — adaptive numerical integration (data-dependent
+//!   recursion depth);
+//! * [`tsp`] — branch-and-bound travelling salesman with a shared global
+//!   bound (speculative parallelism and pruning);
+//! * [`sort`] — parallel mergesort (large result payloads);
+//! * [`matmul`] — divide-and-conquer matrix multiplication (regular
+//!   8-way spawn tree);
+//! * [`barneshut`] — the paper's evaluation workload: an N-body simulation
+//!   with a Plummer-model galaxy, octree construction, θ-criterion force
+//!   evaluation, and leapfrog integration, parallelized divide-and-conquer
+//!   over the body set.
+//!
+//! Every application offers a sequential reference implementation (used by
+//! the tests as ground truth) and a parallel version against
+//! [`sagrid_runtime::WorkerCtx`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod barneshut;
+pub mod fib;
+pub mod matmul;
+pub mod nqueens;
+pub mod quadrature;
+pub mod sort;
+pub mod tsp;
+
+pub use barneshut::{BarnesHut, Body};
+pub use fib::{fib_par, fib_seq};
+pub use matmul::{matmul_par, matmul_seq, Matrix};
+pub use nqueens::{nqueens_par, nqueens_seq};
+pub use quadrature::{integrate_par, integrate_seq};
+pub use sort::{mergesort_par, mergesort_seq};
+pub use tsp::{tsp_par, tsp_seq, TspInstance};

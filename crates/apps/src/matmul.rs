@@ -1,0 +1,257 @@
+//! Divide-and-conquer matrix multiplication.
+//!
+//! The cache-oblivious 8-way recursive decomposition: `C = A·B` splits into
+//! four quadrant results, each the sum of two quadrant products. The spawn
+//! tree is regular (unlike the search codes), which makes it the
+//! best-behaved application for work stealing — Satin's papers use it as
+//! the "easy" end of the application spectrum.
+
+use sagrid_runtime::WorkerCtx;
+use std::sync::Arc;
+
+/// A dense row-major square matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of size `n × n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds from a row-major buffer. Panics unless `data.len() == n²`.
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "buffer must hold n² elements");
+        Self { n, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Deterministic pseudo-random matrix with entries in `[-1, 1)`.
+    pub fn random(n: usize, seed: u64) -> Self {
+        use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        Self {
+            n,
+            data: (0..n * n).map(|_| rng.gen_f64() * 2.0 - 1.0).collect(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element update.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Frobenius norm of `self − other` (test tolerance metric).
+    pub fn frobenius_distance(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Naive `O(n³)` reference multiplication.
+pub fn matmul_seq(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n, b.n);
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a.get(i, k);
+            for j in 0..n {
+                c.data[i * n + j] += aik * b.get(k, j);
+            }
+        }
+    }
+    c
+}
+
+/// A quadrant view: `(row offset, col offset, size)`.
+type Quad = (usize, usize, usize);
+
+fn mul_block(a: &Matrix, b: &Matrix, qa: Quad, qb: Quad, size: usize) -> Vec<f64> {
+    // Computes the `size × size` product of A[qa] · B[qb] into a dense
+    // buffer (row-major).
+    let mut out = vec![0.0; size * size];
+    for i in 0..size {
+        for k in 0..size {
+            let aik = a.get(qa.0 + i, qa.1 + k);
+            for j in 0..size {
+                out[i * size + j] += aik * b.get(qb.0 + k, qb.1 + j);
+            }
+        }
+    }
+    out
+}
+
+fn add_into(dst: &mut [f64], src: &[f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Parallel divide-and-conquer multiplication: quadrants are spawned until
+/// `size <= cutoff`. `n` must be a power of two (pad otherwise).
+pub fn matmul_par(ctx: &WorkerCtx<'_>, a: Arc<Matrix>, b: Arc<Matrix>, cutoff: usize) -> Matrix {
+    assert_eq!(a.n, b.n);
+    assert!(a.n.is_power_of_two(), "dimension must be a power of two");
+    let n = a.n;
+
+    fn block(
+        ctx: &WorkerCtx<'_>,
+        a: &Arc<Matrix>,
+        b: &Arc<Matrix>,
+        qa: Quad,
+        qb: Quad,
+        size: usize,
+        cutoff: usize,
+    ) -> Vec<f64> {
+        if size <= cutoff {
+            return mul_block(a, b, qa, qb, size);
+        }
+        let h = size / 2;
+        // C_ij = A_i0 · B_0j + A_i1 · B_1j  — spawn the 8 sub-products.
+        let mut handles = Vec::with_capacity(7);
+        let mut specs = Vec::with_capacity(8);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    let sub_a = (qa.0 + i * h, qa.1 + k * h, h);
+                    let sub_b = (qb.0 + k * h, qb.1 + j * h, h);
+                    specs.push((i, j, sub_a, sub_b));
+                }
+            }
+        }
+        // Spawn all but the last; compute the last inline (work-first).
+        let last = specs.pop().expect("eight specs");
+        for &(_, _, sub_a, sub_b) in &specs {
+            let (a2, b2) = (Arc::clone(a), Arc::clone(b));
+            handles.push(
+                ctx.spawn(move |ctx| block(ctx, &a2, &b2, sub_a, sub_b, h, cutoff)),
+            );
+        }
+        let mut partials: Vec<Vec<f64>> = Vec::with_capacity(8);
+        let last_result = block(ctx, a, b, last.2, last.3, h, cutoff);
+        for h2 in handles {
+            partials.push(h2.join(ctx));
+        }
+        partials.push(last_result);
+        // Assemble: specs order is (i, j, k = 0..2) row-major; partial p
+        // for (i, j, k) contributes additively to quadrant (i, j).
+        let mut quads = vec![vec![0.0; h * h]; 4];
+        for (idx, &(i, j, _, _)) in specs.iter().enumerate() {
+            add_into(&mut quads[i * 2 + j], &partials[idx]);
+        }
+        add_into(&mut quads[last.0 * 2 + last.1], &partials[specs.len()]);
+        // Stitch the four quadrants into one buffer.
+        let mut out = vec![0.0; size * size];
+        for i in 0..2 {
+            for j in 0..2 {
+                let q = &quads[i * 2 + j];
+                for r in 0..h {
+                    let dst = (i * h + r) * size + j * h;
+                    out[dst..dst + h].copy_from_slice(&q[r * h..(r + 1) * h]);
+                }
+            }
+        }
+        out
+    }
+
+    let data = block(ctx, &a, &b, (0, 0, n), (0, 0, n), n, cutoff.max(1));
+    Matrix { n, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_runtime::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(8, 1);
+        let i = Matrix::identity(8);
+        let c = matmul_seq(&a, &i);
+        assert!(c.frobenius_distance(&a) < 1e-12);
+        let c = matmul_seq(&i, &a);
+        assert!(c.frobenius_distance(&a) < 1e-12);
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul_seq(&a, &b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+        for seed in 0..2 {
+            let a = Arc::new(Matrix::random(64, seed));
+            let b = Arc::new(Matrix::random(64, seed + 100));
+            let expected = matmul_seq(&a, &b);
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let got = rt.run(move |ctx| matmul_par(ctx, Arc::clone(&a2), Arc::clone(&b2), 16));
+            assert!(
+                got.frobenius_distance(&expected) < 1e-9,
+                "seed {seed}: distance {}",
+                got.frobenius_distance(&expected)
+            );
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn cutoff_equal_to_n_degenerates_to_sequential() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        let a = Arc::new(Matrix::random(16, 3));
+        let b = Arc::new(Matrix::random(16, 4));
+        let expected = matmul_seq(&a, &b);
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let got = rt.run(move |ctx| matmul_par(ctx, Arc::clone(&a2), Arc::clone(&b2), 16));
+        assert!(got.frobenius_distance(&expected) < 1e-9);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panic_from_invalid_dimension_propagates() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(1));
+        let a = Arc::new(Matrix::random(6, 1));
+        let b = Arc::new(Matrix::random(6, 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(move |ctx| matmul_par(ctx, Arc::clone(&a), Arc::clone(&b), 2))
+        }));
+        assert!(result.is_err(), "non-power-of-two dimension must propagate a panic");
+        rt.shutdown();
+    }
+}

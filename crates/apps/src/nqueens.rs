@@ -1,0 +1,121 @@
+//! N-queens — irregular combinatorial search.
+//!
+//! Satin's flagship irregular application class: subtree sizes differ by
+//! orders of magnitude depending on how early the partial placement runs
+//! into conflicts, exactly the "task sizes vary by many orders of
+//! magnitude" property the paper's benchmarking section calls out.
+
+use sagrid_runtime::WorkerCtx;
+
+/// Counts solutions to the N-queens problem, sequentially.
+///
+/// `cols`, `diag1`, `diag2` are occupancy bitmasks for the partial
+/// placement of the first `row` rows.
+pub fn nqueens_seq(n: u32) -> u64 {
+    fn go(n: u32, cols: u32, d1: u32, d2: u32) -> u64 {
+        if cols == (1 << n) - 1 {
+            return 1;
+        }
+        let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
+        let mut count = 0;
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            count += go(n, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
+        }
+        count
+    }
+    if n == 0 {
+        return 1; // the empty placement
+    }
+    go(n, 0, 0, 0)
+}
+
+/// Parallel N-queens: spawn a job per feasible queen position until
+/// `spawn_depth` rows are placed, then continue sequentially.
+pub fn nqueens_par(ctx: &WorkerCtx<'_>, n: u32, spawn_depth: u32) -> u64 {
+    fn seq(n: u32, cols: u32, d1: u32, d2: u32) -> u64 {
+        if cols == (1 << n) - 1 {
+            return 1;
+        }
+        let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
+        let mut count = 0;
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            count += seq(n, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
+        }
+        count
+    }
+
+    fn par(
+        ctx: &WorkerCtx<'_>,
+        n: u32,
+        cols: u32,
+        d1: u32,
+        d2: u32,
+        depth: u32,
+        spawn_depth: u32,
+    ) -> u64 {
+        if cols == (1 << n) - 1 {
+            return 1;
+        }
+        if depth >= spawn_depth {
+            return seq(n, cols, d1, d2);
+        }
+        let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
+        let mut handles = Vec::new();
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            let (nc, nd1, nd2) = (cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
+            handles.push(ctx.spawn(move |ctx| par(ctx, n, nc, nd1, nd2, depth + 1, spawn_depth)));
+        }
+        handles.into_iter().map(|h| h.join(ctx)).sum()
+    }
+
+    if n == 0 {
+        return 1;
+    }
+    par(ctx, n, 0, 0, 0, 0, spawn_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_runtime::{Runtime, RuntimeConfig};
+
+    /// Known solution counts for N = 0..=10.
+    const KNOWN: [u64; 11] = [1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724];
+
+    #[test]
+    fn sequential_matches_known_counts() {
+        for (n, &expected) in KNOWN.iter().enumerate() {
+            assert_eq!(nqueens_seq(n as u32), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+        for n in [6u32, 8, 9] {
+            let expected = nqueens_seq(n);
+            assert_eq!(rt.run(move |ctx| nqueens_par(ctx, n, 2)), expected, "n={n}");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spawn_depth_zero_degenerates_to_sequential() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        assert_eq!(rt.run(|ctx| nqueens_par(ctx, 8, 0)), 92);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn deep_spawning_still_correct() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+        assert_eq!(rt.run(|ctx| nqueens_par(ctx, 8, 8)), 92);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,124 @@
+//! Adaptive quadrature — data-dependent recursion depth.
+//!
+//! Adaptive Simpson integration splits an interval until the local error
+//! estimate is small enough; smooth regions terminate quickly while wiggly
+//! regions recurse deeply, yielding the irregular task tree the paper's
+//! monitoring machinery has to cope with.
+
+use sagrid_runtime::WorkerCtx;
+
+fn simpson(f: &impl Fn(f64) -> f64, a: f64, b: f64) -> f64 {
+    let m = 0.5 * (a + b);
+    (b - a) / 6.0 * (f(a) + 4.0 * f(m) + f(b))
+}
+
+fn adaptive(f: &impl Fn(f64) -> f64, a: f64, b: f64, whole: f64, eps: f64, depth: u32) -> f64 {
+    let m = 0.5 * (a + b);
+    let left = simpson(f, a, m);
+    let right = simpson(f, m, b);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * eps {
+        return left + right + delta / 15.0;
+    }
+    adaptive(f, a, m, left, eps * 0.5, depth - 1)
+        + adaptive(f, m, b, right, eps * 0.5, depth - 1)
+}
+
+/// Sequential adaptive Simpson integration of `f` over `[a, b]` with
+/// absolute tolerance `eps`.
+pub fn integrate_seq(f: impl Fn(f64) -> f64, a: f64, b: f64, eps: f64) -> f64 {
+    assert!(b >= a && eps > 0.0);
+    let whole = simpson(&f, a, b);
+    adaptive(&f, a, b, whole, eps, 50)
+}
+
+/// Parallel adaptive Simpson: spawns the left half while computing the
+/// right, down to `spawn_depth` levels, then switches to the sequential
+/// kernel. `f` must be `Send + Sync + Copy` (a plain function pointer or
+/// capture-light closure).
+pub fn integrate_par<F>(ctx: &WorkerCtx<'_>, f: F, a: f64, b: f64, eps: f64, spawn_depth: u32) -> f64
+where
+    F: Fn(f64) -> f64 + Send + Sync + Copy + 'static,
+{
+    fn go<F>(
+        ctx: &WorkerCtx<'_>,
+        f: F,
+        a: f64,
+        b: f64,
+        whole: f64,
+        eps: f64,
+        spawn_depth: u32,
+    ) -> f64
+    where
+        F: Fn(f64) -> f64 + Send + Sync + Copy + 'static,
+    {
+        let m = 0.5 * (a + b);
+        let left = simpson(&f, a, m);
+        let right = simpson(&f, m, b);
+        let delta = left + right - whole;
+        if delta.abs() <= 15.0 * eps {
+            return left + right + delta / 15.0;
+        }
+        if spawn_depth == 0 {
+            return adaptive(&f, a, m, left, eps * 0.5, 50)
+                + adaptive(&f, m, b, right, eps * 0.5, 50);
+        }
+        let eps2 = eps * 0.5;
+        let d = spawn_depth - 1;
+        let lh = ctx.spawn(move |ctx| go(ctx, f, a, m, left, eps2, d));
+        let r = go(ctx, f, m, b, right, eps2, d);
+        lh.join(ctx) + r
+    }
+    assert!(b >= a && eps > 0.0);
+    let whole = simpson(&f, a, b);
+    go(ctx, f, a, b, whole, eps, spawn_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_runtime::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn integrates_polynomials_exactly() {
+        // Simpson is exact for cubics.
+        let v = integrate_seq(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 1e-9);
+        let exact = 4.0 - 4.0 + 2.0; // x^4/4 - x^2 + x over [0,2]
+        assert!((v - exact).abs() < 1e-9, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn integrates_sine_to_tolerance() {
+        let v = integrate_seq(f64::sin, 0.0, std::f64::consts::PI, 1e-10);
+        assert!((v - 2.0).abs() < 1e-8, "{v}");
+    }
+
+    #[test]
+    fn handles_oscillatory_integrands() {
+        // ∫₀¹ sin²(20x) dx = 1/2 − sin(40)/80 (interval chosen so the
+        // oscillation does not alias with the sampler's midpoints).
+        let v = integrate_seq(|x| (20.0 * x).sin().powi(2), 0.0, 1.0, 1e-10);
+        let exact = 0.5 - (40.0_f64).sin() / 80.0;
+        assert!((v - exact).abs() < 1e-7, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+        let seq = integrate_seq(|x| (x.sin() * 10.0).exp().cos(), 0.0, 3.0, 1e-9);
+        let par = rt.run(move |ctx| {
+            integrate_par(ctx, |x| (x.sin() * 10.0).exp().cos(), 0.0, 3.0, 1e-9, 8)
+        });
+        assert!(
+            (seq - par).abs() < 1e-7,
+            "sequential {seq} vs parallel {par}"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_tolerance() {
+        let _ = integrate_seq(|x| x, 0.0, 1.0, 0.0);
+    }
+}

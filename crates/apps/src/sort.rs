@@ -1,0 +1,129 @@
+//! Parallel mergesort — a data-parallel divide-and-conquer kernel.
+//!
+//! Included because the Satin distribution ships exactly this class of
+//! application, and because it stresses a different runtime axis than the
+//! search codes: jobs return *large* results (sorted sub-arrays), which on
+//! the grid translates into the subtree-proportional payloads the workload
+//! model encodes.
+
+use sagrid_runtime::WorkerCtx;
+use std::sync::Arc;
+
+/// Sequential mergesort (reference and sequential cutoff).
+pub fn mergesort_seq<T: Ord + Clone>(data: &[T]) -> Vec<T> {
+    if data.len() <= 1 {
+        return data.to_vec();
+    }
+    let mid = data.len() / 2;
+    let left = mergesort_seq(&data[..mid]);
+    let right = mergesort_seq(&data[mid..]);
+    merge(&left, &right)
+}
+
+fn merge<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Parallel mergesort over a shared immutable input: halves are spawned
+/// until ranges shrink below `cutoff`.
+pub fn mergesort_par<T>(ctx: &WorkerCtx<'_>, data: Arc<Vec<T>>, cutoff: usize) -> Vec<T>
+where
+    T: Ord + Clone + Send + Sync + 'static,
+{
+    fn sort_range<T>(
+        ctx: &WorkerCtx<'_>,
+        data: &Arc<Vec<T>>,
+        lo: usize,
+        hi: usize,
+        cutoff: usize,
+    ) -> Vec<T>
+    where
+        T: Ord + Clone + Send + Sync + 'static,
+    {
+        if hi - lo <= cutoff {
+            return mergesort_seq(&data[lo..hi]);
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left_data = Arc::clone(data);
+        let left = ctx.spawn(move |ctx| sort_range(ctx, &left_data, lo, mid, cutoff));
+        let right = sort_range(ctx, data, mid, hi, cutoff);
+        merge(&left.join(ctx), &right)
+    }
+    let n = data.len();
+    sort_range(ctx, &data, 0, n, cutoff.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
+    use sagrid_runtime::{Runtime, RuntimeConfig};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        (0..n).map(|_| rng.gen_range(1_000_000)).collect()
+    }
+
+    #[test]
+    fn sorts_empty_and_singleton() {
+        assert_eq!(mergesort_seq::<u64>(&[]), Vec::<u64>::new());
+        assert_eq!(mergesort_seq(&[7u64]), vec![7]);
+    }
+
+    #[test]
+    fn sequential_sorts_correctly() {
+        let v = random_vec(1000, 1);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        assert_eq!(mergesort_seq(&v), expected);
+    }
+
+    #[test]
+    fn handles_duplicates_and_sorted_input() {
+        let v = vec![3u64, 3, 3, 1, 1, 2];
+        assert_eq!(mergesort_seq(&v), vec![1, 1, 2, 3, 3, 3]);
+        let sorted: Vec<u64> = (0..100).collect();
+        assert_eq!(mergesort_seq(&sorted), sorted);
+        let rev: Vec<u64> = (0..100).rev().collect();
+        assert_eq!(mergesort_seq(&rev), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+        for seed in 0..3 {
+            let v = random_vec(20_000, seed);
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            let shared = Arc::new(v);
+            let got = rt.run(move |ctx| mergesort_par(ctx, Arc::clone(&shared), 512));
+            assert_eq!(got, expected, "seed {seed}");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn cutoff_one_is_still_correct() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        let v = random_vec(200, 9);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let shared = Arc::new(v);
+        let got = rt.run(move |ctx| mergesort_par(ctx, Arc::clone(&shared), 1));
+        assert_eq!(got, expected);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,257 @@
+//! Travelling salesman by branch-and-bound — speculative search with a
+//! shared pruning bound.
+//!
+//! The paper notes that performance-degradation detection based on
+//! iteration counts "cannot be used for irregular computations such as
+//! search and optimization problems" — this is that application class.
+//! Parallel branches share the best-tour-so-far through an atomic, so work
+//! pruning is speculative and the amount of real work is schedule-
+//! dependent, while the *result* stays exact.
+
+use sagrid_runtime::WorkerCtx;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A symmetric TSP instance (full distance matrix, integer weights).
+#[derive(Clone, Debug)]
+pub struct TspInstance {
+    n: usize,
+    dist: Vec<u64>,
+}
+
+impl TspInstance {
+    /// Builds an instance from a full `n × n` distance matrix (row-major).
+    /// Panics unless the matrix is square, symmetric and zero-diagonal.
+    pub fn new(n: usize, dist: Vec<u64>) -> Self {
+        assert!(n >= 2, "need at least two cities");
+        assert_eq!(dist.len(), n * n, "matrix must be n×n");
+        for i in 0..n {
+            assert_eq!(dist[i * n + i], 0, "diagonal must be zero");
+            for j in 0..n {
+                assert_eq!(dist[i * n + j], dist[j * n + i], "matrix must be symmetric");
+            }
+        }
+        Self { n, dist }
+    }
+
+    /// Random Euclidean instance on an integer grid (deterministic in
+    /// `seed`), the standard random testbed for branch-and-bound.
+    pub fn random_euclidean(n: usize, seed: u64) -> Self {
+        use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_f64() * 1000.0, rng.gen_f64() * 1000.0))
+            .collect();
+        let mut dist = vec![0u64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt().round() as u64;
+            }
+        }
+        Self { n, dist }
+    }
+
+    /// Number of cities.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn d(&self, i: usize, j: usize) -> u64 {
+        self.dist[i * self.n + j]
+    }
+
+    /// Length of the greedy nearest-neighbour tour from city 0 — the
+    /// initial upper bound.
+    pub fn greedy_bound(&self) -> u64 {
+        let mut visited = vec![false; self.n];
+        visited[0] = true;
+        let mut at = 0;
+        let mut total = 0;
+        for _ in 1..self.n {
+            let next = (0..self.n)
+                .filter(|&j| !visited[j])
+                .min_by_key(|&j| self.d(at, j))
+                .expect("unvisited city exists");
+            total += self.d(at, next);
+            visited[next] = true;
+            at = next;
+        }
+        total + self.d(at, 0)
+    }
+}
+
+fn branch_seq(inst: &TspInstance, path: &mut Vec<usize>, visited: &mut [bool], len: u64, best: &AtomicU64) {
+    let n = inst.n;
+    if path.len() == n {
+        let total = len + inst.d(*path.last().expect("non-empty"), 0);
+        best.fetch_min(total, Ordering::Relaxed);
+        return;
+    }
+    let at = *path.last().expect("non-empty");
+    for next in 1..n {
+        if visited[next] {
+            continue;
+        }
+        let new_len = len + inst.d(at, next);
+        if new_len >= best.load(Ordering::Relaxed) {
+            continue; // prune
+        }
+        visited[next] = true;
+        path.push(next);
+        branch_seq(inst, path, visited, new_len, best);
+        path.pop();
+        visited[next] = false;
+    }
+}
+
+/// Exact sequential branch-and-bound tour length (tours start/end at city
+/// 0).
+pub fn tsp_seq(inst: &TspInstance) -> u64 {
+    let best = AtomicU64::new(inst.greedy_bound());
+    let mut path = vec![0];
+    let mut visited = vec![false; inst.n];
+    visited[0] = true;
+    branch_seq(inst, &mut path, &mut visited, 0, &best);
+    best.into_inner()
+}
+
+/// Exact parallel branch-and-bound: the first `spawn_depth` tree levels
+/// spawn one job per next city; deeper levels run the sequential kernel.
+/// All branches share one atomic best-tour bound.
+pub fn tsp_par(ctx: &WorkerCtx<'_>, inst: &Arc<TspInstance>, spawn_depth: usize) -> u64 {
+    fn go(
+        ctx: &WorkerCtx<'_>,
+        inst: &Arc<TspInstance>,
+        path: Vec<usize>,
+        len: u64,
+        best: &Arc<AtomicU64>,
+        spawn_depth: usize,
+    ) {
+        let n = inst.n();
+        if path.len() == n {
+            let total = len + inst.d(*path.last().expect("non-empty"), 0);
+            best.fetch_min(total, Ordering::Relaxed);
+            return;
+        }
+        if path.len() > spawn_depth {
+            let mut visited = vec![false; n];
+            for &c in &path {
+                visited[c] = true;
+            }
+            let mut p = path;
+            branch_seq(inst, &mut p, &mut visited, len, best);
+            return;
+        }
+        let at = *path.last().expect("non-empty");
+        let mut handles = Vec::new();
+        for next in 1..n {
+            if path.contains(&next) {
+                continue;
+            }
+            let new_len = len + inst.d(at, next);
+            if new_len >= best.load(Ordering::Relaxed) {
+                continue;
+            }
+            let mut new_path = path.clone();
+            new_path.push(next);
+            let inst = Arc::clone(inst);
+            let best = Arc::clone(best);
+            handles.push(ctx.spawn(move |ctx| {
+                go(ctx, &inst, new_path.clone(), new_len, &best, spawn_depth);
+            }));
+        }
+        for h in handles {
+            h.join(ctx);
+        }
+    }
+
+    let best = Arc::new(AtomicU64::new(inst.greedy_bound()));
+    go(ctx, inst, vec![0], 0, &best, spawn_depth);
+    best.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_runtime::{Runtime, RuntimeConfig};
+
+    fn square_instance() -> TspInstance {
+        // Four cities on a unit square (scaled ×10): optimal tour = 40.
+        TspInstance::new(
+            4,
+            vec![
+                0, 10, 14, 10, //
+                10, 0, 10, 14, //
+                14, 10, 0, 10, //
+                10, 14, 10, 0,
+            ],
+        )
+    }
+
+    #[test]
+    fn solves_the_unit_square() {
+        assert_eq!(tsp_seq(&square_instance()), 40);
+    }
+
+    #[test]
+    fn greedy_bound_is_a_valid_upper_bound() {
+        for seed in 0..5 {
+            let inst = TspInstance::random_euclidean(8, seed);
+            assert!(inst.greedy_bound() >= tsp_seq(&inst));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_instances() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+        for seed in 0..4 {
+            let inst = Arc::new(TspInstance::random_euclidean(9, seed));
+            let expected = tsp_seq(&inst);
+            let inst2 = Arc::clone(&inst);
+            let got = rt.run(move |ctx| tsp_par(ctx, &inst2, 2));
+            assert_eq!(got, expected, "seed {seed}");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn brute_force_cross_check_small() {
+        // Exhaustive check on 7 cities against naive permutation search.
+        let inst = TspInstance::random_euclidean(7, 99);
+        let n = inst.n();
+        let mut perm: Vec<usize> = (1..n).collect();
+        let mut best = u64::MAX;
+        // Heap's algorithm over the (n-1)! permutations.
+        fn heaps(perm: &mut Vec<usize>, k: usize, inst: &TspInstance, best: &mut u64) {
+            if k == 1 {
+                let mut len = inst.d(0, perm[0]);
+                for w in perm.windows(2) {
+                    len += inst.d(w[0], w[1]);
+                }
+                len += inst.d(*perm.last().expect("non-empty"), 0);
+                *best = (*best).min(len);
+                return;
+            }
+            for i in 0..k {
+                heaps(perm, k - 1, inst, best);
+                if k.is_multiple_of(2) {
+                    perm.swap(i, k - 1);
+                } else {
+                    perm.swap(0, k - 1);
+                }
+            }
+        }
+        let k = perm.len();
+        heaps(&mut perm, k, &inst, &mut best);
+        assert_eq!(tsp_seq(&inst), best);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric_matrices() {
+        let _ = TspInstance::new(2, vec![0, 1, 2, 0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # sagrid-bench
+//!
+//! Criterion benchmarks. Three suites:
+//!
+//! * `figures` — one benchmark per paper figure/table: each measures the
+//!   wall time of regenerating the figure's data on the discrete-event
+//!   engine (shortened runs; the full-scale regeneration lives in
+//!   `cargo run -p sagrid-exp --release -- --all`);
+//! * `micro` — component benchmarks: event-kernel throughput, metric and
+//!   badness computation, workload generation, network model, Barnes-Hut
+//!   steps, and the threaded runtime's spawn/steal machinery;
+//! * `ablations` — the DESIGN.md ablations: CRS vs plain random stealing,
+//!   badness-coefficient variants, opportunistic migration on/off.
+//!
+//! Shared helpers live here.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use sagrid_exp::scenarios::{Scenario, ScenarioId};
+
+/// A scenario shortened for benchmarking (enough iterations to span two
+/// monitoring periods so adaptation actually happens, small enough to keep
+/// `cargo bench` minutes-scale).
+pub fn bench_scenario(id: ScenarioId) -> Scenario {
+    let mut s = Scenario::new(id);
+    s.iterations = 12;
+    s
+}

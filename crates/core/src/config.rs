@@ -1,0 +1,194 @@
+//! Grid topology configuration.
+//!
+//! Describes sites (clusters), their node counts and speeds, intra-cluster
+//! links, and the shared wide-area backbone — enough to instantiate both the
+//! discrete-event emulation and the threaded runtime's virtual network.
+//!
+//! [`GridConfig::das2`] reproduces the DAS-2 system the paper evaluated on:
+//! five clusters at five Dutch universities (one of 72 nodes, four of 32),
+//! dual 1 GHz Pentium-III nodes, Fast Ethernet LANs, connected by the Dutch
+//! university internet backbone.
+
+use crate::ids::ClusterId;
+use crate::time::SimDuration;
+
+/// Network link parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// One-way latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl LinkSpec {
+    /// A Fast-Ethernet-class LAN link: 100 µs one-way latency, 100 Mbit/s.
+    pub fn lan() -> Self {
+        Self {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bps: 100e6 / 8.0,
+        }
+    }
+
+    /// A university-backbone-class WAN link: 2 ms one-way latency, 1 Gbit/s
+    /// shared.
+    pub fn wan() -> Self {
+        Self {
+            latency: SimDuration::from_millis(2),
+            bandwidth_bps: 1e9 / 8.0,
+        }
+    }
+
+    /// Transfer time for `bytes` over this link, excluding queueing.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let secs = bytes as f64 / self.bandwidth_bps;
+        self.latency + SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// One site: a cluster or supercomputer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Human-readable site name (e.g. "VU", "Leiden").
+    pub name: String,
+    /// Number of compute nodes at the site.
+    pub nodes: usize,
+    /// Baseline relative speed of this site's nodes, in `(0, 1]`.
+    /// The paper's DAS-2 clusters are homogeneous (all 1.0); heterogeneous
+    /// scenarios lower this or inject load at runtime.
+    pub node_speed: f64,
+    /// Intra-cluster (LAN) link.
+    pub lan: LinkSpec,
+    /// The site's uplink to the WAN backbone. Scenario 4/5 traffic shaping
+    /// reduces `uplink.bandwidth_bps` at runtime.
+    pub uplink: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// A DAS-2-style cluster with `nodes` nodes.
+    pub fn das2(name: &str, nodes: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            nodes,
+            node_speed: 1.0,
+            lan: LinkSpec::lan(),
+            uplink: LinkSpec::wan(),
+        }
+    }
+}
+
+/// A whole grid: a set of sites joined by a WAN backbone.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridConfig {
+    /// The sites.
+    pub clusters: Vec<ClusterSpec>,
+    /// Backbone latency added to every inter-site message on top of the two
+    /// uplink latencies.
+    pub backbone_latency: SimDuration,
+}
+
+impl GridConfig {
+    /// The DAS-2 wide-area system (paper §5): five clusters, one of 72
+    /// nodes, four of 32 nodes.
+    pub fn das2() -> Self {
+        Self {
+            clusters: vec![
+                ClusterSpec::das2("VU", 72),
+                ClusterSpec::das2("Leiden", 32),
+                ClusterSpec::das2("NIKHEF", 32),
+                ClusterSpec::das2("Delft", 32),
+                ClusterSpec::das2("Utrecht", 32),
+            ],
+            backbone_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// A small uniform grid for tests and examples: `n_clusters` sites of
+    /// `nodes_each` nodes.
+    pub fn uniform(n_clusters: usize, nodes_each: usize) -> Self {
+        Self {
+            clusters: (0..n_clusters)
+                .map(|i| ClusterSpec::das2(&format!("site{i}"), nodes_each))
+                .collect(),
+            backbone_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Total node count across all sites.
+    pub fn total_nodes(&self) -> usize {
+        self.clusters.iter().map(|c| c.nodes).sum()
+    }
+
+    /// Number of sites.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster ids, in declaration order.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        (0..self.clusters.len() as u16).map(ClusterId)
+    }
+
+    /// One-way latency between two sites (uplink + backbone + downlink), or
+    /// the LAN latency when `a == b`.
+    pub fn latency_between(&self, a: ClusterId, b: ClusterId) -> SimDuration {
+        if a == b {
+            self.clusters[a.index()].lan.latency
+        } else {
+            self.clusters[a.index()].uplink.latency
+                + self.backbone_latency
+                + self.clusters[b.index()].uplink.latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn das2_matches_paper_description() {
+        let g = GridConfig::das2();
+        assert_eq!(g.n_clusters(), 5);
+        assert_eq!(g.total_nodes(), 72 + 4 * 32);
+        assert_eq!(g.clusters[0].nodes, 72);
+        for c in &g.clusters[1..] {
+            assert_eq!(c.nodes, 32);
+        }
+    }
+
+    #[test]
+    fn lan_is_faster_than_wan() {
+        let lan = LinkSpec::lan();
+        let wan = LinkSpec::wan();
+        assert!(lan.latency < wan.latency);
+        // WAN backbone has more raw bandwidth but higher latency — the
+        // paper's model is latency-dominated for small steal messages.
+        assert!(lan.transfer_time(64) < wan.transfer_time(64));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let l = LinkSpec {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: 1_000_000.0,
+        };
+        assert_eq!(l.transfer_time(1_000_000), SimDuration::from_secs(1));
+        assert_eq!(l.transfer_time(500_000), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn latency_between_is_symmetric_for_uniform_grids() {
+        let g = GridConfig::uniform(3, 4);
+        let (a, b) = (ClusterId(0), ClusterId(2));
+        assert_eq!(g.latency_between(a, b), g.latency_between(b, a));
+        assert!(g.latency_between(a, a) < g.latency_between(a, b));
+    }
+
+    #[test]
+    fn uniform_grid_shape() {
+        let g = GridConfig::uniform(4, 8);
+        assert_eq!(g.total_nodes(), 32);
+        assert_eq!(g.cluster_ids().count(), 4);
+    }
+}

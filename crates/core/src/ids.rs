@@ -1,0 +1,131 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper's system juggles three kinds of entities: *processors* (compute
+//! nodes), *sites* (clusters or supercomputers) and *tasks* (divide-and-conquer
+//! jobs). Newtype wrappers prevent the classic off-by-one-index-space bugs when
+//! the adaptation coordinator ranks nodes by badness and the scheduler hands
+//! out grants.
+
+use std::fmt;
+
+/// Identifier of a compute node (a processor in the paper's terminology).
+///
+/// Node ids are globally unique across the whole grid and are never reused,
+/// even after a node crashes or leaves — this is what lets the registry and
+/// the blacklist distinguish "the node came back" from "a different node in
+/// the same slot joined".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a site: a cluster or supercomputer connected to the WAN.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClusterId(pub u16);
+
+/// Identifier of a divide-and-conquer task instance.
+///
+/// Task ids are unique per run; the fault-tolerance layer uses them to match
+/// re-executed tasks to their original spawn records.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u64);
+
+impl NodeId {
+    /// Returns the raw index, for dense per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ClusterId {
+    /// Returns the raw index, for dense per-cluster arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Monotonic generator for [`NodeId`]s.
+///
+/// Both the scheduler (when granting fresh nodes) and test fixtures need an
+/// id fountain; keeping it here avoids two subtly different implementations.
+#[derive(Debug, Default, Clone)]
+pub struct NodeIdGen {
+    next: u32,
+}
+
+impl NodeIdGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a generator whose first id is `start`.
+    pub fn starting_at(start: u32) -> Self {
+        Self { next: start }
+    }
+
+    /// Returns a fresh, never-before-issued id.
+    pub fn next_id(&mut self) -> NodeId {
+        let id = NodeId(self.next);
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("node id space exhausted (2^32 nodes)");
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ids_are_ordered_and_displayable() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(ClusterId(3).to_string(), "c3");
+        assert_eq!(TaskId(42).to_string(), "t42");
+    }
+
+    #[test]
+    fn id_gen_is_monotonic_and_unique() {
+        let mut gen = NodeIdGen::new();
+        let a = gen.next_id();
+        let b = gen.next_id();
+        let c = gen.next_id();
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        assert_eq!(c, NodeId(2));
+    }
+
+    #[test]
+    fn id_gen_starting_at_offsets() {
+        let mut gen = NodeIdGen::starting_at(100);
+        assert_eq!(gen.next_id(), NodeId(100));
+        assert_eq!(gen.next_id(), NodeId(101));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(NodeId(9).index(), 9);
+        assert_eq!(ClusterId(4).index(), 4);
+    }
+}

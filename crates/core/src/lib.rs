@@ -1,0 +1,39 @@
+//! # sagrid-core
+//!
+//! Shared foundation types for the `sagrid` workspace — a Rust reproduction of
+//! *"Self-adaptive applications on the grid"* (Wrzesinska, Maassen, Bal,
+//! PPoPP 2007).
+//!
+//! This crate is dependency-free and engine-agnostic. It provides:
+//!
+//! * [`ids`] — strongly-typed identifiers for nodes, clusters and tasks;
+//! * [`time`] — a microsecond-resolution virtual time ([`time::SimTime`])
+//!   shared by the discrete-event engine and by statistics records;
+//! * [`rng`] — deterministic, seedable random number generators
+//!   (SplitMix64 and xoshiro256\*\*) so that every simulated experiment is
+//!   exactly reproducible across platforms;
+//! * [`stats`] — the raw per-node statistics stream the adaptation
+//!   coordinator consumes (idle / intra-cluster / inter-cluster overhead,
+//!   measured relative speed);
+//! * [`config`] — grid topology descriptions, including the DAS-2 system the
+//!   paper evaluated on;
+//! * [`workload`] — the irregular divide-and-conquer task-tree model used by
+//!   the simulated runtime, with generators for Barnes-Hut-like iterative
+//!   workloads.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod workload;
+
+pub use config::{ClusterSpec, GridConfig, LinkSpec};
+pub use ids::{ClusterId, NodeId, TaskId};
+pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+pub use stats::{MonitoringReport, NodeStats, OverheadBreakdown};
+pub use time::{SimDuration, SimTime};
+pub use workload::{barnes_hut_profile, IterativeWorkload, TaskNode, TaskTree, TreeShape};

@@ -1,0 +1,226 @@
+//! Deterministic random number generation.
+//!
+//! Every simulated experiment must replay bit-identically from its seed
+//! (DESIGN.md §5.2), so the simulation stack uses these small, well-known
+//! generators instead of the `rand` crate's unspecified defaults:
+//!
+//! * [`SplitMix64`] — Steele et al.'s stateless-ish mixer; used to expand a
+//!   single user seed into independent stream seeds.
+//! * [`Xoshiro256StarStar`] — Blackman & Vigna's general-purpose generator;
+//!   the workhorse for victim selection, workload generation and injectors.
+//!
+//! Both match the published reference outputs (see tests).
+
+/// Minimal uniform-random interface used across the simulation stack.
+pub trait Rng64 {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform integer in `[0, bound)` via Lemire's unbiased-enough
+    /// multiply-shift reduction. `bound` must be non-zero.
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be > 0");
+        // 128-bit multiply keeps the modulo bias below 2^-64 * bound, which is
+        // negligible for simulation purposes and, crucially, deterministic.
+        let r = self.next_u64() as u128;
+        ((r * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponentially distributed float with the given mean (> 0).
+    fn gen_exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse CDF; avoid ln(0) by nudging u away from zero.
+        let u = self.gen_f64().max(1e-300);
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0,1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+/// SplitMix64: the recommended seeder for xoshiro-family generators.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. All seeds are valid.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\*: fast, high-quality, 256-bit state general-purpose PRNG.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the 256-bit state by running SplitMix64 on `seed`, per the
+    /// authors' recommendation. All seeds are valid (the state cannot end up
+    /// all-zero because SplitMix64 outputs are equidistributed).
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+
+    /// Creates a derived, statistically independent stream for entity `tag`.
+    ///
+    /// Used to give every simulated node its own RNG so that adding a node
+    /// never perturbs the random sequence observed by existing nodes.
+    pub fn derive(&self, tag: u64) -> Self {
+        // Mix the current state with the tag through SplitMix64.
+        let mut sm = SplitMix64::new(
+            self.s[0] ^ self.s[2].rotate_left(17) ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+}
+
+impl Rng64 for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_reference_vector() {
+        // Reference values for seed 1234567 from the SplitMix64 test vectors
+        // distributed with the xoshiro reference code.
+        let mut g = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..5).map(|_| g.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423,
+                4593380528125082431,
+                16408922859458223821,
+            ]
+        );
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256StarStar::seeded(42);
+        let mut b = Xoshiro256StarStar::seeded(42);
+        let mut c = Xoshiro256StarStar::seeded(43);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn derived_streams_differ_from_parent_and_each_other() {
+        let root = Xoshiro256StarStar::seeded(7);
+        let mut d1 = root.derive(1);
+        let mut d2 = root.derive(2);
+        let x1: Vec<u64> = (0..8).map(|_| d1.next_u64()).collect();
+        let x2: Vec<u64> = (0..8).map(|_| d2.next_u64()).collect();
+        assert_ne!(x1, x2);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut g = Xoshiro256StarStar::seeded(99);
+        for _ in 0..10_000 {
+            let v = g.gen_range(17);
+            assert!(v < 17);
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut g = Xoshiro256StarStar::seeded(5);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = g.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gen_exp_has_requested_mean() {
+        let mut g = Xoshiro256StarStar::seeded(6);
+        let n = 200_000;
+        let mean_target = 3.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = g.gen_exp(mean_target);
+            assert!(v >= 0.0);
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - mean_target).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = Xoshiro256StarStar::seeded(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn gen_range_zero_bound_panics() {
+        let mut g = SplitMix64::new(1);
+        let _ = g.gen_range(0);
+    }
+}

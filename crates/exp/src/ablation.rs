@@ -1,0 +1,179 @@
+//! Ablations called out in DESIGN.md.
+//!
+//! * **ABL-1** — badness-coefficient sensitivity: re-run the
+//!   link-overload scenarios with degenerate α/β/γ settings and compare the
+//!   adaptation win;
+//! * **ABL-2** — cluster-aware random stealing vs. plain random stealing
+//!   (van Nieuwpoort et al.'s result, reproduced on the DES);
+//! * **ABL-3** — the opportunistic-migration extension (paper §7) on
+//!   scenario 5, where the paper explicitly notes what the extension would
+//!   buy.
+
+use crate::scenarios::{Scenario, ScenarioId};
+use sagrid_adapt::BadnessCoefficients;
+use sagrid_simgrid::{AdaptMode, GridSim, RunResult, StealPolicy};
+
+/// One row of the badness-coefficient ablation.
+#[derive(Clone, Debug)]
+pub struct CoeffRow {
+    /// Human-readable variant name.
+    pub name: &'static str,
+    /// The coefficients used.
+    pub coefficients: BadnessCoefficients,
+    /// Adaptive total runtime (seconds) under these coefficients.
+    pub adapt_runtime_secs: f64,
+    /// Runtime improvement over the non-adaptive baseline.
+    pub improvement: f64,
+}
+
+/// ABL-1: runs `scenario` across coefficient variants. Use a scenario where
+/// the *node-level* removal path fires (scenario 3's overloaded CPUs —
+/// scenario 4's bad link is handled by the exceptional-cluster rule, which
+/// does not consult the coefficients). The full formula should match or
+/// beat every degenerate variant.
+pub fn badness_coefficients(scenario: &Scenario) -> Vec<CoeffRow> {
+    let baseline = GridSim::run(scenario.config(AdaptMode::NoAdapt));
+    let t1 = baseline.total_runtime.as_secs_f64();
+    let variants: [(&'static str, BadnessCoefficients); 5] = [
+        ("paper (α=1, β=100, γ=10)", BadnessCoefficients::default()),
+        (
+            "speed only (α=1, β=0, γ=0)",
+            BadnessCoefficients {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+            },
+        ),
+        (
+            "ic-overhead only (α=0, β=100, γ=0)",
+            BadnessCoefficients {
+                alpha: 0.0,
+                beta: 100.0,
+                gamma: 0.0,
+            },
+        ),
+        (
+            "no worst-cluster bonus (γ=0)",
+            BadnessCoefficients {
+                alpha: 1.0,
+                beta: 100.0,
+                gamma: 0.0,
+            },
+        ),
+        (
+            "weak β (α=1, β=10, γ=10)",
+            BadnessCoefficients {
+                alpha: 1.0,
+                beta: 10.0,
+                gamma: 10.0,
+            },
+        ),
+    ];
+    variants
+        .into_iter()
+        .map(|(name, coefficients)| {
+            let mut cfg = scenario.config(AdaptMode::Adapt);
+            cfg.policy.coefficients = coefficients;
+            let r = GridSim::run(cfg);
+            let t2 = r.total_runtime.as_secs_f64();
+            CoeffRow {
+                name,
+                coefficients,
+                adapt_runtime_secs: t2,
+                improvement: if t1 > 0.0 { 1.0 - t2 / t1 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// ABL-2: cluster-aware vs. plain random stealing on the ideal scenario
+/// (wide-area latency hiding). Returns `(crs, random_global)`.
+pub fn crs_vs_random(scenario: &Scenario) -> (RunResult, RunResult) {
+    let mut crs_cfg = scenario.config(AdaptMode::NoAdapt);
+    crs_cfg.steal_policy = StealPolicy::ClusterAware;
+    let mut rnd_cfg = scenario.config(AdaptMode::NoAdapt);
+    rnd_cfg.steal_policy = StealPolicy::RandomGlobal;
+    (GridSim::run(crs_cfg), GridSim::run(rnd_cfg))
+}
+
+/// ABL-3: scenario 5 with and without the opportunistic-migration
+/// extension. Returns `(off, on)`.
+pub fn opportunistic_migration() -> (RunResult, RunResult) {
+    let scenario = Scenario::new(ScenarioId::S5CpusAndLink);
+    let off = GridSim::run(scenario.config(AdaptMode::Adapt));
+    let mut cfg = scenario.config(AdaptMode::Adapt);
+    cfg.policy.opportunistic_migration = true;
+    let on = GridSim::run(cfg);
+    (off, on)
+}
+
+/// ABL-4: the load-aware benchmarking optimization (paper §3.2/§7:
+/// "combining benchmarking with monitoring … would reduce the benchmarking
+/// overhead to almost zero, since the processor load is not changing, the
+/// benchmarks would only need to be run at the beginning"). Returns
+/// `(off, on)` monitor-only runs of `scenario` — compare
+/// `benchmark_fraction()`.
+pub fn load_aware_benchmarking(scenario: &Scenario) -> (RunResult, RunResult) {
+    let off = GridSim::run(scenario.config(AdaptMode::MonitorOnly));
+    let mut cfg = scenario.config(AdaptMode::MonitorOnly);
+    cfg.policy.load_aware_benchmarking = true;
+    let on = GridSim::run(cfg);
+    (off, on)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::SubScenario;
+
+    #[test]
+    fn crs_beats_random_global_stealing() {
+        // Use the expanding scenario's 24-node 3-cluster layout: plenty of
+        // wide-area traffic for the policies to differ on.
+        let s = Scenario::quick(ScenarioId::S2Expand(SubScenario::C));
+        let (crs, rnd) = crs_vs_random(&s);
+        assert!(
+            crs.total_runtime <= rnd.total_runtime,
+            "CRS ({}) should not lose to random stealing ({})",
+            crs.total_runtime,
+            rnd.total_runtime
+        );
+    }
+
+    #[test]
+    fn load_aware_benchmarking_cuts_overhead_in_the_stable_scenario() {
+        // Scenario 1: no load changes, so benchmarks only run at start.
+        // Use a run long enough to span several monitoring periods.
+        let mut s = Scenario::quick(ScenarioId::S1Overhead);
+        s.iterations = 40;
+        let (off, on) = load_aware_benchmarking(&s);
+        assert!(on.benchmark_fraction() < off.benchmark_fraction() * 0.5,
+            "load-aware: {} vs periodic: {}",
+            on.benchmark_fraction(), off.benchmark_fraction());
+        assert!(on.aggregate.benchmark.0 > 0, "the initial benchmark still runs");
+    }
+
+    #[test]
+    fn load_aware_benchmarking_still_detects_overload() {
+        // Scenario 3: the load change at t=200s must trigger re-benchmarks
+        // so adaptation still removes the overloaded nodes.
+        let mut s = Scenario::new(ScenarioId::S3OverloadedCpus);
+        s.iterations = 40;
+        let mut cfg = s.config(AdaptMode::Adapt);
+        cfg.policy.load_aware_benchmarking = true;
+        let adaptive = GridSim::run(cfg);
+        assert!(adaptive
+            .decisions
+            .iter()
+            .any(|d| d.decision.kind() == "remove-nodes"),
+            "overloaded nodes must still be detected: {:?}", adaptive.decisions);
+    }
+
+    #[test]
+    fn coefficient_ablation_produces_all_variants() {
+        let s = Scenario::quick(ScenarioId::S3OverloadedCpus);
+        let rows = badness_coefficients(&s);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.adapt_runtime_secs > 0.0));
+    }
+}

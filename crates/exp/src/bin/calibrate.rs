@@ -1,0 +1,68 @@
+//! `calibrate` — workload calibration probe.
+//!
+//! Runs the scenario-1 configuration (and a node-count sweep) in
+//! monitor-only mode and prints the weighted-average-efficiency trace, so
+//! the Barnes-Hut-profile parameters can be tuned until the paper's
+//! "reasonable configuration" property holds: at 36 nodes over 3 clusters
+//! the application runs at wa_efficiency ≈ 0.4–0.5 and one iteration takes
+//! ≈ 10 s.
+
+use sagrid_core::ids::ClusterId;
+use sagrid_exp::scenarios::{Scenario, ScenarioId};
+use sagrid_simgrid::{AdaptMode, GridSim};
+
+fn probe_scenario(id: ScenarioId) {
+    let s = Scenario::new(id);
+    let r = GridSim::run(s.config(AdaptMode::MonitorOnly));
+    println!("scenario {} (monitor-only): runtime {:.1}s", id.label(), r.total_runtime.as_secs_f64());
+    for (t, per_cluster) in &r.cluster_ic_timeline {
+        let row: Vec<String> = per_cluster
+            .iter()
+            .map(|(c, ic)| format!("{c}:{ic:.3}"))
+            .collect();
+        println!("  t={:>7.1}s  ic=[{}]", t.as_secs_f64(), row.join(" "));
+    }
+}
+
+fn main() {
+    let mut iterations = 12usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--iterations" {
+            iterations = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--iterations N");
+        }
+    }
+    probe_scenario(ScenarioId::S1Overhead);
+    probe_scenario(ScenarioId::S4OverloadedLink);
+    probe_scenario(ScenarioId::S5CpusAndLink);
+    for nodes_per_cluster in [4usize, 8, 12, 16] {
+        let mut s = Scenario::new(ScenarioId::S1Overhead);
+        s.iterations = iterations;
+        let mut cfg = s.config(AdaptMode::MonitorOnly);
+        cfg.initial_layout = vec![
+            (ClusterId(0), nodes_per_cluster),
+            (ClusterId(1), nodes_per_cluster),
+            (ClusterId(2), nodes_per_cluster),
+        ];
+        let r = GridSim::run(cfg);
+        let eff: Vec<String> = r
+            .efficiency_timeline
+            .iter()
+            .map(|(_, e)| format!("{e:.3}"))
+            .collect();
+        println!(
+            "nodes={:>3}  iters={}  mean_iter={:>6.2}s  sd={:>5.2}s  runtime={:>7.1}s  timed_out={}  events={}  wa_eff=[{}]",
+            nodes_per_cluster * 3,
+            r.iteration_durations.len(),
+            r.mean_iteration_secs(),
+            r.iteration_stddev_secs(),
+            r.total_runtime.as_secs_f64(),
+            r.timed_out,
+            r.events_processed,
+            eff.join(", ")
+        );
+    }
+}

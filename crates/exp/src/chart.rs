@@ -1,0 +1,176 @@
+//! Terminal chart rendering: the paper's figures as ASCII plots.
+//!
+//! Figures 3–7 are iteration-duration line plots with two series; Figure 1
+//! is a grouped bar chart. These renderers make the `experiments` binary's
+//! output legible at a glance, mirroring the paper's visual story (the
+//! non-adaptive series staying degraded while the adaptive one steps back
+//! down).
+
+use std::fmt::Write as _;
+
+/// Renders a two-series scatter/line plot: `a` (non-adaptive, `x`) and `b`
+/// (adaptive, `o`) against iteration index. Fixed height, auto-scaled.
+pub fn dual_series_plot(title: &str, a: &[f64], b: &[f64], height: usize) -> String {
+    let n = a.len().max(b.len());
+    if n == 0 || height < 2 {
+        return format!("{title}\n(no data)\n");
+    }
+    let max = a
+        .iter()
+        .chain(b.iter())
+        .fold(0.0_f64, |m, &v| m.max(v))
+        .max(1e-9);
+    let mut grid = vec![vec![' '; n]; height];
+    let place = |grid: &mut Vec<Vec<char>>, series: &[f64], mark: char| {
+        for (i, &v) in series.iter().enumerate() {
+            let row = ((v / max) * (height - 1) as f64).round() as usize;
+            let row = (height - 1).saturating_sub(row);
+            let cell = &mut grid[row][i];
+            // Overlapping points show as '*'.
+            *cell = if *cell == ' ' { mark } else { '*' };
+        }
+    };
+    place(&mut grid, a, 'x');
+    place(&mut grid, b, 'o');
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(s, "  x = no adaptation, o = with adaptation, * = both");
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:>7.1}s")
+        } else if r == height - 1 {
+            format!("{:>7.1}s", 0.0)
+        } else {
+            "        ".to_string()
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(s, "{label} |{line}");
+    }
+    let _ = writeln!(s, "         +{}", "-".repeat(n));
+    let _ = writeln!(s, "          iteration 0..{}", n - 1);
+    s
+}
+
+/// Renders a horizontal bar chart of `(label, value)` pairs, auto-scaled to
+/// `width` characters.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let max = rows.iter().fold(0.0_f64, |m, &(_, v)| m.max(v)).max(1e-9);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let bar = ((value / max) * width as f64).round() as usize;
+        let _ = writeln!(
+            s,
+            "  {label:<label_w$} |{} {value:.1}",
+            "#".repeat(bar),
+        );
+    }
+    s
+}
+
+/// Renders per-node activity traces as an ASCII Gantt chart over
+/// `[t0, t1]`, sampling each node's activity at `width` points. Codes:
+/// `B` busy, `M` benchmark, `l` local comm, `w` wide-area comm, `.` idle,
+/// space = not a member.
+pub fn gantt(
+    title: &str,
+    traces: &[(sagrid_core::ids::NodeId, sagrid_simgrid::NodeTrace)],
+    t0: f64,
+    t1: f64,
+    width: usize,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(s, "  B busy  M benchmark  l local-comm  w wide-comm  . idle");
+    if t1 <= t0 || width == 0 {
+        return s;
+    }
+    let step = (t1 - t0) / width as f64;
+    for (node, trace) in traces {
+        let mut row = String::with_capacity(width);
+        let spans = trace.spans();
+        let mut idx = 0usize;
+        for i in 0..width {
+            let t = t0 + (i as f64 + 0.5) * step;
+            while idx < spans.len() && spans[idx].end.as_secs_f64() < t {
+                idx += 1;
+            }
+            let c = spans
+                .get(idx)
+                .filter(|sp| sp.start.as_secs_f64() <= t)
+                .map_or(' ', |sp| sp.kind.code());
+            row.push(c);
+        }
+        let _ = writeln!(s, "  {:>5} |{row}|", node.to_string());
+    }
+    let _ = writeln!(s, "        t = {t0:.0}s .. {t1:.0}s");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_renders_both_series_and_scales() {
+        let a = vec![10.0, 20.0, 30.0, 30.0];
+        let b = vec![10.0, 15.0, 10.0, 10.0];
+        let p = dual_series_plot("test", &a, &b, 8);
+        assert!(p.contains('x'));
+        assert!(p.contains('o'));
+        assert!(p.contains("30.0s"), "max label missing:\n{p}");
+        // Row 0 (the max row) must contain the non-adaptive marks.
+        let max_row = p.lines().nth(2).expect("rows exist");
+        assert!(max_row.contains('x'), "max row: {max_row}");
+    }
+
+    #[test]
+    fn overlapping_points_are_starred() {
+        let a = vec![10.0];
+        let b = vec![10.0];
+        let p = dual_series_plot("t", &a, &b, 4);
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let p = dual_series_plot("t", &[], &[], 5);
+        assert!(p.contains("no data"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let rows = vec![
+            ("small".to_string(), 10.0),
+            ("large".to_string(), 100.0),
+        ];
+        let c = bar_chart("bars", &rows, 20);
+        let lines: Vec<&str> = c.lines().collect();
+        let small_bar = lines[1].matches('#').count();
+        let large_bar = lines[2].matches('#').count();
+        assert_eq!(large_bar, 20);
+        assert_eq!(small_bar, 2);
+    }
+
+    #[test]
+    fn gantt_samples_span_kinds() {
+        use sagrid_core::ids::NodeId;
+        use sagrid_core::time::SimTime;
+        use sagrid_simgrid::{NodeTrace, SpanKind};
+        let mut tr = NodeTrace::default();
+        tr.push(SimTime::from_secs(0), SimTime::from_secs(5), SpanKind::Busy);
+        tr.push(SimTime::from_secs(5), SimTime::from_secs(10), SpanKind::Idle);
+        let g = gantt("g", &[(NodeId(3), tr)], 0.0, 10.0, 10);
+        assert!(g.contains("n3"));
+        let row = g.lines().nth(2).expect("row");
+        assert!(row.contains('B') && row.contains('.'), "{row}");
+    }
+
+    #[test]
+    fn zero_values_render() {
+        let rows = vec![("zero".to_string(), 0.0)];
+        let c = bar_chart("bars", &rows, 10);
+        assert!(c.contains("zero"));
+    }
+}

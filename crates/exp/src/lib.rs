@@ -1,0 +1,32 @@
+//! # sagrid-exp
+//!
+//! The experiment harness: reproduces **every table and figure** of the
+//! paper's evaluation (§5) on the discrete-event grid emulation, plus the
+//! ablations called out in DESIGN.md.
+//!
+//! * [`scenarios`] — the six evaluation scenarios: (1) adaptivity overhead,
+//!   (2) expanding to more nodes (2a/2b/2c), (3) overloaded processors,
+//!   (4) overloaded network link, (5) both at once, (6) crashing nodes;
+//! * [`runner`] — executes a scenario in a given adaptation mode and
+//!   gathers figure-ready series;
+//! * [`chart`] — ASCII figure rendering (iteration-duration plots, bar
+//!   charts) for the terminal;
+//! * [`report`] — renders the paper-style outputs (Figure 1 runtime bars,
+//!   Figures 3–7 iteration-duration series, the scenario-1 overhead table)
+//!   as text and CSV;
+//! * [`ablation`] — badness-coefficient sensitivity, CRS vs. plain random
+//!   stealing, and the opportunistic-migration extension (paper §7).
+//!
+//! Run everything with `cargo run -p sagrid-exp --release -- --all`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ablation;
+pub mod chart;
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+
+pub use runner::{run_scenario, ScenarioOutcome};
+pub use scenarios::{Scenario, ScenarioId};

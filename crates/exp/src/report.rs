@@ -1,0 +1,283 @@
+//! Paper-style report rendering (text tables + CSV series).
+
+use crate::runner::ScenarioOutcome;
+use sagrid_core::time::SimTime;
+use sagrid_simgrid::RunResult;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders Figure 1: the bar chart of total runtimes per scenario
+/// (runtime1 = no adaptation, runtime2 = with adaptation, runtime3 =
+/// monitoring only where measured).
+pub fn figure1(outcomes: &[ScenarioOutcome]) -> String {
+    let mut s = String::new();
+    // Bar chart first (the paper's Figure 1 is a bar chart), table after.
+    let mut bars = Vec::new();
+    for o in outcomes {
+        bars.push((
+            format!("{} no-adapt", o.scenario.id.label()),
+            o.no_adapt.total_runtime.as_secs_f64(),
+        ));
+        bars.push((
+            format!("{} adapt   ", o.scenario.id.label()),
+            o.adapt.total_runtime.as_secs_f64(),
+        ));
+    }
+    s.push_str(&crate::chart::bar_chart(
+        "FIG-1  total runtimes (seconds of virtual time)",
+        &bars,
+        60,
+    ));
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "FIG-1  Barnes-Hut total runtimes per scenario (seconds of virtual time)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<9} {:>12} {:>12} {:>12} {:>10}  description",
+        "scenario", "runtime1", "runtime2", "runtime3", "delta"
+    );
+    for o in outcomes {
+        let t1 = o.no_adapt.total_runtime.as_secs_f64();
+        let t2 = o.adapt.total_runtime.as_secs_f64();
+        let t3 = o
+            .monitor_only
+            .as_ref()
+            .map(|r| format!("{:>12.1}", r.total_runtime.as_secs_f64()))
+            .unwrap_or_else(|| format!("{:>12}", "-"));
+        let delta = if t2 <= t1 {
+            format!("-{:.1}%", (1.0 - t2 / t1) * 100.0)
+        } else {
+            format!("+{:.1}%", (t2 / t1 - 1.0) * 100.0)
+        };
+        let _ = writeln!(
+            s,
+            "{:<9} {:>12.1} {:>12.1} {} {:>10}  {}",
+            o.scenario.id.label(),
+            t1,
+            t2,
+            t3,
+            delta,
+            o.scenario.id.description()
+        );
+    }
+    s
+}
+
+/// Renders one of Figures 3–7: per-iteration durations with and without
+/// adaptation, with the adaptive run's decision log as annotations.
+pub fn iteration_figure(title: &str, outcome: &ScenarioOutcome) -> String {
+    let mut s = String::new();
+    let secs = |r: &RunResult| -> Vec<f64> {
+        r.iteration_durations
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect()
+    };
+    s.push_str(&crate::chart::dual_series_plot(
+        title,
+        &secs(&outcome.no_adapt),
+        &secs(&outcome.adapt),
+        14,
+    ));
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "{:>5} {:>14} {:>14}",
+        "iter", "no-adapt (s)", "adapt (s)"
+    );
+    let n = outcome
+        .no_adapt
+        .iteration_durations
+        .len()
+        .max(outcome.adapt.iteration_durations.len());
+    for i in 0..n {
+        let a = outcome
+            .no_adapt
+            .iteration_durations
+            .get(i)
+            .map(|d| format!("{:>14.2}", d.as_secs_f64()))
+            .unwrap_or_else(|| format!("{:>14}", "-"));
+        let b = outcome
+            .adapt
+            .iteration_durations
+            .get(i)
+            .map(|d| format!("{:>14.2}", d.as_secs_f64()))
+            .unwrap_or_else(|| format!("{:>14}", "-"));
+        let _ = writeln!(s, "{i:>5} {a} {b}");
+    }
+    let _ = writeln!(s, "adaptive-run decision log:");
+    for d in &outcome.adapt.decisions {
+        if d.decision.kind() == "none" {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  t={:>8.1}s  wa_eff={:.3}  nodes={:>3}  {}",
+            d.at.as_secs_f64(),
+            d.wa_efficiency,
+            d.nodes,
+            describe_decision(&d.decision)
+        );
+    }
+    let _ = writeln!(s, "node-count timeline (adaptive):");
+    for &(t, n) in &outcome.adapt.node_count_timeline {
+        let _ = writeln!(s, "  t={:>8.1}s  {n} nodes", t.as_secs_f64());
+    }
+    s
+}
+
+fn describe_decision(d: &sagrid_adapt::Decision) -> String {
+    use sagrid_adapt::Decision;
+    match d {
+        Decision::None => "no action".into(),
+        Decision::Add { count, .. } => format!("request {count} node(s)"),
+        Decision::RemoveNodes { nodes } => format!("remove {} worst node(s)", nodes.len()),
+        Decision::RemoveCluster { cluster, nodes } => format!(
+            "remove badly connected cluster {cluster} ({} nodes)",
+            nodes.len()
+        ),
+        Decision::OpportunisticSwap { remove, add, .. } => format!(
+            "opportunistic migration: retire {} slow node(s), request {add}",
+            remove.len()
+        ),
+    }
+}
+
+/// Renders the scenario-1 overhead table (TAB-S1): monitoring-period sweep.
+pub fn table_s1(rows: &[(u64, f64, f64)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "TAB-S1  adaptivity overhead vs monitoring period (scenario 1)"
+    );
+    let _ = writeln!(
+        s,
+        "{:>12} {:>12} {:>18}",
+        "period (s)", "overhead", "benchmark share"
+    );
+    for &(period, overhead, bench_frac) in rows {
+        let _ = writeln!(
+            s,
+            "{:>12} {:>11.1}% {:>17.1}%",
+            period,
+            overhead * 100.0,
+            bench_frac * 100.0
+        );
+    }
+    s
+}
+
+/// Writes `(iteration, no_adapt, adapt)` series as CSV for external
+/// plotting.
+pub fn write_iteration_csv(path: &Path, outcome: &ScenarioOutcome) -> io::Result<()> {
+    let mut s = String::from("iteration,no_adapt_secs,adapt_secs\n");
+    let n = outcome
+        .no_adapt
+        .iteration_durations
+        .len()
+        .max(outcome.adapt.iteration_durations.len());
+    for i in 0..n {
+        let a = outcome
+            .no_adapt
+            .iteration_durations
+            .get(i)
+            .map(|d| d.as_secs_f64().to_string())
+            .unwrap_or_default();
+        let b = outcome
+            .adapt
+            .iteration_durations
+            .get(i)
+            .map(|d| d.as_secs_f64().to_string())
+            .unwrap_or_default();
+        let _ = writeln!(s, "{i},{a},{b}");
+    }
+    fs::write(path, s)
+}
+
+/// Writes the Figure-1 bar data as CSV.
+pub fn write_figure1_csv(path: &Path, outcomes: &[ScenarioOutcome]) -> io::Result<()> {
+    let mut s = String::from("scenario,runtime1_secs,runtime2_secs,runtime3_secs\n");
+    for o in outcomes {
+        let t3 = o
+            .monitor_only
+            .as_ref()
+            .map(|r| r.total_runtime.as_secs_f64().to_string())
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "{},{},{},{}",
+            o.scenario.id.label(),
+            o.no_adapt.total_runtime.as_secs_f64(),
+            o.adapt.total_runtime.as_secs_f64(),
+            t3
+        );
+    }
+    fs::write(path, s)
+}
+
+/// One-line summary of a run, used by several reports.
+pub fn summarize_run(r: &RunResult) -> String {
+    format!(
+        "runtime {:.1}s, {} iterations (mean {:.2}s, max {:.2}s, sd {:.2}s), final nodes {}, events {}",
+        r.total_runtime.as_secs_f64(),
+        r.iteration_durations.len(),
+        r.mean_iteration_secs(),
+        r.max_iteration_secs(),
+        r.iteration_stddev_secs(),
+        r.final_node_count(),
+        r.events_processed,
+    )
+}
+
+/// Efficiency timeline rendering (useful when reading scenario 5).
+pub fn efficiency_trace(r: &RunResult) -> String {
+    let mut s = String::from("wa_efficiency trace:\n");
+    for &(t, e) in &r.efficiency_timeline {
+        let _ = writeln!(s, "  t={:>8.1}s  wa_eff={:.3}", t.as_secs_f64(), e);
+    }
+    s
+}
+
+/// Pretty time for annotations.
+pub fn fmt_time(t: SimTime) -> String {
+    format!("{:.1}s", t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_scenario;
+    use crate::scenarios::{Scenario, ScenarioId};
+
+    #[test]
+    fn reports_render_without_panicking() {
+        let out = run_scenario(&Scenario::quick(ScenarioId::S1Overhead), true);
+        let f1 = figure1(std::slice::from_ref(&out));
+        assert!(f1.contains("FIG-1"));
+        assert!(f1.contains("runtime1"));
+        let fig = iteration_figure("FIG-test", &out);
+        assert!(fig.contains("no-adapt"));
+        let s1 = table_s1(&[(180, 0.08, 0.9), (900, 0.02, 0.9)]);
+        assert!(s1.contains("8.0%"));
+        assert!(!summarize_run(&out.adapt).is_empty());
+        assert!(efficiency_trace(&out.adapt).contains("wa_eff"));
+    }
+
+    #[test]
+    fn csv_writers_produce_files() {
+        let out = run_scenario(&Scenario::quick(ScenarioId::S1Overhead), false);
+        let dir = std::env::temp_dir().join("sagrid_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("iters.csv");
+        let p2 = dir.join("fig1.csv");
+        write_iteration_csv(&p1, &out).unwrap();
+        write_figure1_csv(&p2, std::slice::from_ref(&out)).unwrap();
+        let body = std::fs::read_to_string(&p1).unwrap();
+        assert!(body.starts_with("iteration,"));
+        assert!(body.lines().count() > 5);
+    }
+}

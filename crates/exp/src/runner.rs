@@ -1,0 +1,92 @@
+//! Scenario execution.
+
+use crate::scenarios::Scenario;
+use sagrid_simgrid::{AdaptMode, GridSim, RunResult};
+
+/// Results of one scenario across the paper's three modes.
+///
+/// `runtime1` = no adaptation, `runtime2` = with adaptation, `runtime3` =
+/// monitoring only (paper §5, Figure 1).
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// runtime1: plain run.
+    pub no_adapt: RunResult,
+    /// runtime2: adaptive run.
+    pub adapt: RunResult,
+    /// runtime3: monitoring without adaptation (only measured where the
+    /// paper reports it — scenario 1).
+    pub monitor_only: Option<RunResult>,
+}
+
+impl ScenarioOutcome {
+    /// Relative runtime improvement of adaptation: `1 − t₂/t₁`.
+    pub fn improvement(&self) -> f64 {
+        let t1 = self.no_adapt.total_runtime.as_secs_f64();
+        let t2 = self.adapt.total_runtime.as_secs_f64();
+        if t1 <= 0.0 {
+            return 0.0;
+        }
+        1.0 - t2 / t1
+    }
+
+    /// Adaptivity-support overhead in the ideal scenario: `t₂/t₁ − 1`.
+    pub fn overhead(&self) -> f64 {
+        let t1 = self.no_adapt.total_runtime.as_secs_f64();
+        let t2 = self.adapt.total_runtime.as_secs_f64();
+        if t1 <= 0.0 {
+            return 0.0;
+        }
+        t2 / t1 - 1.0
+    }
+}
+
+/// Runs a scenario in no-adapt and adapt modes (plus monitor-only when
+/// `with_monitor_only` is set, as the paper does for scenario 1).
+pub fn run_scenario(scenario: &Scenario, with_monitor_only: bool) -> ScenarioOutcome {
+    let no_adapt = GridSim::run(scenario.config(AdaptMode::NoAdapt));
+    let adapt = GridSim::run(scenario.config(AdaptMode::Adapt));
+    let monitor_only =
+        with_monitor_only.then(|| GridSim::run(scenario.config(AdaptMode::MonitorOnly)));
+    ScenarioOutcome {
+        scenario: scenario.clone(),
+        no_adapt,
+        adapt,
+        monitor_only,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{Scenario, ScenarioId, SubScenario};
+
+    #[test]
+    fn quick_scenario1_overhead_is_small() {
+        let out = run_scenario(&Scenario::quick(ScenarioId::S1Overhead), true);
+        assert!(!out.no_adapt.timed_out && !out.adapt.timed_out);
+        let ovh = out.overhead();
+        assert!(
+            ovh > -0.05 && ovh < 0.35,
+            "scenario-1 overhead should be modest, got {ovh}"
+        );
+        let mon = out.monitor_only.unwrap();
+        assert!(mon.aggregate.benchmark.0 > 0);
+    }
+
+    #[test]
+    fn quick_scenario2a_adaptation_wins() {
+        let mut s = Scenario::new(ScenarioId::S2Expand(SubScenario::A));
+        s.iterations = 20;
+        let out = run_scenario(&s, false);
+        assert!(
+            out.improvement() > 0.15,
+            "expanding from 8 nodes should speed things up: {:.1}% (t1={} t2={})",
+            out.improvement() * 100.0,
+            out.no_adapt.total_runtime,
+            out.adapt.total_runtime
+        );
+        assert!(out.adapt.final_node_count() > 8);
+    }
+}

@@ -1,0 +1,290 @@
+//! The paper's evaluation scenarios (§5).
+//!
+//! All scenarios run the Barnes-Hut-profile iterative workload on a DAS-2
+//! pool. The paper's "reasonable" configuration is 36 nodes spread over 3
+//! clusters (12 each), at which the application runs at efficiency ≈ 0.5;
+//! one iteration takes ~10 s there. Scenario perturbations follow the paper:
+//! heavy CPU load (×10) on one cluster at t = 200 s, an uplink shaped to
+//! ~100 KB/s, a light load making nodes ~2–3× slower, and two of three
+//! clusters crashing at t = 200 s.
+
+use sagrid_adapt::AdaptPolicy;
+use sagrid_core::config::GridConfig;
+use sagrid_core::ids::ClusterId;
+use sagrid_core::time::SimTime;
+use sagrid_core::workload::barnes_hut_profile;
+use sagrid_simgrid::{AdaptMode, SimConfig, StealPolicy, TimingConfig};
+use sagrid_simnet::{Injection, InjectionSchedule, ScheduledInjection};
+
+/// Identifier of a paper scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ScenarioId {
+    /// Ideal run: measures adaptivity overhead (runtime1/2/3).
+    S1Overhead,
+    /// Expanding from too few nodes; sub-scenario a/b/c starts on 8/16/24.
+    S2Expand(SubScenario),
+    /// Heavy artificial load on one cluster's processors at t = 200 s.
+    S3OverloadedCpus,
+    /// One cluster's uplink shaped to ~100 KB/s.
+    S4OverloadedLink,
+    /// Shaped uplink + light load on a second cluster.
+    S5CpusAndLink,
+    /// Two of three clusters crash at t = 200 s.
+    S6Crash,
+}
+
+/// Sub-scenarios of scenario 2 (initial node counts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SubScenario {
+    /// Start on 8 nodes in 1 cluster.
+    A,
+    /// Start on 16 nodes in 2 clusters.
+    B,
+    /// Start on 24 nodes in 3 clusters.
+    C,
+}
+
+impl ScenarioId {
+    /// Every scenario, in paper order.
+    pub fn all() -> Vec<ScenarioId> {
+        vec![
+            ScenarioId::S1Overhead,
+            ScenarioId::S2Expand(SubScenario::A),
+            ScenarioId::S2Expand(SubScenario::B),
+            ScenarioId::S2Expand(SubScenario::C),
+            ScenarioId::S3OverloadedCpus,
+            ScenarioId::S4OverloadedLink,
+            ScenarioId::S5CpusAndLink,
+            ScenarioId::S6Crash,
+        ]
+    }
+
+    /// Short label used in reports ("1", "2a", … "6").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioId::S1Overhead => "1",
+            ScenarioId::S2Expand(SubScenario::A) => "2a",
+            ScenarioId::S2Expand(SubScenario::B) => "2b",
+            ScenarioId::S2Expand(SubScenario::C) => "2c",
+            ScenarioId::S3OverloadedCpus => "3",
+            ScenarioId::S4OverloadedLink => "4",
+            ScenarioId::S5CpusAndLink => "5",
+            ScenarioId::S6Crash => "6",
+        }
+    }
+
+    /// Human-readable description for report headers.
+    pub fn description(&self) -> &'static str {
+        match self {
+            ScenarioId::S1Overhead => "ideal run (adaptivity overhead)",
+            ScenarioId::S2Expand(SubScenario::A) => "expanding: start on 8 nodes",
+            ScenarioId::S2Expand(SubScenario::B) => "expanding: start on 16 nodes",
+            ScenarioId::S2Expand(SubScenario::C) => "expanding: start on 24 nodes",
+            ScenarioId::S3OverloadedCpus => "overloaded processors",
+            ScenarioId::S4OverloadedLink => "overloaded network link",
+            ScenarioId::S5CpusAndLink => "overloaded processors + network link",
+            ScenarioId::S6Crash => "crashing nodes (2 of 3 clusters)",
+        }
+    }
+}
+
+/// A fully-specified experiment: scenario id + tuning shared across modes.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Which paper scenario this is.
+    pub id: ScenarioId,
+    /// Number of Barnes-Hut iterations.
+    pub iterations: usize,
+    /// Workload/engine RNG seed.
+    pub seed: u64,
+}
+
+/// Number of nodes per cluster in the paper's configuration.
+pub const NODES_PER_CLUSTER: usize = 12;
+/// The paper's "reasonable" total node count.
+pub const REASONABLE_NODES: usize = 3 * NODES_PER_CLUSTER;
+/// Target iteration duration at the reasonable configuration (seconds).
+pub const TARGET_ITER_SECS: f64 = 10.0;
+/// Iterations per run (the paper's figures span ~30–40 iterations).
+pub const DEFAULT_ITERATIONS: usize = 48;
+/// The shaped uplink bandwidth of scenarios 4 and 5 (bytes/second).
+pub const SHAPED_UPLINK_BPS: f64 = 100_000.0;
+/// When the scenario-3/6 perturbations strike (seconds).
+pub const DISTURBANCE_AT_SECS: u64 = 200;
+
+impl Scenario {
+    /// The scenario with default length and seed.
+    pub fn new(id: ScenarioId) -> Self {
+        Self {
+            id,
+            iterations: DEFAULT_ITERATIONS,
+            seed: 0x5A6D_1D00 + id.label().as_bytes()[0] as u64,
+        }
+    }
+
+    /// A shortened variant for fast tests/benches.
+    pub fn quick(id: ScenarioId) -> Self {
+        Self {
+            iterations: 10,
+            ..Self::new(id)
+        }
+    }
+
+    /// Builds the `SimConfig` for this scenario in the given mode.
+    pub fn config(&self, mode: AdaptMode) -> SimConfig {
+        let grid = GridConfig::das2();
+        let policy = AdaptPolicy::default();
+        let timing = TimingConfig::default();
+        let workload = barnes_hut_profile(
+            self.iterations,
+            REASONABLE_NODES,
+            TARGET_ITER_SECS,
+            self.seed,
+        );
+        let three_clusters = vec![
+            (ClusterId(0), NODES_PER_CLUSTER),
+            (ClusterId(1), NODES_PER_CLUSTER),
+            (ClusterId(2), NODES_PER_CLUSTER),
+        ];
+        let disturbance = SimTime::from_secs(DISTURBANCE_AT_SECS);
+        let (initial_layout, injections) = match self.id {
+            ScenarioId::S1Overhead => (three_clusters, InjectionSchedule::empty()),
+            ScenarioId::S2Expand(sub) => {
+                let layout = match sub {
+                    SubScenario::A => vec![(ClusterId(0), 8)],
+                    SubScenario::B => vec![(ClusterId(0), 8), (ClusterId(1), 8)],
+                    SubScenario::C => vec![
+                        (ClusterId(0), 8),
+                        (ClusterId(1), 8),
+                        (ClusterId(2), 8),
+                    ],
+                };
+                (layout, InjectionSchedule::empty())
+            }
+            ScenarioId::S3OverloadedCpus => (
+                three_clusters,
+                InjectionSchedule::new(vec![ScheduledInjection {
+                    at: disturbance,
+                    injection: Injection::CpuLoad {
+                        cluster: ClusterId(1),
+                        count: None,
+                        factor: 10.0,
+                    },
+                }]),
+            ),
+            ScenarioId::S4OverloadedLink => (
+                three_clusters,
+                InjectionSchedule::new(vec![ScheduledInjection {
+                    at: SimTime::ZERO,
+                    injection: Injection::UplinkBandwidth {
+                        cluster: ClusterId(2),
+                        bandwidth_bps: SHAPED_UPLINK_BPS,
+                    },
+                }]),
+            ),
+            ScenarioId::S5CpusAndLink => (
+                three_clusters,
+                InjectionSchedule::new(vec![
+                    ScheduledInjection {
+                        at: SimTime::ZERO,
+                        injection: Injection::UplinkBandwidth {
+                            cluster: ClusterId(2),
+                            bandwidth_bps: SHAPED_UPLINK_BPS,
+                        },
+                    },
+                    ScheduledInjection {
+                        at: SimTime::ZERO,
+                        injection: Injection::CpuLoad {
+                            cluster: ClusterId(1),
+                            count: None,
+                            factor: 2.5,
+                        },
+                    },
+                ]),
+            ),
+            ScenarioId::S6Crash => (
+                three_clusters,
+                InjectionSchedule::new(vec![
+                    ScheduledInjection {
+                        at: disturbance,
+                        injection: Injection::CrashCluster {
+                            cluster: ClusterId(1),
+                        },
+                    },
+                    ScheduledInjection {
+                        at: disturbance,
+                        injection: Injection::CrashCluster {
+                            cluster: ClusterId(2),
+                        },
+                    },
+                ]),
+            ),
+        };
+        SimConfig {
+            grid,
+            policy,
+            initial_layout,
+            workload,
+            injections,
+            mode,
+            steal_policy: StealPolicy::ClusterAware,
+            timing,
+            record_trace: false,
+            feedback_tuning: false,
+            hierarchical_coordinator: false,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build_valid_configs() {
+        for id in ScenarioId::all() {
+            let s = Scenario::quick(id);
+            for mode in [AdaptMode::NoAdapt, AdaptMode::MonitorOnly, AdaptMode::Adapt] {
+                s.config(mode)
+                    .validate()
+                    .unwrap_or_else(|e| panic!("scenario {} invalid: {e}", id.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = ScenarioId::all().iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ScenarioId::all().len());
+    }
+
+    #[test]
+    fn scenario2_layouts_grow_a_to_c() {
+        let a = Scenario::new(ScenarioId::S2Expand(SubScenario::A))
+            .config(AdaptMode::Adapt)
+            .initial_nodes();
+        let b = Scenario::new(ScenarioId::S2Expand(SubScenario::B))
+            .config(AdaptMode::Adapt)
+            .initial_nodes();
+        let c = Scenario::new(ScenarioId::S2Expand(SubScenario::C))
+            .config(AdaptMode::Adapt)
+            .initial_nodes();
+        assert_eq!((a, b, c), (8, 16, 24));
+    }
+
+    #[test]
+    fn disturbance_scenarios_carry_injections() {
+        for id in [
+            ScenarioId::S3OverloadedCpus,
+            ScenarioId::S4OverloadedLink,
+            ScenarioId::S5CpusAndLink,
+            ScenarioId::S6Crash,
+        ] {
+            let cfg = Scenario::quick(id).config(AdaptMode::Adapt);
+            assert!(cfg.injections.remaining() > 0, "{} lacks injections", id.label());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # sagrid-registry
+//!
+//! An Ibis-registry-like membership service (paper §4). The registry
+//! provides, to the application processes and to the adaptation coordinator:
+//!
+//! * a **membership service** — processes join and leave, everyone can
+//!   enumerate the live set;
+//! * **fault detection** — a heartbeat-timeout failure detector (in
+//!   addition to the fault detection the communication channels provide);
+//! * **signals** — the coordinator uses the registry to tell processes to
+//!   leave the computation;
+//! * **coordinator election** — the paper's registry is a centralized
+//!   server; we keep a deterministic lowest-id election for the tests that
+//!   exercise coordinator failover.
+//!
+//! The implementation is a pure state machine driven by timestamps, so the
+//! discrete-event engine and the threaded runtime can both embed it.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod membership;
+
+pub use membership::{MemberState, Membership, RegistryConfig, RegistryEvent};

@@ -1,0 +1,332 @@
+//! Membership state machine with heartbeat failure detection.
+
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Registry tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegistryConfig {
+    /// A member that has not heartbeat for this long is declared dead.
+    pub heartbeat_timeout: SimDuration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            // Generous relative to the paper's multi-minute monitoring
+            // periods; failure detection should be much faster than a period.
+            heartbeat_timeout: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Lifecycle state of a member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberState {
+    /// Participating in the computation.
+    Alive,
+    /// Asked (signalled) to leave; still alive until it confirms.
+    Leaving,
+    /// Left gracefully.
+    Left,
+    /// Declared dead by the failure detector or reported crashed.
+    Dead,
+}
+
+/// Events the registry emits for interested parties (the coordinator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegistryEvent {
+    /// A node joined the computation.
+    Joined(NodeId, ClusterId),
+    /// A node left gracefully (e.g. after a leave signal).
+    Left(NodeId),
+    /// A node was declared dead.
+    Died(NodeId),
+}
+
+#[derive(Clone, Debug)]
+struct MemberInfo {
+    cluster: ClusterId,
+    state: MemberState,
+    last_heartbeat: SimTime,
+}
+
+/// The membership registry. One logical instance per computation (the
+/// paper's registry is a centralized server).
+#[derive(Clone, Debug)]
+pub struct Membership {
+    cfg: RegistryConfig,
+    members: BTreeMap<NodeId, MemberInfo>,
+    events: Vec<RegistryEvent>,
+    /// Leave signals queued for delivery (the engine drains these and
+    /// notifies the target node).
+    pending_signals: Vec<NodeId>,
+}
+
+impl Membership {
+    /// Creates an empty registry.
+    pub fn new(cfg: RegistryConfig) -> Self {
+        Self {
+            cfg,
+            members: BTreeMap::new(),
+            events: Vec::new(),
+            pending_signals: Vec::new(),
+        }
+    }
+
+    /// Registers a node as alive. Re-joining after leaving/dying is allowed
+    /// only for never-seen ids — node ids are not reused (see `sagrid-core`).
+    ///
+    /// Panics if the id is already registered: that indicates an engine bug.
+    pub fn join(&mut self, now: SimTime, node: NodeId, cluster: ClusterId) {
+        let prev = self.members.insert(
+            node,
+            MemberInfo {
+                cluster,
+                state: MemberState::Alive,
+                last_heartbeat: now,
+            },
+        );
+        assert!(prev.is_none(), "node {node} joined twice");
+        self.events.push(RegistryEvent::Joined(node, cluster));
+    }
+
+    /// Records a heartbeat from `node`. Heartbeats from unknown or
+    /// non-alive members are ignored (they can race with failure
+    /// declarations — the paper notes clocks are unsynchronized).
+    pub fn heartbeat(&mut self, now: SimTime, node: NodeId) {
+        if let Some(m) = self.members.get_mut(&node) {
+            if matches!(m.state, MemberState::Alive | MemberState::Leaving) {
+                m.last_heartbeat = now;
+            }
+        }
+    }
+
+    /// Graceful leave (e.g. in response to a signal).
+    pub fn leave(&mut self, node: NodeId) {
+        if let Some(m) = self.members.get_mut(&node) {
+            if matches!(m.state, MemberState::Alive | MemberState::Leaving) {
+                m.state = MemberState::Left;
+                self.events.push(RegistryEvent::Left(node));
+            }
+        }
+    }
+
+    /// Immediate crash report (the communication layer noticed a broken
+    /// channel before the heartbeat timeout fired).
+    pub fn report_crash(&mut self, node: NodeId) {
+        if let Some(m) = self.members.get_mut(&node) {
+            if matches!(m.state, MemberState::Alive | MemberState::Leaving) {
+                m.state = MemberState::Dead;
+                self.events.push(RegistryEvent::Died(node));
+            }
+        }
+    }
+
+    /// Runs the failure detector: every alive/leaving member whose last
+    /// heartbeat is older than the timeout is declared dead. Returns the
+    /// newly dead nodes.
+    pub fn detect_failures(&mut self, now: SimTime) -> Vec<NodeId> {
+        let timeout = self.cfg.heartbeat_timeout;
+        let mut died = Vec::new();
+        for (&id, m) in self.members.iter_mut() {
+            if matches!(m.state, MemberState::Alive | MemberState::Leaving)
+                && now.saturating_since(m.last_heartbeat) > timeout
+            {
+                m.state = MemberState::Dead;
+                died.push(id);
+            }
+        }
+        for &id in &died {
+            self.events.push(RegistryEvent::Died(id));
+        }
+        died
+    }
+
+    /// Queues a leave signal for `node` (coordinator → node). The engine
+    /// must drain [`Membership::take_signals`] and deliver them.
+    pub fn signal_leave(&mut self, node: NodeId) {
+        if let Some(m) = self.members.get_mut(&node) {
+            if m.state == MemberState::Alive {
+                m.state = MemberState::Leaving;
+                self.pending_signals.push(node);
+            }
+        }
+    }
+
+    /// Drains queued leave signals.
+    pub fn take_signals(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.pending_signals)
+    }
+
+    /// Drains the event log.
+    pub fn take_events(&mut self) -> Vec<RegistryEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// State of a member, if known.
+    pub fn state(&self, node: NodeId) -> Option<MemberState> {
+        self.members.get(&node).map(|m| m.state)
+    }
+
+    /// Cluster of a member, if known.
+    pub fn cluster_of(&self, node: NodeId) -> Option<ClusterId> {
+        self.members.get(&node).map(|m| m.cluster)
+    }
+
+    /// Iterator over alive (and leaving) members, in id order.
+    pub fn alive(&self) -> impl Iterator<Item = (NodeId, ClusterId)> + '_ {
+        self.members.iter().filter_map(|(&id, m)| {
+            matches!(m.state, MemberState::Alive | MemberState::Leaving)
+                .then_some((id, m.cluster))
+        })
+    }
+
+    /// Number of alive (incl. leaving) members.
+    pub fn alive_count(&self) -> usize {
+        self.alive().count()
+    }
+
+    /// Alive members of one cluster.
+    pub fn alive_in_cluster(&self, cluster: ClusterId) -> Vec<NodeId> {
+        self.alive()
+            .filter_map(|(id, c)| (c == cluster).then_some(id))
+            .collect()
+    }
+
+    /// Deterministic election: the lowest-id alive member.
+    pub fn elect_coordinator(&self) -> Option<NodeId> {
+        self.alive().map(|(id, _)| id).next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> Membership {
+        Membership::new(RegistryConfig::default())
+    }
+
+    #[test]
+    fn join_heartbeat_survive() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.heartbeat(SimTime::from_secs(20), NodeId(1));
+        // 25s after last heartbeat: within the 30s timeout.
+        assert!(r.detect_failures(SimTime::from_secs(45)).is_empty());
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Alive));
+    }
+
+    #[test]
+    fn missed_heartbeats_kill() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.join(SimTime::ZERO, NodeId(2), ClusterId(1));
+        r.heartbeat(SimTime::from_secs(40), NodeId(2));
+        let dead = r.detect_failures(SimTime::from_secs(50));
+        assert_eq!(dead, vec![NodeId(1)]);
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Dead));
+        assert_eq!(r.state(NodeId(2)), Some(MemberState::Alive));
+        assert_eq!(r.alive_count(), 1);
+    }
+
+    #[test]
+    fn leave_signal_flow() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(7), ClusterId(2));
+        r.signal_leave(NodeId(7));
+        assert_eq!(r.state(NodeId(7)), Some(MemberState::Leaving));
+        assert_eq!(r.take_signals(), vec![NodeId(7)]);
+        assert!(r.take_signals().is_empty(), "signals drain once");
+        // Node confirms departure.
+        r.leave(NodeId(7));
+        assert_eq!(r.state(NodeId(7)), Some(MemberState::Left));
+        assert_eq!(r.alive_count(), 0);
+    }
+
+    #[test]
+    fn signalling_a_dead_node_is_a_noop() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.report_crash(NodeId(1));
+        r.signal_leave(NodeId(1));
+        assert!(r.take_signals().is_empty());
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Dead));
+    }
+
+    #[test]
+    fn crash_report_is_idempotent_and_logged_once() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.report_crash(NodeId(1));
+        r.report_crash(NodeId(1));
+        let events = r.take_events();
+        let deaths = events
+            .iter()
+            .filter(|e| matches!(e, RegistryEvent::Died(_)))
+            .count();
+        assert_eq!(deaths, 1);
+    }
+
+    #[test]
+    fn alive_in_cluster_filters() {
+        let mut r = reg();
+        for i in 0..6 {
+            r.join(SimTime::ZERO, NodeId(i), ClusterId((i % 2) as u16));
+        }
+        r.report_crash(NodeId(0));
+        let c0 = r.alive_in_cluster(ClusterId(0));
+        assert_eq!(c0, vec![NodeId(2), NodeId(4)]);
+        assert_eq!(r.alive_in_cluster(ClusterId(1)).len(), 3);
+    }
+
+    #[test]
+    fn election_is_lowest_alive_id_and_fails_over() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(3), ClusterId(0));
+        r.join(SimTime::ZERO, NodeId(5), ClusterId(0));
+        r.join(SimTime::ZERO, NodeId(9), ClusterId(1));
+        assert_eq!(r.elect_coordinator(), Some(NodeId(3)));
+        r.report_crash(NodeId(3));
+        assert_eq!(r.elect_coordinator(), Some(NodeId(5)));
+        r.leave(NodeId(5));
+        assert_eq!(r.elect_coordinator(), Some(NodeId(9)));
+        r.report_crash(NodeId(9));
+        assert_eq!(r.elect_coordinator(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn double_join_panics() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_node_ignored() {
+        let mut r = reg();
+        r.heartbeat(SimTime::from_secs(1), NodeId(99));
+        assert_eq!(r.alive_count(), 0);
+    }
+
+    #[test]
+    fn events_record_full_lifecycle() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.join(SimTime::ZERO, NodeId(2), ClusterId(0));
+        r.leave(NodeId(1));
+        r.report_crash(NodeId(2));
+        assert_eq!(
+            r.take_events(),
+            vec![
+                RegistryEvent::Joined(NodeId(1), ClusterId(0)),
+                RegistryEvent::Joined(NodeId(2), ClusterId(0)),
+                RegistryEvent::Left(NodeId(1)),
+                RegistryEvent::Died(NodeId(2)),
+            ]
+        );
+    }
+}

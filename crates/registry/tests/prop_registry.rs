@@ -1,0 +1,142 @@
+//! Property tests for the membership registry: arbitrary operation
+//! sequences keep the state machine consistent.
+
+use proptest::prelude::*;
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::time::SimTime;
+use sagrid_registry::{MemberState, Membership, RegistryConfig, RegistryEvent};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Join(u32, u16),
+    Heartbeat(u32),
+    Leave(u32),
+    Crash(u32),
+    Signal(u32),
+    Detect,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..20, 0u16..3).prop_map(|(n, c)| Op::Join(n, c)),
+        (0u32..20).prop_map(Op::Heartbeat),
+        (0u32..20).prop_map(Op::Leave),
+        (0u32..20).prop_map(Op::Crash),
+        (0u32..20).prop_map(Op::Signal),
+        Just(Op::Detect),
+    ]
+}
+
+proptest! {
+    /// Invariants across arbitrary operation sequences:
+    /// * a node never resurrects (Left/Dead are terminal);
+    /// * every Died/Left event corresponds to exactly one state change;
+    /// * alive counts match the per-node states;
+    /// * signals are only queued for alive nodes and drain exactly once.
+    #[test]
+    fn registry_state_machine_is_consistent(ops in prop::collection::vec(arb_op(), 1..150)) {
+        let mut reg = Membership::new(RegistryConfig::default());
+        let mut joined: std::collections::BTreeSet<u32> = Default::default();
+        let mut terminal: std::collections::BTreeSet<u32> = Default::default();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            match op {
+                Op::Join(n, c) => {
+                    if joined.insert(n) {
+                        reg.join(now, NodeId(n), ClusterId(c));
+                    }
+                }
+                Op::Heartbeat(n) => reg.heartbeat(now, NodeId(n)),
+                Op::Leave(n) => {
+                    let was_terminal = terminal.contains(&n);
+                    reg.leave(NodeId(n));
+                    if joined.contains(&n) && !was_terminal {
+                        terminal.insert(n);
+                    }
+                }
+                Op::Crash(n) => {
+                    let was_terminal = terminal.contains(&n);
+                    reg.report_crash(NodeId(n));
+                    if joined.contains(&n) && !was_terminal {
+                        terminal.insert(n);
+                    }
+                }
+                Op::Signal(n) => reg.signal_leave(NodeId(n)),
+                Op::Detect => {
+                    for d in reg.detect_failures(now) {
+                        terminal.insert(d.0);
+                    }
+                }
+            }
+            // Terminal states never resurrect.
+            for &n in &terminal {
+                let s = reg.state(NodeId(n)).expect("terminal node is known");
+                prop_assert!(
+                    matches!(s, MemberState::Left | MemberState::Dead),
+                    "node {n} resurrected to {s:?}"
+                );
+            }
+            // Alive set is exactly joined minus terminal.
+            let alive: std::collections::BTreeSet<u32> =
+                reg.alive().map(|(id, _)| id.0).collect();
+            let expected: std::collections::BTreeSet<u32> =
+                joined.difference(&terminal).copied().collect();
+            prop_assert_eq!(&alive, &expected);
+        }
+        // Signals drain exactly once and only for nodes that were alive
+        // when signalled.
+        let signalled = reg.take_signals();
+        for n in &signalled {
+            prop_assert!(joined.contains(&n.0));
+        }
+        prop_assert!(reg.take_signals().is_empty());
+        // Event log: one Joined per join; Died/Left counts match terminal.
+        let events = reg.take_events();
+        let joins = events
+            .iter()
+            .filter(|e| matches!(e, RegistryEvent::Joined(_, _)))
+            .count();
+        prop_assert_eq!(joins, joined.len());
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, RegistryEvent::Died(_) | RegistryEvent::Left(_)))
+            .count();
+        prop_assert_eq!(ends, terminal.len());
+    }
+
+    /// The failure detector is sound and complete with respect to the
+    /// timeout: nodes heartbeating within the window survive, silent nodes
+    /// die.
+    #[test]
+    fn failure_detection_matches_heartbeat_recency(
+        heartbeats in prop::collection::vec((0u32..10, 0u64..100), 0..60),
+        check_at in 100u64..200,
+    ) {
+        let cfg = RegistryConfig {
+            heartbeat_timeout: sagrid_core::time::SimDuration::from_secs(30),
+        };
+        let mut reg = Membership::new(cfg);
+        for n in 0..10u32 {
+            reg.join(SimTime::ZERO, NodeId(n), ClusterId(0));
+        }
+        let mut last_hb = [0u64; 10];
+        let mut sorted = heartbeats.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        for (n, t) in sorted {
+            reg.heartbeat(SimTime::from_secs(t), NodeId(n));
+            last_hb[n as usize] = last_hb[n as usize].max(t);
+        }
+        let now = SimTime::from_secs(check_at);
+        let died = reg.detect_failures(now);
+        for n in 0..10u32 {
+            let silent_for = check_at - last_hb[n as usize];
+            if silent_for > 30 {
+                prop_assert!(died.contains(&NodeId(n)), "node {n} silent {silent_for}s");
+            } else {
+                prop_assert!(!died.contains(&NodeId(n)), "node {n} heartbeat {silent_for}s ago");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Runtime configuration: emulated grid layout for a thread pool.
+
+use std::time::Duration;
+
+/// One emulated cluster of worker threads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterLayout {
+    /// Site name (reports/debugging).
+    pub name: String,
+    /// Number of worker threads started in this cluster.
+    pub workers: usize,
+    /// Relative speed knob in `(0, 1]`: workers in this cluster pad each
+    /// task with `t·(1/speed − 1)` of spin time, emulating slower
+    /// processors the same way background load does on a time-shared grid
+    /// node. The speed of individual workers can be changed at runtime
+    /// ([`crate::Runtime::set_worker_speed`]) to script overload scenarios.
+    pub speed: f64,
+}
+
+impl ClusterLayout {
+    /// A full-speed cluster.
+    pub fn new(name: &str, workers: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            workers,
+            speed: 1.0,
+        }
+    }
+}
+
+/// Thread-pool-wide configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeConfig {
+    /// The emulated sites.
+    pub clusters: Vec<ClusterLayout>,
+    /// One-way latency injected on every *inter-cluster* steal interaction
+    /// (the WAN). Zero disables the emulation.
+    pub wan_latency: Duration,
+    /// Latency injected on intra-cluster steals (the LAN); usually tiny.
+    pub lan_latency: Duration,
+    /// How long an idle worker parks between failed steal sweeps.
+    pub idle_park: Duration,
+    /// Spin iterations of the speed benchmark
+    /// ([`crate::Runtime::benchmark_worker`]).
+    pub benchmark_spins: u64,
+}
+
+impl RuntimeConfig {
+    /// A single local cluster of `workers` threads — plain shared-memory
+    /// divide-and-conquer, no WAN emulation.
+    pub fn single_cluster(workers: usize) -> Self {
+        Self {
+            clusters: vec![ClusterLayout::new("local", workers)],
+            wan_latency: Duration::ZERO,
+            lan_latency: Duration::ZERO,
+            idle_park: Duration::from_micros(50),
+            benchmark_spins: 2_000_000,
+        }
+    }
+
+    /// An emulated wide-area grid: `n_clusters` sites of `workers_each`
+    /// threads with a 2 ms emulated WAN latency.
+    pub fn emulated_grid(n_clusters: usize, workers_each: usize) -> Self {
+        Self {
+            clusters: (0..n_clusters)
+                .map(|i| ClusterLayout::new(&format!("site{i}"), workers_each))
+                .collect(),
+            wan_latency: Duration::from_millis(2),
+            lan_latency: Duration::from_micros(20),
+            idle_park: Duration::from_micros(50),
+            benchmark_spins: 2_000_000,
+        }
+    }
+
+    /// Total worker count.
+    pub fn total_workers(&self) -> usize {
+        self.clusters.iter().map(|c| c.workers).sum()
+    }
+
+    /// Sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters.is_empty() || self.total_workers() == 0 {
+            return Err("at least one worker is required".into());
+        }
+        for c in &self.clusters {
+            if !(c.speed > 0.0 && c.speed <= 1.0) {
+                return Err(format!("cluster {} speed must be in (0,1]", c.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_valid_configs() {
+        RuntimeConfig::single_cluster(4).validate().unwrap();
+        RuntimeConfig::emulated_grid(3, 2).validate().unwrap();
+        assert_eq!(RuntimeConfig::emulated_grid(3, 2).total_workers(), 6);
+    }
+
+    #[test]
+    fn bad_speed_rejected() {
+        let mut c = RuntimeConfig::single_cluster(2);
+        c.clusters[0].speed = 0.0;
+        assert!(c.validate().is_err());
+        c.clusters[0].speed = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        let c = RuntimeConfig {
+            clusters: vec![],
+            ..RuntimeConfig::single_cluster(1)
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Spawned-task records.
+//!
+//! Every `spawn` creates a `Job` holding the (pure, re-executable)
+//! closure, a result slot, and a *holder* tag recording which worker
+//! currently has the job in its deque or under execution. The holder tag is
+//! the whole fault-tolerance story: a joiner that finds its job held by a
+//! dead worker simply re-executes the closure inline — a simplified form of
+//! Satin's orphan recomputation (Wrzesinska et al., IPDPS 2005), sound
+//! because divide-and-conquer jobs are side-effect-free.
+
+use crate::worker::WorkerCtx;
+use parking_lot::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Holder tag for a job that is not in any worker's hands (global queue or
+/// not yet queued).
+pub(crate) const NO_HOLDER: usize = usize::MAX;
+
+/// Type-erased view of a job, as stored in deques.
+pub(crate) trait Task: Send + Sync {
+    /// Runs the job (idempotent: completed jobs return immediately; a
+    /// racing duplicate execution is wasted work, never wrong results).
+    fn execute(&self, ctx: &WorkerCtx<'_>);
+    /// Whether a result has been stored.
+    fn is_done(&self) -> bool;
+    /// Current holder worker, or [`NO_HOLDER`].
+    fn holder(&self) -> usize;
+    /// Updates the holder tag.
+    fn set_holder(&self, worker: usize);
+}
+
+/// The shared state behind a [`JoinHandle`].
+pub(crate) struct Job<T> {
+    func: Box<dyn Fn(&WorkerCtx<'_>) -> T + Send + Sync>,
+    result: Mutex<Option<T>>,
+    done: AtomicBool,
+    poisoned: AtomicBool,
+    holder: AtomicUsize,
+    wake: Condvar,
+    wake_lock: Mutex<()>,
+}
+
+impl<T: Send> Job<T> {
+    pub(crate) fn new(func: impl Fn(&WorkerCtx<'_>) -> T + Send + Sync + 'static) -> Arc<Self> {
+        Arc::new(Self {
+            func: Box::new(func),
+            result: Mutex::new(None),
+            done: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            holder: AtomicUsize::new(NO_HOLDER),
+            wake: Condvar::new(),
+            wake_lock: Mutex::new(()),
+        })
+    }
+
+    fn store_result(&self, value: T) {
+        let mut slot = self.result.lock();
+        if slot.is_none() {
+            *slot = Some(value);
+            self.done.store(true, Ordering::Release);
+            drop(slot);
+            let _guard = self.wake_lock.lock();
+            self.wake.notify_all();
+        }
+        // A racing duplicate execution (fault-tolerance re-run that lost the
+        // race against the presumed-dead worker) drops its value: first
+        // result wins, and pure jobs make both values identical anyway.
+    }
+
+    pub(crate) fn take_result(&self) -> Option<T> {
+        self.result.lock().take()
+    }
+
+    /// Whether the job's closure panicked.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn mark_poisoned(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.done.store(true, Ordering::Release);
+        let _guard = self.wake_lock.lock();
+        self.wake.notify_all();
+    }
+
+    /// Blocks a non-worker thread until the job completes, waking every
+    /// `tick` so the caller can run its lost-job recovery check.
+    pub(crate) fn wait_with_tick(&self, tick: Duration, mut on_tick: impl FnMut()) {
+        while !self.is_done() {
+            {
+                let mut guard = self.wake_lock.lock();
+                if self.done.load(Ordering::Acquire) {
+                    break;
+                }
+                let _ = self.wake.wait_for(&mut guard, tick);
+            }
+            on_tick();
+        }
+    }
+}
+
+impl<T: Send> Task for Job<T> {
+    fn execute(&self, ctx: &WorkerCtx<'_>) {
+        if self.is_done() {
+            return;
+        }
+        self.set_holder(ctx.worker_id());
+        // Jobs are user code: a panic must not take the worker thread (and
+        // with it every queued task) down, nor leave joiners hanging — it
+        // is captured and re-thrown at the join point.
+        match std::panic::catch_unwind(AssertUnwindSafe(|| (self.func)(ctx))) {
+            Ok(value) => self.store_result(value),
+            Err(_) => self.mark_poisoned(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn holder(&self) -> usize {
+        self.holder.load(Ordering::Acquire)
+    }
+
+    fn set_holder(&self, worker: usize) {
+        self.holder.store(worker, Ordering::Release);
+    }
+}
+
+/// Handle to a spawned job; redeem with [`JoinHandle::join`] (from worker
+/// code) — the joining worker keeps executing other tasks while it waits,
+/// exactly like Satin's `sync`.
+pub struct JoinHandle<T> {
+    pub(crate) job: Arc<Job<T>>,
+}
+
+impl<T: Send> JoinHandle<T> {
+    /// Whether the result is already available.
+    pub fn is_done(&self) -> bool {
+        self.job.is_done()
+    }
+
+    /// Waits for the job, helping with other work meanwhile, and returns
+    /// its result. If the job was held by a worker that has since crashed
+    /// or left, the joiner re-executes it inline (fault tolerance).
+    ///
+    /// Panics if the job's closure panicked (the panic is propagated to
+    /// the joiner, like `std::thread::JoinHandle`).
+    pub fn join(self, ctx: &WorkerCtx<'_>) -> T {
+        loop {
+            if self.job.is_done() {
+                if self.job.is_poisoned() {
+                    panic!("divide-and-conquer job panicked");
+                }
+                if let Some(v) = self.job.take_result() {
+                    return v;
+                }
+            }
+            // Help: run any available task (our own deque first).
+            if ctx.run_one() {
+                continue;
+            }
+            // Nothing to run and still not done: is the job lost?
+            let holder = self.job.holder();
+            if holder == ctx.worker_id() || !ctx.is_worker_alive(holder) {
+                // Either nobody will ever run it for us, or it died with a
+                // crashed worker. Re-execute inline.
+                self.job.execute(ctx);
+                continue;
+            }
+            std::thread::yield_now();
+        }
+    }
+}

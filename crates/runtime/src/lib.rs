@@ -1,0 +1,61 @@
+//! # sagrid-runtime
+//!
+//! A Satin-like malleable divide-and-conquer runtime on real threads
+//! (paper §4). Satin is the substrate the paper's adaptation component was
+//! built into: programs are written with spawn/sync primitives, load is
+//! balanced with **cluster-aware random work stealing** (CRS), and the
+//! runtime provides transparent **malleability** (processors can join and
+//! leave an ongoing computation) and **fault tolerance** (work held by a
+//! crashed processor is re-executed).
+//!
+//! This crate is the shared-memory twin of the discrete-event engine in
+//! `sagrid-simgrid`: workers are OS threads grouped into emulated
+//! "clusters", wide-area stealing pays an injected latency, and the same
+//! per-worker overhead statistics (busy / idle / intra- / inter-cluster
+//! communication) feed the same [`sagrid_adapt::Coordinator`].
+//!
+//! ```
+//! use sagrid_runtime::{Runtime, RuntimeConfig, WorkerCtx};
+//!
+//! fn fib(ctx: &WorkerCtx, n: u64) -> u64 {
+//!     if n < 2 {
+//!         return n;
+//!     }
+//!     let a = ctx.spawn(move |ctx| fib(ctx, n - 1));
+//!     let b = fib(ctx, n - 2);
+//!     a.join(ctx) + b
+//! }
+//!
+//! let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+//! let result = rt.run(|ctx| fib(ctx, 20));
+//! assert_eq!(result, 6765);
+//! rt.shutdown();
+//! ```
+//!
+//! Module map:
+//!
+//! * [`config`] — cluster layout, WAN emulation parameters;
+//! * [`job`] — spawned-task records: result slots, ownership state, the
+//!   re-execution machinery behind fault tolerance;
+//! * [`worker`] — the worker loop: local LIFO execution, CRS victim
+//!   selection, statistics attribution, speed emulation, control signals;
+//! * [`runtime`] — the public façade: run jobs, add/remove/crash workers,
+//!   collect monitoring reports, run speed benchmarks;
+//! * [`adaptive`] — the self-adaptation driver: wires live worker
+//!   statistics into the paper's coordinator and applies its decisions to
+//!   the thread pool.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adaptive;
+pub mod config;
+pub mod job;
+pub mod runtime;
+pub mod worker;
+
+pub use adaptive::AdaptiveRuntime;
+pub use config::{ClusterLayout, RuntimeConfig};
+pub use job::JoinHandle;
+pub use runtime::{Runtime, WorkerId};
+pub use worker::WorkerCtx;

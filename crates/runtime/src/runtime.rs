@@ -1,0 +1,400 @@
+//! The public runtime façade.
+
+use crate::config::RuntimeConfig;
+use crate::job::{Job, Task, NO_HOLDER};
+use crate::worker::{worker_main, BenchProbe, Control, Shared, WorkerShared};
+use crossbeam::channel::unbounded;
+use crossbeam::deque::{Injector, Worker as Deque};
+use parking_lot::{Mutex, RwLock};
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
+use sagrid_core::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle as ThreadHandle;
+use std::time::{Duration, Instant};
+
+/// Identifier of a worker thread (stable for the runtime's lifetime; slots
+/// of departed workers are never reused).
+pub type WorkerId = usize;
+
+/// A malleable divide-and-conquer runtime over an emulated multi-cluster
+/// grid of worker threads. See the crate docs for an example.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<ThreadHandle<()>>>,
+    started_at: Instant,
+}
+
+impl Runtime {
+    /// Starts the worker threads described by `cfg`.
+    ///
+    /// Panics on an invalid configuration.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        cfg.validate().expect("invalid runtime configuration");
+        let shared = Arc::new(Shared {
+            cfg: cfg.clone(),
+            workers: RwLock::new(Vec::new()),
+            injector: Injector::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let rt = Self {
+            shared,
+            threads: Mutex::new(Vec::new()),
+            started_at: Instant::now(),
+        };
+        for (ci, cluster) in cfg.clusters.iter().enumerate() {
+            for _ in 0..cluster.workers {
+                rt.spawn_worker(ci, cluster.speed);
+            }
+        }
+        rt
+    }
+
+    fn spawn_worker(&self, cluster: usize, speed: f64) -> WorkerId {
+        let deque: Deque<Arc<dyn Task>> = Deque::new_lifo();
+        let (tx, rx) = unbounded();
+        let ws = Arc::new(WorkerShared {
+            stealer: deque.stealer(),
+            ctrl: tx,
+            cluster,
+            alive: AtomicBool::new(true),
+            speed_milli: AtomicU32::new((speed * 1000.0).round() as u32),
+            stats: Default::default(),
+        });
+        let id = {
+            let mut workers = self.shared.workers.write();
+            workers.push(ws);
+            workers.len() - 1
+        };
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("sagrid-worker-{id}"))
+            .spawn(move || worker_main(shared, id, deque, rx))
+            .expect("spawn worker thread");
+        self.threads.lock().push(handle);
+        id
+    }
+
+    /// Runs a root job to completion on the pool and returns its result.
+    ///
+    /// The calling thread blocks (it is not a worker); if the worker
+    /// holding the root job crashes, the job is re-injected automatically.
+    pub fn run<T, F>(&self, f: F) -> T
+    where
+        T: Send + 'static,
+        F: Fn(&crate::worker::WorkerCtx<'_>) -> T + Send + Sync + 'static,
+    {
+        let job = Job::new(f);
+        self.shared.injector.push(job.clone());
+        let shared = Arc::clone(&self.shared);
+        let job_for_tick = job.clone();
+        job.wait_with_tick(Duration::from_millis(5), move || {
+            let holder = job_for_tick.holder();
+            if holder != NO_HOLDER {
+                let workers = shared.workers.read();
+                let dead = workers
+                    .get(holder)
+                    .is_none_or(|w| !w.alive.load(Ordering::Acquire));
+                if dead && !job_for_tick.is_done() {
+                    job_for_tick.set_holder(NO_HOLDER);
+                    shared.injector.push(job_for_tick.clone());
+                }
+            }
+        });
+        job.take_result()
+            .unwrap_or_else(|| panic!("divide-and-conquer job panicked"))
+    }
+
+    /// Adds a fresh worker to `cluster` at full speed (malleability:
+    /// "processors can be added at any point in the computation").
+    pub fn add_worker(&self, cluster: usize) -> WorkerId {
+        self.spawn_worker(cluster, 1.0)
+    }
+
+    /// Gracefully removes a worker: it hands its queued work back and
+    /// retires at the next task boundary.
+    pub fn remove_worker(&self, id: WorkerId) {
+        let workers = self.shared.workers.read();
+        if let Some(w) = workers.get(id) {
+            let _ = w.ctrl.send(Control::Leave);
+        }
+    }
+
+    /// Simulates a crash: the worker abandons its queued tasks immediately;
+    /// joiners transparently re-execute the lost work.
+    pub fn crash_worker(&self, id: WorkerId) {
+        let workers = self.shared.workers.read();
+        if let Some(w) = workers.get(id) {
+            w.alive.store(false, Ordering::Release);
+            let _ = w.ctrl.send(Control::Crash);
+        }
+    }
+
+    /// Changes a worker's emulated speed in `(0, 1]` (background-load
+    /// injection for overload scenarios).
+    pub fn set_worker_speed(&self, id: WorkerId, speed: f64) {
+        assert!(speed > 0.0 && speed <= 1.0, "speed must be in (0,1]");
+        let workers = self.shared.workers.read();
+        if let Some(w) = workers.get(id) {
+            w.speed_milli
+                .store((speed * 1000.0).round() as u32, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs the spin benchmark on worker `id` and returns the measured
+    /// duration (paper §3.2's application-specific speed probe). `None` if
+    /// the worker is gone or unresponsive.
+    pub fn benchmark_worker(&self, id: WorkerId) -> Option<Duration> {
+        let probe = BenchProbe::new(self.shared.cfg.benchmark_spins);
+        {
+            let workers = self.shared.workers.read();
+            let w = workers.get(id)?;
+            if !w.alive.load(Ordering::Acquire) {
+                return None;
+            }
+            w.ctrl.send(Control::Benchmark(probe.clone())).ok()?;
+        }
+        probe.wait(Duration::from_secs(10))
+    }
+
+    /// Ids of currently alive workers.
+    pub fn alive_workers(&self) -> Vec<WorkerId> {
+        self.shared
+            .workers
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The emulated cluster of a worker.
+    pub fn worker_cluster(&self, id: WorkerId) -> Option<usize> {
+        self.shared.workers.read().get(id).map(|w| w.cluster)
+    }
+
+    /// Number of tasks executed so far, across all workers.
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared
+            .workers
+            .read()
+            .iter()
+            .map(|w| w.stats.tasks_executed.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Elapsed wall time since the runtime started, as virtual-time for
+    /// monitoring reports.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.started_at.elapsed().as_micros() as u64)
+    }
+
+    /// Takes (and resets) every alive worker's overhead counters as
+    /// [`MonitoringReport`]s — the statistics stream the adaptation
+    /// coordinator consumes. Speeds are *raw* benchmark durations turned
+    /// relative by the caller (see [`crate::AdaptiveRuntime`]); here each
+    /// report carries speed 1.0 and the caller overrides it.
+    pub fn take_monitoring_reports(&self) -> Vec<(MonitoringReport, Option<Duration>)> {
+        let now = self.now();
+        let workers = self.shared.workers.read();
+        workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive.load(Ordering::Acquire))
+            .map(|(i, w)| {
+                let ns =
+                    |a: &std::sync::atomic::AtomicU64| SimDuration((a.swap(0, Ordering::Relaxed)) / 1_000);
+                let breakdown = OverheadBreakdown {
+                    busy: ns(&w.stats.busy_ns),
+                    idle: ns(&w.stats.idle_ns),
+                    intra_comm: ns(&w.stats.intra_ns),
+                    inter_comm: ns(&w.stats.inter_ns),
+                    benchmark: ns(&w.stats.bench_ns),
+                };
+                let last_bench = w.stats.last_bench_ns.load(Ordering::Relaxed);
+                let bench = (last_bench > 0).then(|| Duration::from_nanos(last_bench));
+                (
+                    MonitoringReport {
+                        node: NodeId(i as u32),
+                        cluster: ClusterId(w.cluster as u16),
+                        period_end: now,
+                        breakdown,
+                        speed: 1.0,
+                    },
+                    bench,
+                )
+            })
+            .collect()
+    }
+
+    /// Stops every worker and joins the threads. Queued work is discarded.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::WorkerCtx;
+
+    fn fib(ctx: &WorkerCtx<'_>, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let a = ctx.spawn(move |ctx| fib(ctx, n - 1));
+        let b = fib(ctx, n - 2);
+        a.join(ctx) + b
+    }
+
+    #[test]
+    fn computes_fib_on_one_worker() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(1));
+        assert_eq!(rt.run(|ctx| fib(ctx, 15)), 610);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn computes_fib_on_many_workers() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+        assert_eq!(rt.run(|ctx| fib(ctx, 22)), 17711);
+        assert!(rt.tasks_executed() > 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn computes_across_emulated_clusters() {
+        let mut cfg = RuntimeConfig::emulated_grid(2, 2);
+        cfg.wan_latency = Duration::from_micros(200);
+        let rt = Runtime::new(cfg);
+        assert_eq!(rt.run(|ctx| fib(ctx, 20)), 6765);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn workers_join_mid_computation() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(1));
+        let added = rt.add_worker(0);
+        assert_eq!(rt.alive_workers().len(), 2);
+        assert_eq!(rt.run(|ctx| fib(ctx, 20)), 6765);
+        assert_eq!(rt.worker_cluster(added), Some(0));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn graceful_leave_preserves_work() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(3));
+        rt.remove_worker(2);
+        assert_eq!(rt.run(|ctx| fib(ctx, 20)), 6765);
+        // The removed worker eventually drops out of the alive set.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while rt.alive_workers().len() != 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(rt.alive_workers().len(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn crash_mid_run_is_survivable() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+        // Crash a worker while a computation is in flight: spawn the crash
+        // from another thread after a short delay.
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                rt.crash_worker(3);
+                rt.crash_worker(2);
+            });
+            rt.run(|ctx| fib(ctx, 24))
+        });
+        assert_eq!(result, 46368);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn benchmark_reflects_speed_knob() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        let fast = rt.benchmark_worker(0).expect("fast benchmark");
+        rt.set_worker_speed(1, 0.25);
+        let slow = rt.benchmark_worker(1).expect("slow benchmark");
+        assert!(
+            slow > fast.mul_f64(2.0),
+            "slow worker ({slow:?}) should take ≥2x the fast one ({fast:?})"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn monitoring_reports_cover_alive_workers_and_reset() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(3));
+        let _ = rt.run(|ctx| fib(ctx, 18));
+        let reports = rt.take_monitoring_reports();
+        assert_eq!(reports.len(), 3);
+        let total_busy: u64 = reports
+            .iter()
+            .map(|(r, _)| r.breakdown.busy.0)
+            .sum();
+        assert!(total_busy > 0, "someone must have done the work");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panicking_jobs_propagate_without_killing_workers() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|_ctx| -> u64 { panic!("boom") })
+        }));
+        assert!(result.is_err(), "the panic must reach the caller");
+        // The pool survives: a follow-up computation still works.
+        assert_eq!(rt.run(|ctx| fib(ctx, 15)), 610);
+        assert_eq!(rt.alive_workers().len(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spawned_panics_propagate_at_join() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|ctx| {
+                let h = ctx.spawn(|_| -> u64 { panic!("child boom") });
+                h.join(ctx)
+            })
+        }));
+        assert!(result.is_err());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn join_handle_reports_completion() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        let done = rt.run(|ctx| {
+            let h = ctx.spawn(|_| 41u64);
+            // Help until it completes, then check the flag.
+            let v = h.join(ctx);
+            v + 1
+        });
+        assert_eq!(done, 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn run_result_is_correct_under_parallel_stress() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(8));
+        for n in [10u64, 15, 18] {
+            let expected = [55, 610, 2584][match n {
+                10 => 0,
+                15 => 1,
+                _ => 2,
+            }];
+            assert_eq!(rt.run(move |ctx| fib(ctx, n)), expected);
+        }
+        rt.shutdown();
+    }
+}

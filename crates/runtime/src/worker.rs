@@ -1,0 +1,328 @@
+//! Worker threads: local LIFO execution, cluster-aware random stealing,
+//! statistics attribution, speed emulation and control signals.
+
+use crate::config::RuntimeConfig;
+use crate::job::Task;
+use crossbeam::channel::{Receiver, Sender};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex, RwLock};
+use sagrid_core::rng::{Rng64, SplitMix64};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Control messages a worker drains between tasks.
+pub(crate) enum Control {
+    /// Graceful leave: hand queued tasks back to the global queue, exit.
+    Leave,
+    /// Simulated crash: abandon everything, exit immediately.
+    Crash,
+    /// Run the speed benchmark and publish its duration.
+    Benchmark(Arc<BenchProbe>),
+}
+
+/// A speed-benchmark request (paper §3.2: a small application-specific
+/// benchmark re-run periodically to track processor speed).
+pub(crate) struct BenchProbe {
+    pub(crate) spins: u64,
+    pub(crate) result: Mutex<Option<Duration>>,
+    pub(crate) done: Condvar,
+}
+
+impl BenchProbe {
+    pub(crate) fn new(spins: u64) -> Arc<Self> {
+        Arc::new(Self {
+            spins,
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn wait(&self, timeout: Duration) -> Option<Duration> {
+        let mut slot = self.result.lock();
+        if slot.is_none() {
+            let _ = self.done.wait_for(&mut slot, timeout);
+        }
+        *slot
+    }
+
+    fn publish(&self, d: Duration) {
+        let mut slot = self.result.lock();
+        *slot = Some(d);
+        self.done.notify_all();
+    }
+}
+
+/// Per-worker overhead counters (nanoseconds), reset when a monitoring
+/// report is taken.
+#[derive(Default)]
+pub(crate) struct StatCounters {
+    pub busy_ns: AtomicU64,
+    pub idle_ns: AtomicU64,
+    pub intra_ns: AtomicU64,
+    pub inter_ns: AtomicU64,
+    pub bench_ns: AtomicU64,
+    /// Latest benchmark duration in nanoseconds (0 = never benchmarked).
+    pub last_bench_ns: AtomicU64,
+    pub tasks_executed: AtomicU64,
+    pub steals_ok: AtomicU64,
+    pub steals_failed: AtomicU64,
+}
+
+/// The runtime-visible half of a worker.
+pub(crate) struct WorkerShared {
+    pub(crate) stealer: Stealer<Arc<dyn Task>>,
+    pub(crate) ctrl: Sender<Control>,
+    pub(crate) cluster: usize,
+    pub(crate) alive: AtomicBool,
+    /// Speed knob ×1000 (1000 = full speed).
+    pub(crate) speed_milli: AtomicU32,
+    pub(crate) stats: StatCounters,
+}
+
+impl WorkerShared {
+    pub(crate) fn speed(&self) -> f64 {
+        f64::from(self.speed_milli.load(Ordering::Relaxed)) / 1000.0
+    }
+}
+
+/// Runtime-wide shared state.
+pub(crate) struct Shared {
+    pub(crate) cfg: RuntimeConfig,
+    pub(crate) workers: RwLock<Vec<Arc<WorkerShared>>>,
+    pub(crate) injector: Injector<Arc<dyn Task>>,
+    pub(crate) shutdown: AtomicBool,
+}
+
+/// The execution context handed to every divide-and-conquer job. Provides
+/// `spawn` (Satin's `spawn` annotation) and helps `JoinHandle::join`
+/// (Satin's `sync`) keep the worker busy while waiting.
+pub struct WorkerCtx<'a> {
+    shared: &'a Shared,
+    me: usize,
+    local: &'a Deque<Arc<dyn Task>>,
+    rng: RefCell<SplitMix64>,
+}
+
+impl<'a> WorkerCtx<'a> {
+    pub(crate) fn new(shared: &'a Shared, me: usize, local: &'a Deque<Arc<dyn Task>>) -> Self {
+        Self {
+            shared,
+            me,
+            local,
+            rng: RefCell::new(SplitMix64::new(0x5EED ^ (me as u64).wrapping_mul(0x9E37))),
+        }
+    }
+
+    /// Index of the executing worker.
+    pub fn worker_id(&self) -> usize {
+        self.me
+    }
+
+    /// The emulated cluster of the executing worker.
+    pub fn cluster(&self) -> usize {
+        self.shared.workers.read()[self.me].cluster
+    }
+
+    /// Spawns a divide-and-conquer child job onto this worker's deque.
+    ///
+    /// The closure must be pure (re-executable): that is what lets the
+    /// runtime transparently re-run it if the worker holding it crashes.
+    pub fn spawn<T, F>(&self, f: F) -> crate::job::JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Fn(&WorkerCtx<'_>) -> T + Send + Sync + 'static,
+    {
+        let job = crate::job::Job::new(f);
+        job.set_holder(self.me);
+        self.local.push(job.clone());
+        crate::job::JoinHandle { job }
+    }
+
+    /// Whether worker `id` is currently alive ([`crate::job::NO_HOLDER`]
+    /// counts as not-alive so joiners self-rescue queued-nowhere jobs).
+    pub(crate) fn is_worker_alive(&self, id: usize) -> bool {
+        let workers = self.shared.workers.read();
+        workers
+            .get(id)
+            .is_some_and(|w| w.alive.load(Ordering::Acquire))
+    }
+
+    /// Pops or steals one task and executes it. Returns `false` when no
+    /// work was found anywhere.
+    pub fn run_one(&self) -> bool {
+        if let Some(task) = self.find_task() {
+            self.execute_timed(task);
+            return true;
+        }
+        false
+    }
+
+    fn execute_timed(&self, task: Arc<dyn Task>) {
+        let start = Instant::now();
+        task.execute(self);
+        let busy = start.elapsed();
+        let me = &self.shared.workers.read()[self.me];
+        // Speed emulation: a worker at speed s pads every t of work with
+        // t·(1/s − 1) of spin, exactly like background load on a
+        // time-shared grid node.
+        let speed = me.speed();
+        if speed < 1.0 {
+            let penalty = busy.mul_f64(1.0 / speed - 1.0);
+            spin_for(penalty);
+            me.stats
+                .busy_ns
+                .fetch_add((busy + penalty).as_nanos() as u64, Ordering::Relaxed);
+        } else {
+            me.stats
+                .busy_ns
+                .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        }
+        me.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Work-finding: own deque (LIFO), then the global queue, then
+    /// cluster-aware random stealing — a random victim in the own cluster,
+    /// then a random victim in another cluster (paying the emulated WAN
+    /// latency).
+    fn find_task(&self) -> Option<Arc<dyn Task>> {
+        if let Some(t) = self.local.pop() {
+            return Some(t);
+        }
+        loop {
+            match self.shared.injector.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let workers = self.shared.workers.read();
+        let my_cluster = workers[self.me].cluster;
+        let mut rng = self.rng.borrow_mut();
+        // One local attempt, then one wide attempt, mirroring CRS.
+        for wide in [false, true] {
+            let candidates: Vec<usize> = workers
+                .iter()
+                .enumerate()
+                .filter(|(i, w)| {
+                    *i != self.me
+                        && w.alive.load(Ordering::Acquire)
+                        && (w.cluster == my_cluster) != wide
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let victim = candidates[rng.gen_index(candidates.len())];
+            let latency = if wide {
+                self.shared.cfg.wan_latency
+            } else {
+                self.shared.cfg.lan_latency
+            };
+            let start = Instant::now();
+            // The emulated network round trip for the steal message.
+            spin_for(latency);
+            let got = loop {
+                match workers[victim].stealer.steal() {
+                    Steal::Success(t) => break Some(t),
+                    Steal::Empty => break None,
+                    Steal::Retry => continue,
+                }
+            };
+            if got.is_some() {
+                spin_for(latency); // task transfer back
+            }
+            let waited = start.elapsed().as_nanos() as u64;
+            let stats = &workers[self.me].stats;
+            if wide {
+                stats.inter_ns.fetch_add(waited, Ordering::Relaxed);
+            } else {
+                stats.intra_ns.fetch_add(waited, Ordering::Relaxed);
+            }
+            if let Some(t) = got {
+                stats.steals_ok.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+            stats.steals_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+}
+
+/// Busy-waits for `d` (precise sub-millisecond emulation; `thread::sleep`
+/// granularity would distort the statistics).
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+/// The worker thread body.
+pub(crate) fn worker_main(shared: Arc<Shared>, me: usize, local: Deque<Arc<dyn Task>>, ctrl: Receiver<Control>) {
+    let ctx = WorkerCtx::new(&shared, me, &local);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Drain control messages.
+        while let Ok(msg) = ctrl.try_recv() {
+            let my = shared.workers.read()[me].clone();
+            match msg {
+                Control::Leave => {
+                    // Malleability: hand every queued task back to the
+                    // global queue so no work is lost, then retire.
+                    while let Some(t) = local.pop() {
+                        t.set_holder(crate::job::NO_HOLDER);
+                        shared.injector.push(t);
+                    }
+                    my.alive.store(false, Ordering::Release);
+                    return;
+                }
+                Control::Crash => {
+                    // Abandon everything; joiners will re-execute.
+                    my.alive.store(false, Ordering::Release);
+                    return;
+                }
+                Control::Benchmark(probe) => {
+                    let start = Instant::now();
+                    let mut acc = 0u64;
+                    for i in 0..probe.spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                        std::hint::black_box(acc);
+                    }
+                    let raw = start.elapsed();
+                    let speed = my.speed();
+                    if speed < 1.0 {
+                        spin_for(raw.mul_f64(1.0 / speed - 1.0));
+                    }
+                    let total = start.elapsed();
+                    my.stats
+                        .bench_ns
+                        .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+                    my.stats
+                        .last_bench_ns
+                        .store(total.as_nanos() as u64, Ordering::Relaxed);
+                    probe.publish(total);
+                }
+            }
+        }
+        // A worker that was crashed externally must stop promptly too.
+        if !shared.workers.read()[me].alive.load(Ordering::Acquire) {
+            return;
+        }
+        if !ctx.run_one() {
+            let park = shared.cfg.idle_park;
+            std::thread::sleep(park);
+            shared.workers.read()[me]
+                .stats
+                .idle_ns
+                .fetch_add(park.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}

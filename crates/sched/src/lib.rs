@@ -1,0 +1,24 @@
+//! # sagrid-sched
+//!
+//! A Zorilla-like grid scheduler (paper §4): "a peer-to-peer supercomputing
+//! middleware which allows straightforward allocation of processors in
+//! multiple clusters, providing locality-aware scheduling which tries to
+//! allocate processors that are located close to each other".
+//!
+//! The adaptation coordinator interacts with the scheduler in three ways:
+//!
+//! 1. **request nodes** — "currently we add any nodes the scheduler gives
+//!    us" (locality-aware policy). The paper's future-work extensions —
+//!    fastest-first allocation via a benchmark handed to the scheduler, and
+//!    requirement bounds (minimal uplink bandwidth) learned at runtime — are
+//!    implemented as [`AllocPolicy::FastestFirst`] and
+//!    [`Requirements::min_uplink_bps`];
+//! 2. **release nodes** — removed nodes return to the pool;
+//! 3. **exclusions** — blacklisted nodes/clusters are never handed back.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod pool;
+
+pub use pool::{AllocPolicy, NodeGrant, Requirements, ResourcePool};

@@ -1,0 +1,1512 @@
+//! The discrete-event grid engine.
+//!
+//! Wires together the event kernel, the network model, the registry, the
+//! resource pool and the adaptation coordinator, and executes an iterative
+//! divide-and-conquer workload with cluster-aware random work stealing.
+//!
+//! The engine is the DES twin of the threaded `sagrid-runtime`: the steal
+//! protocol, the malleability flow (grant → join → steal → leave signal →
+//! queue hand-off → release) and the fault-tolerance flow (crash → detect →
+//! re-inject orphaned tasks) follow the same design, but time is virtual and
+//! every run is deterministic.
+
+use crate::config::{SimConfig, StealPolicy};
+use crate::node::{NodeActivity, SimNode};
+use crate::result::RunResult;
+use sagrid_adapt::coordinator::{Coordinator, Decision, LearnedRequirements};
+use sagrid_adapt::feedback::{dominant_term, DominantTerm, FeedbackTuner};
+use sagrid_adapt::hierarchy::HierarchicalCoordinator;
+use sagrid_adapt::{BadnessCoefficients, BandwidthEstimator, SpeedTracker};
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
+use sagrid_core::stats::OverheadBreakdown;
+use sagrid_core::time::{SimDuration, SimTime};
+use sagrid_core::workload::TaskTree;
+use sagrid_registry::{Membership, RegistryConfig};
+use sagrid_sched::{AllocPolicy, NodeGrant, Requirements, ResourcePool};
+use sagrid_simnet::{EventQueue, Injection, Network};
+use std::collections::BTreeSet;
+
+/// Engine events.
+#[derive(Clone, Debug)]
+enum Event {
+    /// A granted node finishes its startup and joins the computation.
+    Activate { node: NodeId, base_speed: f64 },
+    /// A node finishes the task it was computing.
+    TaskComplete { node: NodeId },
+    /// A node finishes a benchmark run.
+    BenchmarkDone { node: NodeId },
+    /// A steal request arrives at the victim.
+    StealRequest {
+        thief: NodeId,
+        victim: NodeId,
+        token: Option<u64>,
+        wide: bool,
+    },
+    /// A steal reply arrives back at the thief.
+    StealReply {
+        thief: NodeId,
+        task: Option<(u32, NodeId)>,
+        token: Option<u64>,
+        wide: bool,
+        /// Provenance for the bandwidth estimator (paper §3.3: bandwidth
+        /// is estimated from measured data-transfer times).
+        from_cluster: ClusterId,
+        bytes: u64,
+        sent_at: SimTime,
+    },
+    /// A completed task's result arrives back at its spawner's cluster.
+    ResultArrive {
+        from_cluster: ClusterId,
+        to_cluster: ClusterId,
+        bytes: u64,
+        sent_at: SimTime,
+    },
+    /// A blocking result send has drained the sender's uplink.
+    SendDone { node: NodeId },
+    /// A leaving node's queued tasks arrive at a peer.
+    TaskTransfer {
+        to: NodeId,
+        tasks: Vec<(u32, NodeId)>,
+    },
+    /// An out-of-work node retries stealing.
+    RetrySteal { node: NodeId, generation: u64 },
+    /// The adaptation coordinator's periodic evaluation.
+    CoordinatorTick,
+    /// Scenario perturbations due now.
+    ApplyInjections,
+    /// The runtime noticed a crash: clean up and re-inject orphaned tasks.
+    RecoverCrash {
+        victims: Vec<NodeId>,
+        tasks: Vec<(u32, NodeId)>,
+    },
+}
+
+/// Flat or hierarchical coordinator, behind one dispatching façade so the
+/// engine is agnostic (paper §7: the hierarchy is a scalability fix, not a
+/// behaviour change).
+enum Coord {
+    Flat(Coordinator),
+    Hierarchical(HierarchicalCoordinator),
+}
+
+impl Coord {
+    fn record_report(&mut self, report: sagrid_core::stats::MonitoringReport) {
+        match self {
+            Coord::Flat(c) => c.record_report(report),
+            Coord::Hierarchical(h) => h.record_report(report),
+        }
+    }
+
+    fn node_gone(&mut self, node: NodeId) {
+        match self {
+            Coord::Flat(c) => c.node_gone(node),
+            Coord::Hierarchical(h) => h.node_gone(node),
+        }
+    }
+
+    fn observe_uplink(&mut self, cluster: ClusterId, bps: f64) {
+        match self {
+            Coord::Flat(c) => c.observe_uplink(cluster, bps),
+            Coord::Hierarchical(h) => h.observe_uplink(cluster, bps),
+        }
+    }
+
+    fn evaluate(&mut self, now: SimTime, fastest: Option<f64>) -> Decision {
+        match self {
+            Coord::Flat(c) => c.evaluate(now, fastest),
+            Coord::Hierarchical(h) => h.evaluate(now, fastest),
+        }
+    }
+
+    fn main(&self) -> &Coordinator {
+        match self {
+            Coord::Flat(c) => c,
+            Coord::Hierarchical(h) => h.main(),
+        }
+    }
+
+    fn set_coefficients(&mut self, coefficients: BadnessCoefficients) {
+        match self {
+            Coord::Flat(c) => c.set_coefficients(coefficients),
+            Coord::Hierarchical(h) => h.set_coefficients(coefficients),
+        }
+    }
+}
+
+/// The simulation engine. Construct with [`GridSim::new`], execute with
+/// [`GridSim::run`].
+///
+/// ```
+/// use sagrid_adapt::AdaptPolicy;
+/// use sagrid_core::config::GridConfig;
+/// use sagrid_core::ids::ClusterId;
+/// use sagrid_core::workload::barnes_hut_profile;
+/// use sagrid_simgrid::{AdaptMode, GridSim, SimConfig, StealPolicy, TimingConfig};
+/// use sagrid_simnet::InjectionSchedule;
+///
+/// let cfg = SimConfig {
+///     grid: GridConfig::uniform(2, 4),
+///     policy: AdaptPolicy::default(),
+///     initial_layout: vec![(ClusterId(0), 4), (ClusterId(1), 4)],
+///     workload: barnes_hut_profile(3, 8, 4.0, 42),
+///     injections: InjectionSchedule::empty(),
+///     mode: AdaptMode::Adapt,
+///     steal_policy: StealPolicy::ClusterAware,
+///     timing: TimingConfig::default(),
+///     record_trace: false,
+///     feedback_tuning: false,
+///     hierarchical_coordinator: false,
+///     seed: 42,
+/// };
+/// let result = GridSim::run(cfg);
+/// assert_eq!(result.iteration_durations.len(), 3);
+/// assert!(!result.timed_out);
+/// ```
+pub struct GridSim {
+    cfg: SimConfig,
+    queue: EventQueue<Event>,
+    network: Network,
+    pool: ResourcePool,
+    registry: Membership,
+    coordinator: Coord,
+    speeds: SpeedTracker,
+    bandwidth: BandwidthEstimator,
+    /// §7 feedback control state: the tuner plus the pending observation
+    /// `(dominant term of the last removal, efficiency at that decision)`.
+    tuner: Option<FeedbackTuner>,
+    pending_feedback: Option<(DominantTerm, f64)>,
+    coefficients: BadnessCoefficients,
+    rng: Xoshiro256StarStar,
+    /// Dense node table indexed by `NodeId` (pool ids are cluster-major over
+    /// the whole grid).
+    nodes: Vec<Option<SimNode>>,
+    alive: BTreeSet<NodeId>,
+    /// Retry-chain staleness guards, indexed by node.
+    retry_gen: Vec<u64>,
+    /// Engine-side benchmark pacing: last benchmark start per node.
+    last_bench_start: Vec<Option<SimTime>>,
+    /// Load factor observed at each node's last benchmark (for the
+    /// load-aware benchmarking extension).
+    last_bench_load: Vec<Option<f64>>,
+    /// Current iteration index and bookkeeping.
+    iter: usize,
+    tasks_remaining: usize,
+    iteration_started: SimTime,
+    /// Tasks orphaned while no node was alive to adopt them (`None` origin
+    /// means "re-home to whichever node adopts it", used for iteration
+    /// roots).
+    orphans: Vec<(u32, Option<NodeId>)>,
+    finished: bool,
+    // --- results ---
+    iteration_durations: Vec<SimDuration>,
+    node_count_timeline: Vec<(SimTime, usize)>,
+    efficiency_timeline: Vec<(SimTime, f64)>,
+    cluster_ic_timeline: Vec<(SimTime, Vec<(ClusterId, f64)>)>,
+    aggregate: OverheadBreakdown,
+    timed_out: bool,
+}
+
+impl GridSim {
+    /// Builds the engine; panics on an invalid configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulation configuration");
+        let network = Network::new(&cfg.grid);
+        let pool = ResourcePool::new(&cfg.grid);
+        let coordinator = if cfg.hierarchical_coordinator {
+            Coord::Hierarchical(HierarchicalCoordinator::new(cfg.policy))
+        } else {
+            Coord::Flat(Coordinator::new(cfg.policy))
+        };
+        let rng = Xoshiro256StarStar::seeded(cfg.seed);
+        let total = cfg.grid.total_nodes();
+        let tuner = cfg
+            .feedback_tuning
+            .then(|| FeedbackTuner::new(cfg.policy.coefficients));
+        Self {
+            network,
+            pool,
+            registry: Membership::new(RegistryConfig::default()),
+            coordinator,
+            speeds: SpeedTracker::new(),
+            bandwidth: BandwidthEstimator::default(),
+            tuner,
+            pending_feedback: None,
+            coefficients: cfg.policy.coefficients,
+            rng,
+            nodes: (0..total).map(|_| None).collect(),
+            alive: BTreeSet::new(),
+            retry_gen: vec![0; total],
+            last_bench_start: vec![None; total],
+            last_bench_load: vec![None; total],
+            iter: 0,
+            tasks_remaining: 0,
+            iteration_started: SimTime::ZERO,
+            orphans: Vec::new(),
+            finished: false,
+            iteration_durations: Vec::new(),
+            node_count_timeline: Vec::new(),
+            efficiency_timeline: Vec::new(),
+            cluster_ic_timeline: Vec::new(),
+            aggregate: OverheadBreakdown::default(),
+            timed_out: false,
+            queue: EventQueue::new(),
+            cfg,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the results.
+    pub fn run(cfg: SimConfig) -> RunResult {
+        let mut sim = Self::new(cfg);
+        sim.start();
+        let cap = SimTime::ZERO + sim.cfg.timing.max_virtual_time;
+        while !sim.finished {
+            let Some((now, ev)) = sim.queue.pop() else {
+                break;
+            };
+            if now > cap {
+                sim.timed_out = true;
+                break;
+            }
+            sim.handle(now, ev);
+        }
+        sim.into_result()
+    }
+
+    // ------------------------------------------------------------------
+    // Setup
+    // ------------------------------------------------------------------
+
+    fn start(&mut self) {
+        let layout = self.cfg.initial_layout.clone();
+        let grants = self.pool.allocate_initial(&layout);
+        for g in grants {
+            // Initial nodes are already provisioned: activate at t=0.
+            self.queue.push(
+                SimTime::ZERO,
+                Event::Activate {
+                    node: g.node,
+                    base_speed: g.base_speed,
+                },
+            );
+        }
+        // First iteration's root task: handed to the first activated node
+        // via the orphan buffer (drained on activation).
+        self.tasks_remaining = self.cur_tree().len();
+        self.iteration_started = SimTime::ZERO;
+        self.orphans.push((0, None));
+        // Injection times are known upfront.
+        let times: BTreeSet<SimTime> = {
+            let mut s = self.cfg.injections.clone();
+            let mut ts = BTreeSet::new();
+            while let Some(t) = s.next_time() {
+                ts.insert(t);
+                s.pop_due(t);
+            }
+            ts
+        };
+        for t in times {
+            self.queue.push(t, Event::ApplyInjections);
+        }
+        if self.cfg.mode.monitors() {
+            let period = self.cfg.policy.monitoring_period;
+            self.queue.push(SimTime::ZERO + period, Event::CoordinatorTick);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn cur_tree(&self) -> &TaskTree {
+        &self.cfg.workload.iterations[self.iter]
+    }
+
+    fn node(&self, id: NodeId) -> &SimNode {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node referenced before activation")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut SimNode {
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node referenced before activation")
+    }
+
+    fn record_node_count(&mut self, now: SimTime) {
+        self.node_count_timeline.push((now, self.alive.len()));
+    }
+
+    /// Clusters that currently have at least one alive member.
+    fn participating_clusters(&self) -> BTreeSet<ClusterId> {
+        self.alive
+            .iter()
+            .map(|&n| self.node(n).cluster)
+            .collect()
+    }
+
+    fn alive_peers_in_cluster(&self, of: NodeId) -> Vec<NodeId> {
+        let cluster = self.node(of).cluster;
+        self.alive
+            .iter()
+            .copied()
+            .filter(|&n| n != of && self.node(n).cluster == cluster)
+            .collect()
+    }
+
+    fn alive_peers_anywhere(&self, of: NodeId) -> Vec<NodeId> {
+        self.alive.iter().copied().filter(|&n| n != of).collect()
+    }
+
+    fn alive_peers_other_clusters(&self, of: NodeId) -> Vec<NodeId> {
+        let cluster = self.node(of).cluster;
+        self.alive
+            .iter()
+            .copied()
+            .filter(|&n| n != of && self.node(n).cluster != cluster)
+            .collect()
+    }
+
+    /// Hands `tasks` to the lowest-id alive node (or stashes them if the
+    /// computation momentarily has no nodes), waking it if it was waiting.
+    fn adopt_tasks(&mut self, now: SimTime, tasks: Vec<(u32, NodeId)>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let Some(&target) = self.alive.iter().next() else {
+            self.orphans
+                .extend(tasks.into_iter().map(|(t, o)| (t, Some(o))));
+            return;
+        };
+        self.node_mut(target).deque.extend(tasks);
+        if matches!(self.node(target).activity, NodeActivity::Waiting) {
+            self.try_get_work(now, target);
+        }
+    }
+
+    /// Hands an iteration root to the lowest-id alive node; the adopter
+    /// becomes the task's origin (it plays the Barnes-Hut master).
+    fn adopt_root(&mut self, now: SimTime, task: u32) {
+        let Some(&target) = self.alive.iter().next() else {
+            self.orphans.push((task, None));
+            return;
+        };
+        self.node_mut(target).deque.push_back((task, target));
+        if matches!(self.node(target).activity, NodeActivity::Waiting) {
+            self.try_get_work(now, target);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Activate { node, base_speed } => self.on_activate(now, node, base_speed),
+            Event::TaskComplete { node } => self.on_task_complete(now, node),
+            Event::BenchmarkDone { node } => self.on_benchmark_done(now, node),
+            Event::StealRequest {
+                thief,
+                victim,
+                token,
+                wide,
+            } => self.on_steal_request(now, thief, victim, token, wide),
+            Event::StealReply {
+                thief,
+                task,
+                token,
+                wide,
+                from_cluster,
+                bytes,
+                sent_at,
+            } => {
+                if wide && task.is_some() {
+                    // Measure the transfer: effective bandwidth as the
+                    // application sees it, queueing included.
+                    let elapsed = now.saturating_since(sent_at);
+                    let thief_cluster = if self.alive.contains(&thief) {
+                        self.node(thief).cluster
+                    } else {
+                        self.pool.cluster_of(thief)
+                    };
+                    self.bandwidth.observe(from_cluster, bytes, elapsed);
+                    self.bandwidth.observe(thief_cluster, bytes, elapsed);
+                }
+                self.on_steal_reply(now, thief, task, token, wide)
+            }
+            Event::ResultArrive {
+                from_cluster,
+                to_cluster,
+                bytes,
+                sent_at,
+            } => {
+                let elapsed = now.saturating_since(sent_at);
+                self.bandwidth.observe(from_cluster, bytes, elapsed);
+                self.bandwidth.observe(to_cluster, bytes, elapsed);
+                self.on_result_arrive(now)
+            }
+            Event::SendDone { node } => self.on_send_done(now, node),
+            Event::TaskTransfer { to, tasks } => self.on_task_transfer(now, to, tasks),
+            Event::RetrySteal { node, generation } => self.on_retry(now, node, generation),
+            Event::CoordinatorTick => self.on_coordinator_tick(now),
+            Event::ApplyInjections => self.on_injections(now),
+            Event::RecoverCrash { victims, tasks } => self.on_recover(now, victims, tasks),
+        }
+    }
+
+    fn on_activate(&mut self, now: SimTime, id: NodeId, base_speed: f64) {
+        if self.finished {
+            return;
+        }
+        let cluster = self.pool.cluster_of(id);
+        let mut node = SimNode::new(
+            id,
+            cluster,
+            base_speed,
+            now,
+            self.cfg.policy.benchmark_overhead_budget,
+            self.cfg.timing.benchmark_work,
+        );
+        if self.cfg.record_trace {
+            node.trace = Some(crate::trace::NodeTrace::default());
+        }
+        assert!(
+            self.nodes[id.index()].replace(node).is_none(),
+            "node {id} activated twice"
+        );
+        self.alive.insert(id);
+        self.registry.join(now, id, cluster);
+        self.record_node_count(now);
+        // Adopt any orphaned tasks (including iteration roots, which are
+        // re-homed to the adopter).
+        let orphans = std::mem::take(&mut self.orphans);
+        self.node_mut(id)
+            .deque
+            .extend(orphans.into_iter().map(|(t, o)| (t, o.unwrap_or(id))));
+        self.try_get_work(now, id);
+    }
+
+    // ------------------------------------------------------------------
+    // The scheduling core
+    // ------------------------------------------------------------------
+
+    /// Central decision point: called whenever a node is free to choose its
+    /// next activity.
+    fn try_get_work(&mut self, now: SimTime, id: NodeId) {
+        if !self.alive.contains(&id) {
+            return;
+        }
+        // Only a node at a scheduling point may pick new work. This guard is
+        // what makes re-entrant wake-ups safe: e.g. a task completion that
+        // ends an iteration hands the new root to the lowest-id node — which
+        // may be the completing node itself, already restarted by
+        // `adopt_tasks` by the time the completion handler resumes.
+        if !matches!(self.node(id).activity, NodeActivity::Waiting) {
+            return;
+        }
+        // Invalidate pending retry chains for this node.
+        self.retry_gen[id.index()] += 1;
+
+        if self.node(id).leave_requested {
+            self.perform_leave(now, id);
+            return;
+        }
+
+        // Benchmark when due (monitoring modes only): once per monitoring
+        // period, additionally throttled by the overhead budget.
+        if self.cfg.mode.monitors() && self.benchmark_due(now, id) {
+            let dur = {
+                let n = self.node(id);
+                n.execution_time(self.cfg.timing.benchmark_work)
+            };
+            self.last_bench_start[id.index()] = Some(now);
+            self.last_bench_load[id.index()] = Some(self.node(id).load_factor);
+            let until = now + dur;
+            self.node_mut(id)
+                .transition(now, NodeActivity::Benchmarking { until });
+            self.queue.push(until, Event::BenchmarkDone { node: id });
+            return;
+        }
+
+        // Local work first.
+        if let Some((task, origin)) = self.node_mut(id).deque.pop_back() {
+            self.start_computing(now, id, task, origin);
+            return;
+        }
+
+        // Out of local work: steal.
+        self.steal_phase(now, id);
+    }
+
+    fn benchmark_due(&self, now: SimTime, id: NodeId) -> bool {
+        let n = self.node(id);
+        if !n.bench.should_run(now) {
+            return false;
+        }
+        let due = match self.last_bench_start[id.index()] {
+            None => true,
+            Some(start) => {
+                // "The benchmark is run 1-2 times per monitoring period"
+                // (paper §5.1): pace at half a period, with the budget-based
+                // throttle in `bench.should_run` as the backstop.
+                let half = SimDuration(self.cfg.policy.monitoring_period.0 / 2);
+                now.saturating_since(start) >= half
+            }
+        };
+        if !due {
+            return false;
+        }
+        // Load-aware extension (§3.2): skip the re-run when the node's
+        // load monitor reports no change since the last benchmark.
+        if self.cfg.policy.load_aware_benchmarking {
+            if let Some(last_load) = self.last_bench_load[id.index()] {
+                if (last_load - n.load_factor).abs() < 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn start_computing(&mut self, now: SimTime, id: NodeId, task: u32, origin: NodeId) {
+        let work = self.cur_tree().node(task as usize).work;
+        let dur = self.node(id).execution_time(work);
+        let until = now + dur;
+        self.node_mut(id).failed_attempts = 0;
+        self.node_mut(id).consecutive_parks = 0;
+        self.node_mut(id)
+            .transition(now, NodeActivity::Computing { task, origin, until });
+        self.queue.push(until, Event::TaskComplete { node: id });
+    }
+
+    /// Issues steal attempts per the configured policy, or parks the node.
+    fn steal_phase(&mut self, now: SimTime, id: NodeId) {
+        // CRS: keep one asynchronous wide-area steal outstanding whenever
+        // the computation spans multiple clusters.
+        if self.cfg.steal_policy == StealPolicy::ClusterAware
+            && !self.node(id).wide_outstanding
+        {
+            let remote = self.alive_peers_other_clusters(id);
+            if !remote.is_empty() {
+                let victim = remote[self.rng.gen_index(remote.len())];
+                self.node_mut(id).wide_outstanding = true;
+                self.send_steal_request(now, id, victim, None, true);
+            }
+        }
+
+        // Synchronous attempt.
+        let candidates = match self.cfg.steal_policy {
+            StealPolicy::ClusterAware => self.alive_peers_in_cluster(id),
+            StealPolicy::RandomGlobal => self.alive_peers_anywhere(id),
+        };
+        let burst = (candidates.len() as u32).clamp(1, 4);
+        if !candidates.is_empty() && self.node(id).failed_attempts < burst {
+            let victim = candidates[self.rng.gen_index(candidates.len())];
+            let wide = self.node(victim).cluster != self.node(id).cluster;
+            let token = self.node_mut(id).next_steal_token();
+            self.node_mut(id)
+                .transition(now, NodeActivity::SyncSteal { token, wide });
+            self.send_steal_request(now, id, victim, Some(token), wide);
+            return;
+        }
+
+        // Exhausted: park and retry later (a wide reply may also wake us).
+        // Exponential back-off: a node that keeps coming up empty probes
+        // less and less often (up to 64× the base back-off), so a starved
+        // grid does not collapse under probe storms — the same reason real
+        // work-stealing runtimes throttle idle thieves.
+        self.node_mut(id).failed_attempts = 0;
+        self.node_mut(id).consecutive_parks =
+            (self.node(id).consecutive_parks + 1).min(6);
+        self.node_mut(id).transition(now, NodeActivity::Waiting);
+        let backoff = {
+            let base = self.cfg.timing.idle_retry_backoff;
+            let scaled = base.mul_f64(f64::from(1u32 << self.node(id).consecutive_parks));
+            // Small deterministic jitter de-synchronizes retry storms.
+            let jitter = SimDuration::from_micros(self.rng.gen_range(5_000));
+            scaled + jitter
+        };
+        let generation = self.retry_gen[id.index()];
+        self.queue.push(
+            now + backoff,
+            Event::RetrySteal {
+                node: id,
+                generation,
+            },
+        );
+    }
+
+    fn send_steal_request(
+        &mut self,
+        now: SimTime,
+        thief: NodeId,
+        victim: NodeId,
+        token: Option<u64>,
+        wide: bool,
+    ) {
+        let from = self.node(thief).cluster;
+        let to = self.node(victim).cluster;
+        let d = self
+            .network
+            .deliver(now, from, to, self.cfg.timing.steal_msg_bytes);
+        self.queue.push(
+            d.arrives_at,
+            Event::StealRequest {
+                thief,
+                victim,
+                token,
+                wide,
+            },
+        );
+    }
+
+    fn on_steal_request(
+        &mut self,
+        now: SimTime,
+        thief: NodeId,
+        victim: NodeId,
+        token: Option<u64>,
+        wide: bool,
+    ) {
+        // A dead/left victim cannot answer; model the thief's timeout as an
+        // empty reply over the same path.
+        let (task, victim_cluster) = if self.alive.contains(&victim) {
+            let t = self.node_mut(victim).deque.pop_front();
+            (t, self.node(victim).cluster)
+        } else {
+            (None, self.pool.cluster_of(victim))
+        };
+        let payload = match task {
+            Some((t, _)) => {
+                self.cfg.timing.steal_msg_bytes
+                    + self.cur_tree().node(t as usize).payload_bytes
+            }
+            None => self.cfg.timing.steal_msg_bytes,
+        };
+        // The thief may itself be gone by delivery time; the reply handler
+        // re-injects the task in that case.
+        let thief_cluster = if self.alive.contains(&thief) {
+            self.node(thief).cluster
+        } else {
+            self.pool.cluster_of(thief)
+        };
+        let d = self.network.deliver(now, victim_cluster, thief_cluster, payload);
+        self.queue.push(
+            d.arrives_at,
+            Event::StealReply {
+                thief,
+                task,
+                token,
+                wide,
+                from_cluster: victim_cluster,
+                bytes: payload,
+                sent_at: now,
+            },
+        );
+    }
+
+    fn on_steal_reply(
+        &mut self,
+        now: SimTime,
+        thief: NodeId,
+        task: Option<(u32, NodeId)>,
+        token: Option<u64>,
+        wide: bool,
+    ) {
+        if !self.alive.contains(&thief) {
+            // The thief left or crashed while the reply was in flight; the
+            // task must not be lost (Satin re-executes orphans).
+            if let Some(t) = task {
+                self.adopt_tasks(now, vec![t]);
+            }
+            return;
+        }
+        if wide && token.is_none() {
+            self.node_mut(thief).wide_outstanding = false;
+        }
+        let awaited = matches!(
+            self.node(thief).activity,
+            NodeActivity::SyncSteal { token: t, .. } if Some(t) == token
+        );
+        if awaited {
+            match task {
+                Some((t, o)) => self.start_computing(now, thief, t, o),
+                None => {
+                    // Attribute the failed steal's wait, then rejoin the
+                    // scheduling loop from the Waiting state.
+                    self.node_mut(thief).transition(now, NodeActivity::Waiting);
+                    self.node_mut(thief).failed_attempts += 1;
+                    self.try_get_work(now, thief);
+                }
+            }
+            return;
+        }
+        // Asynchronous (wide) reply, or a reply that raced a state change.
+        match task {
+            Some(t) => {
+                if matches!(self.node(thief).activity, NodeActivity::Waiting) {
+                    // The node was starved and this transfer fed it: the
+                    // wait was (inter-cluster) communication, not idleness.
+                    self.node_mut(thief).absorb_wait_as_comm(now, !wide);
+                    self.node_mut(thief).deque.push_back(t);
+                    self.try_get_work(now, thief);
+                } else {
+                    self.node_mut(thief).deque.push_back(t);
+                }
+            }
+            None => {
+                // Empty wide reply: do NOT re-probe immediately — the
+                // parked node's retry chain re-issues the wide steal at its
+                // backed-off pace. Immediate re-probing congests exactly the
+                // links that are already the bottleneck.
+            }
+        }
+    }
+
+    fn on_task_complete(&mut self, now: SimTime, id: NodeId) {
+        if !self.alive.contains(&id) {
+            return; // crashed mid-compute; recovery re-injects the task
+        }
+        let NodeActivity::Computing { task, origin, until } = self.node(id).activity
+        else {
+            return; // stale event (node was re-scheduled by recovery paths)
+        };
+        if until != now {
+            return; // stale completion from a superseded schedule
+        }
+        // Spawn children into the local deque (LIFO execution order); the
+        // executor becomes their origin.
+        let children = self.cur_tree().children(task as usize);
+        let range: Vec<(u32, NodeId)> = children.map(|c| (c as u32, id)).collect();
+        {
+            let n = self.node_mut(id);
+            n.transition(now, NodeActivity::Waiting); // attribute busy time
+            n.deque.extend(range);
+        }
+        // Return the result to the spawner. A result crossing cluster
+        // boundaries is a real wide-area transfer (Satin ships the child's
+        // result back to the parent's owner): the iteration barrier waits
+        // for its delivery, and the *sender blocks* until the bytes drain
+        // its uplink (TCP backpressure) — blocked-send time is exactly the
+        // inter-cluster communication overhead the badness formulas key on.
+        let origin_cluster = self.pool.cluster_of(origin);
+        let exec_cluster = self.node(id).cluster;
+        if origin_cluster != exec_cluster {
+            let bytes = self.cfg.timing.steal_msg_bytes
+                + self.cur_tree().node(task as usize).payload_bytes;
+            let d = self.network.deliver(now, exec_cluster, origin_cluster, bytes);
+            self.queue.push(
+                d.arrives_at,
+                Event::ResultArrive {
+                    from_cluster: exec_cluster,
+                    to_cluster: origin_cluster,
+                    bytes,
+                    sent_at: now,
+                },
+            );
+            if d.src_clear_at > now {
+                self.node_mut(id).transition(
+                    now,
+                    NodeActivity::Sending {
+                        until: d.src_clear_at,
+                        wide: true,
+                    },
+                );
+                self.queue.push(d.src_clear_at, Event::SendDone { node: id });
+                return;
+            }
+        } else {
+            self.task_accounted(now);
+            if self.finished {
+                return;
+            }
+        }
+        self.try_get_work(now, id);
+    }
+
+    fn on_send_done(&mut self, now: SimTime, id: NodeId) {
+        if !self.alive.contains(&id) {
+            return;
+        }
+        let NodeActivity::Sending { until, .. } = self.node(id).activity else {
+            return;
+        };
+        if until != now {
+            return;
+        }
+        self.node_mut(id).transition(now, NodeActivity::Waiting);
+        self.try_get_work(now, id);
+    }
+
+    fn on_result_arrive(&mut self, now: SimTime) {
+        if self.finished {
+            return;
+        }
+        self.task_accounted(now);
+    }
+
+    /// One task fully done (executed *and* its result home): advance the
+    /// iteration barrier.
+    fn task_accounted(&mut self, now: SimTime) {
+        self.tasks_remaining -= 1;
+        if self.tasks_remaining == 0 {
+            self.end_iteration(now);
+        }
+    }
+
+    fn end_iteration(&mut self, now: SimTime) {
+        let dur = now.saturating_since(self.iteration_started);
+        self.iteration_durations.push(dur);
+        self.iter += 1;
+        if self.iter >= self.cfg.workload.iterations.len() {
+            self.finished = true;
+            return;
+        }
+        self.iteration_started = now;
+        self.tasks_remaining = self.cur_tree().len();
+        // The new root goes to the lowest-id alive node (the "master" in
+        // the paper's Barnes-Hut: the tree is rebuilt and redistributed).
+        self.adopt_root(now, 0);
+    }
+
+    fn on_benchmark_done(&mut self, now: SimTime, id: NodeId) {
+        if !self.alive.contains(&id) {
+            return;
+        }
+        let NodeActivity::Benchmarking { until } = self.node(id).activity else {
+            return;
+        };
+        if until != now {
+            return;
+        }
+        let start = self.node(id).activity_since;
+        let dur = now.saturating_since(start);
+        {
+            let n = self.node_mut(id);
+            n.transition(now, NodeActivity::Waiting);
+            n.bench.record_run(start, dur);
+            n.last_bench_duration = Some(dur);
+        }
+        self.try_get_work(now, id);
+    }
+
+    fn on_task_transfer(&mut self, now: SimTime, to: NodeId, tasks: Vec<(u32, NodeId)>) {
+        if self.alive.contains(&to) {
+            self.node_mut(to).deque.extend(tasks);
+            if matches!(self.node(to).activity, NodeActivity::Waiting) {
+                self.try_get_work(now, to);
+            }
+        } else {
+            self.adopt_tasks(now, tasks);
+        }
+    }
+
+    fn on_retry(&mut self, now: SimTime, id: NodeId, generation: u64) {
+        if !self.alive.contains(&id) || self.retry_gen[id.index()] != generation {
+            return;
+        }
+        if matches!(self.node(id).activity, NodeActivity::Waiting) {
+            self.try_get_work(now, id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Malleability: leaving, joining, crashing
+    // ------------------------------------------------------------------
+
+    fn perform_leave(&mut self, now: SimTime, id: NodeId) {
+        // Merge the node's final partial period into the aggregate so time
+        // conservation holds across the whole run.
+        {
+            let n = self.node_mut(id);
+            n.flush_stats(now);
+            let report = n.stats.take_report(now, 1.0);
+            self.aggregate.merge(&report.breakdown);
+        }
+        let queued: Vec<(u32, NodeId)> = self.node_mut(id).deque.drain(..).collect();
+        self.node_mut(id).transition(now, NodeActivity::Gone);
+        self.alive.remove(&id);
+        self.registry.leave(id);
+        self.pool.release(id);
+        self.coordinator.node_gone(id);
+        self.speeds.remove(id);
+        self.record_node_count(now);
+        if !queued.is_empty() {
+            // Hand the queue to a peer; the transfer crosses the network.
+            if let Some(&target) = self.alive.iter().next() {
+                let bytes: u64 = queued
+                    .iter()
+                    .map(|&(t, _)| self.cur_tree().node(t as usize).payload_bytes)
+                    .sum();
+                let d = self.network.deliver(
+                    now,
+                    self.pool.cluster_of(id),
+                    self.node(target).cluster,
+                    bytes,
+                );
+                self.queue.push(
+                    d.arrives_at,
+                    Event::TaskTransfer {
+                        to: target,
+                        tasks: queued,
+                    },
+                );
+            } else {
+                self.orphans
+                    .extend(queued.into_iter().map(|(t, o)| (t, Some(o))));
+            }
+        }
+    }
+
+    fn crash_node(&mut self, now: SimTime, id: NodeId) -> Vec<(u32, NodeId)> {
+        let mut tasks: Vec<(u32, NodeId)> = Vec::new();
+        {
+            let n = self.node_mut(id);
+            n.flush_stats(now);
+            // A crashed node's statistics are lost with it — they are NOT
+            // merged into the aggregate (the coordinator never sees them
+            // either). We deliberately drop the partial period.
+            if let NodeActivity::Computing { task, origin, .. } = n.activity {
+                tasks.push((task, origin));
+            }
+            tasks.extend(n.deque.drain(..));
+            n.transition(now, NodeActivity::Gone);
+        }
+        self.alive.remove(&id);
+        self.registry.report_crash(id);
+        self.pool.mark_lost(id);
+        self.record_node_count(now);
+        tasks
+    }
+
+    fn on_recover(&mut self, now: SimTime, victims: Vec<NodeId>, tasks: Vec<(u32, NodeId)>) {
+        for v in victims {
+            self.coordinator.node_gone(v);
+            self.speeds.remove(v);
+        }
+        self.adopt_tasks(now, tasks);
+    }
+
+    // ------------------------------------------------------------------
+    // Injections
+    // ------------------------------------------------------------------
+
+    fn on_injections(&mut self, now: SimTime) {
+        let due = {
+            let mut injections = Vec::new();
+            for s in self.cfg.injections.pop_due(now) {
+                injections.push(s.injection);
+            }
+            injections
+        };
+        for inj in due {
+            match inj {
+                Injection::CpuLoad {
+                    cluster,
+                    count,
+                    factor,
+                } => {
+                    let members: Vec<NodeId> = self
+                        .alive
+                        .iter()
+                        .copied()
+                        .filter(|&n| self.node(n).cluster == cluster)
+                        .collect();
+                    let take = count.unwrap_or(members.len()).min(members.len());
+                    for &m in members.iter().take(take) {
+                        self.node_mut(m).load_factor = factor.max(1.0);
+                    }
+                }
+                Injection::UplinkBandwidth {
+                    cluster,
+                    bandwidth_bps,
+                } => {
+                    self.network.set_uplink_bandwidth(cluster, bandwidth_bps);
+                }
+                Injection::CrashCluster { cluster } => {
+                    let victims: Vec<NodeId> = self
+                        .alive
+                        .iter()
+                        .copied()
+                        .filter(|&n| self.node(n).cluster == cluster)
+                        .collect();
+                    self.crash_many(now, victims);
+                }
+                Injection::CrashNodes { cluster, count } => {
+                    let victims: Vec<NodeId> = self
+                        .alive
+                        .iter()
+                        .copied()
+                        .filter(|&n| self.node(n).cluster == cluster)
+                        .take(count)
+                        .collect();
+                    self.crash_many(now, victims);
+                }
+            }
+        }
+    }
+
+    fn crash_many(&mut self, now: SimTime, victims: Vec<NodeId>) {
+        if victims.is_empty() {
+            return;
+        }
+        let mut tasks = Vec::new();
+        for &v in &victims {
+            tasks.extend(self.crash_node(now, v));
+        }
+        self.queue.push(
+            now + self.cfg.timing.fault_detection_delay,
+            Event::RecoverCrash { victims, tasks },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // The adaptation coordinator's period
+    // ------------------------------------------------------------------
+
+    fn on_coordinator_tick(&mut self, now: SimTime) {
+        if self.finished {
+            return;
+        }
+        // Pull reports from every alive node (the coordinator misses nodes
+        // mid-steal etc.; it then relies on their previous report, which
+        // `Coordinator` keeps).
+        let ids: Vec<NodeId> = self.alive.iter().copied().collect();
+        let mut raw = Vec::with_capacity(ids.len());
+        for id in ids {
+            self.registry.heartbeat(now, id);
+            let n = self.node_mut(id);
+            n.flush_stats(now);
+            let report = n.stats.take_report(now, 1.0); // speed filled below
+            let bench = n.last_bench_duration;
+            raw.push((report, bench));
+            if let Some(d) = bench {
+                self.speeds.record(id, d);
+            }
+        }
+        let rel = self.speeds.all_relative_speeds();
+        // Per-cluster ic-overhead telemetry (mirrors what the coordinator's
+        // exceptional-cluster rule sees).
+        let mut per_cluster: std::collections::BTreeMap<ClusterId, (f64, usize)> =
+            std::collections::BTreeMap::new();
+        for (report, _) in &raw {
+            let e = per_cluster.entry(report.cluster).or_insert((0.0, 0));
+            e.0 += report.ic_overhead_fraction();
+            e.1 += 1;
+        }
+        self.cluster_ic_timeline.push((
+            now,
+            per_cluster
+                .into_iter()
+                .map(|(c, (sum, n))| (c, sum / n.max(1) as f64))
+                .collect(),
+        ));
+        for (mut report, _) in raw {
+            self.aggregate.merge(&report.breakdown);
+            report.speed = rel.get(&report.node).copied().unwrap_or(1.0);
+            self.coordinator.record_report(report);
+        }
+        // Bandwidth observations, estimated from the data-transfer times
+        // the estimator accumulated this period (paper §3.3) — the
+        // coordinator never reads the network model directly.
+        for c in self.participating_clusters() {
+            if let Some(bw) = self.bandwidth.estimate(c) {
+                self.coordinator.observe_uplink(c, bw);
+            }
+        }
+        let _ = self.registry.detect_failures(now);
+        let eff = self.coordinator.main().current_wa_efficiency();
+        self.efficiency_timeline.push((now, eff));
+
+        // §7 feedback control: judge the previous removal by this period's
+        // efficiency and refine the badness coefficients if it flopped.
+        if let (Some(tuner), Some((dominant, eff_before))) =
+            (&self.tuner, self.pending_feedback.take())
+        {
+            let mut coeffs = self.coefficients;
+            if tuner.update(&mut coeffs, dominant, eff_before, eff) {
+                self.coefficients = coeffs;
+                self.coordinator.set_coefficients(coeffs);
+            }
+        }
+
+        if self.cfg.mode.adapts() {
+            let fastest_available = self.fastest_free_speed();
+            // Snapshot per-node (speed, ic) so a removal decision can be
+            // classified for the feedback tuner.
+            let snapshot: std::collections::BTreeMap<NodeId, (f64, f64)> = self
+                .coordinator
+                .main()
+                .latest_reports()
+                .map(|r| (r.node, (r.speed, r.ic_overhead_fraction())))
+                .collect();
+            let decision = self.coordinator.evaluate(now, fastest_available);
+            if self.tuner.is_some() {
+                if let Decision::RemoveNodes { nodes } = &decision {
+                    // Majority dominant term over the removed set.
+                    let mut ic_votes = 0usize;
+                    let mut total = 0usize;
+                    for n in nodes {
+                        if let Some(&(speed, ic)) = snapshot.get(n) {
+                            total += 1;
+                            if dominant_term(&self.coefficients, speed, ic)
+                                == DominantTerm::IcOverhead
+                            {
+                                ic_votes += 1;
+                            }
+                        }
+                    }
+                    if total > 0 {
+                        let dominant = if ic_votes * 2 >= total {
+                            DominantTerm::IcOverhead
+                        } else {
+                            DominantTerm::Speed
+                        };
+                        self.pending_feedback = Some((dominant, eff));
+                    }
+                }
+            }
+            self.apply_decision(now, decision);
+        }
+
+        self.queue.push(
+            now + self.cfg.policy.monitoring_period,
+            Event::CoordinatorTick,
+        );
+    }
+
+    /// Best base speed among free, non-blacklisted nodes (advertised to the
+    /// opportunistic-migration extension).
+    fn fastest_free_speed(&self) -> Option<f64> {
+        let blacklisted = self.coordinator.main().blacklisted_clusters();
+        self.cfg
+            .grid
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let c = ClusterId(*i as u16);
+                !blacklisted.contains(&c) && self.pool.free_in_cluster(c) > 0
+            })
+            .map(|(_, spec)| spec.node_speed)
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            })
+    }
+
+    fn apply_decision(&mut self, now: SimTime, decision: Decision) {
+        match decision {
+            Decision::None => {}
+            Decision::Add {
+                count,
+                requirements,
+                prefer,
+            } => {
+                self.request_nodes(now, count, requirements, &prefer);
+            }
+            Decision::RemoveNodes { nodes } => self.signal_leave(now, &nodes),
+            Decision::RemoveCluster { cluster, nodes } => {
+                // Make the learned bandwidth usable by the scheduler too.
+                let estimate = self
+                    .bandwidth
+                    .estimate(cluster)
+                    .unwrap_or_else(|| self.network.uplink_bandwidth(cluster));
+                self.pool.set_uplink_estimate(cluster, estimate);
+                self.signal_leave(now, &nodes);
+            }
+            Decision::OpportunisticSwap {
+                remove,
+                add,
+                requirements,
+            } => {
+                self.request_nodes(now, add, requirements, &[]);
+                self.signal_leave(now, &remove);
+            }
+        }
+    }
+
+    fn request_nodes(
+        &mut self,
+        now: SimTime,
+        count: usize,
+        req: LearnedRequirements,
+        prefer: &[ClusterId],
+    ) {
+        let requirements = Requirements {
+            min_uplink_bps: req.min_uplink_bps,
+            min_speed: req.min_speed,
+        };
+        let alloc = if self.cfg.policy.opportunistic_migration {
+            AllocPolicy::FastestFirst
+        } else {
+            AllocPolicy::LocalityAware
+        };
+        let (bl_nodes, bl_clusters) = {
+            let main = self.coordinator.main();
+            (main.blacklisted_nodes().clone(), main.blacklisted_clusters().clone())
+        };
+        let grants: Vec<NodeGrant> =
+            self.pool
+                .request(count, alloc, &requirements, &bl_nodes, &bl_clusters, prefer);
+        for g in grants {
+            self.queue.push(
+                now + self.cfg.timing.join_delay,
+                Event::Activate {
+                    node: g.node,
+                    base_speed: g.base_speed,
+                },
+            );
+        }
+    }
+
+    fn signal_leave(&mut self, now: SimTime, nodes: &[NodeId]) {
+        for &id in nodes {
+            self.registry.signal_leave(id);
+        }
+        // Deliver the registry's signals (the paper's coordinator uses the
+        // Ibis registry's signal facility to notify nodes).
+        for id in self.registry.take_signals() {
+            if !self.alive.contains(&id) {
+                continue;
+            }
+            self.node_mut(id).leave_requested = true;
+            if matches!(self.node(id).activity, NodeActivity::Waiting) {
+                self.try_get_work(now, id);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Teardown
+    // ------------------------------------------------------------------
+
+    fn into_result(mut self) -> RunResult {
+        let now = self.queue.now();
+        // Fold the final partial period of surviving nodes into the
+        // aggregate.
+        let ids: Vec<NodeId> = self.alive.iter().copied().collect();
+        for id in ids {
+            let n = self.node_mut(id);
+            n.flush_stats(now);
+            let report = n.stats.take_report(now, 1.0);
+            self.aggregate.merge(&report.breakdown);
+        }
+        let total_runtime = if let Some(&(_, _)) = self.node_count_timeline.first() {
+            // Runtime is measured to the completion of the last iteration.
+            self.iteration_durations
+                .iter()
+                .fold(SimDuration::ZERO, |a, &d| a + d)
+        } else {
+            SimDuration::ZERO
+        };
+        let activity_traces: Vec<(NodeId, crate::trace::NodeTrace)> = self
+            .nodes
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.as_mut()
+                    .and_then(|n| n.trace.take())
+                    .map(|t| (NodeId(i as u32), t))
+            })
+            .collect();
+        RunResult {
+            total_runtime,
+            iteration_durations: self.iteration_durations,
+            node_count_timeline: self.node_count_timeline,
+            decisions: self.coordinator.main().log().to_vec(),
+            efficiency_timeline: self.efficiency_timeline,
+            cluster_ic_timeline: self.cluster_ic_timeline,
+            aggregate: self.aggregate,
+            events_processed: self.queue.processed(),
+            timed_out: self.timed_out,
+            activity_traces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdaptMode, TimingConfig};
+    use sagrid_adapt::AdaptPolicy;
+    use sagrid_core::config::GridConfig;
+    use sagrid_core::workload::barnes_hut_profile;
+    use sagrid_simnet::InjectionSchedule;
+
+    fn quick_workload(iterations: usize) -> sagrid_core::workload::IterativeWorkload {
+        barnes_hut_profile(iterations, 8, 2.0, 11)
+    }
+
+    fn base_config() -> SimConfig {
+        SimConfig {
+            grid: GridConfig::uniform(3, 8),
+            policy: AdaptPolicy {
+                monitoring_period: SimDuration::from_secs(30),
+                ..AdaptPolicy::default()
+            },
+            initial_layout: vec![(ClusterId(0), 4), (ClusterId(1), 4)],
+            workload: quick_workload(3),
+            injections: InjectionSchedule::empty(),
+            mode: AdaptMode::NoAdapt,
+            steal_policy: StealPolicy::ClusterAware,
+            timing: TimingConfig {
+                benchmark_work: SimDuration::from_secs(1),
+                ..TimingConfig::default()
+            },
+            record_trace: false,
+            feedback_tuning: false,
+            hierarchical_coordinator: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_completes_all_iterations() {
+        let r = GridSim::run(base_config());
+        assert!(!r.timed_out);
+        assert_eq!(r.iteration_durations.len(), 3);
+        assert!(r.total_runtime > SimDuration::ZERO);
+        assert!(r.events_processed > 100);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = GridSim::run(base_config());
+        let b = GridSim::run(base_config());
+        assert_eq!(a.iteration_durations, b.iteration_durations);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.node_count_timeline, b.node_count_timeline);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GridSim::run(base_config());
+        let mut cfg = base_config();
+        cfg.seed = 8;
+        let b = GridSim::run(cfg);
+        assert_ne!(a.iteration_durations, b.iteration_durations);
+    }
+
+    #[test]
+    fn more_nodes_run_faster() {
+        let small = GridSim::run(base_config());
+        let mut cfg = base_config();
+        cfg.initial_layout = vec![(ClusterId(0), 8), (ClusterId(1), 8)];
+        let big = GridSim::run(cfg);
+        assert!(
+            big.total_runtime < small.total_runtime,
+            "16 nodes ({}) should beat 8 nodes ({})",
+            big.total_runtime,
+            small.total_runtime
+        );
+    }
+
+    #[test]
+    fn monitoring_mode_pays_benchmark_overhead() {
+        let plain = GridSim::run(base_config());
+        let mut cfg = base_config();
+        cfg.mode = AdaptMode::MonitorOnly;
+        let monitored = GridSim::run(cfg);
+        assert_eq!(plain.aggregate.benchmark, SimDuration::ZERO);
+        assert!(monitored.aggregate.benchmark > SimDuration::ZERO);
+        assert!(monitored.total_runtime >= plain.total_runtime);
+    }
+
+    #[test]
+    fn time_conservation_no_adapt() {
+        // With a static node set, aggregate accounted time ≈ nodes × runtime
+        // (up to the final-period flush at the last event's timestamp).
+        let r = GridSim::run(base_config());
+        let total = r.aggregate.total().as_secs_f64();
+        assert!(total > 0.0);
+        let per_node = total / 8.0;
+        let runtime = r.total_runtime.as_secs_f64();
+        assert!(
+            (per_node - runtime).abs() / runtime < 0.2,
+            "accounted {per_node} vs runtime {runtime}"
+        );
+    }
+
+    #[test]
+    fn adaptation_grows_an_undersized_run() {
+        let mut cfg = base_config();
+        cfg.mode = AdaptMode::Adapt;
+        cfg.initial_layout = vec![(ClusterId(0), 2)];
+        cfg.workload = barnes_hut_profile(6, 8, 4.0, 3);
+        let r = GridSim::run(cfg);
+        assert!(!r.timed_out);
+        assert!(
+            r.final_node_count() > 2,
+            "adaptation should have added nodes: timeline {:?}",
+            r.node_count_timeline
+        );
+        assert!(r
+            .decisions
+            .iter()
+            .any(|d| d.decision.kind() == "add"));
+    }
+
+    #[test]
+    fn crash_recovery_completes_the_workload() {
+        let mut cfg = base_config();
+        cfg.injections = InjectionSchedule::new(vec![sagrid_simnet::ScheduledInjection {
+            at: SimTime::from_secs(5),
+            injection: Injection::CrashCluster {
+                cluster: ClusterId(1),
+            },
+        }]);
+        let r = GridSim::run(cfg);
+        assert!(!r.timed_out, "must finish despite losing half the nodes");
+        assert_eq!(r.iteration_durations.len(), 3);
+        assert_eq!(r.final_node_count(), 4);
+    }
+
+    #[test]
+    fn activity_traces_match_the_aggregate_accounting() {
+        let mut cfg = base_config();
+        cfg.record_trace = true;
+        let r = GridSim::run(cfg);
+        assert_eq!(r.activity_traces.len(), 8, "one trace per node");
+        let mut busy_total = SimDuration::ZERO;
+        for (_, trace) in &r.activity_traces {
+            assert!(trace.is_well_formed());
+            busy_total += trace.total(crate::trace::SpanKind::Busy);
+        }
+        assert_eq!(
+            busy_total, r.aggregate.busy,
+            "traces and statistics attribute the same busy time"
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_run() {
+        let plain = GridSim::run(base_config());
+        let mut cfg = base_config();
+        cfg.record_trace = true;
+        let traced = GridSim::run(cfg);
+        assert_eq!(plain.iteration_durations, traced.iteration_durations);
+        assert_eq!(plain.events_processed, traced.events_processed);
+    }
+
+    #[test]
+    fn shaped_uplink_inflates_iteration_times() {
+        let plain = GridSim::run(base_config());
+        let mut cfg = base_config();
+        cfg.injections = InjectionSchedule::new(vec![sagrid_simnet::ScheduledInjection {
+            at: SimTime::ZERO,
+            injection: Injection::UplinkBandwidth {
+                cluster: ClusterId(1),
+                bandwidth_bps: 100_000.0,
+            },
+        }]);
+        let shaped = GridSim::run(cfg);
+        assert!(
+            shaped.total_runtime > plain.total_runtime,
+            "shaped {} vs plain {}",
+            shaped.total_runtime,
+            plain.total_runtime
+        );
+    }
+}

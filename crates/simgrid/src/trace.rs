@@ -1,0 +1,162 @@
+//! Per-node activity traces (Gantt-style observability).
+//!
+//! When [`crate::SimConfig::record_trace`] is set, every node records the
+//! exact spans it spent in each activity class. The trace is what you read
+//! when a scenario misbehaves: it shows *where* the idle time of a starved
+//! cluster sits inside the iteration, when the benchmarks ran, and how the
+//! sequential root phase serializes the grid.
+
+use sagrid_core::ids::NodeId;
+use sagrid_core::time::{SimDuration, SimTime};
+
+/// Activity classes, matching the overhead-statistics buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Useful work.
+    Busy,
+    /// Speed benchmark.
+    Benchmark,
+    /// Intra-cluster communication (local steals).
+    IntraComm,
+    /// Inter-cluster communication (wide steals, blocked result sends).
+    InterComm,
+    /// Idle.
+    Idle,
+}
+
+impl SpanKind {
+    /// One-letter code used in CSV exports and compact renders.
+    pub fn code(self) -> char {
+        match self {
+            SpanKind::Busy => 'B',
+            SpanKind::Benchmark => 'M',
+            SpanKind::IntraComm => 'l',
+            SpanKind::InterComm => 'w',
+            SpanKind::Idle => '.',
+        }
+    }
+}
+
+/// One contiguous span of a node's time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Span start.
+    pub start: SimTime,
+    /// Span end (`end >= start`).
+    pub end: SimTime,
+    /// What the node was doing.
+    pub kind: SpanKind,
+}
+
+impl TraceSpan {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// A node's recorded trace.
+#[derive(Clone, Debug, Default)]
+pub struct NodeTrace {
+    spans: Vec<TraceSpan>,
+}
+
+impl NodeTrace {
+    /// Appends a span, merging with the previous one when contiguous and of
+    /// the same kind (flush points otherwise fragment the trace).
+    pub fn push(&mut self, start: SimTime, end: SimTime, kind: SpanKind) {
+        debug_assert!(end >= start);
+        if let Some(last) = self.spans.last_mut() {
+            if last.kind == kind && last.end == start {
+                last.end = end;
+                return;
+            }
+        }
+        self.spans.push(TraceSpan { start, end, kind });
+    }
+
+    /// The recorded spans, in time order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Total time recorded under `kind`.
+    pub fn total(&self, kind: SpanKind) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration())
+    }
+
+    /// Checks internal consistency: spans are ordered and non-overlapping.
+    pub fn is_well_formed(&self) -> bool {
+        self.spans.windows(2).all(|w| w[0].end <= w[1].start)
+            && self.spans.iter().all(|s| s.end >= s.start)
+    }
+}
+
+/// Renders one node's trace as a CSV fragment (`node,start,end,kind`).
+pub fn to_csv(node: NodeId, trace: &NodeTrace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for s in trace.spans() {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{}",
+            node.0,
+            s.start.as_secs_f64(),
+            s.end.as_secs_f64(),
+            s.kind.code()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn contiguous_same_kind_spans_merge() {
+        let mut tr = NodeTrace::default();
+        tr.push(t(0), t(1), SpanKind::Busy);
+        tr.push(t(1), t(2), SpanKind::Busy);
+        tr.push(t(2), t(3), SpanKind::Idle);
+        assert_eq!(tr.spans().len(), 2);
+        assert_eq!(tr.total(SpanKind::Busy), SimDuration::from_secs(2));
+        assert!(tr.is_well_formed());
+    }
+
+    #[test]
+    fn gaps_prevent_merging() {
+        let mut tr = NodeTrace::default();
+        tr.push(t(0), t(1), SpanKind::Busy);
+        tr.push(t(2), t(3), SpanKind::Busy);
+        assert_eq!(tr.spans().len(), 2);
+        assert!(tr.is_well_formed());
+    }
+
+    #[test]
+    fn csv_round_trips_basic_fields() {
+        let mut tr = NodeTrace::default();
+        tr.push(t(0), t(5), SpanKind::InterComm);
+        let csv = to_csv(NodeId(7), &tr);
+        assert_eq!(csv.trim(), "7,0.000000,5.000000,w");
+    }
+
+    #[test]
+    fn totals_split_by_kind() {
+        let mut tr = NodeTrace::default();
+        tr.push(t(0), t(4), SpanKind::Busy);
+        tr.push(t(4), t(5), SpanKind::Benchmark);
+        tr.push(t(5), t(9), SpanKind::Idle);
+        assert_eq!(tr.total(SpanKind::Busy), SimDuration::from_secs(4));
+        assert_eq!(tr.total(SpanKind::Benchmark), SimDuration::from_secs(1));
+        assert_eq!(tr.total(SpanKind::Idle), SimDuration::from_secs(4));
+        assert_eq!(tr.total(SpanKind::InterComm), SimDuration::ZERO);
+    }
+}

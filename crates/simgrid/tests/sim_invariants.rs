@@ -1,0 +1,174 @@
+//! Randomized whole-engine invariants: arbitrary small grids, layouts and
+//! perturbation scripts must always terminate, conserve tasks, and produce
+//! sane metrics.
+
+use proptest::prelude::*;
+use sagrid_adapt::AdaptPolicy;
+use sagrid_core::config::GridConfig;
+use sagrid_core::ids::ClusterId;
+use sagrid_core::time::{SimDuration, SimTime};
+use sagrid_core::workload::barnes_hut_profile;
+use sagrid_simgrid::{AdaptMode, GridSim, SimConfig, StealPolicy, TimingConfig};
+use sagrid_simnet::{Injection, InjectionSchedule, ScheduledInjection};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    clusters: usize,
+    nodes_per_cluster: usize,
+    initial_per_cluster: usize,
+    iterations: usize,
+    mode: u8,
+    steal: u8,
+    hierarchical: bool,
+    feedback: bool,
+    injections: Vec<(u64, u8, f64)>,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..4,                 // clusters
+        2usize..6,                 // nodes per cluster
+        1usize..5,                 // initial per cluster
+        2usize..6,                 // iterations
+        0u8..3,                    // mode
+        0u8..2,                    // steal policy
+        any::<bool>(),             // hierarchical coordinator
+        any::<bool>(),             // feedback tuning
+        prop::collection::vec((0u64..60, 0u8..4, 1.0f64..10.0), 0..3),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(clusters, npc, init, iterations, mode, steal, hierarchical, feedback, injections, seed)| {
+                Scenario {
+                    clusters,
+                    nodes_per_cluster: npc,
+                    initial_per_cluster: init.min(npc),
+                    iterations,
+                    mode,
+                    steal,
+                    hierarchical,
+                    feedback,
+                    injections,
+                    seed,
+                }
+            },
+        )
+}
+
+fn build(s: &Scenario) -> SimConfig {
+    let grid = GridConfig::uniform(s.clusters, s.nodes_per_cluster);
+    let initial: Vec<(ClusterId, usize)> = (0..s.clusters)
+        .map(|c| (ClusterId(c as u16), s.initial_per_cluster))
+        .collect();
+    let injections = InjectionSchedule::new(
+        s.injections
+            .iter()
+            .map(|&(t, kind, factor)| {
+                let cluster = ClusterId((t % s.clusters as u64) as u16);
+                let injection = match kind {
+                    0 => Injection::CpuLoad {
+                        cluster,
+                        count: None,
+                        factor,
+                    },
+                    1 => Injection::UplinkBandwidth {
+                        cluster,
+                        bandwidth_bps: 50_000.0 * factor,
+                    },
+                    2 => Injection::CrashNodes { cluster, count: 1 },
+                    _ => Injection::CpuLoad {
+                        cluster,
+                        count: Some(1),
+                        factor: 1.0,
+                    },
+                };
+                ScheduledInjection {
+                    at: SimTime::from_secs(t),
+                    injection,
+                }
+            })
+            .collect(),
+    );
+    let n_initial: usize = initial.iter().map(|&(_, n)| n).sum();
+    SimConfig {
+        grid,
+        policy: AdaptPolicy {
+            monitoring_period: SimDuration::from_secs(20),
+            // Never let random crashes plus shrink decisions empty the run.
+            min_nodes: 1,
+            ..AdaptPolicy::default()
+        },
+        initial_layout: initial,
+        workload: barnes_hut_profile(s.iterations, n_initial.max(2), 3.0, s.seed),
+        injections,
+        mode: match s.mode {
+            0 => AdaptMode::NoAdapt,
+            1 => AdaptMode::MonitorOnly,
+            _ => AdaptMode::Adapt,
+        },
+        steal_policy: if s.steal == 0 {
+            StealPolicy::ClusterAware
+        } else {
+            StealPolicy::RandomGlobal
+        },
+        timing: TimingConfig {
+            benchmark_work: SimDuration::from_millis(500),
+            max_virtual_time: SimDuration::from_secs(3600),
+            ..TimingConfig::default()
+        },
+        record_trace: false,
+        feedback_tuning: s.feedback,
+        hierarchical_coordinator: s.hierarchical,
+        seed: s.seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every randomized configuration terminates with all iterations
+    /// accounted for (no lost or duplicated tasks), bounded metrics, and a
+    /// consistent node-count timeline.
+    #[test]
+    fn random_scenarios_terminate_and_conserve(s in arb_scenario()) {
+        // Crashing the last node of the computation would legitimately
+        // stall (nobody left to adopt work and no adaptation to add more
+        // in NoAdapt/MonitorOnly). Keep at least one safe cluster: skip
+        // crash injections when only one node per cluster was placed.
+        prop_assume!(
+            s.initial_per_cluster >= 2
+                || !s.injections.iter().any(|&(_, k, _)| k == 2)
+        );
+        let cfg = build(&s);
+        let r = GridSim::run(cfg);
+        prop_assert!(!r.timed_out, "timed out: {s:?}");
+        prop_assert_eq!(r.iteration_durations.len(), s.iterations);
+        for d in &r.iteration_durations {
+            prop_assert!(d.0 > 0, "zero-length iteration");
+        }
+        for &(_, e) in &r.efficiency_timeline {
+            prop_assert!((0.0..=1.0).contains(&e), "wa_eff {e} out of range");
+        }
+        // Node-count timeline is consistent: starts at 0-going-up, never
+        // negative jumps below zero, ends at final count.
+        let mut last = 0usize;
+        for &(_, n) in &r.node_count_timeline {
+            prop_assert!(n <= s.clusters * s.nodes_per_cluster);
+            last = n;
+        }
+        prop_assert_eq!(last, r.final_node_count());
+        // Aggregate accounting is non-degenerate: somebody did the work.
+        prop_assert!(r.aggregate.busy.0 > 0);
+    }
+
+    /// Determinism holds across the entire randomized configuration space.
+    #[test]
+    fn random_scenarios_are_deterministic(s in arb_scenario()) {
+        let a = GridSim::run(build(&s));
+        let b = GridSim::run(build(&s));
+        prop_assert_eq!(a.iteration_durations, b.iteration_durations);
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.node_count_timeline, b.node_count_timeline);
+    }
+}

@@ -1,0 +1,189 @@
+//! Scenario event injection.
+//!
+//! The paper's evaluation perturbs a running application in four ways:
+//! introducing heavy CPU load on one cluster's processors (scenario 3),
+//! traffic-shaping an uplink to ~100 KB/s (scenario 4), both at once with an
+//! additional light load (scenario 5), and crashing entire clusters
+//! (scenario 6). [`InjectionSchedule`] is the deterministic script of such
+//! perturbations that a scenario hands to the simulation engine.
+
+use sagrid_core::ids::ClusterId;
+use sagrid_core::time::SimTime;
+
+/// A perturbation applied to the emulated grid at a point in virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Injection {
+    /// Multiply the *effective* load of `count` nodes (or all, if `None`) in
+    /// `cluster` by `factor`: the node's useful speed becomes
+    /// `base_speed / factor`. `factor = 1.0` removes previously injected
+    /// load. The paper's scenario 3 uses a heavy load (we use ×10); scenario
+    /// 5's "relatively light" load makes nodes ~2× slower.
+    CpuLoad {
+        /// Affected cluster.
+        cluster: ClusterId,
+        /// How many of the cluster's nodes are loaded (`None` = all).
+        count: Option<usize>,
+        /// Slowdown factor (≥ 1.0 loads the node, 1.0 restores it).
+        factor: f64,
+    },
+    /// Re-shape a cluster's uplink to `bandwidth_bps` bytes/second
+    /// (scenario 4 uses ~100 KB/s).
+    UplinkBandwidth {
+        /// Affected cluster.
+        cluster: ClusterId,
+        /// New uplink bandwidth in bytes per second.
+        bandwidth_bps: f64,
+    },
+    /// Crash every node of `cluster` (scenario 6 crashes 2 of 3 clusters).
+    CrashCluster {
+        /// The crashing cluster.
+        cluster: ClusterId,
+    },
+    /// Crash `count` nodes of `cluster`.
+    CrashNodes {
+        /// Affected cluster.
+        cluster: ClusterId,
+        /// Number of nodes to crash.
+        count: usize,
+    },
+}
+
+/// An [`Injection`] bound to its firing time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduledInjection {
+    /// Virtual time at which the perturbation happens.
+    pub at: SimTime,
+    /// What happens.
+    pub injection: Injection,
+}
+
+/// A time-sorted script of perturbations with O(1) "what's due" polling.
+#[derive(Clone, Debug, Default)]
+pub struct InjectionSchedule {
+    // Sorted by time ascending; `next` indexes the first not-yet-fired entry.
+    entries: Vec<ScheduledInjection>,
+    next: usize,
+}
+
+impl InjectionSchedule {
+    /// An empty schedule (the ideal scenario 1).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule from `(time, injection)` pairs, sorting by time.
+    /// Entries at equal times fire in the order given.
+    pub fn new(mut entries: Vec<ScheduledInjection>) -> Self {
+        entries.sort_by_key(|e| e.at);
+        Self { entries, next: 0 }
+    }
+
+    /// Convenience: appends an injection (keeps the schedule sorted).
+    pub fn push(&mut self, at: SimTime, injection: Injection) {
+        assert_eq!(
+            self.next, 0,
+            "cannot extend a schedule that already started firing"
+        );
+        self.entries.push(ScheduledInjection { at, injection });
+        self.entries.sort_by_key(|e| e.at);
+    }
+
+    /// Time of the next perturbation, if any remain.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.entries.get(self.next).map(|e| e.at)
+    }
+
+    /// Pops every perturbation due at or before `now`, in order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<ScheduledInjection> {
+        let mut due = Vec::new();
+        while let Some(e) = self.entries.get(self.next) {
+            if e.at <= now {
+                due.push(e.clone());
+                self.next += 1;
+            } else {
+                break;
+            }
+        }
+        due
+    }
+
+    /// Number of perturbations not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.entries.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(cluster: u16, factor: f64) -> Injection {
+        Injection::CpuLoad {
+            cluster: ClusterId(cluster),
+            count: None,
+            factor,
+        }
+    }
+
+    #[test]
+    fn schedule_sorts_and_pops_in_order() {
+        let mut s = InjectionSchedule::new(vec![
+            ScheduledInjection {
+                at: SimTime::from_secs(200),
+                injection: load(1, 10.0),
+            },
+            ScheduledInjection {
+                at: SimTime::from_secs(100),
+                injection: load(0, 2.0),
+            },
+        ]);
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.next_time(), Some(SimTime::from_secs(100)));
+        let due = s.pop_due(SimTime::from_secs(150));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].injection, load(0, 2.0));
+        assert_eq!(s.remaining(), 1);
+        let due = s.pop_due(SimTime::from_secs(1000));
+        assert_eq!(due.len(), 1);
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.next_time(), None);
+    }
+
+    #[test]
+    fn pop_due_before_first_returns_nothing() {
+        let mut s = InjectionSchedule::new(vec![ScheduledInjection {
+            at: SimTime::from_secs(10),
+            injection: Injection::CrashCluster {
+                cluster: ClusterId(2),
+            },
+        }]);
+        assert!(s.pop_due(SimTime::from_secs(9)).is_empty());
+        assert_eq!(s.remaining(), 1);
+    }
+
+    #[test]
+    fn equal_times_fire_in_given_order() {
+        let t = SimTime::from_secs(5);
+        let mut s = InjectionSchedule::new(vec![
+            ScheduledInjection {
+                at: t,
+                injection: load(0, 2.0),
+            },
+            ScheduledInjection {
+                at: t,
+                injection: load(1, 3.0),
+            },
+        ]);
+        let due = s.pop_due(t);
+        assert_eq!(due[0].injection, load(0, 2.0));
+        assert_eq!(due[1].injection, load(1, 3.0));
+    }
+
+    #[test]
+    fn push_keeps_sorted() {
+        let mut s = InjectionSchedule::empty();
+        s.push(SimTime::from_secs(30), load(0, 2.0));
+        s.push(SimTime::from_secs(10), load(1, 2.0));
+        assert_eq!(s.next_time(), Some(SimTime::from_secs(10)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Wide-area network model.
+//!
+//! The paper's resource model (§2): nodes within a site share a fast LAN;
+//! sites connect to the internet backbone through an **uplink** that "might
+//! become a bottleneck, causing the inter-site communication to suffer from
+//! low bandwidths". We model exactly that failure mode:
+//!
+//! * **LAN messages** cost `lan.latency + bytes / lan.bandwidth` — switched
+//!   Ethernet, no shared queueing (per-port contention is negligible for
+//!   steal-sized messages);
+//! * **WAN messages** serialize FIFO through the *source* and *destination*
+//!   uplinks (each a [`SharedLink`] with a `busy_until` horizon) and then pay
+//!   the backbone latency. When scenario 4 shapes an uplink to 100 KB/s,
+//!   every transfer in or out of that cluster queues behind the previous
+//!   one — reproducing the enormous iteration-time variation of Figure 5.
+//!
+//! Bandwidth changes take effect for transfers *starting* after the change;
+//! in-flight transfers keep their reserved slot (same observable behaviour
+//! as a kernel traffic shaper draining its token bucket).
+
+use sagrid_core::config::GridConfig;
+use sagrid_core::ids::ClusterId;
+use sagrid_core::time::{SimDuration, SimTime};
+
+/// A FIFO-serialized shared link (a cluster's WAN uplink).
+#[derive(Clone, Debug)]
+pub struct SharedLink {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Current bandwidth in bytes/second.
+    bandwidth_bps: f64,
+    /// Time until which the link's transmission slot is reserved.
+    busy_until: SimTime,
+    /// Total bytes ever accepted (for reports / bandwidth estimation).
+    bytes_carried: u64,
+}
+
+impl SharedLink {
+    /// Creates a link with the given latency and bandwidth (bytes/s, > 0).
+    pub fn new(latency: SimDuration, bandwidth_bps: f64) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        Self {
+            latency,
+            bandwidth_bps,
+            busy_until: SimTime::ZERO,
+            bytes_carried: 0,
+        }
+    }
+
+    /// Current bandwidth in bytes/second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps
+    }
+
+    /// Re-shapes the link (scenario 4/5 traffic shaping, or recovery).
+    pub fn set_bandwidth(&mut self, bandwidth_bps: f64) {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        self.bandwidth_bps = bandwidth_bps;
+    }
+
+    /// Total bytes accepted so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Enqueues a `bytes`-sized transfer at `now`; returns the time the last
+    /// byte has *left* this link (excluding propagation latency — the caller
+    /// adds `self.latency` once per traversal).
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = self.busy_until.max(now);
+        let tx = SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps);
+        self.busy_until = start + tx;
+        self.bytes_carried += bytes;
+        self.busy_until
+    }
+
+    /// Time at which the link becomes free (for diagnostics).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Queueing delay a transfer enqueued at `now` would currently suffer.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+}
+
+/// Per-message delivery metadata returned by [`Network::deliver`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the message arrives at the destination node.
+    pub arrives_at: SimTime,
+    /// When the last byte has drained the *sender's* link — until then a
+    /// blocking sender (TCP backpressure) cannot proceed.
+    pub src_clear_at: SimTime,
+    /// Whether the message stayed within one cluster.
+    pub intra_cluster: bool,
+}
+
+/// The whole grid network: per-cluster LAN specs + shared uplinks + backbone.
+#[derive(Clone, Debug)]
+pub struct Network {
+    lan_latency: Vec<SimDuration>,
+    lan_bandwidth_bps: Vec<f64>,
+    uplinks: Vec<SharedLink>,
+    backbone_latency: SimDuration,
+}
+
+impl Network {
+    /// Builds the network from a grid configuration.
+    pub fn new(cfg: &GridConfig) -> Self {
+        Self {
+            lan_latency: cfg.clusters.iter().map(|c| c.lan.latency).collect(),
+            lan_bandwidth_bps: cfg.clusters.iter().map(|c| c.lan.bandwidth_bps).collect(),
+            uplinks: cfg
+                .clusters
+                .iter()
+                .map(|c| SharedLink::new(c.uplink.latency, c.uplink.bandwidth_bps))
+                .collect(),
+            backbone_latency: cfg.backbone_latency,
+        }
+    }
+
+    /// Number of clusters known to the network.
+    pub fn n_clusters(&self) -> usize {
+        self.uplinks.len()
+    }
+
+    /// Computes the delivery time of a `bytes`-sized message sent at `now`
+    /// from a node in `from` to a node in `to`, reserving uplink capacity as
+    /// a side effect.
+    pub fn deliver(
+        &mut self,
+        now: SimTime,
+        from: ClusterId,
+        to: ClusterId,
+        bytes: u64,
+    ) -> Delivery {
+        if from == to {
+            let tx =
+                SimDuration::from_secs_f64(bytes as f64 / self.lan_bandwidth_bps[from.index()]);
+            Delivery {
+                arrives_at: now + self.lan_latency[from.index()] + tx,
+                src_clear_at: now + tx,
+                intra_cluster: true,
+            }
+        } else {
+            // Serialize through the source uplink, cross the backbone, then
+            // serialize through the destination uplink.
+            let src_done = self.uplinks[from.index()].transmit(now, bytes);
+            let src_lat = self.uplinks[from.index()].latency;
+            let at_dst_uplink = src_done + src_lat + self.backbone_latency;
+            let dst_done = self.uplinks[to.index()].transmit(at_dst_uplink, bytes);
+            let dst_lat = self.uplinks[to.index()].latency;
+            Delivery {
+                arrives_at: dst_done + dst_lat,
+                src_clear_at: src_done,
+                intra_cluster: false,
+            }
+        }
+    }
+
+    /// Reshapes a cluster's uplink bandwidth (bytes/second).
+    pub fn set_uplink_bandwidth(&mut self, cluster: ClusterId, bandwidth_bps: f64) {
+        self.uplinks[cluster.index()].set_bandwidth(bandwidth_bps);
+    }
+
+    /// Current uplink bandwidth of a cluster (bytes/second).
+    pub fn uplink_bandwidth(&self, cluster: ClusterId) -> f64 {
+        self.uplinks[cluster.index()].bandwidth_bps()
+    }
+
+    /// The uplink of `cluster` (for diagnostics and tests).
+    pub fn uplink(&self, cluster: ClusterId) -> &SharedLink {
+        &self.uplinks[cluster.index()]
+    }
+
+    /// One-way zero-byte message latency between two clusters.
+    pub fn base_latency(&self, from: ClusterId, to: ClusterId) -> SimDuration {
+        if from == to {
+            self.lan_latency[from.index()]
+        } else {
+            self.uplinks[from.index()].latency
+                + self.backbone_latency
+                + self.uplinks[to.index()].latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_core::config::GridConfig;
+
+    fn net() -> Network {
+        Network::new(&GridConfig::uniform(3, 4))
+    }
+
+    #[test]
+    fn intra_cluster_is_cheap_and_stateless() {
+        let mut n = net();
+        let t0 = SimTime::from_secs(1);
+        let d1 = n.deliver(t0, ClusterId(0), ClusterId(0), 1_000);
+        let d2 = n.deliver(t0, ClusterId(0), ClusterId(0), 1_000);
+        assert!(d1.intra_cluster);
+        // LAN has no shared queue: identical messages arrive identically.
+        assert_eq!(d1.arrives_at, d2.arrives_at);
+        assert!(d1.arrives_at > t0);
+    }
+
+    #[test]
+    fn inter_cluster_pays_backbone_and_uplinks() {
+        let mut n = net();
+        let t0 = SimTime::ZERO;
+        let intra = n.deliver(t0, ClusterId(0), ClusterId(0), 64).arrives_at;
+        let inter = n.deliver(t0, ClusterId(0), ClusterId(1), 64).arrives_at;
+        assert!(inter > intra, "WAN must be slower than LAN");
+    }
+
+    #[test]
+    fn shaped_uplink_queues_traffic() {
+        let mut n = net();
+        // Shape cluster 1's uplink to 100 KB/s, like scenario 4.
+        n.set_uplink_bandwidth(ClusterId(1), 100_000.0);
+        let t0 = SimTime::ZERO;
+        // Two 100 KB messages into cluster 1: the second queues a full
+        // second behind the first.
+        let d1 = n.deliver(t0, ClusterId(0), ClusterId(1), 100_000).arrives_at;
+        let d2 = n.deliver(t0, ClusterId(0), ClusterId(1), 100_000).arrives_at;
+        let gap = d2.saturating_since(d1);
+        assert!(
+            (gap.as_secs_f64() - 1.0).abs() < 0.05,
+            "expected ~1s serialization gap, got {gap}"
+        );
+    }
+
+    #[test]
+    fn unrelated_uplinks_do_not_interfere() {
+        let mut n = net();
+        n.set_uplink_bandwidth(ClusterId(1), 100_000.0);
+        let t0 = SimTime::ZERO;
+        // Saturate cluster 1's uplink...
+        for _ in 0..10 {
+            n.deliver(t0, ClusterId(0), ClusterId(1), 1_000_000);
+        }
+        // ...traffic between clusters 0 and 2 is unaffected apart from the
+        // (tiny) reservation the above made on cluster 0's fast uplink.
+        let d = n.deliver(t0, ClusterId(2), ClusterId(0), 64);
+        assert!(d.arrives_at.as_secs_f64() < 0.1);
+    }
+
+    #[test]
+    fn bandwidth_change_applies_to_new_transfers() {
+        let mut n = net();
+        let t0 = SimTime::ZERO;
+        let fast = n.deliver(t0, ClusterId(0), ClusterId(1), 1_000_000);
+        n.set_uplink_bandwidth(ClusterId(0), 10_000.0);
+        let slow_start = fast.arrives_at + SimDuration::from_secs(1);
+        let slow = n.deliver(slow_start, ClusterId(0), ClusterId(1), 1_000_000);
+        let fast_dur = fast.arrives_at.saturating_since(t0);
+        let slow_dur = slow.arrives_at.saturating_since(slow_start);
+        assert!(slow_dur.as_secs_f64() > 50.0 * fast_dur.as_secs_f64());
+    }
+
+    #[test]
+    fn shared_link_backlog_reports_queue() {
+        let mut l = SharedLink::new(SimDuration::from_millis(1), 1_000.0);
+        let t0 = SimTime::ZERO;
+        assert_eq!(l.backlog(t0), SimDuration::ZERO);
+        l.transmit(t0, 2_000); // 2 seconds of transmission
+        assert!((l.backlog(t0).as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(l.bytes_carried(), 2_000);
+        // After the queue drains, backlog is zero again.
+        assert_eq!(l.backlog(SimTime::from_secs(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = SharedLink::new(SimDuration::ZERO, 0.0);
+    }
+
+    #[test]
+    fn base_latency_symmetric_uniform() {
+        let n = net();
+        assert_eq!(
+            n.base_latency(ClusterId(0), ClusterId(2)),
+            n.base_latency(ClusterId(2), ClusterId(0))
+        );
+    }
+}

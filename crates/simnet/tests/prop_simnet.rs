@@ -1,0 +1,111 @@
+//! Property tests for the discrete-event substrate.
+
+use proptest::prelude::*;
+use sagrid_core::config::GridConfig;
+use sagrid_core::ids::ClusterId;
+use sagrid_core::time::{SimDuration, SimTime};
+use sagrid_simnet::{EventQueue, Injection, InjectionSchedule, Network, ScheduledInjection, SharedLink};
+
+proptest! {
+    /// A shared link is FIFO: transmissions enqueued in order clear in
+    /// order, and total carriage equals the sum of bytes.
+    #[test]
+    fn shared_link_is_fifo(sizes in prop::collection::vec(1u64..1_000_000, 1..50)) {
+        let mut link = SharedLink::new(SimDuration::from_millis(1), 1_000_000.0);
+        let mut last_clear = SimTime::ZERO;
+        let mut total = 0u64;
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let now = SimTime::from_millis(i as u64); // senders arrive over time
+            let clear = link.transmit(now, bytes);
+            prop_assert!(clear >= last_clear, "FIFO violated");
+            prop_assert!(clear >= now);
+            last_clear = clear;
+            total += bytes;
+        }
+        prop_assert_eq!(link.bytes_carried(), total);
+    }
+
+    /// Delivery time is monotone in message size on a fresh path, and
+    /// queueing only ever delays (never reorders) same-direction traffic.
+    #[test]
+    fn deliveries_queue_in_order(msgs in prop::collection::vec(1u64..500_000, 1..40)) {
+        let mut net = Network::new(&GridConfig::uniform(2, 2));
+        net.set_uplink_bandwidth(ClusterId(0), 200_000.0);
+        let mut last_arrival = SimTime::ZERO;
+        for &bytes in &msgs {
+            let d = net.deliver(SimTime::ZERO, ClusterId(0), ClusterId(1), bytes);
+            prop_assert!(d.arrives_at >= last_arrival, "same-direction reorder");
+            last_arrival = d.arrives_at;
+        }
+    }
+
+    /// The uplink backlog drains: after waiting out the backlog, a fresh
+    /// 0-extra-byte message meets an idle link.
+    #[test]
+    fn backlog_eventually_drains(bytes in 1u64..1_000_000) {
+        let mut net = Network::new(&GridConfig::uniform(2, 2));
+        let d1 = net.deliver(SimTime::ZERO, ClusterId(0), ClusterId(1), bytes);
+        let later = d1.arrives_at + SimDuration::from_secs(1);
+        let d2 = net.deliver(later, ClusterId(0), ClusterId(1), bytes);
+        let first_latency = d1.arrives_at.saturating_since(SimTime::ZERO);
+        let second_latency = d2.arrives_at.saturating_since(later);
+        // Allow a microsecond of rounding.
+        prop_assert!(second_latency <= first_latency + SimDuration::from_micros(1));
+    }
+
+    /// The event queue never loses events: everything pushed is popped
+    /// exactly once, in time order.
+    #[test]
+    fn event_queue_conserves_events(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        let mut last = SimTime::ZERO;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last);
+            prop_assert!(!seen[i], "event popped twice");
+            prop_assert_eq!(t, SimTime(times[i]));
+            seen[i] = true;
+            last = t;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// An injection schedule fires every entry exactly once, in order,
+    /// under arbitrary polling patterns.
+    #[test]
+    fn schedule_fires_everything_once(
+        times in prop::collection::vec(0u64..10_000, 1..50),
+        polls in prop::collection::vec(0u64..12_000, 1..80),
+    ) {
+        let entries: Vec<ScheduledInjection> = times
+            .iter()
+            .map(|&t| ScheduledInjection {
+                at: SimTime(t),
+                injection: Injection::CpuLoad {
+                    cluster: ClusterId(0),
+                    count: None,
+                    factor: 2.0,
+                },
+            })
+            .collect();
+        let mut s = InjectionSchedule::new(entries);
+        let mut sorted_polls = polls.clone();
+        sorted_polls.sort_unstable();
+        let mut fired = 0usize;
+        let mut last_fired_at = SimTime::ZERO;
+        for &p in &sorted_polls {
+            for e in s.pop_due(SimTime(p)) {
+                prop_assert!(e.at >= last_fired_at);
+                prop_assert!(e.at <= SimTime(p));
+                last_fired_at = e.at;
+                fired += 1;
+            }
+        }
+        fired += s.pop_due(SimTime::MAX).len();
+        prop_assert_eq!(fired, times.len());
+        prop_assert_eq!(s.remaining(), 0);
+    }
+}

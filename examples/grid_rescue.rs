@@ -1,0 +1,102 @@
+//! Grid rescue: the paper's crash scenario (scenario 6) on the
+//! discrete-event DAS-2 emulation — watch the adaptation coordinator
+//! replace two crashed clusters, node by node.
+//!
+//! ```sh
+//! cargo run --release --example grid_rescue
+//! ```
+
+use sagrid::exp::runner::ScenarioOutcome;
+use sagrid::exp::scenarios::{Scenario, ScenarioId};
+use sagrid::exp::{chart, report};
+use sagrid::simgrid::{AdaptMode, GridSim};
+
+fn main() {
+    println!("scenario 6: Barnes-Hut on 36 nodes / 3 clusters;");
+    println!("at t = 200 s, 2 of the 3 clusters crash (24 nodes lost).\n");
+
+    let scenario = Scenario::new(ScenarioId::S6Crash);
+    let no_adapt = GridSim::run(scenario.config(AdaptMode::NoAdapt));
+    let mut traced_cfg = scenario.config(AdaptMode::Adapt);
+    traced_cfg.record_trace = true;
+    let adapt = GridSim::run(traced_cfg);
+    let out = ScenarioOutcome {
+        scenario,
+        no_adapt,
+        adapt,
+        monitor_only: None,
+    };
+
+    println!(
+        "without adaptation: {}",
+        report::summarize_run(&out.no_adapt)
+    );
+    println!("with    adaptation: {}", report::summarize_run(&out.adapt));
+    println!(
+        "adaptation saved {:.1}% of the runtime\n",
+        out.improvement() * 100.0
+    );
+
+    println!("what the coordinator saw and did:");
+    for d in &out.adapt.decisions {
+        println!(
+            "  t={:>7.1}s  wa_efficiency={:.3}  nodes={:>2}  -> {}",
+            d.at.as_secs_f64(),
+            d.wa_efficiency,
+            d.nodes,
+            d.decision.kind()
+        );
+    }
+
+    println!("\nnode count over time (adaptive run):");
+    // Collapse bursts of join/leave events that share a timestamp: print
+    // the final count per instant.
+    let mut collapsed: Vec<(f64, usize)> = Vec::new();
+    for &(t, n) in &out.adapt.node_count_timeline {
+        let secs = t.as_secs_f64();
+        match collapsed.last_mut() {
+            Some((lt, ln)) if (*lt - secs).abs() < 1.0 => *ln = n,
+            _ => collapsed.push((secs, n)),
+        }
+    }
+    for (t, n) in collapsed {
+        println!("  t={t:>7.1}s  {n} nodes");
+    }
+
+    // Activity Gantt of a few nodes around the crash: survivors (cluster
+    // 0), a crashed node (cluster 1), and a replacement that joins later.
+    let sample: Vec<_> = out
+        .adapt
+        .activity_traces
+        .iter()
+        .filter(|(n, _)| [0u32, 1, 72, 73, 104, 10, 11].contains(&n.0))
+        .cloned()
+        .collect();
+    println!();
+    print!(
+        "{}",
+        chart::gantt(
+            "activity around the crash (t = 150s .. 450s):",
+            &sample,
+            150.0,
+            450.0,
+            96,
+        )
+    );
+
+    println!("\niteration durations (first 30):");
+    for (i, (a, b)) in out
+        .no_adapt
+        .iteration_durations
+        .iter()
+        .zip(&out.adapt.iteration_durations)
+        .take(30)
+        .enumerate()
+    {
+        println!(
+            "  iter {i:>2}: no-adapt {:>7.2}s   adapt {:>7.2}s",
+            a.as_secs_f64(),
+            b.as_secs_f64()
+        );
+    }
+}

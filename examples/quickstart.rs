@@ -1,0 +1,59 @@
+//! Quickstart: write a divide-and-conquer program, run it on a malleable
+//! work-stealing runtime, and watch workers join and leave mid-computation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sagrid::apps::{fib_par, fib_seq, nqueens_par, nqueens_seq};
+use sagrid::runtime::{Runtime, RuntimeConfig};
+use std::time::Instant;
+
+fn main() {
+    // A pool of 4 workers in one emulated cluster.
+    let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+
+    // --- Fibonacci: the classic spawn/sync example -----------------------
+    let n = 32;
+    let t = Instant::now();
+    let par = rt.run(move |ctx| fib_par(ctx, n, 16));
+    let par_time = t.elapsed();
+    let t = Instant::now();
+    let seq = fib_seq(n);
+    let seq_time = t.elapsed();
+    assert_eq!(par, seq);
+    println!("fib({n}) = {par}");
+    println!("  sequential: {seq_time:?}");
+    println!("  4 workers:  {par_time:?}");
+
+    // --- Malleability: grow the pool while work is queued ----------------
+    println!("\nadding 4 more workers (the computation is malleable)…");
+    for _ in 0..4 {
+        rt.add_worker(0);
+    }
+    let t = Instant::now();
+    let par8 = rt.run(move |ctx| fib_par(ctx, n, 16));
+    println!("  8 workers:  {:?} (same answer: {})", t.elapsed(), par8 == seq);
+
+    // --- N-queens: irregular search --------------------------------------
+    let q = 12;
+    let t = Instant::now();
+    let solutions = rt.run(move |ctx| nqueens_par(ctx, q, 3));
+    println!("\n{q}-queens has {solutions} solutions ({:?})", t.elapsed());
+    assert_eq!(solutions, nqueens_seq(q));
+
+    // --- Fault tolerance: crash half the pool mid-run --------------------
+    println!("\ncrashing 4 of 8 workers mid-computation…");
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            for id in rt.alive_workers().into_iter().take(4) {
+                rt.crash_worker(id);
+            }
+        });
+        rt.run(move |ctx| fib_par(ctx, n, 16))
+    });
+    println!("  survivors still computed fib({n}) = {result} (correct: {})", result == seq);
+
+    rt.shutdown();
+}

@@ -1,0 +1,210 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's invariants, spanning crates.
+
+use proptest::prelude::*;
+use sagrid::adapt::{
+    cluster_badness, node_badness, wa_efficiency, AdaptPolicy, BadnessCoefficients,
+};
+use sagrid::core::ids::{ClusterId, NodeId};
+use sagrid::core::rng::{Rng64, Xoshiro256StarStar};
+use sagrid::core::stats::{NodeStats, OverheadBreakdown};
+use sagrid::core::time::{SimDuration, SimTime};
+use sagrid::core::workload::{TaskTree, TreeShape};
+use sagrid::sched::{AllocPolicy, Requirements, ResourcePool};
+use sagrid::simnet::EventQueue;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// Weighted average efficiency always lies in [0, 1], whatever garbage
+    /// the measurement layer produces.
+    #[test]
+    fn wa_efficiency_is_bounded(pairs in prop::collection::vec((0.0f64..2.0, -0.5f64..1.5), 0..50)) {
+        let e = wa_efficiency(pairs);
+        prop_assert!((0.0..=1.0).contains(&e), "wa_eff {e}");
+    }
+
+    /// Badness is monotone: slower nodes and worse links are never *less*
+    /// bad.
+    #[test]
+    fn badness_is_monotone(
+        s1 in 0.01f64..1.0, s2 in 0.01f64..1.0,
+        ic1 in 0.0f64..1.0, ic2 in 0.0f64..1.0,
+    ) {
+        let c = BadnessCoefficients::default();
+        let (slow, fast) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let (lo, hi) = if ic1 <= ic2 { (ic1, ic2) } else { (ic2, ic1) };
+        prop_assert!(node_badness(&c, slow, lo, false) >= node_badness(&c, fast, lo, false));
+        prop_assert!(node_badness(&c, slow, hi, false) >= node_badness(&c, slow, lo, false));
+        prop_assert!(cluster_badness(&c, slow, hi) >= cluster_badness(&c, fast, lo));
+    }
+
+    /// Grow/shrink sizing respects its bounds for every efficiency value.
+    #[test]
+    fn policy_sizing_is_bounded(wa in 0.0f64..1.0, n in 1usize..200) {
+        let p = AdaptPolicy::default();
+        if wa > p.e_max {
+            let g = p.grow_size(wa, n);
+            prop_assert!(g >= 1 && g <= p.max_growth_per_period);
+        } else if wa < p.e_min {
+            let s = p.shrink_size(wa, n);
+            prop_assert!(s <= n.saturating_sub(p.min_nodes));
+            if n > p.min_nodes {
+                prop_assert!(s >= 1);
+            }
+        }
+    }
+
+    /// The event queue pops in nondecreasing time order under arbitrary
+    /// interleavings of pushes and pops.
+    #[test]
+    fn event_queue_is_time_ordered(ops in prop::collection::vec((0u64..1_000, any::<bool>()), 1..200)) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut last_popped = SimTime::ZERO;
+        for (dt, pop) in ops {
+            if pop {
+                if let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= last_popped);
+                    last_popped = t;
+                }
+            } else {
+                // Schedule relative to now so it is never in the past.
+                let at = q.now() + SimDuration::from_micros(dt);
+                q.push(at, dt);
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last_popped);
+            last_popped = t;
+        }
+    }
+
+    /// Generated task trees are well-formed: every non-root node has
+    /// exactly one parent, the critical path never exceeds total work, and
+    /// subtree leaf counts add up.
+    #[test]
+    fn task_trees_are_well_formed(seed in any::<u64>(), depth in 1u32..5, spread in 1.0f64..50.0) {
+        let shape = TreeShape {
+            depth,
+            work_spread: spread,
+            ..TreeShape::small()
+        };
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let tree: TaskTree = shape.generate(&mut rng);
+        let mut parents = vec![0u32; tree.len()];
+        for i in 0..tree.len() {
+            for c in tree.children(i) {
+                parents[c] += 1;
+            }
+        }
+        prop_assert_eq!(parents[0], 0);
+        prop_assert!(parents[1..].iter().all(|&p| p == 1));
+        prop_assert!(tree.critical_path() <= tree.total_work());
+        let counts = tree.subtree_leaf_counts();
+        prop_assert_eq!(counts[0] as usize, tree.leaf_count());
+    }
+
+    /// The resource pool never over-grants, never grants blacklisted
+    /// resources, and releasing everything restores the free count.
+    #[test]
+    fn pool_respects_capacity_and_blacklists(
+        n_req in 0usize..60,
+        blacklist_cluster in 0u16..3,
+        seed in any::<u64>(),
+    ) {
+        let mut pool = ResourcePool::new(&sagrid::core::config::GridConfig::uniform(3, 8));
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let excluded_nodes: BTreeSet<NodeId> =
+            (0..rng.gen_range(5)).map(|_| NodeId(rng.gen_range(24) as u32)).collect();
+        let excluded_clusters: BTreeSet<ClusterId> = [ClusterId(blacklist_cluster)].into();
+        let grants = pool.request(
+            n_req,
+            AllocPolicy::LocalityAware,
+            &Requirements::default(),
+            &excluded_nodes,
+            &excluded_clusters,
+            &[],
+        );
+        prop_assert!(grants.len() <= n_req);
+        let mut seen = BTreeSet::new();
+        for g in &grants {
+            prop_assert!(!excluded_nodes.contains(&g.node));
+            prop_assert!(!excluded_clusters.contains(&g.cluster));
+            prop_assert!(seen.insert(g.node), "node granted twice");
+        }
+        for g in &grants {
+            pool.release(g.node);
+        }
+        prop_assert_eq!(pool.free_count(), 24);
+    }
+
+    /// Statistics conservation: however activity is sliced into the
+    /// buckets, the total equals the sum of the parts and the overhead
+    /// fraction stays within [0, 1].
+    #[test]
+    fn stats_conservation(
+        spans in prop::collection::vec((0u64..10_000, 0u8..5), 1..100),
+    ) {
+        let mut stats = NodeStats::new(NodeId(0), ClusterId(0), SimTime::ZERO);
+        let mut expected_total = 0u64;
+        let mut now = SimTime::ZERO;
+        for (len, kind) in spans {
+            let d = SimDuration::from_micros(len);
+            match kind {
+                0 => stats.add_busy(d),
+                1 => stats.add_idle(d),
+                2 => stats.add_comm(d, true),
+                3 => stats.add_comm(d, false),
+                _ => stats.add_benchmark(d),
+            }
+            expected_total += len;
+            now += d;
+        }
+        let report = stats.take_report(now, 1.0);
+        prop_assert_eq!(report.breakdown.total(), SimDuration::from_micros(expected_total));
+        let ovh = report.overhead_fraction();
+        prop_assert!((0.0..=1.0).contains(&ovh));
+        prop_assert!(report.ic_overhead_fraction() <= ovh + 1e-12);
+    }
+
+    /// Overhead breakdown merge is associative with totals.
+    #[test]
+    fn breakdown_merge_adds_totals(
+        a in (0u64..1_000, 0u64..1_000, 0u64..1_000, 0u64..1_000, 0u64..1_000),
+        b in (0u64..1_000, 0u64..1_000, 0u64..1_000, 0u64..1_000, 0u64..1_000),
+    ) {
+        let mk = |(busy, idle, intra, inter, bench): (u64, u64, u64, u64, u64)| OverheadBreakdown {
+            busy: SimDuration(busy),
+            idle: SimDuration(idle),
+            intra_comm: SimDuration(intra),
+            inter_comm: SimDuration(inter),
+            benchmark: SimDuration(bench),
+        };
+        let (x, y) = (mk(a), mk(b));
+        let mut merged = x;
+        merged.merge(&y);
+        prop_assert_eq!(merged.total(), x.total() + y.total());
+    }
+
+    /// Network deliveries never go backwards in time, and bigger messages
+    /// never arrive earlier than smaller ones sent at the same instant on
+    /// the same path.
+    #[test]
+    fn network_delivery_is_causal_and_monotone(
+        bytes_small in 1u64..10_000,
+        extra in 1u64..1_000_000,
+        from in 0u16..3,
+        to in 0u16..3,
+    ) {
+        use sagrid::simnet::Network;
+        let mut net = Network::new(&sagrid::core::config::GridConfig::uniform(3, 4));
+        let now = SimTime::from_secs(1);
+        // Send the *large* message through a fresh network so queueing from
+        // the first send cannot help it.
+        let mut net2 = net.clone();
+        let small = net.deliver(now, ClusterId(from), ClusterId(to), bytes_small);
+        let large = net2.deliver(now, ClusterId(from), ClusterId(to), bytes_small + extra);
+        prop_assert!(small.arrives_at > now);
+        prop_assert!(large.arrives_at >= small.arrives_at);
+        prop_assert!(small.src_clear_at <= small.arrives_at || from == to);
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests for the *threaded* half of the system: real
+//! divide-and-conquer applications on the malleable runtime, with the
+//! paper's coordinator adapting the pool live.
+
+use sagrid::adapt::AdaptPolicy;
+use sagrid::apps::{fib_par, fib_seq, nqueens_par, nqueens_seq, tsp_par, tsp_seq, TspInstance};
+use sagrid::core::time::SimDuration;
+use sagrid::runtime::{AdaptiveRuntime, Runtime, RuntimeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn applications_are_correct_across_emulated_clusters() {
+    let mut cfg = RuntimeConfig::emulated_grid(2, 2);
+    cfg.wan_latency = Duration::from_micros(300);
+    let rt = Runtime::new(cfg);
+    assert_eq!(rt.run(|ctx| fib_par(ctx, 25, 12)), fib_seq(25));
+    assert_eq!(rt.run(|ctx| nqueens_par(ctx, 9, 2)), nqueens_seq(9));
+    let inst = Arc::new(TspInstance::random_euclidean(9, 7));
+    let expected = tsp_seq(&inst);
+    let inst2 = Arc::clone(&inst);
+    assert_eq!(rt.run(move |ctx| tsp_par(ctx, &inst2, 2)), expected);
+    rt.shutdown();
+}
+
+#[test]
+fn pool_survives_rolling_crashes_during_long_searches() {
+    let rt = Runtime::new(RuntimeConfig::single_cluster(6));
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..3 {
+                std::thread::sleep(Duration::from_millis(15));
+                rt.crash_worker(5 - i);
+            }
+        });
+        rt.run(|ctx| nqueens_par(ctx, 10, 3))
+    });
+    assert_eq!(result, nqueens_seq(10));
+    rt.shutdown();
+}
+
+#[test]
+fn workers_added_mid_run_participate() {
+    let rt = Runtime::new(RuntimeConfig::single_cluster(1));
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            for _ in 0..3 {
+                rt.add_worker(0);
+            }
+        });
+        rt.run(|ctx| fib_par(ctx, 27, 12))
+    });
+    assert_eq!(result, fib_seq(27));
+    // The latecomers must have executed something.
+    let reports = rt.take_monitoring_reports();
+    assert_eq!(reports.len(), 4);
+    rt.shutdown();
+}
+
+#[test]
+fn adaptive_runtime_full_loop_grows_then_prunes() {
+    let policy = AdaptPolicy {
+        monitoring_period: SimDuration::from_millis(100),
+        ..AdaptPolicy::default()
+    };
+    let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+    let mut adaptive = AdaptiveRuntime::new(rt, policy, vec![6]);
+    let handle = adaptive.runtime_handle();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_bg = Arc::clone(&stop);
+
+    let mut decisions = Vec::new();
+    std::thread::scope(|s| {
+        let bg = s.spawn(move || {
+            while !stop_bg.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = handle.run(|ctx| fib_par(ctx, 24, 14));
+            }
+        });
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(120));
+            decisions.push(adaptive.tick().kind());
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = bg.join();
+    });
+    assert!(
+        decisions.contains(&"add"),
+        "a saturated 2-worker pool must trigger growth: {decisions:?}"
+    );
+    assert!(adaptive.runtime().alive_workers().len() > 2);
+
+    // Let the pool idle: efficiency collapses and the coordinator prunes.
+    std::thread::sleep(Duration::from_millis(150));
+    let d = adaptive.tick();
+    assert_eq!(d.kind(), "remove-nodes", "idle pool must shrink: {d:?}");
+    adaptive.into_runtime().shutdown();
+}
+
+#[test]
+fn monitoring_reports_satisfy_rough_conservation() {
+    // Busy + idle + comm + benchmark over a period should not exceed the
+    // wall time by more than bookkeeping noise, per worker.
+    let rt = Runtime::new(RuntimeConfig::single_cluster(3));
+    let start = std::time::Instant::now();
+    let _ = rt.take_monitoring_reports(); // reset counters
+    let _ = rt.run(|ctx| fib_par(ctx, 26, 13));
+    std::thread::sleep(Duration::from_millis(20));
+    let wall = start.elapsed();
+    for (report, _) in rt.take_monitoring_reports() {
+        let accounted = report.breakdown.total().as_secs_f64();
+        assert!(
+            accounted <= wall.as_secs_f64() * 1.25 + 0.01,
+            "worker {} accounted {accounted:.3}s of a {:.3}s period",
+            report.node,
+            wall.as_secs_f64()
+        );
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn slowed_workers_measure_as_slow() {
+    let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+    rt.set_worker_speed(1, 0.2);
+    let fast = rt.benchmark_worker(0).expect("benchmark worker 0");
+    let slow = rt.benchmark_worker(1).expect("benchmark worker 1");
+    let ratio = slow.as_secs_f64() / fast.as_secs_f64();
+    assert!(
+        ratio > 2.5,
+        "0.2-speed worker should benchmark ≥2.5x slower, got {ratio:.2}x"
+    );
+    rt.shutdown();
+}

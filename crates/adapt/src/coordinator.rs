@@ -232,11 +232,7 @@ impl Coordinator {
     /// consulted when the opportunistic-migration extension is enabled
     /// (the paper's grid schedulers could not provide such notifications —
     /// ours can, which is exactly the §7 future-work experiment).
-    pub fn evaluate(
-        &mut self,
-        now: SimTime,
-        fastest_available_speed: Option<f64>,
-    ) -> Decision {
+    pub fn evaluate(&mut self, now: SimTime, fastest_available_speed: Option<f64>) -> Decision {
         let reports: Vec<MonitoringReport> = self.latest.values().copied().collect();
         if reports.is_empty() {
             return self.log_and_return(now, 0.0, 0, Decision::None);
@@ -259,8 +255,7 @@ impl Coordinator {
                 .iter()
                 .filter(|v| {
                     v.ic_overhead > self.policy.exceptional_ic_overhead
-                        && v.ic_overhead
-                            >= second_worst_ic * self.policy.exceptional_ic_dominance
+                        && v.ic_overhead >= second_worst_ic * self.policy.exceptional_ic_dominance
                 })
                 .max_by(|a, b| {
                     a.ic_overhead
@@ -296,8 +291,7 @@ impl Coordinator {
         // processors; ask the scheduler, preferring sites we already occupy.
         if wa_eff > self.policy.e_max {
             let count = self.policy.grow_size(wa_eff, n);
-            let mut prefer: Vec<ClusterId> =
-                reports.iter().map(|r| r.cluster).collect();
+            let mut prefer: Vec<ClusterId> = reports.iter().map(|r| r.cluster).collect();
             prefer.sort_unstable();
             prefer.dedup();
             let decision = Decision::Add {
@@ -360,8 +354,7 @@ impl Coordinator {
                     let add = remove.len();
                     let mut requirements = self.learned;
                     // Replacements must beat the best node we are retiring.
-                    let fastest_removed =
-                        slow.iter().map(|&(_, s)| s).fold(0.0_f64, f64::max);
+                    let fastest_removed = slow.iter().map(|&(_, s)| s).fold(0.0_f64, f64::max);
                     requirements.min_speed = Some(fastest_removed * margin);
                     for node in &remove {
                         self.latest.remove(node);
@@ -505,10 +498,7 @@ mod tests {
                 assert_eq!(nodes, vec![NodeId(2), NodeId(3)]);
                 assert!(c.blacklisted_clusters().contains(&ClusterId(1)));
                 // Bandwidth requirement learned from the observation.
-                assert_eq!(
-                    c.learned_requirements().min_uplink_bps,
-                    Some(100_000.0)
-                );
+                assert_eq!(c.learned_requirements().min_uplink_bps, Some(100_000.0));
                 assert_eq!(c.known_nodes(), 2);
             }
             d => panic!("expected RemoveCluster, got {d:?}"),
@@ -559,7 +549,7 @@ mod tests {
         c.record_report(report(1, 1, 1.0, 0.2, 0.4));
         c.observe_uplink(ClusterId(1), 100_000.0);
         let _ = c.evaluate(SimTime::ZERO, None); // removes cluster 1
-        // Survivor now runs at high efficiency → Add with the learned bound.
+                                                 // Survivor now runs at high efficiency → Add with the learned bound.
         match c.evaluate(SimTime::from_secs(180), None) {
             Decision::Add { requirements, .. } => {
                 assert_eq!(requirements.min_uplink_bps, Some(100_000.0));

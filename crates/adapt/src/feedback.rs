@@ -88,12 +88,14 @@ impl FeedbackTuner {
                 coeff.beta *= self.step;
             }
         }
-        coeff.alpha = coeff
-            .alpha
-            .clamp(self.initial.alpha / self.bound, self.initial.alpha * self.bound);
-        coeff.beta = coeff
-            .beta
-            .clamp(self.initial.beta / self.bound, self.initial.beta * self.bound);
+        coeff.alpha = coeff.alpha.clamp(
+            self.initial.alpha / self.bound,
+            self.initial.alpha * self.bound,
+        );
+        coeff.beta = coeff.beta.clamp(
+            self.initial.beta / self.bound,
+            self.initial.beta * self.bound,
+        );
         true
     }
 }

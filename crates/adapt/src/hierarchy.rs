@@ -158,11 +158,7 @@ impl HierarchicalCoordinator {
     /// One monitoring period: collect digests, reconstruct reports, run the
     /// flat flowchart. Decisions are identical to a flat coordinator fed
     /// the raw reports.
-    pub fn evaluate(
-        &mut self,
-        now: SimTime,
-        fastest_available_speed: Option<f64>,
-    ) -> Decision {
+    pub fn evaluate(&mut self, now: SimTime, fastest_available_speed: Option<f64>) -> Decision {
         let digests: Vec<ClusterDigest> =
             self.subs.values().filter_map(|s| s.digest(now)).collect();
         self.digests_received += digests.len() as u64;
@@ -270,7 +266,11 @@ mod tests {
 
     #[test]
     fn equivalent_on_add_branch() {
-        assert_equivalent((0..8).map(|i| report(i, (i % 2) as u16, 1.0, 0.9, 0.0)).collect());
+        assert_equivalent(
+            (0..8)
+                .map(|i| report(i, (i % 2) as u16, 1.0, 0.9, 0.0))
+                .collect(),
+        );
     }
 
     #[test]
@@ -290,7 +290,11 @@ mod tests {
 
     #[test]
     fn equivalent_on_no_action_branch() {
-        assert_equivalent((0..6).map(|i| report(i, (i % 3) as u16, 1.0, 0.4, 0.01)).collect());
+        assert_equivalent(
+            (0..6)
+                .map(|i| report(i, (i % 3) as u16, 1.0, 0.4, 0.01))
+                .collect(),
+        );
     }
 
     #[test]
@@ -306,7 +310,10 @@ mod tests {
             let _ = hier.evaluate(SimTime::from_secs(180 * period), None);
         }
         let (digests, flat_msgs) = hier.message_counts();
-        assert_eq!(flat_msgs, 480, "the flat design would see one msg/node/period");
+        assert_eq!(
+            flat_msgs, 480,
+            "the flat design would see one msg/node/period"
+        );
         assert_eq!(digests, 12, "the hierarchy sees one digest/cluster/period");
     }
 

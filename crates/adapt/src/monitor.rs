@@ -113,7 +113,10 @@ impl SpeedTracker {
     /// until a new measurement arrives — paper: "the coordinator may miss
     /// data … so it has to use data from the previous monitoring period").
     pub fn record(&mut self, n: NodeId, duration: SimDuration) {
-        assert!(duration > SimDuration::ZERO, "benchmark duration must be > 0");
+        assert!(
+            duration > SimDuration::ZERO,
+            "benchmark duration must be > 0"
+        );
         self.durations.insert(n, duration);
     }
 

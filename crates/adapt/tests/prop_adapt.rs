@@ -1,103 +1,118 @@
-//! Property tests for the adaptation machinery.
+//! Randomized property tests for the adaptation machinery, driven by the
+//! in-repo fixed-seed RNG so every case is reproducible offline.
 
-use proptest::prelude::*;
 use sagrid_adapt::coordinator::Decision;
 use sagrid_adapt::hierarchy::HierarchicalCoordinator;
-use sagrid_adapt::{
-    wa_efficiency_of_reports, AdaptPolicy, BenchmarkScheduler, Coordinator,
-};
+use sagrid_adapt::{wa_efficiency_of_reports, AdaptPolicy, BenchmarkScheduler, Coordinator};
 use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
 use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
 use sagrid_core::time::{SimDuration, SimTime};
 
-/// Strategy: a plausible monitoring report.
-fn arb_report(id: u32, n_clusters: u16) -> impl Strategy<Value = MonitoringReport> {
-    (
-        0u16..n_clusters,
-        0.01f64..1.0,  // speed
-        0.0f64..1.0,   // busy fraction
-        0.0f64..0.5,   // ic fraction (of what's left)
-    )
-        .prop_map(move |(cluster, speed, busy_f, ic_f)| {
-            let total = 1_000_000u64;
-            let busy = (busy_f * total as f64) as u64;
-            let inter = (ic_f * (total - busy) as f64) as u64;
-            MonitoringReport {
-                node: NodeId(id),
-                cluster: ClusterId(cluster),
-                period_end: SimTime::from_secs(180),
-                breakdown: OverheadBreakdown {
-                    busy: SimDuration(busy),
-                    inter_comm: SimDuration(inter),
-                    idle: SimDuration(total - busy - inter),
-                    ..Default::default()
-                },
-                speed,
-            }
-        })
+const CASES: u64 = 150;
+
+fn rng_for(test: u64, case: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seeded(0xADA7_0000 + test * 1_000 + case)
 }
 
-fn arb_reports(n: usize, clusters: u16) -> impl Strategy<Value = Vec<MonitoringReport>> {
+/// A plausible monitoring report with random cluster, speed, and activity
+/// split.
+fn random_report(rng: &mut impl Rng64, id: u32, n_clusters: u16) -> MonitoringReport {
+    let cluster = rng.gen_range(n_clusters as u64) as u16;
+    let speed = 0.01 + 0.99 * rng.gen_f64();
+    let busy_f = rng.gen_f64();
+    let ic_f = 0.5 * rng.gen_f64();
+    let total = 1_000_000u64;
+    let busy = (busy_f * total as f64) as u64;
+    let inter = (ic_f * (total - busy) as f64) as u64;
+    MonitoringReport {
+        node: NodeId(id),
+        cluster: ClusterId(cluster),
+        period_end: SimTime::from_secs(180),
+        breakdown: OverheadBreakdown {
+            busy: SimDuration(busy),
+            inter_comm: SimDuration(inter),
+            idle: SimDuration(total - busy - inter),
+            ..Default::default()
+        },
+        speed,
+    }
+}
+
+fn random_reports(rng: &mut impl Rng64, n: usize, clusters: u16) -> Vec<MonitoringReport> {
     (0..n as u32)
-        .map(|i| arb_report(i, clusters))
-        .collect::<Vec<_>>()
+        .map(|i| random_report(rng, i, clusters))
+        .collect()
 }
 
-proptest! {
-    /// Whatever the inputs, the coordinator's decisions respect structural
-    /// invariants: it never removes nodes it has not seen, never removes
-    /// more than it knows, and never asks for a non-positive addition.
-    #[test]
-    fn decisions_are_structurally_sound(reports in arb_reports(24, 3)) {
+/// Whatever the inputs, the coordinator's decisions respect structural
+/// invariants: it never removes nodes it has not seen, never removes more
+/// than it knows, and never asks for a non-positive addition.
+#[test]
+fn decisions_are_structurally_sound() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let reports = random_reports(&mut rng, 24, 3);
         let mut c = Coordinator::new(AdaptPolicy::default());
         let known: Vec<NodeId> = reports.iter().map(|r| r.node).collect();
         for r in &reports {
             c.record_report(*r);
         }
         match c.evaluate(SimTime::from_secs(180), None) {
-            Decision::Add { count, .. } => prop_assert!(count >= 1),
+            Decision::Add { count, .. } => assert!(count >= 1, "case {case}"),
             Decision::RemoveNodes { nodes } => {
-                prop_assert!(!nodes.is_empty());
-                prop_assert!(nodes.len() < known.len(), "must not empty the computation");
+                assert!(!nodes.is_empty(), "case {case}");
+                assert!(
+                    nodes.len() < known.len(),
+                    "case {case}: must not empty the computation"
+                );
                 for n in &nodes {
-                    prop_assert!(known.contains(n));
+                    assert!(known.contains(n), "case {case}");
                 }
             }
             Decision::RemoveCluster { nodes, cluster } => {
-                prop_assert!(!nodes.is_empty());
+                assert!(!nodes.is_empty(), "case {case}");
                 for n in &nodes {
                     let r = reports.iter().find(|r| r.node == *n).expect("known node");
-                    prop_assert_eq!(r.cluster, cluster);
+                    assert_eq!(r.cluster, cluster, "case {case}");
                 }
             }
             Decision::OpportunisticSwap { .. } => {
-                prop_assert!(false, "extension disabled by default");
+                panic!("case {case}: extension disabled by default");
             }
             Decision::None => {}
         }
     }
+}
 
-    /// Evaluation is deterministic: the same reports yield the same
-    /// decision.
-    #[test]
-    fn evaluation_is_deterministic(reports in arb_reports(16, 3)) {
+/// Evaluation is deterministic: the same reports yield the same decision.
+#[test]
+fn evaluation_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let reports = random_reports(&mut rng, 16, 3);
         let mut a = Coordinator::new(AdaptPolicy::default());
         let mut b = Coordinator::new(AdaptPolicy::default());
         for r in &reports {
             a.record_report(*r);
             b.record_report(*r);
         }
-        prop_assert_eq!(
+        assert_eq!(
             a.evaluate(SimTime::from_secs(180), None),
-            b.evaluate(SimTime::from_secs(180), None)
+            b.evaluate(SimTime::from_secs(180), None),
+            "case {case}"
         );
     }
+}
 
-    /// The hierarchical coordinator is decision-equivalent to the flat one
-    /// for arbitrary report sets — the §7 hierarchy changes message
-    /// counts, never behaviour.
-    #[test]
-    fn hierarchy_is_always_equivalent(reports in arb_reports(20, 4)) {
+/// The hierarchical coordinator is decision-equivalent to the flat one for
+/// arbitrary report sets — the §7 hierarchy changes message counts, never
+/// behaviour.
+#[test]
+fn hierarchy_is_always_equivalent() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let reports = random_reports(&mut rng, 20, 4);
         let mut flat = Coordinator::new(AdaptPolicy::default());
         let mut hier = HierarchicalCoordinator::new(AdaptPolicy::default());
         for r in &reports {
@@ -105,42 +120,56 @@ proptest! {
             hier.record_report(*r);
         }
         let t = SimTime::from_secs(180);
-        prop_assert_eq!(flat.evaluate(t, None), hier.evaluate(t, None));
+        assert_eq!(
+            flat.evaluate(t, None),
+            hier.evaluate(t, None),
+            "case {case}"
+        );
     }
+}
 
-    /// Blacklists only grow, across arbitrary evaluation sequences.
-    #[test]
-    fn blacklists_are_monotone(batches in prop::collection::vec(arb_reports(12, 3), 1..5)) {
+/// Blacklists only grow, across arbitrary evaluation sequences.
+#[test]
+fn blacklists_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let n_batches = 1 + rng.gen_index(4);
         let mut c = Coordinator::new(AdaptPolicy::default());
         let mut prev_nodes = 0usize;
         let mut prev_clusters = 0usize;
-        for (i, batch) in batches.iter().enumerate() {
-            for r in batch {
-                c.record_report(*r);
+        for i in 0..n_batches {
+            for r in random_reports(&mut rng, 12, 3) {
+                c.record_report(r);
             }
             let _ = c.evaluate(SimTime::from_secs(180 * (i as u64 + 1)), None);
-            prop_assert!(c.blacklisted_nodes().len() >= prev_nodes);
-            prop_assert!(c.blacklisted_clusters().len() >= prev_clusters);
+            assert!(c.blacklisted_nodes().len() >= prev_nodes, "case {case}");
+            assert!(
+                c.blacklisted_clusters().len() >= prev_clusters,
+                "case {case}"
+            );
             prev_nodes = c.blacklisted_nodes().len();
             prev_clusters = c.blacklisted_clusters().len();
         }
     }
+}
 
-    /// The benchmark scheduler honours its overhead budget over long
-    /// random histories: total benchmark time / elapsed ≤ budget (up to
-    /// the one in-flight run).
-    #[test]
-    fn benchmark_budget_is_respected(
-        budget in 0.01f64..0.3,
-        durations in prop::collection::vec(100_000u64..10_000_000, 2..40),
-    ) {
+/// The benchmark scheduler honours its overhead budget over long random
+/// histories: total benchmark time / elapsed ≤ budget (up to the one
+/// in-flight run).
+#[test]
+fn benchmark_budget_is_respected() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let budget = 0.01 + 0.29 * rng.gen_f64();
+        let n = 2 + rng.gen_index(38);
+        let durations: Vec<u64> = (0..n).map(|_| 100_000 + rng.gen_range(9_900_000)).collect();
         let mut s = BenchmarkScheduler::new(budget, SimDuration(durations[0]));
         let mut now = SimTime::ZERO;
         let mut bench_total = 0u64;
         for &d in &durations {
             // Jump to the earliest allowed start.
             now = now.max(s.next_run_at());
-            prop_assert!(s.should_run(now));
+            assert!(s.should_run(now), "case {case}");
             s.record_run(now, SimDuration(d));
             bench_total += d;
             now += SimDuration(d);
@@ -149,17 +178,21 @@ proptest! {
         let overhead = bench_total as f64 / elapsed as f64;
         // The final run may overshoot the window; allow one-run slack.
         let last = *durations.last().expect("non-empty") as f64 / elapsed as f64;
-        prop_assert!(
+        assert!(
             overhead <= budget + last + 1e-9,
-            "overhead {overhead} exceeds budget {budget} (+ slack {last})"
+            "case {case}: overhead {overhead} exceeds budget {budget} (+ slack {last})"
         );
     }
+}
 
-    /// wa_efficiency over reconstructed-from-fractions reports matches the
-    /// original to floating-point accuracy (the digest loses nothing the
-    /// metric needs).
-    #[test]
-    fn digest_reconstruction_preserves_the_metric(reports in arb_reports(16, 3)) {
+/// wa_efficiency over reconstructed-from-fractions reports matches the
+/// original to floating-point accuracy (the digest loses nothing the
+/// metric needs).
+#[test]
+fn digest_reconstruction_preserves_the_metric() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let reports = random_reports(&mut rng, 16, 3);
         let original = wa_efficiency_of_reports(reports.iter());
         let mut hier = HierarchicalCoordinator::new(AdaptPolicy::default());
         for r in &reports {
@@ -171,7 +204,10 @@ proptest! {
         // metric must match.
         if hier.main().known_nodes() == reports.len() {
             let rebuilt = hier.main().current_wa_efficiency();
-            prop_assert!((rebuilt - original).abs() < 1e-6, "{rebuilt} vs {original}");
+            assert!(
+                (rebuilt - original).abs() < 1e-6,
+                "case {case}: {rebuilt} vs {original}"
+            );
         }
     }
 }

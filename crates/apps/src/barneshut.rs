@@ -67,7 +67,10 @@ impl BarnesHut {
     pub fn new(bodies: Vec<Body>, theta: f64, dt: f64) -> Self {
         assert!(!bodies.is_empty(), "need at least one body");
         assert!(theta > 0.0 && dt > 0.0);
-        assert!(bodies.iter().all(|b| b.mass > 0.0), "masses must be positive");
+        assert!(
+            bodies.iter().all(|b| b.mass > 0.0),
+            "masses must be positive"
+        );
         Self {
             bodies,
             theta,
@@ -296,7 +299,8 @@ impl BarnesHut {
             let leaf = n.children == NONE;
             // θ criterion: treat the cell as a point mass when its angular
             // size (edge / distance) is below θ.
-            let use_cell = leaf || (2.0 * n.half) * (2.0 * n.half) < self.theta * self.theta * dist2;
+            let use_cell =
+                leaf || (2.0 * n.half) * (2.0 * n.half) < self.theta * self.theta * dist2;
             if use_cell {
                 if leaf && n.body as usize == body && dist2 < 1e-24 {
                     continue; // self-interaction
@@ -339,7 +343,11 @@ impl BarnesHut {
     ///
     /// `sim` is consumed and returned because the force phase shares the
     /// state read-only across workers.
-    pub fn step_par(sim: BarnesHut, ctx: &WorkerCtx<'_>, chunk: usize) -> (BarnesHut, Vec<[f64; 3]>) {
+    pub fn step_par(
+        sim: BarnesHut,
+        ctx: &WorkerCtx<'_>,
+        chunk: usize,
+    ) -> (BarnesHut, Vec<[f64; 3]>) {
         assert!(chunk >= 1);
         let mut sim = sim;
         sim.build_tree();
@@ -368,13 +376,12 @@ impl BarnesHut {
         }
 
         let acc = split(ctx, &shared, 0, n, chunk);
-        let mut sim = Arc::try_unwrap(shared)
-            .unwrap_or_else(|arc| BarnesHut {
-                bodies: arc.bodies.clone(),
-                theta: arc.theta,
-                dt: arc.dt,
-                nodes: arc.nodes.clone(),
-            });
+        let mut sim = Arc::try_unwrap(shared).unwrap_or_else(|arc| BarnesHut {
+            bodies: arc.bodies.clone(),
+            theta: arc.theta,
+            dt: arc.dt,
+            nodes: arc.nodes.clone(),
+        });
         sim.kick_drift(&acc);
         (sim, acc)
     }

@@ -155,9 +155,7 @@ pub fn matmul_par(ctx: &WorkerCtx<'_>, a: Arc<Matrix>, b: Arc<Matrix>, cutoff: u
         let last = specs.pop().expect("eight specs");
         for &(_, _, sub_a, sub_b) in &specs {
             let (a2, b2) = (Arc::clone(a), Arc::clone(b));
-            handles.push(
-                ctx.spawn(move |ctx| block(ctx, &a2, &b2, sub_a, sub_b, h, cutoff)),
-            );
+            handles.push(ctx.spawn(move |ctx| block(ctx, &a2, &b2, sub_a, sub_b, h, cutoff)));
         }
         let mut partials: Vec<Vec<f64>> = Vec::with_capacity(8);
         let last_result = block(ctx, a, b, last.2, last.3, h, cutoff);
@@ -251,7 +249,10 @@ mod tests {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             rt.run(move |ctx| matmul_par(ctx, Arc::clone(&a), Arc::clone(&b), 2))
         }));
-        assert!(result.is_err(), "non-power-of-two dimension must propagate a panic");
+        assert!(
+            result.is_err(),
+            "non-power-of-two dimension must propagate a panic"
+        );
         rt.shutdown();
     }
 }

@@ -20,8 +20,7 @@ fn adaptive(f: &impl Fn(f64) -> f64, a: f64, b: f64, whole: f64, eps: f64, depth
     if depth == 0 || delta.abs() <= 15.0 * eps {
         return left + right + delta / 15.0;
     }
-    adaptive(f, a, m, left, eps * 0.5, depth - 1)
-        + adaptive(f, m, b, right, eps * 0.5, depth - 1)
+    adaptive(f, a, m, left, eps * 0.5, depth - 1) + adaptive(f, m, b, right, eps * 0.5, depth - 1)
 }
 
 /// Sequential adaptive Simpson integration of `f` over `[a, b]` with
@@ -36,7 +35,14 @@ pub fn integrate_seq(f: impl Fn(f64) -> f64, a: f64, b: f64, eps: f64) -> f64 {
 /// right, down to `spawn_depth` levels, then switches to the sequential
 /// kernel. `f` must be `Send + Sync + Copy` (a plain function pointer or
 /// capture-light closure).
-pub fn integrate_par<F>(ctx: &WorkerCtx<'_>, f: F, a: f64, b: f64, eps: f64, spawn_depth: u32) -> f64
+pub fn integrate_par<F>(
+    ctx: &WorkerCtx<'_>,
+    f: F,
+    a: f64,
+    b: f64,
+    eps: f64,
+    spawn_depth: u32,
+) -> f64
 where
     F: Fn(f64) -> f64 + Send + Sync + Copy + 'static,
 {

@@ -83,7 +83,13 @@ impl TspInstance {
     }
 }
 
-fn branch_seq(inst: &TspInstance, path: &mut Vec<usize>, visited: &mut [bool], len: u64, best: &AtomicU64) {
+fn branch_seq(
+    inst: &TspInstance,
+    path: &mut Vec<usize>,
+    visited: &mut [bool],
+    len: u64,
+    best: &AtomicU64,
+) {
     let n = inst.n;
     if path.len() == n {
         let total = len + inst.d(*path.last().expect("non-empty"), 0);

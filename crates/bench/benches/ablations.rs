@@ -1,42 +1,38 @@
-//! Design-choice ablations (DESIGN.md ABL-1/2/3).
+//! Design-choice ablations (DESIGN.md ABL-1/2/3/4).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sagrid_adapt::BadnessCoefficients;
-use sagrid_bench::bench_scenario;
+use sagrid_bench::{bench_scenario, measure, quick_mode};
 use sagrid_exp::scenarios::{ScenarioId, SubScenario};
 use sagrid_simgrid::{AdaptMode, GridSim, StealPolicy};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let samples = if quick_mode() { 3 } else { 10 };
 
     // ABL-2: cluster-aware random stealing vs plain random stealing on a
     // three-cluster WAN. The interesting output is the *virtual* runtime;
-    // Criterion measures how long the comparison takes to regenerate.
+    // the measurement is how long the comparison takes to regenerate.
     for (name, policy) in [
-        ("abl_crs", StealPolicy::ClusterAware),
-        ("abl_random_global", StealPolicy::RandomGlobal),
+        ("ablations/abl_crs", StealPolicy::ClusterAware),
+        ("ablations/abl_random_global", StealPolicy::RandomGlobal),
     ] {
-        g.bench_function(name, |b| {
-            let s = bench_scenario(ScenarioId::S2Expand(SubScenario::C));
-            b.iter(|| {
-                let mut cfg = s.config(AdaptMode::NoAdapt);
-                cfg.steal_policy = policy;
-                black_box(GridSim::run(cfg).total_runtime)
-            })
+        let s = bench_scenario(ScenarioId::S2Expand(SubScenario::C));
+        measure(name, 1, samples, || {
+            let mut cfg = s.config(AdaptMode::NoAdapt);
+            cfg.steal_policy = policy;
+            black_box(GridSim::run(cfg).total_runtime);
         });
     }
 
     // ABL-1: badness coefficients on the overloaded-CPUs scenario (the
     // node-level removal path, which is what the coefficients rank).
     for (name, coeff) in [
-        ("abl_badness_paper", BadnessCoefficients::default()),
         (
-            "abl_badness_speed_only",
+            "ablations/abl_badness_paper",
+            BadnessCoefficients::default(),
+        ),
+        (
+            "ablations/abl_badness_speed_only",
             BadnessCoefficients {
                 alpha: 1.0,
                 beta: 0.0,
@@ -44,7 +40,7 @@ fn bench_ablations(c: &mut Criterion) {
             },
         ),
         (
-            "abl_badness_ic_only",
+            "ablations/abl_badness_ic_only",
             BadnessCoefficients {
                 alpha: 0.0,
                 beta: 100.0,
@@ -52,48 +48,37 @@ fn bench_ablations(c: &mut Criterion) {
             },
         ),
     ] {
-        g.bench_function(name, |b| {
-            let s = bench_scenario(ScenarioId::S3OverloadedCpus);
-            b.iter(|| {
-                let mut cfg = s.config(AdaptMode::Adapt);
-                cfg.policy.coefficients = coeff;
-                black_box(GridSim::run(cfg).total_runtime)
-            })
+        let s = bench_scenario(ScenarioId::S3OverloadedCpus);
+        measure(name, 1, samples, || {
+            let mut cfg = s.config(AdaptMode::Adapt);
+            cfg.policy.coefficients = coeff;
+            black_box(GridSim::run(cfg).total_runtime);
         });
     }
 
     // ABL-3: opportunistic migration (paper §7 future work) on scenario 5.
     for (name, opportunistic) in [
-        ("abl_opportunistic_off", false),
-        ("abl_opportunistic_on", true),
+        ("ablations/abl_opportunistic_off", false),
+        ("ablations/abl_opportunistic_on", true),
     ] {
-        g.bench_function(name, |b| {
-            let s = bench_scenario(ScenarioId::S5CpusAndLink);
-            b.iter(|| {
-                let mut cfg = s.config(AdaptMode::Adapt);
-                cfg.policy.opportunistic_migration = opportunistic;
-                black_box(GridSim::run(cfg).total_runtime)
-            })
+        let s = bench_scenario(ScenarioId::S5CpusAndLink);
+        measure(name, 1, samples, || {
+            let mut cfg = s.config(AdaptMode::Adapt);
+            cfg.policy.opportunistic_migration = opportunistic;
+            black_box(GridSim::run(cfg).total_runtime);
         });
     }
 
     // ABL-4: load-aware benchmarking (paper §3.2 optimization).
     for (name, load_aware) in [
-        ("abl_periodic_benchmarks", false),
-        ("abl_load_aware_benchmarks", true),
+        ("ablations/abl_periodic_benchmarks", false),
+        ("ablations/abl_load_aware_benchmarks", true),
     ] {
-        g.bench_function(name, |b| {
-            let s = bench_scenario(ScenarioId::S1Overhead);
-            b.iter(|| {
-                let mut cfg = s.config(AdaptMode::MonitorOnly);
-                cfg.policy.load_aware_benchmarking = load_aware;
-                black_box(GridSim::run(cfg).benchmark_fraction())
-            })
+        let s = bench_scenario(ScenarioId::S1Overhead);
+        measure(name, 1, samples, || {
+            let mut cfg = s.config(AdaptMode::MonitorOnly);
+            cfg.policy.load_aware_benchmarking = load_aware;
+            black_box(GridSim::run(cfg).benchmark_fraction());
         });
     }
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

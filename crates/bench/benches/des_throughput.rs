@@ -1,0 +1,65 @@
+//! Discrete-event engine throughput: events processed per second of wall
+//! time on the scenario 1 (overhead, single cluster) and scenario 4
+//! (overloaded WAN link, multi-cluster) workloads.
+//!
+//! Writes `BENCH_des_throughput.json` (hand-rolled emitter, no serde) so
+//! regressions are diffable in review; `--quick` / `SAGRID_BENCH_QUICK=1`
+//! shrinks the sample count for CI smoke runs.
+
+use sagrid_bench::{bench_scenario, measure, quick_mode, Json};
+use sagrid_exp::scenarios::ScenarioId;
+use sagrid_simgrid::{AdaptMode, GridSim, RunResult};
+use std::hint::black_box;
+
+fn bench_one(id: ScenarioId, label: &str, samples: u32) -> Json {
+    let scenario = bench_scenario(id);
+    // The event count is deterministic for a fixed config; one untimed run
+    // pins it down so events/sec comes out of pure wall-clock samples.
+    let probe: RunResult = GridSim::run(scenario.config(AdaptMode::Adapt));
+    let events = probe.events_processed;
+    let m = measure(label, 1, samples, || {
+        black_box(GridSim::run(scenario.config(AdaptMode::Adapt)));
+    });
+    let events_per_sec = events as f64 / (m.mean_ns as f64 / 1e9);
+    println!(
+        "{label:<40} {events} events, {:.0} events/sec (steals {}, peer-cache hits {})",
+        events_per_sec, probe.steal_attempts, probe.peer_cache_hits
+    );
+    Json::Obj(vec![
+        ("name".into(), Json::Str(label.into())),
+        ("events".into(), Json::Int(events as u128)),
+        (
+            "steal_attempts".into(),
+            Json::Int(probe.steal_attempts as u128),
+        ),
+        (
+            "peer_cache_hits".into(),
+            Json::Int(probe.peer_cache_hits as u128),
+        ),
+        ("samples".into(), Json::Int(m.samples as u128)),
+        ("mean_ns".into(), Json::Int(m.mean_ns)),
+        ("min_ns".into(), Json::Int(m.min_ns)),
+        ("events_per_sec".into(), Json::Num(events_per_sec.round())),
+    ])
+}
+
+fn main() {
+    let samples = if quick_mode() { 3 } else { 10 };
+    let runs = vec![
+        bench_one(ScenarioId::S1Overhead, "des_scenario1_overhead", samples),
+        bench_one(
+            ScenarioId::S4OverloadedLink,
+            "des_scenario4_wan_link",
+            samples,
+        ),
+    ];
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("des_throughput".into())),
+        ("quick".into(), Json::Str(quick_mode().to_string())),
+        ("runs".into(), Json::Arr(runs)),
+    ]);
+    let path = std::env::var("SAGRID_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_des_throughput.json".to_string());
+    std::fs::write(&path, report.pretty()).expect("write benchmark report");
+    println!("wrote {path}");
+}

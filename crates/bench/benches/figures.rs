@@ -1,71 +1,49 @@
 //! One benchmark per paper figure/table: regenerating the figure's data on
 //! the discrete-event engine (DESIGN.md per-experiment index).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sagrid_adapt::AdaptPolicy;
-use sagrid_bench::bench_scenario;
+use sagrid_bench::{bench_scenario, measure, quick_mode};
 use sagrid_core::time::SimDuration;
 use sagrid_exp::scenarios::{ScenarioId, SubScenario};
 use sagrid_simgrid::{AdaptMode, GridSim};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    g
-}
-
-fn bench_figures(c: &mut Criterion) {
-    let mut g = configure(c);
+fn main() {
+    let samples = if quick_mode() { 3 } else { 10 };
 
     // FIG-1: the runtime bars need all three modes of scenario 1.
-    g.bench_function("fig1_runtime_bars_scenario1", |b| {
+    {
         let s = bench_scenario(ScenarioId::S1Overhead);
-        b.iter(|| {
+        measure("figures/fig1_runtime_bars_scenario1", 1, samples, || {
             let r1 = GridSim::run(s.config(AdaptMode::NoAdapt));
             let r2 = GridSim::run(s.config(AdaptMode::Adapt));
             let r3 = GridSim::run(s.config(AdaptMode::MonitorOnly));
-            black_box((r1.total_runtime, r2.total_runtime, r3.total_runtime))
-        })
-    });
+            black_box((r1.total_runtime, r2.total_runtime, r3.total_runtime));
+        });
+    }
 
-    // FIG-3: expanding from 8 nodes (scenario 2a), adaptive run.
-    g.bench_function("fig3_expand_from_8", |b| {
-        let s = bench_scenario(ScenarioId::S2Expand(SubScenario::A));
-        b.iter(|| black_box(GridSim::run(s.config(AdaptMode::Adapt)).iteration_durations))
-    });
-
-    // FIG-4: overloaded CPUs (scenario 3).
-    g.bench_function("fig4_overloaded_cpus", |b| {
-        let s = bench_scenario(ScenarioId::S3OverloadedCpus);
-        b.iter(|| black_box(GridSim::run(s.config(AdaptMode::Adapt)).iteration_durations))
-    });
-
-    // FIG-5: overloaded network link (scenario 4).
-    g.bench_function("fig5_overloaded_link", |b| {
-        let s = bench_scenario(ScenarioId::S4OverloadedLink);
-        b.iter(|| black_box(GridSim::run(s.config(AdaptMode::Adapt)).iteration_durations))
-    });
-
-    // FIG-6: overloaded CPUs + link (scenario 5).
-    g.bench_function("fig6_cpus_and_link", |b| {
-        let s = bench_scenario(ScenarioId::S5CpusAndLink);
-        b.iter(|| black_box(GridSim::run(s.config(AdaptMode::Adapt)).iteration_durations))
-    });
-
-    // FIG-7: crashing clusters (scenario 6).
-    g.bench_function("fig7_crash", |b| {
-        let s = bench_scenario(ScenarioId::S6Crash);
-        b.iter(|| black_box(GridSim::run(s.config(AdaptMode::Adapt)).iteration_durations))
-    });
+    // FIG-3..7: the adaptive run behind each iteration-duration figure.
+    let adaptive_figures = [
+        (
+            "figures/fig3_expand_from_8",
+            ScenarioId::S2Expand(SubScenario::A),
+        ),
+        ("figures/fig4_overloaded_cpus", ScenarioId::S3OverloadedCpus),
+        ("figures/fig5_overloaded_link", ScenarioId::S4OverloadedLink),
+        ("figures/fig6_cpus_and_link", ScenarioId::S5CpusAndLink),
+        ("figures/fig7_crash", ScenarioId::S6Crash),
+    ];
+    for (name, id) in adaptive_figures {
+        let s = bench_scenario(id);
+        measure(name, 1, samples, || {
+            black_box(GridSim::run(s.config(AdaptMode::Adapt)).iteration_durations);
+        });
+    }
 
     // TAB-S1: the monitoring-period overhead sweep.
-    g.bench_function("tab_s1_overhead_sweep", |b| {
+    {
         let s = bench_scenario(ScenarioId::S1Overhead);
-        b.iter(|| {
+        measure("figures/tab_s1_overhead_sweep", 1, samples, || {
             let mut rows = Vec::new();
             for period in [60u64, 180] {
                 let mut cfg = s.config(AdaptMode::Adapt);
@@ -75,12 +53,7 @@ fn bench_figures(c: &mut Criterion) {
                 };
                 rows.push(GridSim::run(cfg).benchmark_fraction());
             }
-            black_box(rows)
-        })
-    });
-
-    g.finish();
+            black_box(rows);
+        });
+    }
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

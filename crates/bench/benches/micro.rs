@@ -1,10 +1,10 @@
 //! Component micro-benchmarks: the building blocks whose throughput the
 //! figure regeneration rests on.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sagrid_adapt::badness::rank_nodes_by_badness;
 use sagrid_adapt::{wa_efficiency_of_reports, BadnessCoefficients};
 use sagrid_apps::BarnesHut;
+use sagrid_bench::{measure, quick_mode};
 use sagrid_core::config::GridConfig;
 use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
@@ -14,7 +14,6 @@ use sagrid_core::workload::TreeShape;
 use sagrid_runtime::{Runtime, RuntimeConfig};
 use sagrid_simnet::{EventQueue, Network};
 use std::hint::black_box;
-use std::time::Duration;
 
 fn reports(n: usize) -> Vec<MonitoringReport> {
     let mut rng = Xoshiro256StarStar::seeded(7);
@@ -39,106 +38,81 @@ fn reports(n: usize) -> Vec<MonitoringReport> {
         .collect()
 }
 
-fn bench_micro(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro");
-    g.sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let samples = if quick_mode() { 5 } else { 20 };
 
     // Discrete-event kernel throughput.
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("event_queue_100k_push_pop", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u32> = EventQueue::new();
-            let mut rng = Xoshiro256StarStar::seeded(1);
-            for i in 0..100_000u32 {
-                let at = q.now() + SimDuration::from_micros(rng.gen_range(1_000));
-                q.push(at, i);
-                if i % 2 == 0 {
-                    black_box(q.pop());
-                }
+    measure("micro/event_queue_100k_push_pop", 2, samples, || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut rng = Xoshiro256StarStar::seeded(1);
+        for i in 0..100_000u32 {
+            let at = q.now() + SimDuration::from_micros(rng.gen_range(1_000));
+            q.push(at, i);
+            if i % 2 == 0 {
+                black_box(q.pop());
             }
-            while q.pop().is_some() {}
-            black_box(q.processed())
-        })
+        }
+        while q.pop().is_some() {}
+        black_box(q.processed());
     });
 
     // The coordinator's per-period metric computations at DAS-2 scale.
     let rs = reports(200);
-    g.throughput(Throughput::Elements(200));
-    g.bench_function("wa_efficiency_200_reports", |b| {
-        b.iter(|| black_box(wa_efficiency_of_reports(rs.iter())))
+    measure("micro/wa_efficiency_200_reports", 10, 10 * samples, || {
+        black_box(wa_efficiency_of_reports(rs.iter()));
     });
-    g.bench_function("badness_ranking_200_reports", |b| {
-        let coeff = BadnessCoefficients::default();
-        b.iter(|| {
-            black_box(rank_nodes_by_badness(
-                &coeff,
-                &rs,
-                Some(ClusterId(2)),
-            ))
-        })
-    });
+    let coeff = BadnessCoefficients::default();
+    measure(
+        "micro/badness_ranking_200_reports",
+        10,
+        10 * samples,
+        || {
+            black_box(rank_nodes_by_badness(&coeff, &rs, Some(ClusterId(2))));
+        },
+    );
 
     // Workload generation (per-iteration task tree).
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("task_tree_generation", |b| {
-        let shape = TreeShape {
-            depth: 4,
-            min_branch: 3,
-            max_branch: 5,
-            ..TreeShape::small()
-        };
-        let mut rng = Xoshiro256StarStar::seeded(3);
-        b.iter(|| {
-            let mut t = shape.generate(&mut rng);
-            t.scale_payloads_by_subtree(8192);
-            black_box(t.total_work())
-        })
+    let shape = TreeShape {
+        depth: 4,
+        min_branch: 3,
+        max_branch: 5,
+        ..TreeShape::small()
+    };
+    let mut rng = Xoshiro256StarStar::seeded(3);
+    measure("micro/task_tree_generation", 2, samples, || {
+        let mut t = shape.generate(&mut rng);
+        t.scale_payloads_by_subtree(8192);
+        black_box(t.total_work());
     });
 
     // Network model: WAN deliveries with uplink queueing.
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("network_10k_wan_deliveries", |b| {
-        b.iter(|| {
-            let mut net = Network::new(&GridConfig::das2());
-            let mut t = SimTime::ZERO;
-            for i in 0..10_000u64 {
-                let d = net.deliver(
-                    t,
-                    ClusterId((i % 5) as u16),
-                    ClusterId(((i + 1) % 5) as u16),
-                    4096,
-                );
-                t += SimDuration::from_micros(50);
-                black_box(d);
-            }
-        })
+    measure("micro/network_10k_wan_deliveries", 2, samples, || {
+        let mut net = Network::new(&GridConfig::das2());
+        let mut t = SimTime::ZERO;
+        for i in 0..10_000u64 {
+            let d = net.deliver(
+                t,
+                ClusterId((i % 5) as u16),
+                ClusterId(((i + 1) % 5) as u16),
+                4096,
+            );
+            t += SimDuration::from_micros(50);
+            black_box(d);
+        }
     });
 
-    // Barnes-Hut: one sequential step (tree build + force + integrate).
-    g.throughput(Throughput::Elements(2_000));
-    g.bench_function("barnes_hut_step_2000_bodies", |b| {
-        b.iter_with_setup(
-            || BarnesHut::plummer(2_000, 11),
-            |mut sim| {
-                black_box(sim.step_seq());
-                sim
-            },
-        )
+    // Barnes-Hut: one sequential step (tree build + force + integrate) on a
+    // fresh system each sample, so integration drift never accumulates.
+    measure("micro/barnes_hut_step_2000_bodies", 1, samples, || {
+        let mut sim = BarnesHut::plummer(2_000, 11);
+        black_box(sim.step_seq());
     });
 
     // The threaded runtime's spawn/steal machinery under a fine-grained
     // spawn tree.
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("threaded_fib_24_on_4_workers", |b| {
-        let rt = Runtime::new(RuntimeConfig::single_cluster(4));
-        b.iter(|| black_box(rt.run(|ctx| sagrid_apps::fib_par(ctx, 24, 12))));
-        rt.shutdown();
+    let rt = Runtime::new(RuntimeConfig::single_cluster(4));
+    measure("micro/threaded_fib_24_on_4_workers", 1, samples, || {
+        black_box(rt.run(|ctx| sagrid_apps::fib_par(ctx, 24, 12)));
     });
-
-    g.finish();
+    rt.shutdown();
 }
-
-criterion_group!(benches, bench_micro);
-criterion_main!(benches);

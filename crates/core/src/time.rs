@@ -224,7 +224,10 @@ mod tests {
 
     #[test]
     fn fraction_of_handles_zero_denominator() {
-        assert_eq!(SimDuration::from_secs(1).fraction_of(SimDuration::ZERO), 0.0);
+        assert_eq!(
+            SimDuration::from_secs(1).fraction_of(SimDuration::ZERO),
+            0.0
+        );
         let half = SimDuration::from_secs(1).fraction_of(SimDuration::from_secs(2));
         assert!((half - 0.5).abs() < 1e-12);
     }

@@ -462,9 +462,7 @@ mod tests {
         let a = &w.iterations[0];
         let b = &w.iterations[1];
         // Same calibrated totals...
-        assert!(
-            (a.total_work().as_secs_f64() - b.total_work().as_secs_f64()).abs() < 1.0
-        );
+        assert!((a.total_work().as_secs_f64() - b.total_work().as_secs_f64()).abs() < 1.0);
         // ...but different trees (bodies moved).
         assert_ne!(a.len(), b.len());
     }

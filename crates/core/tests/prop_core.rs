@@ -1,104 +1,146 @@
-//! Property tests for the core foundation types.
+//! Randomized property tests for the core foundation types, driven by the
+//! in-repo fixed-seed RNG so every case is reproducible offline.
 
-use proptest::prelude::*;
 use sagrid_core::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 use sagrid_core::time::{SimDuration, SimTime};
 use sagrid_core::workload::{barnes_hut_profile, TreeShape, BH_TARGET_EFFICIENCY};
 
-proptest! {
-    /// Time arithmetic: `(t + a) + b == (t + b) + a` and subtraction
-    /// round-trips, within the saturating domain.
-    #[test]
-    fn time_addition_commutes(t in 0u64..1u64 << 40, a in 0u64..1u64 << 30, b in 0u64..1u64 << 30) {
-        let t = SimTime(t);
-        let (a, b) = (SimDuration(a), SimDuration(b));
-        prop_assert_eq!((t + a) + b, (t + b) + a);
-        prop_assert_eq!((t + a) - t, a);
-        prop_assert_eq!(t.saturating_since(t + a), SimDuration::ZERO);
-    }
+const CASES: u64 = 200;
 
-    /// Duration scaling: `mul_f64` is monotone in the factor and never
-    /// panics on pathological input.
-    #[test]
-    fn duration_scaling_is_monotone(d in 0u64..1u64 << 40, f1 in 0.0f64..10.0, f2 in 0.0f64..10.0) {
-        let d = SimDuration(d);
+fn rng_for(test: u64, case: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seeded(0xC04E_0000 + test * 1_000 + case)
+}
+
+/// Time arithmetic: `(t + a) + b == (t + b) + a` and subtraction
+/// round-trips, within the saturating domain.
+#[test]
+fn time_addition_commutes() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let t = SimTime(rng.gen_range(1 << 40));
+        let a = SimDuration(rng.gen_range(1 << 30));
+        let b = SimDuration(rng.gen_range(1 << 30));
+        assert_eq!((t + a) + b, (t + b) + a, "case {case}");
+        assert_eq!((t + a) - t, a, "case {case}");
+        assert_eq!(t.saturating_since(t + a), SimDuration::ZERO, "case {case}");
+    }
+}
+
+/// Duration scaling: `mul_f64` is monotone in the factor and never panics
+/// on pathological input.
+#[test]
+fn duration_scaling_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let d = SimDuration(rng.gen_range(1 << 40));
+        let f1 = 10.0 * rng.gen_f64();
+        let f2 = 10.0 * rng.gen_f64();
         let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-        prop_assert!(d.mul_f64(lo) <= d.mul_f64(hi));
+        assert!(d.mul_f64(lo) <= d.mul_f64(hi), "case {case}");
         let _ = d.mul_f64(f64::NAN);
         let _ = d.mul_f64(f64::INFINITY);
     }
+}
 
-    /// `fraction_of` stays within [0, 1] whenever numerator ≤ denominator.
-    #[test]
-    fn fraction_is_bounded(num in 0u64..1u64 << 40, extra in 0u64..1u64 << 40) {
+/// `fraction_of` stays within [0, 1] whenever numerator ≤ denominator.
+#[test]
+fn fraction_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let num = rng.gen_range(1 << 40);
+        let extra = rng.gen_range(1 << 40);
         let n = SimDuration(num);
         let d = SimDuration(num.saturating_add(extra).max(1));
         let f = n.fraction_of(d);
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f), "case {case}: {f}");
     }
+}
 
-    /// Derived RNG streams with different tags produce different output;
-    /// the same tag reproduces the same stream.
-    #[test]
-    fn derived_streams_are_stable_and_distinct(seed in any::<u64>(), t1 in any::<u64>(), t2 in any::<u64>()) {
+/// Derived RNG streams with different tags produce different output; the
+/// same tag reproduces the same stream.
+#[test]
+fn derived_streams_are_stable_and_distinct() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let seed = rng.next_u64();
+        let t1 = rng.next_u64();
+        let t2 = rng.next_u64();
         let root = Xoshiro256StarStar::seeded(seed);
         let mut a1 = root.derive(t1);
         let mut a2 = root.derive(t1);
         let xs1: Vec<u64> = (0..4).map(|_| a1.next_u64()).collect();
         let xs2: Vec<u64> = (0..4).map(|_| a2.next_u64()).collect();
-        prop_assert_eq!(&xs1, &xs2, "same tag must reproduce");
+        assert_eq!(xs1, xs2, "case {case}: same tag must reproduce");
         if t1 != t2 {
             let mut b = root.derive(t2);
             let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
-            prop_assert_ne!(xs1, ys, "different tags must differ");
+            assert_ne!(xs1, ys, "case {case}: different tags must differ");
         }
     }
+}
 
-    /// SplitMix64 is a bijection-ish mixer: nearby seeds produce unrelated
-    /// first outputs (no fixed offsets leak through).
-    #[test]
-    fn splitmix_nearby_seeds_diverge(seed in any::<u64>()) {
+/// SplitMix64 is a bijection-ish mixer: nearby seeds produce unrelated
+/// first outputs (no fixed offsets leak through).
+#[test]
+fn splitmix_nearby_seeds_diverge() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let seed = rng.next_u64();
         let a = SplitMix64::new(seed).next_u64();
         let b = SplitMix64::new(seed.wrapping_add(1)).next_u64();
-        prop_assert_ne!(a, b);
+        assert_ne!(a, b, "case {case}");
     }
+}
 
-    /// The Barnes-Hut profile calibration invariant holds for arbitrary
-    /// target sizes: per-iteration work ≈ nodes × iter_secs × efficiency,
-    /// and every iteration tree is well formed.
-    #[test]
-    fn bh_profile_calibrates_for_any_target(nodes in 2usize..64, iter_secs in 2.0f64..30.0, seed in any::<u64>()) {
+/// The Barnes-Hut profile calibration invariant holds for arbitrary target
+/// sizes: per-iteration work ≈ nodes × iter_secs × efficiency, and every
+/// iteration tree is well formed.
+#[test]
+fn bh_profile_calibrates_for_any_target() {
+    // Heavier cases: fewer of them.
+    for case in 0..30 {
+        let mut rng = rng_for(6, case);
+        let nodes = 2 + rng.gen_index(62);
+        let iter_secs = 2.0 + 28.0 * rng.gen_f64();
+        let seed = rng.next_u64();
         let w = barnes_hut_profile(2, nodes, iter_secs, seed);
         let target = nodes as f64 * iter_secs * BH_TARGET_EFFICIENCY;
         for t in &w.iterations {
             let total = t.total_work().as_secs_f64();
-            prop_assert!((total - target).abs() / target < 0.02, "total {total} target {target}");
-            prop_assert!(t.critical_path() <= t.total_work());
+            assert!(
+                (total - target).abs() / target < 0.02,
+                "case {case}: total {total} target {target}"
+            );
+            assert!(t.critical_path() <= t.total_work(), "case {case}");
             // Payloads scale with subtrees: root carries the largest.
             let root_payload = t.node(0).payload_bytes;
             for i in 1..t.len() {
-                prop_assert!(t.node(i).payload_bytes <= root_payload);
+                assert!(t.node(i).payload_bytes <= root_payload, "case {case}");
             }
         }
     }
+}
 
-    /// Tree generation with min == max branch gives the exact arity.
-    #[test]
-    fn fixed_branch_trees_have_exact_arity(branch in 1u32..5, depth in 1u32..5) {
-        let shape = TreeShape {
-            depth,
-            min_branch: branch,
-            max_branch: branch,
-            ..TreeShape::small()
-        };
-        let mut rng = Xoshiro256StarStar::seeded(1);
-        let t = shape.generate(&mut rng);
-        let mut expected = 0u64;
-        let mut level = 1u64;
-        for _ in 0..=depth {
-            expected += level;
-            level *= u64::from(branch);
+/// Tree generation with min == max branch gives the exact arity.
+#[test]
+fn fixed_branch_trees_have_exact_arity() {
+    for branch in 1u32..5 {
+        for depth in 1u32..5 {
+            let shape = TreeShape {
+                depth,
+                min_branch: branch,
+                max_branch: branch,
+                ..TreeShape::small()
+            };
+            let mut rng = Xoshiro256StarStar::seeded(1);
+            let t = shape.generate(&mut rng);
+            let mut expected = 0u64;
+            let mut level = 1u64;
+            for _ in 0..=depth {
+                expected += level;
+                level *= u64::from(branch);
+            }
+            assert_eq!(t.len() as u64, expected, "branch {branch} depth {depth}");
         }
-        prop_assert_eq!(t.len() as u64, expected);
     }
 }

@@ -9,9 +9,10 @@
 //!   scenario 5, where the paper explicitly notes what the extension would
 //!   buy.
 
+use crate::parallel;
 use crate::scenarios::{Scenario, ScenarioId};
 use sagrid_adapt::BadnessCoefficients;
-use sagrid_simgrid::{AdaptMode, GridSim, RunResult, StealPolicy};
+use sagrid_simgrid::{AdaptMode, RunResult, StealPolicy};
 
 /// One row of the badness-coefficient ablation.
 #[derive(Clone, Debug)]
@@ -32,8 +33,6 @@ pub struct CoeffRow {
 /// does not consult the coefficients). The full formula should match or
 /// beat every degenerate variant.
 pub fn badness_coefficients(scenario: &Scenario) -> Vec<CoeffRow> {
-    let baseline = GridSim::run(scenario.config(AdaptMode::NoAdapt));
-    let t1 = baseline.total_runtime.as_secs_f64();
     let variants: [(&'static str, BadnessCoefficients); 5] = [
         ("paper (α=1, β=100, γ=10)", BadnessCoefficients::default()),
         (
@@ -69,12 +68,23 @@ pub fn badness_coefficients(scenario: &Scenario) -> Vec<CoeffRow> {
             },
         ),
     ];
+    // One batch: the non-adaptive baseline plus the whole coefficient grid.
+    let mut configs = vec![scenario.config(AdaptMode::NoAdapt)];
+    configs.extend(variants.iter().map(|(_, coefficients)| {
+        let mut cfg = scenario.config(AdaptMode::Adapt);
+        cfg.policy.coefficients = *coefficients;
+        cfg
+    }));
+    let mut results = parallel::run_batch(configs).into_iter();
+    let t1 = results
+        .next()
+        .expect("baseline result")
+        .total_runtime
+        .as_secs_f64();
     variants
         .into_iter()
-        .map(|(name, coefficients)| {
-            let mut cfg = scenario.config(AdaptMode::Adapt);
-            cfg.policy.coefficients = coefficients;
-            let r = GridSim::run(cfg);
+        .zip(results)
+        .map(|((name, coefficients), r)| {
             let t2 = r.total_runtime.as_secs_f64();
             CoeffRow {
                 name,
@@ -93,18 +103,16 @@ pub fn crs_vs_random(scenario: &Scenario) -> (RunResult, RunResult) {
     crs_cfg.steal_policy = StealPolicy::ClusterAware;
     let mut rnd_cfg = scenario.config(AdaptMode::NoAdapt);
     rnd_cfg.steal_policy = StealPolicy::RandomGlobal;
-    (GridSim::run(crs_cfg), GridSim::run(rnd_cfg))
+    run_pair(crs_cfg, rnd_cfg)
 }
 
 /// ABL-3: scenario 5 with and without the opportunistic-migration
 /// extension. Returns `(off, on)`.
 pub fn opportunistic_migration() -> (RunResult, RunResult) {
     let scenario = Scenario::new(ScenarioId::S5CpusAndLink);
-    let off = GridSim::run(scenario.config(AdaptMode::Adapt));
     let mut cfg = scenario.config(AdaptMode::Adapt);
     cfg.policy.opportunistic_migration = true;
-    let on = GridSim::run(cfg);
-    (off, on)
+    run_pair(scenario.config(AdaptMode::Adapt), cfg)
 }
 
 /// ABL-4: the load-aware benchmarking optimization (paper §3.2/§7:
@@ -114,17 +122,24 @@ pub fn opportunistic_migration() -> (RunResult, RunResult) {
 /// `(off, on)` monitor-only runs of `scenario` — compare
 /// `benchmark_fraction()`.
 pub fn load_aware_benchmarking(scenario: &Scenario) -> (RunResult, RunResult) {
-    let off = GridSim::run(scenario.config(AdaptMode::MonitorOnly));
     let mut cfg = scenario.config(AdaptMode::MonitorOnly);
     cfg.policy.load_aware_benchmarking = true;
-    let on = GridSim::run(cfg);
-    (off, on)
+    run_pair(scenario.config(AdaptMode::MonitorOnly), cfg)
+}
+
+/// Runs an A/B pair as one two-job batch.
+fn run_pair(a: sagrid_simgrid::SimConfig, b: sagrid_simgrid::SimConfig) -> (RunResult, RunResult) {
+    let mut results = parallel::run_batch(vec![a, b]).into_iter();
+    let first = results.next().expect("two results");
+    let second = results.next().expect("two results");
+    (first, second)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenarios::SubScenario;
+    use sagrid_simgrid::GridSim;
 
     #[test]
     fn crs_beats_random_global_stealing() {
@@ -147,10 +162,16 @@ mod tests {
         let mut s = Scenario::quick(ScenarioId::S1Overhead);
         s.iterations = 40;
         let (off, on) = load_aware_benchmarking(&s);
-        assert!(on.benchmark_fraction() < off.benchmark_fraction() * 0.5,
+        assert!(
+            on.benchmark_fraction() < off.benchmark_fraction() * 0.5,
             "load-aware: {} vs periodic: {}",
-            on.benchmark_fraction(), off.benchmark_fraction());
-        assert!(on.aggregate.benchmark.0 > 0, "the initial benchmark still runs");
+            on.benchmark_fraction(),
+            off.benchmark_fraction()
+        );
+        assert!(
+            on.aggregate.benchmark.0 > 0,
+            "the initial benchmark still runs"
+        );
     }
 
     #[test]
@@ -162,11 +183,14 @@ mod tests {
         let mut cfg = s.config(AdaptMode::Adapt);
         cfg.policy.load_aware_benchmarking = true;
         let adaptive = GridSim::run(cfg);
-        assert!(adaptive
-            .decisions
-            .iter()
-            .any(|d| d.decision.kind() == "remove-nodes"),
-            "overloaded nodes must still be detected: {:?}", adaptive.decisions);
+        assert!(
+            adaptive
+                .decisions
+                .iter()
+                .any(|d| d.decision.kind() == "remove-nodes"),
+            "overloaded nodes must still be detected: {:?}",
+            adaptive.decisions
+        );
     }
 
     #[test]

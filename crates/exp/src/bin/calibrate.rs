@@ -14,7 +14,11 @@ use sagrid_simgrid::{AdaptMode, GridSim};
 fn probe_scenario(id: ScenarioId) {
     let s = Scenario::new(id);
     let r = GridSim::run(s.config(AdaptMode::MonitorOnly));
-    println!("scenario {} (monitor-only): runtime {:.1}s", id.label(), r.total_runtime.as_secs_f64());
+    println!(
+        "scenario {} (monitor-only): runtime {:.1}s",
+        id.label(),
+        r.total_runtime.as_secs_f64()
+    );
     for (t, per_cluster) in &r.cluster_ic_timeline {
         let row: Vec<String> = per_cluster
             .iter()

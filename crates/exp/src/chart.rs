@@ -60,11 +60,7 @@ pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, value) in rows {
         let bar = ((value / max) * width as f64).round() as usize;
-        let _ = writeln!(
-            s,
-            "  {label:<label_w$} |{} {value:.1}",
-            "#".repeat(bar),
-        );
+        let _ = writeln!(s, "  {label:<label_w$} |{} {value:.1}", "#".repeat(bar),);
     }
     s
 }
@@ -82,7 +78,10 @@ pub fn gantt(
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{title}");
-    let _ = writeln!(s, "  B busy  M benchmark  l local-comm  w wide-comm  . idle");
+    let _ = writeln!(
+        s,
+        "  B busy  M benchmark  l local-comm  w wide-comm  . idle"
+    );
     if t1 <= t0 || width == 0 {
         return s;
     }
@@ -141,10 +140,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_width() {
-        let rows = vec![
-            ("small".to_string(), 10.0),
-            ("large".to_string(), 100.0),
-        ];
+        let rows = vec![("small".to_string(), 10.0), ("large".to_string(), 100.0)];
         let c = bar_chart("bars", &rows, 20);
         let lines: Vec<&str> = c.lines().collect();
         let small_bar = lines[1].matches('#').count();
@@ -160,7 +156,11 @@ mod tests {
         use sagrid_simgrid::{NodeTrace, SpanKind};
         let mut tr = NodeTrace::default();
         tr.push(SimTime::from_secs(0), SimTime::from_secs(5), SpanKind::Busy);
-        tr.push(SimTime::from_secs(5), SimTime::from_secs(10), SpanKind::Idle);
+        tr.push(
+            SimTime::from_secs(5),
+            SimTime::from_secs(10),
+            SpanKind::Idle,
+        );
         let g = gantt("g", &[(NodeId(3), tr)], 0.0, 10.0, 10);
         assert!(g.contains("n3"));
         let row = g.lines().nth(2).expect("row");

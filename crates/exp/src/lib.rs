@@ -9,6 +9,9 @@
 //!   (4) overloaded network link, (5) both at once, (6) crashing nodes;
 //! * [`runner`] — executes a scenario in a given adaptation mode and
 //!   gathers figure-ready series;
+//! * [`parallel`] — fans independent simulation runs out over a scoped
+//!   worker pool, order-preserving so all outputs stay byte-identical to a
+//!   serial run (`SAGRID_THREADS` / `--serial` control the pool size);
 //! * [`chart`] — ASCII figure rendering (iteration-duration plots, bar
 //!   charts) for the terminal;
 //! * [`report`] — renders the paper-style outputs (Figure 1 runtime bars,
@@ -24,9 +27,10 @@
 
 pub mod ablation;
 pub mod chart;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
 
-pub use runner::{run_scenario, ScenarioOutcome};
+pub use runner::{run_scenario, run_scenarios, ScenarioOutcome};
 pub use scenarios::{Scenario, ScenarioId};

@@ -3,19 +3,24 @@
 //!
 //! ```text
 //! experiments [--all] [--figure N] [--table s1] [--ablations]
-//!             [--quick] [--out DIR]
+//!             [--quick] [--serial] [--out DIR]
 //! ```
 //!
 //! With no arguments, runs everything at paper scale and prints the
 //! paper-style reports to stdout. `--out DIR` additionally writes CSV series
 //! for external plotting. `--quick` shortens runs (for smoke testing).
+//!
+//! Independent simulation runs are fanned out over a worker pool sized by
+//! the `SAGRID_THREADS` environment variable (default: all cores); every
+//! byte of output is identical whatever the pool size. `--serial` forces a
+//! single worker.
 
 use sagrid_adapt::AdaptPolicy;
 use sagrid_exp::report;
-use sagrid_exp::runner::{run_scenario, ScenarioOutcome};
+use sagrid_exp::runner::{run_scenarios, ScenarioOutcome};
 use sagrid_exp::scenarios::{Scenario, ScenarioId, SubScenario};
-use sagrid_exp::{ablation, runner};
-use sagrid_simgrid::{AdaptMode, GridSim};
+use sagrid_exp::{ablation, parallel, runner};
+use sagrid_simgrid::AdaptMode;
 use std::path::PathBuf;
 
 struct Args {
@@ -23,6 +28,7 @@ struct Args {
     table_s1: bool,
     ablations: bool,
     quick: bool,
+    serial: bool,
     out: Option<PathBuf>,
 }
 
@@ -32,6 +38,7 @@ fn parse_args() -> Args {
         table_s1: false,
         ablations: false,
         quick: false,
+        serial: false,
         out: None,
     };
     let mut all = true;
@@ -58,6 +65,7 @@ fn parse_args() -> Args {
                 args.ablations = true;
             }
             "--quick" => args.quick = true,
+            "--serial" => args.serial = true,
             "--out" => args.out = it.next().map(PathBuf::from),
             other => panic!("unknown argument {other}; see the crate docs"),
         }
@@ -80,19 +88,23 @@ fn scenario(id: ScenarioId, quick: bool) -> Scenario {
 
 fn main() {
     let args = parse_args();
+    if args.serial {
+        parallel::set_thread_override(Some(1));
+    }
     if let Some(dir) = &args.out {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
 
-    let mut fig1_outcomes: Vec<ScenarioOutcome> = Vec::new();
-
     if args.figures.contains(&1) {
         println!("== FIG-1: total runtimes across all scenarios ==\n");
-        for id in ScenarioId::all() {
-            let with_monitor = matches!(id, ScenarioId::S1Overhead);
-            let out = run_scenario(&scenario(id, args.quick), with_monitor);
-            fig1_outcomes.push(out);
-        }
+        let batch: Vec<(Scenario, bool)> = ScenarioId::all()
+            .into_iter()
+            .map(|id| {
+                let with_monitor = matches!(id, ScenarioId::S1Overhead);
+                (scenario(id, args.quick), with_monitor)
+            })
+            .collect();
+        let fig1_outcomes: Vec<ScenarioOutcome> = run_scenarios(&batch);
         print!("{}", report::figure1(&fig1_outcomes));
         println!();
         if let Some(dir) = &args.out {
@@ -122,20 +134,41 @@ fn main() {
             ScenarioId::S5CpusAndLink,
             "FIG-6: iteration durations, overloaded CPUs + network link",
         ),
-        (7, ScenarioId::S6Crash, "FIG-7: iteration durations, crashing nodes"),
+        (
+            7,
+            ScenarioId::S6Crash,
+            "FIG-7: iteration durations, crashing nodes",
+        ),
     ];
-    for (fignum, id, title) in figure_map {
+    // One batch for every requested iteration figure (figure 3 brings its
+    // 2b/2c sub-scenarios along); results come back in push order.
+    let requested: Vec<(u32, &str)> = figure_map
+        .iter()
+        .filter(|(fignum, _, _)| args.figures.contains(fignum))
+        .map(|&(fignum, _, title)| (fignum, title))
+        .collect();
+    let mut fig_batch: Vec<(Scenario, bool)> = Vec::new();
+    for &(fignum, id, _) in &figure_map {
         if !args.figures.contains(&fignum) {
             continue;
         }
-        let out = run_scenario(&scenario(id, args.quick), false);
+        fig_batch.push((scenario(id, args.quick), false));
+        if fignum == 3 {
+            for sub in [SubScenario::B, SubScenario::C] {
+                fig_batch.push((scenario(ScenarioId::S2Expand(sub), args.quick), false));
+            }
+        }
+    }
+    let mut fig_outcomes = run_scenarios(&fig_batch).into_iter();
+    for (fignum, title) in requested {
+        let out = fig_outcomes.next().expect("one outcome per figure");
         println!("== {title} ==\n");
         print!("{}", report::iteration_figure(title, &out));
         println!();
         if fignum == 3 {
             // Figure 3 also covers sub-scenarios 2b and 2c.
-            for (sub, name) in [(SubScenario::B, "16"), (SubScenario::C, "24")] {
-                let o = run_scenario(&scenario(ScenarioId::S2Expand(sub), args.quick), false);
+            for name in ["16", "24"] {
+                let o = fig_outcomes.next().expect("one outcome per sub-scenario");
                 println!(
                     "   start on {name} nodes: no-adapt {}, adapt {} ({:+.1}%)",
                     report::fmt_time(sagrid_core::time::SimTime(o.no_adapt.total_runtime.0)),
@@ -143,11 +176,8 @@ fn main() {
                     -o.improvement() * 100.0
                 );
                 if let Some(dir) = &args.out {
-                    report::write_iteration_csv(
-                        &dir.join(format!("fig3_start{name}.csv")),
-                        &o,
-                    )
-                    .expect("write csv");
+                    report::write_iteration_csv(&dir.join(format!("fig3_start{name}.csv")), &o)
+                        .expect("write csv");
                 }
             }
             println!();
@@ -166,19 +196,30 @@ fn main() {
             &[180, 300, 600, 900]
         };
         let s = scenario(ScenarioId::S1Overhead, args.quick);
-        let baseline = GridSim::run(s.config(AdaptMode::NoAdapt));
-        let t1 = baseline.total_runtime.as_secs_f64();
-        let mut rows = Vec::new();
-        for &p in periods {
+        // Baseline plus the whole monitoring-period sweep, one batch.
+        let mut configs = vec![s.config(AdaptMode::NoAdapt)];
+        configs.extend(periods.iter().map(|&p| {
             let mut cfg = s.config(AdaptMode::Adapt);
             cfg.policy = AdaptPolicy {
                 monitoring_period: sagrid_core::time::SimDuration::from_secs(p),
                 ..cfg.policy
             };
-            let r = GridSim::run(cfg);
-            let overhead = r.total_runtime.as_secs_f64() / t1 - 1.0;
-            rows.push((p, overhead, r.benchmark_fraction()));
-        }
+            cfg
+        }));
+        let mut results = parallel::run_batch(configs).into_iter();
+        let t1 = results
+            .next()
+            .expect("baseline result")
+            .total_runtime
+            .as_secs_f64();
+        let rows: Vec<(u64, f64, f64)> = periods
+            .iter()
+            .zip(results)
+            .map(|(&p, r)| {
+                let overhead = r.total_runtime.as_secs_f64() / t1 - 1.0;
+                (p, overhead, r.benchmark_fraction())
+            })
+            .collect();
         print!("{}", report::table_s1(&rows));
         println!();
     }

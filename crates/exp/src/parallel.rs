@@ -1,0 +1,137 @@
+//! Parallel batch execution of independent simulations.
+//!
+//! Every experiment in this crate is a set of *independent* `GridSim` runs
+//! (scenario × adaptation-mode × parameter variants); each run is
+//! deterministic given its `SimConfig`. [`run_batch`] fans a batch out
+//! across a `std::thread::scope` worker pool and returns results **in input
+//! order**, so callers assemble reports exactly as a serial loop would —
+//! the rendered figures, tables and CSVs are byte-identical whatever the
+//! thread count.
+//!
+//! Thread count resolution, highest precedence first:
+//!
+//! 1. [`set_thread_override`] (the `--serial` flag routes through this);
+//! 2. the `SAGRID_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+
+use sagrid_simgrid::{GridSim, RunResult, SimConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread-count override (0 = no override).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the worker-pool size for subsequent [`run_batch`] calls
+/// (`None` restores automatic selection). `Some(1)` is serial mode.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker-pool size [`run_batch`] would use for `jobs` runs.
+pub fn effective_threads(jobs: usize) -> usize {
+    let configured = match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::env::var("SAGRID_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        n => n,
+    };
+    configured.clamp(1, jobs.max(1))
+}
+
+/// Runs every configuration and returns the results in input order.
+///
+/// With an effective thread count of 1 this is exactly the serial loop;
+/// otherwise workers claim runs from a shared index, so wall time scales
+/// with the slowest chain of runs rather than their sum. A panicking run
+/// propagates to the caller, like it would serially.
+pub fn run_batch(configs: Vec<SimConfig>) -> Vec<RunResult> {
+    let jobs = configs.len();
+    let threads = effective_threads(jobs);
+    run_batch_on(configs, threads)
+}
+
+/// [`run_batch`] with an explicit worker count (used by the determinism
+/// tests to pin both sides of a serial-vs-parallel comparison).
+pub fn run_batch_on(configs: Vec<SimConfig>, threads: usize) -> Vec<RunResult> {
+    if threads <= 1 || configs.len() <= 1 {
+        return configs.into_iter().map(GridSim::run).collect();
+    }
+    let inputs: Vec<Mutex<Option<SimConfig>>> =
+        configs.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<RunResult>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(inputs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(input) = inputs.get(i) else {
+                    break;
+                };
+                let cfg = input
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("each run is claimed exactly once");
+                let result = GridSim::run(cfg);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed run stores its result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{Scenario, ScenarioId};
+    use sagrid_simgrid::AdaptMode;
+
+    fn batch() -> Vec<SimConfig> {
+        let s1 = Scenario::quick(ScenarioId::S1Overhead);
+        let s4 = Scenario::quick(ScenarioId::S4OverloadedLink);
+        vec![
+            s1.config(AdaptMode::NoAdapt),
+            s1.config(AdaptMode::Adapt),
+            s4.config(AdaptMode::NoAdapt),
+            s4.config(AdaptMode::Adapt),
+        ]
+    }
+
+    #[test]
+    fn parallel_results_match_serial_in_order() {
+        let serial = run_batch_on(batch(), 1);
+        let parallel = run_batch_on(batch(), 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.iteration_durations, p.iteration_durations);
+            assert_eq!(s.events_processed, p.events_processed);
+            assert_eq!(s.steal_attempts, p.steal_attempts);
+            assert_eq!(s.node_count_timeline, p.node_count_timeline);
+        }
+    }
+
+    #[test]
+    fn effective_threads_respects_override_and_jobs() {
+        set_thread_override(Some(3));
+        assert_eq!(effective_threads(10), 3);
+        assert_eq!(effective_threads(2), 2, "never more workers than jobs");
+        set_thread_override(Some(1));
+        assert_eq!(effective_threads(10), 1);
+        set_thread_override(None);
+        assert!(effective_threads(10) >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_batch(Vec::new()).is_empty());
+    }
+}

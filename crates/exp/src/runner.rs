@@ -1,7 +1,8 @@
 //! Scenario execution.
 
+use crate::parallel;
 use crate::scenarios::Scenario;
-use sagrid_simgrid::{AdaptMode, GridSim, RunResult};
+use sagrid_simgrid::{AdaptMode, RunResult};
 
 /// Results of one scenario across the paper's three modes.
 ///
@@ -45,16 +46,33 @@ impl ScenarioOutcome {
 /// Runs a scenario in no-adapt and adapt modes (plus monitor-only when
 /// `with_monitor_only` is set, as the paper does for scenario 1).
 pub fn run_scenario(scenario: &Scenario, with_monitor_only: bool) -> ScenarioOutcome {
-    let no_adapt = GridSim::run(scenario.config(AdaptMode::NoAdapt));
-    let adapt = GridSim::run(scenario.config(AdaptMode::Adapt));
-    let monitor_only =
-        with_monitor_only.then(|| GridSim::run(scenario.config(AdaptMode::MonitorOnly)));
-    ScenarioOutcome {
-        scenario: scenario.clone(),
-        no_adapt,
-        adapt,
-        monitor_only,
+    run_scenarios(&[(scenario.clone(), with_monitor_only)])
+        .pop()
+        .expect("one scenario in, one outcome out")
+}
+
+/// Runs a whole batch of scenarios, all their mode runs fanned out over the
+/// [`parallel`] worker pool at once. Outcomes come back in input order, so
+/// reports built from them match a serial loop byte for byte.
+pub fn run_scenarios(batch: &[(Scenario, bool)]) -> Vec<ScenarioOutcome> {
+    let mut configs = Vec::new();
+    for (scenario, with_monitor_only) in batch {
+        configs.push(scenario.config(AdaptMode::NoAdapt));
+        configs.push(scenario.config(AdaptMode::Adapt));
+        if *with_monitor_only {
+            configs.push(scenario.config(AdaptMode::MonitorOnly));
+        }
     }
+    let mut results = parallel::run_batch(configs).into_iter();
+    batch
+        .iter()
+        .map(|(scenario, with_monitor_only)| ScenarioOutcome {
+            scenario: scenario.clone(),
+            no_adapt: results.next().expect("one result per config"),
+            adapt: results.next().expect("one result per config"),
+            monitor_only: with_monitor_only.then(|| results.next().expect("one result per config")),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -153,11 +153,7 @@ impl Scenario {
                 let layout = match sub {
                     SubScenario::A => vec![(ClusterId(0), 8)],
                     SubScenario::B => vec![(ClusterId(0), 8), (ClusterId(1), 8)],
-                    SubScenario::C => vec![
-                        (ClusterId(0), 8),
-                        (ClusterId(1), 8),
-                        (ClusterId(2), 8),
-                    ],
+                    SubScenario::C => vec![(ClusterId(0), 8), (ClusterId(1), 8), (ClusterId(2), 8)],
                 };
                 (layout, InjectionSchedule::empty())
             }
@@ -284,7 +280,11 @@ mod tests {
             ScenarioId::S6Crash,
         ] {
             let cfg = Scenario::quick(id).config(AdaptMode::Adapt);
-            assert!(cfg.injections.remaining() > 0, "{} lacks injections", id.label());
+            assert!(
+                cfg.injections.remaining() > 0,
+                "{} lacks injections",
+                id.label()
+            );
         }
     }
 }

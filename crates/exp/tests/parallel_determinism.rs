@@ -1,0 +1,49 @@
+//! Serial vs. parallel experiment execution must be byte-identical.
+//!
+//! The experiment driver fans independent simulation runs over a worker
+//! pool; the whole point of the order-preserving collection is that every
+//! rendered report is the same bytes whatever the pool size. This test runs
+//! the same quick experiment set with one worker and with four and compares
+//! the rendered text outputs character by character.
+
+use sagrid_exp::report;
+use sagrid_exp::runner::run_scenarios;
+use sagrid_exp::scenarios::{Scenario, ScenarioId, SubScenario};
+use sagrid_exp::{ablation, parallel};
+
+/// Renders a quick subset of the experiment outputs: the Figure-1 runtime
+/// bars over three scenarios, an iteration figure, and the ABL-1
+/// coefficient table.
+fn render_reports() -> String {
+    let batch: Vec<(Scenario, bool)> = vec![
+        (Scenario::quick(ScenarioId::S1Overhead), true),
+        (Scenario::quick(ScenarioId::S2Expand(SubScenario::A)), false),
+        (Scenario::quick(ScenarioId::S4OverloadedLink), false),
+    ];
+    let outcomes = run_scenarios(&batch);
+    let mut out = report::figure1(&outcomes);
+    out.push_str(&report::iteration_figure(
+        "iteration durations",
+        &outcomes[2],
+    ));
+    for row in ablation::badness_coefficients(&Scenario::quick(ScenarioId::S3OverloadedCpus)) {
+        out.push_str(&format!(
+            "{}: {:.3}s {:+.2}%\n",
+            row.name,
+            row.adapt_runtime_secs,
+            row.improvement * 100.0
+        ));
+    }
+    out
+}
+
+#[test]
+fn parallel_and_serial_reports_are_byte_identical() {
+    parallel::set_thread_override(Some(1));
+    let serial = render_reports();
+    parallel::set_thread_override(Some(4));
+    let parallel_run = render_reports();
+    parallel::set_thread_override(None);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel_run, "worker pool must not change output");
+}

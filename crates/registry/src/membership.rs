@@ -178,8 +178,7 @@ impl Membership {
     /// Iterator over alive (and leaving) members, in id order.
     pub fn alive(&self) -> impl Iterator<Item = (NodeId, ClusterId)> + '_ {
         self.members.iter().filter_map(|(&id, m)| {
-            matches!(m.state, MemberState::Alive | MemberState::Leaving)
-                .then_some((id, m.cluster))
+            matches!(m.state, MemberState::Alive | MemberState::Leaving).then_some((id, m.cluster))
         })
     }
 

@@ -1,10 +1,17 @@
-//! Property tests for the membership registry: arbitrary operation
-//! sequences keep the state machine consistent.
+//! Randomized property tests for the membership registry: arbitrary
+//! operation sequences keep the state machine consistent. Driven by the
+//! in-repo fixed-seed RNG so every case is reproducible offline.
 
-use proptest::prelude::*;
 use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
 use sagrid_core::time::SimTime;
 use sagrid_registry::{MemberState, Membership, RegistryConfig, RegistryEvent};
+
+const CASES: u64 = 150;
+
+fn rng_for(test: u64, case: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seeded(0x4E61_0000 + test * 1_000 + case)
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,33 +23,36 @@ enum Op {
     Detect,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..20, 0u16..3).prop_map(|(n, c)| Op::Join(n, c)),
-        (0u32..20).prop_map(Op::Heartbeat),
-        (0u32..20).prop_map(Op::Leave),
-        (0u32..20).prop_map(Op::Crash),
-        (0u32..20).prop_map(Op::Signal),
-        Just(Op::Detect),
-    ]
+fn random_op(rng: &mut impl Rng64) -> Op {
+    let n = rng.gen_range(20) as u32;
+    match rng.gen_range(6) {
+        0 => Op::Join(n, rng.gen_range(3) as u16),
+        1 => Op::Heartbeat(n),
+        2 => Op::Leave(n),
+        3 => Op::Crash(n),
+        4 => Op::Signal(n),
+        _ => Op::Detect,
+    }
 }
 
-proptest! {
-    /// Invariants across arbitrary operation sequences:
-    /// * a node never resurrects (Left/Dead are terminal);
-    /// * every Died/Left event corresponds to exactly one state change;
-    /// * alive counts match the per-node states;
-    /// * signals are only queued for alive nodes and drain exactly once.
-    #[test]
-    fn registry_state_machine_is_consistent(ops in prop::collection::vec(arb_op(), 1..150)) {
+/// Invariants across arbitrary operation sequences:
+/// * a node never resurrects (Left/Dead are terminal);
+/// * every Died/Left event corresponds to exactly one state change;
+/// * alive counts match the per-node states;
+/// * signals are only queued for alive nodes and drain exactly once.
+#[test]
+fn registry_state_machine_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let n_ops = 1 + rng.gen_index(149);
         let mut reg = Membership::new(RegistryConfig::default());
         let mut joined: std::collections::BTreeSet<u32> = Default::default();
         let mut terminal: std::collections::BTreeSet<u32> = Default::default();
         let mut t = 0u64;
-        for op in ops {
+        for _ in 0..n_ops {
             t += 1;
             let now = SimTime::from_secs(t);
-            match op {
+            match random_op(&mut rng) {
                 Op::Join(n, c) => {
                     if joined.insert(n) {
                         reg.join(now, NodeId(n), ClusterId(c));
@@ -73,47 +83,45 @@ proptest! {
             // Terminal states never resurrect.
             for &n in &terminal {
                 let s = reg.state(NodeId(n)).expect("terminal node is known");
-                prop_assert!(
+                assert!(
                     matches!(s, MemberState::Left | MemberState::Dead),
-                    "node {n} resurrected to {s:?}"
+                    "case {case}: node {n} resurrected to {s:?}"
                 );
             }
             // Alive set is exactly joined minus terminal.
-            let alive: std::collections::BTreeSet<u32> =
-                reg.alive().map(|(id, _)| id.0).collect();
+            let alive: std::collections::BTreeSet<u32> = reg.alive().map(|(id, _)| id.0).collect();
             let expected: std::collections::BTreeSet<u32> =
                 joined.difference(&terminal).copied().collect();
-            prop_assert_eq!(&alive, &expected);
+            assert_eq!(alive, expected, "case {case}");
         }
         // Signals drain exactly once and only for nodes that were alive
         // when signalled.
         let signalled = reg.take_signals();
         for n in &signalled {
-            prop_assert!(joined.contains(&n.0));
+            assert!(joined.contains(&n.0), "case {case}");
         }
-        prop_assert!(reg.take_signals().is_empty());
+        assert!(reg.take_signals().is_empty(), "case {case}");
         // Event log: one Joined per join; Died/Left counts match terminal.
         let events = reg.take_events();
         let joins = events
             .iter()
             .filter(|e| matches!(e, RegistryEvent::Joined(_, _)))
             .count();
-        prop_assert_eq!(joins, joined.len());
+        assert_eq!(joins, joined.len(), "case {case}");
         let ends = events
             .iter()
             .filter(|e| matches!(e, RegistryEvent::Died(_) | RegistryEvent::Left(_)))
             .count();
-        prop_assert_eq!(ends, terminal.len());
+        assert_eq!(ends, terminal.len(), "case {case}");
     }
+}
 
-    /// The failure detector is sound and complete with respect to the
-    /// timeout: nodes heartbeating within the window survive, silent nodes
-    /// die.
-    #[test]
-    fn failure_detection_matches_heartbeat_recency(
-        heartbeats in prop::collection::vec((0u32..10, 0u64..100), 0..60),
-        check_at in 100u64..200,
-    ) {
+/// The failure detector is sound and complete with respect to the timeout:
+/// nodes heartbeating within the window survive, silent nodes die.
+#[test]
+fn failure_detection_matches_heartbeat_recency() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
         let cfg = RegistryConfig {
             heartbeat_timeout: sagrid_core::time::SimDuration::from_secs(30),
         };
@@ -122,20 +130,30 @@ proptest! {
             reg.join(SimTime::ZERO, NodeId(n), ClusterId(0));
         }
         let mut last_hb = [0u64; 10];
-        let mut sorted = heartbeats.clone();
-        sorted.sort_by_key(|&(_, t)| t);
-        for (n, t) in sorted {
+        let n_beats = rng.gen_index(60);
+        let mut heartbeats: Vec<(u32, u64)> = (0..n_beats)
+            .map(|_| (rng.gen_range(10) as u32, rng.gen_range(100)))
+            .collect();
+        heartbeats.sort_by_key(|&(_, t)| t);
+        for (n, t) in heartbeats {
             reg.heartbeat(SimTime::from_secs(t), NodeId(n));
             last_hb[n as usize] = last_hb[n as usize].max(t);
         }
+        let check_at = 100 + rng.gen_range(100);
         let now = SimTime::from_secs(check_at);
         let died = reg.detect_failures(now);
         for n in 0..10u32 {
             let silent_for = check_at - last_hb[n as usize];
             if silent_for > 30 {
-                prop_assert!(died.contains(&NodeId(n)), "node {n} silent {silent_for}s");
+                assert!(
+                    died.contains(&NodeId(n)),
+                    "case {case}: node {n} silent {silent_for}s"
+                );
             } else {
-                prop_assert!(!died.contains(&NodeId(n)), "node {n} heartbeat {silent_for}s ago");
+                assert!(
+                    !died.contains(&NodeId(n)),
+                    "case {case}: node {n} heartbeat {silent_for}s ago"
+                );
             }
         }
     }

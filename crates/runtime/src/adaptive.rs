@@ -13,11 +13,11 @@
 //! `grid_rescue` example demonstrates end to end.
 
 use crate::runtime::{Runtime, WorkerId};
-use std::sync::Arc;
 use sagrid_adapt::coordinator::Decision;
 use sagrid_adapt::{AdaptPolicy, Coordinator, SpeedTracker};
 use sagrid_core::ids::NodeId;
 use sagrid_core::time::SimDuration;
+use std::sync::Arc;
 
 /// A [`Runtime`] under control of the paper's adaptation coordinator.
 pub struct AdaptiveRuntime {
@@ -209,9 +209,7 @@ mod tests {
             });
             // Run the workload from this thread via the runtime.
             let stop3 = stop.clone();
-            let r = art
-                .runtime()
-                .run(move |ctx| busy_tree(ctx, 10, &stop3));
+            let r = art.runtime().run(move |ctx| busy_tree(ctx, 10, &stop3));
             let _ = handle.join();
             r
         });

@@ -9,10 +9,9 @@
 //! because divide-and-conquer jobs are side-effect-free.
 
 use crate::worker::WorkerCtx;
-use parking_lot::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Holder tag for a job that is not in any worker's hands (global queue or
@@ -57,12 +56,12 @@ impl<T: Send> Job<T> {
     }
 
     fn store_result(&self, value: T) {
-        let mut slot = self.result.lock();
+        let mut slot = self.result.lock().expect("result lock poisoned");
         if slot.is_none() {
             *slot = Some(value);
             self.done.store(true, Ordering::Release);
             drop(slot);
-            let _guard = self.wake_lock.lock();
+            let _guard = self.wake_lock.lock().expect("wake lock poisoned");
             self.wake.notify_all();
         }
         // A racing duplicate execution (fault-tolerance re-run that lost the
@@ -71,7 +70,7 @@ impl<T: Send> Job<T> {
     }
 
     pub(crate) fn take_result(&self) -> Option<T> {
-        self.result.lock().take()
+        self.result.lock().expect("result lock poisoned").take()
     }
 
     /// Whether the job's closure panicked.
@@ -82,7 +81,7 @@ impl<T: Send> Job<T> {
     fn mark_poisoned(&self) {
         self.poisoned.store(true, Ordering::Release);
         self.done.store(true, Ordering::Release);
-        let _guard = self.wake_lock.lock();
+        let _guard = self.wake_lock.lock().expect("wake lock poisoned");
         self.wake.notify_all();
     }
 
@@ -91,11 +90,14 @@ impl<T: Send> Job<T> {
     pub(crate) fn wait_with_tick(&self, tick: Duration, mut on_tick: impl FnMut()) {
         while !self.is_done() {
             {
-                let mut guard = self.wake_lock.lock();
+                let guard = self.wake_lock.lock().expect("wake lock poisoned");
                 if self.done.load(Ordering::Acquire) {
                     break;
                 }
-                let _ = self.wake.wait_for(&mut guard, tick);
+                let _ = self
+                    .wake
+                    .wait_timeout(guard, tick)
+                    .expect("wake lock poisoned");
             }
             on_tick();
         }

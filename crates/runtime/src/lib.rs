@@ -50,6 +50,7 @@
 
 pub mod adaptive;
 pub mod config;
+mod deque;
 pub mod job;
 pub mod runtime;
 pub mod worker;

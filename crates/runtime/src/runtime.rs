@@ -1,16 +1,16 @@
 //! The public runtime façade.
 
 use crate::config::RuntimeConfig;
+use crate::deque::{Injector, Worker as Deque};
 use crate::job::{Job, Task, NO_HOLDER};
 use crate::worker::{worker_main, BenchProbe, Control, Shared, WorkerShared};
-use crossbeam::channel::unbounded;
-use crossbeam::deque::{Injector, Worker as Deque};
-use parking_lot::{Mutex, RwLock};
 use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
 use sagrid_core::time::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 use std::thread::JoinHandle as ThreadHandle;
 use std::time::{Duration, Instant};
 
@@ -53,7 +53,7 @@ impl Runtime {
 
     fn spawn_worker(&self, cluster: usize, speed: f64) -> WorkerId {
         let deque: Deque<Arc<dyn Task>> = Deque::new_lifo();
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let ws = Arc::new(WorkerShared {
             stealer: deque.stealer(),
             ctrl: tx,
@@ -63,7 +63,7 @@ impl Runtime {
             stats: Default::default(),
         });
         let id = {
-            let mut workers = self.shared.workers.write();
+            let mut workers = self.shared.workers.write().expect("workers poisoned");
             workers.push(ws);
             workers.len() - 1
         };
@@ -72,7 +72,7 @@ impl Runtime {
             .name(format!("sagrid-worker-{id}"))
             .spawn(move || worker_main(shared, id, deque, rx))
             .expect("spawn worker thread");
-        self.threads.lock().push(handle);
+        self.threads.lock().expect("threads poisoned").push(handle);
         id
     }
 
@@ -92,7 +92,7 @@ impl Runtime {
         job.wait_with_tick(Duration::from_millis(5), move || {
             let holder = job_for_tick.holder();
             if holder != NO_HOLDER {
-                let workers = shared.workers.read();
+                let workers = shared.workers.read().expect("workers poisoned");
                 let dead = workers
                     .get(holder)
                     .is_none_or(|w| !w.alive.load(Ordering::Acquire));
@@ -115,7 +115,7 @@ impl Runtime {
     /// Gracefully removes a worker: it hands its queued work back and
     /// retires at the next task boundary.
     pub fn remove_worker(&self, id: WorkerId) {
-        let workers = self.shared.workers.read();
+        let workers = self.shared.workers.read().expect("workers poisoned");
         if let Some(w) = workers.get(id) {
             let _ = w.ctrl.send(Control::Leave);
         }
@@ -124,7 +124,7 @@ impl Runtime {
     /// Simulates a crash: the worker abandons its queued tasks immediately;
     /// joiners transparently re-execute the lost work.
     pub fn crash_worker(&self, id: WorkerId) {
-        let workers = self.shared.workers.read();
+        let workers = self.shared.workers.read().expect("workers poisoned");
         if let Some(w) = workers.get(id) {
             w.alive.store(false, Ordering::Release);
             let _ = w.ctrl.send(Control::Crash);
@@ -135,7 +135,7 @@ impl Runtime {
     /// injection for overload scenarios).
     pub fn set_worker_speed(&self, id: WorkerId, speed: f64) {
         assert!(speed > 0.0 && speed <= 1.0, "speed must be in (0,1]");
-        let workers = self.shared.workers.read();
+        let workers = self.shared.workers.read().expect("workers poisoned");
         if let Some(w) = workers.get(id) {
             w.speed_milli
                 .store((speed * 1000.0).round() as u32, Ordering::Relaxed);
@@ -148,7 +148,7 @@ impl Runtime {
     pub fn benchmark_worker(&self, id: WorkerId) -> Option<Duration> {
         let probe = BenchProbe::new(self.shared.cfg.benchmark_spins);
         {
-            let workers = self.shared.workers.read();
+            let workers = self.shared.workers.read().expect("workers poisoned");
             let w = workers.get(id)?;
             if !w.alive.load(Ordering::Acquire) {
                 return None;
@@ -163,6 +163,7 @@ impl Runtime {
         self.shared
             .workers
             .read()
+            .expect("workers poisoned")
             .iter()
             .enumerate()
             .filter(|(_, w)| w.alive.load(Ordering::Acquire))
@@ -172,7 +173,12 @@ impl Runtime {
 
     /// The emulated cluster of a worker.
     pub fn worker_cluster(&self, id: WorkerId) -> Option<usize> {
-        self.shared.workers.read().get(id).map(|w| w.cluster)
+        self.shared
+            .workers
+            .read()
+            .expect("workers poisoned")
+            .get(id)
+            .map(|w| w.cluster)
     }
 
     /// Number of tasks executed so far, across all workers.
@@ -180,6 +186,7 @@ impl Runtime {
         self.shared
             .workers
             .read()
+            .expect("workers poisoned")
             .iter()
             .map(|w| w.stats.tasks_executed.load(Ordering::Relaxed))
             .sum()
@@ -198,14 +205,15 @@ impl Runtime {
     /// report carries speed 1.0 and the caller overrides it.
     pub fn take_monitoring_reports(&self) -> Vec<(MonitoringReport, Option<Duration>)> {
         let now = self.now();
-        let workers = self.shared.workers.read();
+        let workers = self.shared.workers.read().expect("workers poisoned");
         workers
             .iter()
             .enumerate()
             .filter(|(_, w)| w.alive.load(Ordering::Acquire))
             .map(|(i, w)| {
-                let ns =
-                    |a: &std::sync::atomic::AtomicU64| SimDuration((a.swap(0, Ordering::Relaxed)) / 1_000);
+                let ns = |a: &std::sync::atomic::AtomicU64| {
+                    SimDuration((a.swap(0, Ordering::Relaxed)) / 1_000)
+                };
                 let breakdown = OverheadBreakdown {
                     busy: ns(&w.stats.busy_ns),
                     idle: ns(&w.stats.idle_ns),
@@ -232,7 +240,7 @@ impl Runtime {
     /// Stops every worker and joins the threads. Queued work is discarded.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        let mut threads = self.threads.lock();
+        let mut threads = self.threads.lock().expect("threads poisoned");
         for t in threads.drain(..) {
             let _ = t.join();
         }
@@ -337,10 +345,7 @@ mod tests {
         let _ = rt.run(|ctx| fib(ctx, 18));
         let reports = rt.take_monitoring_reports();
         assert_eq!(reports.len(), 3);
-        let total_busy: u64 = reports
-            .iter()
-            .map(|(r, _)| r.breakdown.busy.0)
-            .sum();
+        let total_busy: u64 = reports.iter().map(|(r, _)| r.breakdown.busy.0).sum();
         assert!(total_busy > 0, "someone must have done the work");
         rt.shutdown();
     }

@@ -2,14 +2,13 @@
 //! statistics attribution, speed emulation and control signals.
 
 use crate::config::RuntimeConfig;
+use crate::deque::{Injector, Stealer, Worker as Deque};
 use crate::job::Task;
-use crossbeam::channel::{Receiver, Sender};
-use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
-use parking_lot::{Condvar, Mutex, RwLock};
 use sagrid_core::rng::{Rng64, SplitMix64};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Control messages a worker drains between tasks.
@@ -40,15 +39,19 @@ impl BenchProbe {
     }
 
     pub(crate) fn wait(&self, timeout: Duration) -> Option<Duration> {
-        let mut slot = self.result.lock();
+        let mut slot = self.result.lock().expect("probe lock poisoned");
         if slot.is_none() {
-            let _ = self.done.wait_for(&mut slot, timeout);
+            let (guard, _) = self
+                .done
+                .wait_timeout(slot, timeout)
+                .expect("probe lock poisoned");
+            slot = guard;
         }
         *slot
     }
 
     fn publish(&self, d: Duration) {
-        let mut slot = self.result.lock();
+        let mut slot = self.result.lock().expect("probe lock poisoned");
         *slot = Some(d);
         self.done.notify_all();
     }
@@ -122,7 +125,7 @@ impl<'a> WorkerCtx<'a> {
 
     /// The emulated cluster of the executing worker.
     pub fn cluster(&self) -> usize {
-        self.shared.workers.read()[self.me].cluster
+        self.shared.workers.read().expect("workers poisoned")[self.me].cluster
     }
 
     /// Spawns a divide-and-conquer child job onto this worker's deque.
@@ -143,7 +146,7 @@ impl<'a> WorkerCtx<'a> {
     /// Whether worker `id` is currently alive ([`crate::job::NO_HOLDER`]
     /// counts as not-alive so joiners self-rescue queued-nowhere jobs).
     pub(crate) fn is_worker_alive(&self, id: usize) -> bool {
-        let workers = self.shared.workers.read();
+        let workers = self.shared.workers.read().expect("workers poisoned");
         workers
             .get(id)
             .is_some_and(|w| w.alive.load(Ordering::Acquire))
@@ -163,7 +166,8 @@ impl<'a> WorkerCtx<'a> {
         let start = Instant::now();
         task.execute(self);
         let busy = start.elapsed();
-        let me = &self.shared.workers.read()[self.me];
+        let workers = self.shared.workers.read().expect("workers poisoned");
+        let me = &workers[self.me];
         // Speed emulation: a worker at speed s pads every t of work with
         // t·(1/s − 1) of spin, exactly like background load on a
         // time-shared grid node.
@@ -190,14 +194,10 @@ impl<'a> WorkerCtx<'a> {
         if let Some(t) = self.local.pop() {
             return Some(t);
         }
-        loop {
-            match self.shared.injector.steal() {
-                Steal::Success(t) => return Some(t),
-                Steal::Empty => break,
-                Steal::Retry => continue,
-            }
+        if let Some(t) = self.shared.injector.steal() {
+            return Some(t);
         }
-        let workers = self.shared.workers.read();
+        let workers = self.shared.workers.read().expect("workers poisoned");
         let my_cluster = workers[self.me].cluster;
         let mut rng = self.rng.borrow_mut();
         // One local attempt, then one wide attempt, mirroring CRS.
@@ -224,13 +224,7 @@ impl<'a> WorkerCtx<'a> {
             let start = Instant::now();
             // The emulated network round trip for the steal message.
             spin_for(latency);
-            let got = loop {
-                match workers[victim].stealer.steal() {
-                    Steal::Success(t) => break Some(t),
-                    Steal::Empty => break None,
-                    Steal::Retry => continue,
-                }
-            };
+            let got = workers[victim].stealer.steal();
             if got.is_some() {
                 spin_for(latency); // task transfer back
             }
@@ -264,7 +258,12 @@ fn spin_for(d: Duration) {
 }
 
 /// The worker thread body.
-pub(crate) fn worker_main(shared: Arc<Shared>, me: usize, local: Deque<Arc<dyn Task>>, ctrl: Receiver<Control>) {
+pub(crate) fn worker_main(
+    shared: Arc<Shared>,
+    me: usize,
+    local: Deque<Arc<dyn Task>>,
+    ctrl: Receiver<Control>,
+) {
     let ctx = WorkerCtx::new(&shared, me, &local);
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
@@ -272,7 +271,7 @@ pub(crate) fn worker_main(shared: Arc<Shared>, me: usize, local: Deque<Arc<dyn T
         }
         // Drain control messages.
         while let Ok(msg) = ctrl.try_recv() {
-            let my = shared.workers.read()[me].clone();
+            let my = shared.workers.read().expect("workers poisoned")[me].clone();
             match msg {
                 Control::Leave => {
                     // Malleability: hand every queued task back to the
@@ -313,13 +312,16 @@ pub(crate) fn worker_main(shared: Arc<Shared>, me: usize, local: Deque<Arc<dyn T
             }
         }
         // A worker that was crashed externally must stop promptly too.
-        if !shared.workers.read()[me].alive.load(Ordering::Acquire) {
+        if !shared.workers.read().expect("workers poisoned")[me]
+            .alive
+            .load(Ordering::Acquire)
+        {
             return;
         }
         if !ctx.run_one() {
             let park = shared.cfg.idle_park;
             std::thread::sleep(park);
-            shared.workers.read()[me]
+            shared.workers.read().expect("workers poisoned")[me]
                 .stats
                 .idle_ns
                 .fetch_add(park.as_nanos() as u64, Ordering::Relaxed);

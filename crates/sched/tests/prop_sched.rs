@@ -1,11 +1,19 @@
-//! Property tests for the resource pool: conservation and policy
-//! invariants under arbitrary allocate/release/crash interleavings.
+//! Randomized property tests for the resource pool: conservation and
+//! policy invariants under arbitrary allocate/release/crash interleavings.
+//! Driven by the in-repo fixed-seed RNG so every case is reproducible
+//! offline.
 
-use proptest::prelude::*;
 use sagrid_core::config::GridConfig;
 use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
 use sagrid_sched::{AllocPolicy, NodeGrant, Requirements, ResourcePool};
 use std::collections::BTreeSet;
+
+const CASES: u64 = 150;
+
+fn rng_for(test: u64, case: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seeded(0x5C4E_0000 + test * 1_000 + case)
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -14,27 +22,29 @@ enum Op {
     CrashSome(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..20).prop_map(Op::Request),
-        (0usize..10).prop_map(Op::ReleaseSome),
-        (0usize..4).prop_map(Op::CrashSome),
-    ]
+fn random_op(rng: &mut impl Rng64) -> Op {
+    match rng.gen_range(3) {
+        0 => Op::Request(rng.gen_index(20)),
+        1 => Op::ReleaseSome(rng.gen_index(10)),
+        _ => Op::CrashSome(rng.gen_index(4)),
+    }
 }
 
-proptest! {
-    /// Node conservation: free + held + lost == total, no node is ever in
-    /// two states, grants are unique.
-    #[test]
-    fn pool_conserves_nodes(ops in prop::collection::vec(arb_op(), 1..60)) {
+/// Node conservation: free + held + lost == total, no node is ever in two
+/// states, grants are unique.
+#[test]
+fn pool_conserves_nodes() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let n_ops = 1 + rng.gen_index(59);
         let total = 24usize;
         let mut pool = ResourcePool::new(&GridConfig::uniform(3, 8));
         let mut held: Vec<NodeGrant> = Vec::new();
         let mut lost: BTreeSet<NodeId> = BTreeSet::new();
         let empty_nodes = BTreeSet::new();
         let empty_clusters = BTreeSet::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Request(n) => {
                     let grants = pool.request(
                         n,
@@ -45,12 +55,12 @@ proptest! {
                         &[],
                     );
                     for g in &grants {
-                        prop_assert!(
+                        assert!(
                             !held.iter().any(|h| h.node == g.node),
-                            "node {} double-granted",
+                            "case {case}: node {} double-granted",
                             g.node
                         );
-                        prop_assert!(!lost.contains(&g.node), "lost node granted");
+                        assert!(!lost.contains(&g.node), "case {case}: lost node granted");
                     }
                     held.extend(grants);
                 }
@@ -69,18 +79,20 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(
+            assert_eq!(
                 pool.free_count() + held.len() + lost.len(),
                 total,
-                "conservation violated"
+                "case {case}: conservation violated"
             );
         }
     }
+}
 
-    /// Locality-aware allocation uses the minimum possible number of
-    /// distinct clusters for a fresh pool.
-    #[test]
-    fn locality_minimizes_cluster_spread(n in 1usize..24) {
+/// Locality-aware allocation uses the minimum possible number of distinct
+/// clusters for a fresh pool.
+#[test]
+fn locality_minimizes_cluster_spread() {
+    for n in 1usize..24 {
         let mut pool = ResourcePool::new(&GridConfig::uniform(3, 8));
         let grants = pool.request(
             n,
@@ -90,16 +102,21 @@ proptest! {
             &BTreeSet::new(),
             &[],
         );
-        prop_assert_eq!(grants.len(), n.min(24));
+        assert_eq!(grants.len(), n.min(24));
         let clusters: BTreeSet<ClusterId> = grants.iter().map(|g| g.cluster).collect();
         let min_clusters = n.div_ceil(8);
-        prop_assert_eq!(clusters.len(), min_clusters.min(3));
+        assert_eq!(clusters.len(), min_clusters.min(3), "n = {n}");
     }
+}
 
-    /// Fastest-first never grants a slower node while a faster one is
-    /// free.
-    #[test]
-    fn fastest_first_is_greedy(speeds in prop::collection::vec(0.1f64..1.0, 3..6), n in 1usize..12) {
+/// Fastest-first never grants a slower node while a faster one is free.
+#[test]
+fn fastest_first_is_greedy() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let n_clusters = 3 + rng.gen_index(3);
+        let speeds: Vec<f64> = (0..n_clusters).map(|_| 0.1 + 0.9 * rng.gen_f64()).collect();
+        let n = 1 + rng.gen_index(11);
         let mut cfg = GridConfig::uniform(speeds.len(), 4);
         for (c, &s) in cfg.clusters.iter_mut().zip(&speeds) {
             c.node_speed = s;
@@ -115,7 +132,7 @@ proptest! {
         );
         // Granted speeds must be nonincreasing.
         for w in grants.windows(2) {
-            prop_assert!(w[0].base_speed >= w[1].base_speed - 1e-12);
+            assert!(w[0].base_speed >= w[1].base_speed - 1e-12, "case {case}");
         }
         // And the slowest granted speed must be ≥ the fastest *remaining*
         // free node's speed only when clusters were exhausted in order —
@@ -126,15 +143,23 @@ proptest! {
             by_speed.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
             let expected_min = {
                 let full = n / 4;
-                by_speed.get(full).copied().unwrap_or(*by_speed.last().expect("non-empty"))
+                by_speed
+                    .get(full)
+                    .copied()
+                    .unwrap_or(*by_speed.last().expect("non-empty"))
             };
-            prop_assert!(last.base_speed >= expected_min - 1e-12);
+            assert!(last.base_speed >= expected_min - 1e-12, "case {case}");
         }
     }
+}
 
-    /// Requirements filtering is sound: no grant violates the bounds.
-    #[test]
-    fn requirements_are_honoured(min_bw in 1_000.0f64..1e9, n in 1usize..30) {
+/// Requirements filtering is sound: no grant violates the bounds.
+#[test]
+fn requirements_are_honoured() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let min_bw = 1_000.0 + (1e9 - 1_000.0) * rng.gen_f64();
+        let n = 1 + rng.gen_index(29);
         let mut pool = ResourcePool::new(&GridConfig::uniform(3, 8));
         pool.set_uplink_estimate(ClusterId(1), 500.0); // very slow site
         let req = Requirements {
@@ -150,7 +175,7 @@ proptest! {
             &[],
         );
         for g in &grants {
-            prop_assert!(pool.uplink_estimate(g.cluster) >= min_bw);
+            assert!(pool.uplink_estimate(g.cluster) >= min_bw, "case {case}");
         }
     }
 }

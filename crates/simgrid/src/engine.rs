@@ -12,6 +12,7 @@
 
 use crate::config::{SimConfig, StealPolicy};
 use crate::node::{NodeActivity, SimNode};
+use crate::peers::PeerCache;
 use crate::result::RunResult;
 use sagrid_adapt::coordinator::{Coordinator, Decision, LearnedRequirements};
 use sagrid_adapt::feedback::{dominant_term, DominantTerm, FeedbackTuner};
@@ -181,7 +182,11 @@ pub struct GridSim {
     /// Dense node table indexed by `NodeId` (pool ids are cluster-major over
     /// the whole grid).
     nodes: Vec<Option<SimNode>>,
-    alive: BTreeSet<NodeId>,
+    /// Per-cluster alive-peer lists, maintained incrementally on
+    /// join/leave/crash instead of rescanned per steal attempt.
+    alive: PeerCache,
+    /// Reusable id buffer for per-tick snapshots of the alive set.
+    scratch_ids: Vec<NodeId>,
     /// Retry-chain staleness guards, indexed by node.
     retry_gen: Vec<u64>,
     /// Engine-side benchmark pacing: last benchmark start per node.
@@ -205,6 +210,10 @@ pub struct GridSim {
     cluster_ic_timeline: Vec<(SimTime, Vec<(ClusterId, f64)>)>,
     aggregate: OverheadBreakdown,
     timed_out: bool,
+    /// Steal requests sent (sync and wide).
+    steal_attempts: u64,
+    /// Victim selections served by the incremental peer cache.
+    peer_cache_hits: u64,
 }
 
 impl GridSim {
@@ -235,7 +244,8 @@ impl GridSim {
             coefficients: cfg.policy.coefficients,
             rng,
             nodes: (0..total).map(|_| None).collect(),
-            alive: BTreeSet::new(),
+            alive: PeerCache::new(cfg.grid.clusters.len(), total),
+            scratch_ids: Vec::new(),
             retry_gen: vec![0; total],
             last_bench_start: vec![None; total],
             last_bench_load: vec![None; total],
@@ -250,6 +260,8 @@ impl GridSim {
             cluster_ic_timeline: Vec::new(),
             aggregate: OverheadBreakdown::default(),
             timed_out: false,
+            steal_attempts: 0,
+            peer_cache_hits: 0,
             queue: EventQueue::new(),
             cfg,
         }
@@ -278,8 +290,7 @@ impl GridSim {
     // ------------------------------------------------------------------
 
     fn start(&mut self) {
-        let layout = self.cfg.initial_layout.clone();
-        let grants = self.pool.allocate_initial(&layout);
+        let grants = self.pool.allocate_initial(&self.cfg.initial_layout);
         for g in grants {
             // Initial nodes are already provisioned: activate at t=0.
             self.queue.push(
@@ -295,22 +306,16 @@ impl GridSim {
         self.tasks_remaining = self.cur_tree().len();
         self.iteration_started = SimTime::ZERO;
         self.orphans.push((0, None));
-        // Injection times are known upfront.
-        let times: BTreeSet<SimTime> = {
-            let mut s = self.cfg.injections.clone();
-            let mut ts = BTreeSet::new();
-            while let Some(t) = s.next_time() {
-                ts.insert(t);
-                s.pop_due(t);
-            }
-            ts
-        };
+        // Injection times are known upfront (deduplicated: one wake-up per
+        // distinct time, however many perturbations share it).
+        let times: BTreeSet<SimTime> = self.cfg.injections.upcoming_times().collect();
         for t in times {
             self.queue.push(t, Event::ApplyInjections);
         }
         if self.cfg.mode.monitors() {
             let period = self.cfg.policy.monitoring_period;
-            self.queue.push(SimTime::ZERO + period, Event::CoordinatorTick);
+            self.queue
+                .push(SimTime::ZERO + period, Event::CoordinatorTick);
         }
     }
 
@@ -338,43 +343,13 @@ impl GridSim {
         self.node_count_timeline.push((now, self.alive.len()));
     }
 
-    /// Clusters that currently have at least one alive member.
-    fn participating_clusters(&self) -> BTreeSet<ClusterId> {
-        self.alive
-            .iter()
-            .map(|&n| self.node(n).cluster)
-            .collect()
-    }
-
-    fn alive_peers_in_cluster(&self, of: NodeId) -> Vec<NodeId> {
-        let cluster = self.node(of).cluster;
-        self.alive
-            .iter()
-            .copied()
-            .filter(|&n| n != of && self.node(n).cluster == cluster)
-            .collect()
-    }
-
-    fn alive_peers_anywhere(&self, of: NodeId) -> Vec<NodeId> {
-        self.alive.iter().copied().filter(|&n| n != of).collect()
-    }
-
-    fn alive_peers_other_clusters(&self, of: NodeId) -> Vec<NodeId> {
-        let cluster = self.node(of).cluster;
-        self.alive
-            .iter()
-            .copied()
-            .filter(|&n| n != of && self.node(n).cluster != cluster)
-            .collect()
-    }
-
     /// Hands `tasks` to the lowest-id alive node (or stashes them if the
     /// computation momentarily has no nodes), waking it if it was waiting.
     fn adopt_tasks(&mut self, now: SimTime, tasks: Vec<(u32, NodeId)>) {
         if tasks.is_empty() {
             return;
         }
-        let Some(&target) = self.alive.iter().next() else {
+        let Some(target) = self.alive.lowest() else {
             self.orphans
                 .extend(tasks.into_iter().map(|(t, o)| (t, Some(o))));
             return;
@@ -388,7 +363,7 @@ impl GridSim {
     /// Hands an iteration root to the lowest-id alive node; the adopter
     /// becomes the task's origin (it plays the Barnes-Hut master).
     fn adopt_root(&mut self, now: SimTime, task: u32) {
-        let Some(&target) = self.alive.iter().next() else {
+        let Some(target) = self.alive.lowest() else {
             self.orphans.push((task, None));
             return;
         };
@@ -426,7 +401,7 @@ impl GridSim {
                     // Measure the transfer: effective bandwidth as the
                     // application sees it, queueing included.
                     let elapsed = now.saturating_since(sent_at);
-                    let thief_cluster = if self.alive.contains(&thief) {
+                    let thief_cluster = if self.alive.contains(thief) {
                         self.node(thief).cluster
                     } else {
                         self.pool.cluster_of(thief)
@@ -476,7 +451,7 @@ impl GridSim {
             self.nodes[id.index()].replace(node).is_none(),
             "node {id} activated twice"
         );
-        self.alive.insert(id);
+        self.alive.insert(id, cluster);
         self.registry.join(now, id, cluster);
         self.record_node_count(now);
         // Adopt any orphaned tasks (including iteration roots, which are
@@ -495,7 +470,7 @@ impl GridSim {
     /// Central decision point: called whenever a node is free to choose its
     /// next activity.
     fn try_get_work(&mut self, now: SimTime, id: NodeId) {
-        if !self.alive.contains(&id) {
+        if !self.alive.contains(id) {
             return;
         }
         // Only a node at a scheduling point may pick new work. This guard is
@@ -576,35 +551,53 @@ impl GridSim {
         let until = now + dur;
         self.node_mut(id).failed_attempts = 0;
         self.node_mut(id).consecutive_parks = 0;
-        self.node_mut(id)
-            .transition(now, NodeActivity::Computing { task, origin, until });
+        self.node_mut(id).transition(
+            now,
+            NodeActivity::Computing {
+                task,
+                origin,
+                until,
+            },
+        );
         self.queue.push(until, Event::TaskComplete { node: id });
     }
 
     /// Issues steal attempts per the configured policy, or parks the node.
+    ///
+    /// Victim selection runs entirely on the incrementally maintained
+    /// [`PeerCache`]: no candidate vector is materialized, and the single
+    /// random draw per pick matches what indexing such a vector used to
+    /// consume, so runs are bit-identical to the old scan-and-allocate code.
     fn steal_phase(&mut self, now: SimTime, id: NodeId) {
+        let my_cluster = self.node(id).cluster;
         // CRS: keep one asynchronous wide-area steal outstanding whenever
         // the computation spans multiple clusters.
-        if self.cfg.steal_policy == StealPolicy::ClusterAware
-            && !self.node(id).wide_outstanding
-        {
-            let remote = self.alive_peers_other_clusters(id);
-            if !remote.is_empty() {
-                let victim = remote[self.rng.gen_index(remote.len())];
+        if self.cfg.steal_policy == StealPolicy::ClusterAware && !self.node(id).wide_outstanding {
+            if let Some(victim) = self.alive.pick_other_cluster(my_cluster, &mut self.rng) {
+                self.peer_cache_hits += 1;
                 self.node_mut(id).wide_outstanding = true;
                 self.send_steal_request(now, id, victim, None, true);
             }
         }
 
         // Synchronous attempt.
-        let candidates = match self.cfg.steal_policy {
-            StealPolicy::ClusterAware => self.alive_peers_in_cluster(id),
-            StealPolicy::RandomGlobal => self.alive_peers_anywhere(id),
+        let peer_count = match self.cfg.steal_policy {
+            StealPolicy::ClusterAware => self.alive.in_cluster_peers(my_cluster),
+            StealPolicy::RandomGlobal => self.alive.peers_anywhere(),
         };
-        let burst = (candidates.len() as u32).clamp(1, 4);
-        if !candidates.is_empty() && self.node(id).failed_attempts < burst {
-            let victim = candidates[self.rng.gen_index(candidates.len())];
-            let wide = self.node(victim).cluster != self.node(id).cluster;
+        let burst = (peer_count as u32).clamp(1, 4);
+        if peer_count > 0 && self.node(id).failed_attempts < burst {
+            let victim = match self.cfg.steal_policy {
+                StealPolicy::ClusterAware => {
+                    self.alive.pick_in_cluster(id, my_cluster, &mut self.rng)
+                }
+                StealPolicy::RandomGlobal => {
+                    self.alive.pick_anywhere(id, my_cluster, &mut self.rng)
+                }
+            }
+            .expect("peer_count > 0 guarantees a victim");
+            self.peer_cache_hits += 1;
+            let wide = self.node(victim).cluster != my_cluster;
             let token = self.node_mut(id).next_steal_token();
             self.node_mut(id)
                 .transition(now, NodeActivity::SyncSteal { token, wide });
@@ -618,8 +611,7 @@ impl GridSim {
         // grid does not collapse under probe storms — the same reason real
         // work-stealing runtimes throttle idle thieves.
         self.node_mut(id).failed_attempts = 0;
-        self.node_mut(id).consecutive_parks =
-            (self.node(id).consecutive_parks + 1).min(6);
+        self.node_mut(id).consecutive_parks = (self.node(id).consecutive_parks + 1).min(6);
         self.node_mut(id).transition(now, NodeActivity::Waiting);
         let backoff = {
             let base = self.cfg.timing.idle_retry_backoff;
@@ -646,6 +638,7 @@ impl GridSim {
         token: Option<u64>,
         wide: bool,
     ) {
+        self.steal_attempts += 1;
         let from = self.node(thief).cluster;
         let to = self.node(victim).cluster;
         let d = self
@@ -672,7 +665,7 @@ impl GridSim {
     ) {
         // A dead/left victim cannot answer; model the thief's timeout as an
         // empty reply over the same path.
-        let (task, victim_cluster) = if self.alive.contains(&victim) {
+        let (task, victim_cluster) = if self.alive.contains(victim) {
             let t = self.node_mut(victim).deque.pop_front();
             (t, self.node(victim).cluster)
         } else {
@@ -680,19 +673,20 @@ impl GridSim {
         };
         let payload = match task {
             Some((t, _)) => {
-                self.cfg.timing.steal_msg_bytes
-                    + self.cur_tree().node(t as usize).payload_bytes
+                self.cfg.timing.steal_msg_bytes + self.cur_tree().node(t as usize).payload_bytes
             }
             None => self.cfg.timing.steal_msg_bytes,
         };
         // The thief may itself be gone by delivery time; the reply handler
         // re-injects the task in that case.
-        let thief_cluster = if self.alive.contains(&thief) {
+        let thief_cluster = if self.alive.contains(thief) {
             self.node(thief).cluster
         } else {
             self.pool.cluster_of(thief)
         };
-        let d = self.network.deliver(now, victim_cluster, thief_cluster, payload);
+        let d = self
+            .network
+            .deliver(now, victim_cluster, thief_cluster, payload);
         self.queue.push(
             d.arrives_at,
             Event::StealReply {
@@ -715,7 +709,7 @@ impl GridSim {
         token: Option<u64>,
         wide: bool,
     ) {
-        if !self.alive.contains(&thief) {
+        if !self.alive.contains(thief) {
             // The thief left or crashed while the reply was in flight; the
             // task must not be lost (Satin re-executes orphans).
             if let Some(t) = task {
@@ -766,10 +760,14 @@ impl GridSim {
     }
 
     fn on_task_complete(&mut self, now: SimTime, id: NodeId) {
-        if !self.alive.contains(&id) {
+        if !self.alive.contains(id) {
             return; // crashed mid-compute; recovery re-injects the task
         }
-        let NodeActivity::Computing { task, origin, until } = self.node(id).activity
+        let NodeActivity::Computing {
+            task,
+            origin,
+            until,
+        } = self.node(id).activity
         else {
             return; // stale event (node was re-scheduled by recovery paths)
         };
@@ -777,13 +775,13 @@ impl GridSim {
             return; // stale completion from a superseded schedule
         }
         // Spawn children into the local deque (LIFO execution order); the
-        // executor becomes their origin.
+        // executor becomes their origin. `children` is a plain index range,
+        // so no intermediate vector is needed.
         let children = self.cur_tree().children(task as usize);
-        let range: Vec<(u32, NodeId)> = children.map(|c| (c as u32, id)).collect();
         {
             let n = self.node_mut(id);
             n.transition(now, NodeActivity::Waiting); // attribute busy time
-            n.deque.extend(range);
+            n.deque.extend(children.map(|c| (c as u32, id)));
         }
         // Return the result to the spawner. A result crossing cluster
         // boundaries is a real wide-area transfer (Satin ships the child's
@@ -794,9 +792,11 @@ impl GridSim {
         let origin_cluster = self.pool.cluster_of(origin);
         let exec_cluster = self.node(id).cluster;
         if origin_cluster != exec_cluster {
-            let bytes = self.cfg.timing.steal_msg_bytes
-                + self.cur_tree().node(task as usize).payload_bytes;
-            let d = self.network.deliver(now, exec_cluster, origin_cluster, bytes);
+            let bytes =
+                self.cfg.timing.steal_msg_bytes + self.cur_tree().node(task as usize).payload_bytes;
+            let d = self
+                .network
+                .deliver(now, exec_cluster, origin_cluster, bytes);
             self.queue.push(
                 d.arrives_at,
                 Event::ResultArrive {
@@ -814,7 +814,8 @@ impl GridSim {
                         wide: true,
                     },
                 );
-                self.queue.push(d.src_clear_at, Event::SendDone { node: id });
+                self.queue
+                    .push(d.src_clear_at, Event::SendDone { node: id });
                 return;
             }
         } else {
@@ -827,7 +828,7 @@ impl GridSim {
     }
 
     fn on_send_done(&mut self, now: SimTime, id: NodeId) {
-        if !self.alive.contains(&id) {
+        if !self.alive.contains(id) {
             return;
         }
         let NodeActivity::Sending { until, .. } = self.node(id).activity else {
@@ -872,7 +873,7 @@ impl GridSim {
     }
 
     fn on_benchmark_done(&mut self, now: SimTime, id: NodeId) {
-        if !self.alive.contains(&id) {
+        if !self.alive.contains(id) {
             return;
         }
         let NodeActivity::Benchmarking { until } = self.node(id).activity else {
@@ -893,7 +894,7 @@ impl GridSim {
     }
 
     fn on_task_transfer(&mut self, now: SimTime, to: NodeId, tasks: Vec<(u32, NodeId)>) {
-        if self.alive.contains(&to) {
+        if self.alive.contains(to) {
             self.node_mut(to).deque.extend(tasks);
             if matches!(self.node(to).activity, NodeActivity::Waiting) {
                 self.try_get_work(now, to);
@@ -904,7 +905,7 @@ impl GridSim {
     }
 
     fn on_retry(&mut self, now: SimTime, id: NodeId, generation: u64) {
-        if !self.alive.contains(&id) || self.retry_gen[id.index()] != generation {
+        if !self.alive.contains(id) || self.retry_gen[id.index()] != generation {
             return;
         }
         if matches!(self.node(id).activity, NodeActivity::Waiting) {
@@ -926,8 +927,9 @@ impl GridSim {
             self.aggregate.merge(&report.breakdown);
         }
         let queued: Vec<(u32, NodeId)> = self.node_mut(id).deque.drain(..).collect();
+        let cluster = self.node(id).cluster;
         self.node_mut(id).transition(now, NodeActivity::Gone);
-        self.alive.remove(&id);
+        self.alive.remove(id, cluster);
         self.registry.leave(id);
         self.pool.release(id);
         self.coordinator.node_gone(id);
@@ -935,7 +937,7 @@ impl GridSim {
         self.record_node_count(now);
         if !queued.is_empty() {
             // Hand the queue to a peer; the transfer crosses the network.
-            if let Some(&target) = self.alive.iter().next() {
+            if let Some(target) = self.alive.lowest() {
                 let bytes: u64 = queued
                     .iter()
                     .map(|&(t, _)| self.cur_tree().node(t as usize).payload_bytes)
@@ -962,6 +964,7 @@ impl GridSim {
 
     fn crash_node(&mut self, now: SimTime, id: NodeId) -> Vec<(u32, NodeId)> {
         let mut tasks: Vec<(u32, NodeId)> = Vec::new();
+        let cluster;
         {
             let n = self.node_mut(id);
             n.flush_stats(now);
@@ -972,9 +975,10 @@ impl GridSim {
                 tasks.push((task, origin));
             }
             tasks.extend(n.deque.drain(..));
+            cluster = n.cluster;
             n.transition(now, NodeActivity::Gone);
         }
-        self.alive.remove(&id);
+        self.alive.remove(id, cluster);
         self.registry.report_crash(id);
         self.pool.mark_lost(id);
         self.record_node_count(now);
@@ -1008,15 +1012,15 @@ impl GridSim {
                     count,
                     factor,
                 } => {
-                    let members: Vec<NodeId> = self
-                        .alive
-                        .iter()
-                        .copied()
-                        .filter(|&n| self.node(n).cluster == cluster)
-                        .collect();
+                    // Disjoint field borrows: the member list lives in the
+                    // peer cache, the load knobs in the node table.
+                    let members = self.alive.members(cluster);
                     let take = count.unwrap_or(members.len()).min(members.len());
-                    for &m in members.iter().take(take) {
-                        self.node_mut(m).load_factor = factor.max(1.0);
+                    for &m in &members[..take] {
+                        self.nodes[m.index()]
+                            .as_mut()
+                            .expect("alive node must exist")
+                            .load_factor = factor.max(1.0);
                     }
                 }
                 Injection::UplinkBandwidth {
@@ -1026,20 +1030,15 @@ impl GridSim {
                     self.network.set_uplink_bandwidth(cluster, bandwidth_bps);
                 }
                 Injection::CrashCluster { cluster } => {
-                    let victims: Vec<NodeId> = self
-                        .alive
-                        .iter()
-                        .copied()
-                        .filter(|&n| self.node(n).cluster == cluster)
-                        .collect();
+                    let victims = self.alive.members(cluster).to_vec();
                     self.crash_many(now, victims);
                 }
                 Injection::CrashNodes { cluster, count } => {
                     let victims: Vec<NodeId> = self
                         .alive
+                        .members(cluster)
                         .iter()
                         .copied()
-                        .filter(|&n| self.node(n).cluster == cluster)
                         .take(count)
                         .collect();
                     self.crash_many(now, victims);
@@ -1072,10 +1071,13 @@ impl GridSim {
         }
         // Pull reports from every alive node (the coordinator misses nodes
         // mid-steal etc.; it then relies on their previous report, which
-        // `Coordinator` keeps).
-        let ids: Vec<NodeId> = self.alive.iter().copied().collect();
+        // `Coordinator` keeps). The id snapshot reuses a scratch buffer so
+        // periodic ticks allocate nothing once warmed up.
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(self.alive.iter());
         let mut raw = Vec::with_capacity(ids.len());
-        for id in ids {
+        for &id in &ids {
             self.registry.heartbeat(now, id);
             let n = self.node_mut(id);
             n.flush_stats(now);
@@ -1086,6 +1088,7 @@ impl GridSim {
                 self.speeds.record(id, d);
             }
         }
+        self.scratch_ids = ids;
         let rel = self.speeds.all_relative_speeds();
         // Per-cluster ic-overhead telemetry (mirrors what the coordinator's
         // exceptional-cluster rule sees).
@@ -1111,7 +1114,8 @@ impl GridSim {
         // Bandwidth observations, estimated from the data-transfer times
         // the estimator accumulated this period (paper §3.3) — the
         // coordinator never reads the network model directly.
-        for c in self.participating_clusters() {
+        let clusters: Vec<ClusterId> = self.alive.participating_clusters().collect();
+        for c in clusters {
             if let Some(bw) = self.bandwidth.estimate(c) {
                 self.coordinator.observe_uplink(c, bw);
             }
@@ -1245,7 +1249,10 @@ impl GridSim {
         };
         let (bl_nodes, bl_clusters) = {
             let main = self.coordinator.main();
-            (main.blacklisted_nodes().clone(), main.blacklisted_clusters().clone())
+            (
+                main.blacklisted_nodes().clone(),
+                main.blacklisted_clusters().clone(),
+            )
         };
         let grants: Vec<NodeGrant> =
             self.pool
@@ -1268,7 +1275,7 @@ impl GridSim {
         // Deliver the registry's signals (the paper's coordinator uses the
         // Ibis registry's signal facility to notify nodes).
         for id in self.registry.take_signals() {
-            if !self.alive.contains(&id) {
+            if !self.alive.contains(id) {
                 continue;
             }
             self.node_mut(id).leave_requested = true;
@@ -1286,7 +1293,7 @@ impl GridSim {
         let now = self.queue.now();
         // Fold the final partial period of surviving nodes into the
         // aggregate.
-        let ids: Vec<NodeId> = self.alive.iter().copied().collect();
+        let ids: Vec<NodeId> = self.alive.iter().collect();
         for id in ids {
             let n = self.node_mut(id);
             n.flush_stats(now);
@@ -1320,6 +1327,8 @@ impl GridSim {
             cluster_ic_timeline: self.cluster_ic_timeline,
             aggregate: self.aggregate,
             events_processed: self.queue.processed(),
+            steal_attempts: self.steal_attempts,
+            peer_cache_hits: self.peer_cache_hits,
             timed_out: self.timed_out,
             activity_traces,
         }
@@ -1442,10 +1451,7 @@ mod tests {
             "adaptation should have added nodes: timeline {:?}",
             r.node_count_timeline
         );
-        assert!(r
-            .decisions
-            .iter()
-            .any(|d| d.decision.kind() == "add"));
+        assert!(r.decisions.iter().any(|d| d.decision.kind() == "add"));
     }
 
     #[test]

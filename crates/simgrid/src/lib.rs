@@ -31,6 +31,7 @@
 pub mod config;
 pub mod engine;
 pub mod node;
+pub mod peers;
 pub mod result;
 pub mod trace;
 

@@ -170,8 +170,7 @@ impl SimNode {
                     self.stats.add_benchmark(elapsed);
                     Some(SpanKind::Benchmark)
                 }
-                NodeActivity::Sending { wide, .. }
-                | NodeActivity::SyncSteal { wide, .. } => {
+                NodeActivity::Sending { wide, .. } | NodeActivity::SyncSteal { wide, .. } => {
                     self.stats.add_comm(elapsed, !wide);
                     Some(if wide {
                         SpanKind::InterComm

@@ -1,0 +1,331 @@
+//! Incrementally maintained alive-peer lists.
+//!
+//! The steal path used to recompute "alive peers in my cluster / anywhere /
+//! in other clusters" by allocating a fresh `Vec` and scanning the global
+//! alive set on *every* steal attempt — the hottest allocation in the whole
+//! engine. [`PeerCache`] replaces that with per-cluster sorted member lists
+//! updated on join/leave/crash, and victim selection that indexes into them
+//! directly.
+//!
+//! Determinism contract: node ids are cluster-major over the grid, so
+//! concatenating the per-cluster lists in ascending `ClusterId` order
+//! reproduces the ascending-`NodeId` iteration of the old `BTreeSet` exactly.
+//! Each `pick_*` draws the same single `gen_index(peer_count)` the old code
+//! drew on its materialized candidate vector, so RNG consumption — and with
+//! it every simulation result — is bit-identical to the scan-and-allocate
+//! implementation.
+
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::rng::Rng64;
+
+/// The set of alive nodes, organized per cluster for allocation-free
+/// victim selection.
+#[derive(Clone, Debug)]
+pub struct PeerCache {
+    /// Sorted alive members of each cluster (indexed by `ClusterId`).
+    members: Vec<Vec<NodeId>>,
+    /// Per-node alive flag (indexed by `NodeId`), for O(1) membership.
+    alive: Vec<bool>,
+    /// Total alive count.
+    count: usize,
+}
+
+impl PeerCache {
+    /// An empty cache for a grid of `clusters` clusters and `nodes` total
+    /// node slots.
+    pub fn new(clusters: usize, nodes: usize) -> Self {
+        Self {
+            members: vec![Vec::new(); clusters],
+            alive: vec![false; nodes],
+            count: 0,
+        }
+    }
+
+    /// Marks `id` alive in `cluster`. Panics if it already is.
+    pub fn insert(&mut self, id: NodeId, cluster: ClusterId) {
+        assert!(!self.alive[id.index()], "node {id} inserted twice");
+        self.alive[id.index()] = true;
+        let list = &mut self.members[cluster.0 as usize];
+        let pos = list.binary_search(&id).unwrap_err();
+        list.insert(pos, id);
+        self.count += 1;
+    }
+
+    /// Marks `id` dead. Panics if it is not currently alive in `cluster`.
+    pub fn remove(&mut self, id: NodeId, cluster: ClusterId) {
+        assert!(self.alive[id.index()], "node {id} removed while dead");
+        self.alive[id.index()] = false;
+        let list = &mut self.members[cluster.0 as usize];
+        let pos = list.binary_search(&id).expect("cluster list out of sync");
+        list.remove(pos);
+        self.count -= 1;
+    }
+
+    /// Whether `id` is alive.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.alive.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of alive nodes.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no node is alive.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The lowest-id alive node (the "master" in adoption paths).
+    pub fn lowest(&self) -> Option<NodeId> {
+        self.members.iter().find_map(|m| m.first().copied())
+    }
+
+    /// Alive nodes in ascending id order (ids are cluster-major, so chaining
+    /// the per-cluster lists *is* ascending order).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().flatten().copied()
+    }
+
+    /// Sorted alive members of one cluster.
+    pub fn members(&self, cluster: ClusterId) -> &[NodeId] {
+        &self.members[cluster.0 as usize]
+    }
+
+    /// Clusters that currently have at least one alive member, ascending.
+    pub fn participating_clusters(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(i, _)| ClusterId(i as u16))
+    }
+
+    /// Number of alive peers of a node of `cluster` within that cluster
+    /// (the node itself excluded).
+    pub fn in_cluster_peers(&self, cluster: ClusterId) -> usize {
+        self.members[cluster.0 as usize].len().saturating_sub(1)
+    }
+
+    /// Number of alive peers anywhere (the node itself excluded).
+    pub fn peers_anywhere(&self) -> usize {
+        self.count.saturating_sub(1)
+    }
+
+    /// Number of alive nodes outside `cluster`.
+    pub fn other_cluster_peers(&self, cluster: ClusterId) -> usize {
+        self.count - self.members[cluster.0 as usize].len()
+    }
+
+    /// Uniform random alive peer of `of` within its own `cluster`, or
+    /// `None` (consuming no randomness) when it has no such peer.
+    pub fn pick_in_cluster(
+        &self,
+        of: NodeId,
+        cluster: ClusterId,
+        rng: &mut impl Rng64,
+    ) -> Option<NodeId> {
+        let list = &self.members[cluster.0 as usize];
+        let peers = list.len().checked_sub(1).filter(|&p| p > 0)?;
+        let r = rng.gen_index(peers);
+        let pos = list.binary_search(&of).expect("`of` must be alive");
+        Some(if r < pos { list[r] } else { list[r + 1] })
+    }
+
+    /// Uniform random alive peer of `of` anywhere on the grid, or `None`
+    /// (consuming no randomness) when it has no peer.
+    pub fn pick_anywhere(
+        &self,
+        of: NodeId,
+        cluster: ClusterId,
+        rng: &mut impl Rng64,
+    ) -> Option<NodeId> {
+        let peers = self.count.checked_sub(1).filter(|&p| p > 0)?;
+        let r = rng.gen_index(peers);
+        // Global ascending position of `of`, to skip it in the flat order.
+        let before: usize = self.members[..cluster.0 as usize]
+            .iter()
+            .map(Vec::len)
+            .sum();
+        let pos = before
+            + self.members[cluster.0 as usize]
+                .binary_search(&of)
+                .expect("`of` must be alive");
+        let mut idx = if r < pos { r } else { r + 1 };
+        for m in &self.members {
+            if idx < m.len() {
+                return Some(m[idx]);
+            }
+            idx -= m.len();
+        }
+        unreachable!("index within alive count")
+    }
+
+    /// Uniform random alive node outside `cluster`, or `None` (consuming no
+    /// randomness) when every alive node is inside it.
+    pub fn pick_other_cluster(&self, cluster: ClusterId, rng: &mut impl Rng64) -> Option<NodeId> {
+        let remote = self.other_cluster_peers(cluster);
+        if remote == 0 {
+            return None;
+        }
+        let mut idx = rng.gen_index(remote);
+        for (i, m) in self.members.iter().enumerate() {
+            if i == cluster.0 as usize {
+                continue;
+            }
+            if idx < m.len() {
+                return Some(m[idx]);
+            }
+            idx -= m.len();
+        }
+        unreachable!("index within remote count")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_core::rng::Xoshiro256StarStar;
+    use std::collections::BTreeSet;
+
+    /// The old engine's recompute-from-scratch peer queries, kept as the
+    /// reference model.
+    struct Model {
+        alive: BTreeSet<NodeId>,
+        cluster_of: Vec<ClusterId>,
+    }
+
+    impl Model {
+        fn in_cluster(&self, of: NodeId) -> Vec<NodeId> {
+            let c = self.cluster_of[of.index()];
+            self.alive
+                .iter()
+                .copied()
+                .filter(|&n| n != of && self.cluster_of[n.index()] == c)
+                .collect()
+        }
+
+        fn anywhere(&self, of: NodeId) -> Vec<NodeId> {
+            self.alive.iter().copied().filter(|&n| n != of).collect()
+        }
+
+        fn other_clusters(&self, of: NodeId) -> Vec<NodeId> {
+            let c = self.cluster_of[of.index()];
+            self.alive
+                .iter()
+                .copied()
+                .filter(|&n| n != of && self.cluster_of[n.index()] != c)
+                .collect()
+        }
+    }
+
+    /// A cluster-major grid of 4 clusters × 6 nodes, like the engine's.
+    fn grid() -> (PeerCache, Model) {
+        let cluster_of: Vec<ClusterId> = (0..24).map(|i| ClusterId((i / 6) as u16)).collect();
+        (
+            PeerCache::new(4, 24),
+            Model {
+                alive: BTreeSet::new(),
+                cluster_of,
+            },
+        )
+    }
+
+    /// Randomized join/leave/crash churn: after every step the cache must
+    /// agree with the recompute-from-scratch model on every query, and every
+    /// victim pick must match indexing the model's materialized candidate
+    /// vector with the same random draw — the exact equivalence the engine's
+    /// determinism rests on.
+    #[test]
+    fn cache_matches_recompute_model_under_churn() {
+        let (mut cache, mut model) = grid();
+        let mut rng = Xoshiro256StarStar::seeded(0xC0FFEE);
+        for step in 0..2_000 {
+            let id = NodeId(rng.gen_index(24) as u32);
+            let cluster = model.cluster_of[id.index()];
+            // Join if dead, leave/crash if alive (leave and crash are the
+            // same cache operation; the engine differs only in accounting).
+            if model.alive.contains(&id) {
+                cache.remove(id, cluster);
+                model.alive.remove(&id);
+            } else {
+                cache.insert(id, cluster);
+                model.alive.insert(id);
+            }
+
+            assert_eq!(cache.len(), model.alive.len(), "step {step}");
+            assert_eq!(
+                cache.lowest(),
+                model.alive.iter().next().copied(),
+                "step {step}"
+            );
+            assert_eq!(
+                cache.iter().collect::<Vec<_>>(),
+                model.alive.iter().copied().collect::<Vec<_>>(),
+                "step {step}: global order"
+            );
+            let participating: BTreeSet<ClusterId> = model
+                .alive
+                .iter()
+                .map(|&n| model.cluster_of[n.index()])
+                .collect();
+            assert_eq!(
+                cache.participating_clusters().collect::<Vec<_>>(),
+                participating.iter().copied().collect::<Vec<_>>(),
+                "step {step}: participating clusters"
+            );
+
+            // Peer queries and picks, from every alive node's perspective.
+            for &of in &model.alive {
+                let c = model.cluster_of[of.index()];
+                let local = model.in_cluster(of);
+                let anywhere = model.anywhere(of);
+                let remote = model.other_clusters(of);
+                assert_eq!(cache.in_cluster_peers(c), local.len());
+                assert_eq!(cache.peers_anywhere(), anywhere.len());
+                assert_eq!(cache.other_cluster_peers(c), remote.len());
+
+                // Same seed on both sides: the pick must equal indexing the
+                // materialized vector with the same draw.
+                let draw = rng.clone();
+                let picked = cache.pick_in_cluster(of, c, &mut rng.clone());
+                let expected =
+                    (!local.is_empty()).then(|| local[draw.clone().gen_index(local.len())]);
+                assert_eq!(picked, expected, "step {step}: in-cluster pick");
+
+                let picked = cache.pick_anywhere(of, c, &mut rng.clone());
+                let expected = (!anywhere.is_empty())
+                    .then(|| anywhere[draw.clone().gen_index(anywhere.len())]);
+                assert_eq!(picked, expected, "step {step}: anywhere pick");
+
+                let picked = cache.pick_other_cluster(c, &mut rng.clone());
+                let expected =
+                    (!remote.is_empty()).then(|| remote[draw.clone().gen_index(remote.len())]);
+                assert_eq!(picked, expected, "step {step}: other-cluster pick");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_picks_consume_no_randomness() {
+        let (mut cache, _) = grid();
+        cache.insert(NodeId(0), ClusterId(0));
+        let mut rng = Xoshiro256StarStar::seeded(1);
+        let before = rng.clone().next_u64();
+        assert_eq!(
+            cache.pick_in_cluster(NodeId(0), ClusterId(0), &mut rng),
+            None
+        );
+        assert_eq!(cache.pick_anywhere(NodeId(0), ClusterId(0), &mut rng), None);
+        assert_eq!(cache.pick_other_cluster(ClusterId(0), &mut rng), None);
+        assert_eq!(rng.next_u64(), before, "no draw on empty candidate sets");
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_is_a_bug() {
+        let (mut cache, _) = grid();
+        cache.insert(NodeId(3), ClusterId(0));
+        cache.insert(NodeId(3), ClusterId(0));
+    }
+}

@@ -28,6 +28,12 @@ pub struct RunResult {
     pub aggregate: OverheadBreakdown,
     /// Number of discrete events processed (kernel throughput bench).
     pub events_processed: u64,
+    /// Steal requests sent over the simulated network (sync and wide).
+    pub steal_attempts: u64,
+    /// Victim selections served by the engine's incremental peer cache
+    /// (one per steal attempt; kept separate so the ratio to
+    /// `steal_attempts` stays an invariant check for the cache path).
+    pub peer_cache_hits: u64,
     /// True when the run ended because it hit the virtual-time cap rather
     /// than finishing its workload.
     pub timed_out: bool,
@@ -126,6 +132,8 @@ mod tests {
                 ..Default::default()
             },
             events_processed: 0,
+            steal_attempts: 0,
+            peer_cache_hits: 0,
             timed_out: false,
             activity_traces: Vec::new(),
         }

@@ -111,6 +111,13 @@ impl InjectionSchedule {
     pub fn remaining(&self) -> usize {
         self.entries.len() - self.next
     }
+
+    /// Firing times of the not-yet-fired perturbations, ascending (with
+    /// duplicates for entries sharing a time). Lets the engine schedule its
+    /// wake-ups without cloning and draining the whole schedule.
+    pub fn upcoming_times(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.entries[self.next..].iter().map(|e| e.at)
+    }
 }
 
 #[cfg(test)]

@@ -225,8 +225,12 @@ mod tests {
         let t0 = SimTime::ZERO;
         // Two 100 KB messages into cluster 1: the second queues a full
         // second behind the first.
-        let d1 = n.deliver(t0, ClusterId(0), ClusterId(1), 100_000).arrives_at;
-        let d2 = n.deliver(t0, ClusterId(0), ClusterId(1), 100_000).arrives_at;
+        let d1 = n
+            .deliver(t0, ClusterId(0), ClusterId(1), 100_000)
+            .arrives_at;
+        let d2 = n
+            .deliver(t0, ClusterId(0), ClusterId(1), 100_000)
+            .arrives_at;
         let gap = d2.saturating_since(d1);
         assert!(
             (gap.as_secs_f64() - 1.0).abs() < 0.05,

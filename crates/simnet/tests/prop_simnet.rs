@@ -1,48 +1,72 @@
-//! Property tests for the discrete-event substrate.
+//! Randomized property tests for the discrete-event substrate, driven by
+//! the in-repo fixed-seed RNG so every case is reproducible offline.
 
-use proptest::prelude::*;
 use sagrid_core::config::GridConfig;
 use sagrid_core::ids::ClusterId;
+use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
 use sagrid_core::time::{SimDuration, SimTime};
-use sagrid_simnet::{EventQueue, Injection, InjectionSchedule, Network, ScheduledInjection, SharedLink};
+use sagrid_simnet::{
+    EventQueue, Injection, InjectionSchedule, Network, ScheduledInjection, SharedLink,
+};
 
-proptest! {
-    /// A shared link is FIFO: transmissions enqueued in order clear in
-    /// order, and total carriage equals the sum of bytes.
-    #[test]
-    fn shared_link_is_fifo(sizes in prop::collection::vec(1u64..1_000_000, 1..50)) {
+const CASES: u64 = 150;
+
+fn rng_for(test: u64, case: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seeded(0x51E7_0000 + test * 1_000 + case)
+}
+
+/// A shared link is FIFO: transmissions enqueued in order clear in order,
+/// and total carriage equals the sum of bytes.
+#[test]
+fn shared_link_is_fifo() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let n = 1 + rng.gen_index(49);
+        let sizes: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range(999_999)).collect();
         let mut link = SharedLink::new(SimDuration::from_millis(1), 1_000_000.0);
         let mut last_clear = SimTime::ZERO;
         let mut total = 0u64;
         for (i, &bytes) in sizes.iter().enumerate() {
             let now = SimTime::from_millis(i as u64); // senders arrive over time
             let clear = link.transmit(now, bytes);
-            prop_assert!(clear >= last_clear, "FIFO violated");
-            prop_assert!(clear >= now);
+            assert!(clear >= last_clear, "case {case}: FIFO violated");
+            assert!(clear >= now, "case {case}");
             last_clear = clear;
             total += bytes;
         }
-        prop_assert_eq!(link.bytes_carried(), total);
+        assert_eq!(link.bytes_carried(), total, "case {case}");
     }
+}
 
-    /// Delivery time is monotone in message size on a fresh path, and
-    /// queueing only ever delays (never reorders) same-direction traffic.
-    #[test]
-    fn deliveries_queue_in_order(msgs in prop::collection::vec(1u64..500_000, 1..40)) {
+/// Delivery time is monotone in message size on a fresh path, and queueing
+/// only ever delays (never reorders) same-direction traffic.
+#[test]
+fn deliveries_queue_in_order() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let n = 1 + rng.gen_index(39);
         let mut net = Network::new(&GridConfig::uniform(2, 2));
         net.set_uplink_bandwidth(ClusterId(0), 200_000.0);
         let mut last_arrival = SimTime::ZERO;
-        for &bytes in &msgs {
+        for _ in 0..n {
+            let bytes = 1 + rng.gen_range(499_999);
             let d = net.deliver(SimTime::ZERO, ClusterId(0), ClusterId(1), bytes);
-            prop_assert!(d.arrives_at >= last_arrival, "same-direction reorder");
+            assert!(
+                d.arrives_at >= last_arrival,
+                "case {case}: same-direction reorder"
+            );
             last_arrival = d.arrives_at;
         }
     }
+}
 
-    /// The uplink backlog drains: after waiting out the backlog, a fresh
-    /// 0-extra-byte message meets an idle link.
-    #[test]
-    fn backlog_eventually_drains(bytes in 1u64..1_000_000) {
+/// The uplink backlog drains: after waiting out the backlog, a fresh
+/// message meets an idle link.
+#[test]
+fn backlog_eventually_drains() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let bytes = 1 + rng.gen_range(999_999);
         let mut net = Network::new(&GridConfig::uniform(2, 2));
         let d1 = net.deliver(SimTime::ZERO, ClusterId(0), ClusterId(1), bytes);
         let later = d1.arrives_at + SimDuration::from_secs(1);
@@ -50,13 +74,21 @@ proptest! {
         let first_latency = d1.arrives_at.saturating_since(SimTime::ZERO);
         let second_latency = d2.arrives_at.saturating_since(later);
         // Allow a microsecond of rounding.
-        prop_assert!(second_latency <= first_latency + SimDuration::from_micros(1));
+        assert!(
+            second_latency <= first_latency + SimDuration::from_micros(1),
+            "case {case}"
+        );
     }
+}
 
-    /// The event queue never loses events: everything pushed is popped
-    /// exactly once, in time order.
-    #[test]
-    fn event_queue_conserves_events(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// The event queue never loses events: everything pushed is popped exactly
+/// once, in time order.
+#[test]
+fn event_queue_conserves_events() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let n = 1 + rng.gen_index(199);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1_000_000)).collect();
         let mut q: EventQueue<usize> = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime(t), i);
@@ -64,22 +96,26 @@ proptest! {
         let mut seen = vec![false; times.len()];
         let mut last = SimTime::ZERO;
         while let Some((t, i)) = q.pop() {
-            prop_assert!(t >= last);
-            prop_assert!(!seen[i], "event popped twice");
-            prop_assert_eq!(t, SimTime(times[i]));
+            assert!(t >= last, "case {case}");
+            assert!(!seen[i], "case {case}: event popped twice");
+            assert_eq!(t, SimTime(times[i]), "case {case}");
             seen[i] = true;
             last = t;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}");
     }
+}
 
-    /// An injection schedule fires every entry exactly once, in order,
-    /// under arbitrary polling patterns.
-    #[test]
-    fn schedule_fires_everything_once(
-        times in prop::collection::vec(0u64..10_000, 1..50),
-        polls in prop::collection::vec(0u64..12_000, 1..80),
-    ) {
+/// An injection schedule fires every entry exactly once, in order, under
+/// arbitrary polling patterns.
+#[test]
+fn schedule_fires_everything_once() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let n_times = 1 + rng.gen_index(49);
+        let times: Vec<u64> = (0..n_times).map(|_| rng.gen_range(10_000)).collect();
+        let n_polls = 1 + rng.gen_index(79);
+        let mut polls: Vec<u64> = (0..n_polls).map(|_| rng.gen_range(12_000)).collect();
         let entries: Vec<ScheduledInjection> = times
             .iter()
             .map(|&t| ScheduledInjection {
@@ -92,20 +128,19 @@ proptest! {
             })
             .collect();
         let mut s = InjectionSchedule::new(entries);
-        let mut sorted_polls = polls.clone();
-        sorted_polls.sort_unstable();
+        polls.sort_unstable();
         let mut fired = 0usize;
         let mut last_fired_at = SimTime::ZERO;
-        for &p in &sorted_polls {
+        for &p in &polls {
             for e in s.pop_due(SimTime(p)) {
-                prop_assert!(e.at >= last_fired_at);
-                prop_assert!(e.at <= SimTime(p));
+                assert!(e.at >= last_fired_at, "case {case}");
+                assert!(e.at <= SimTime(p), "case {case}");
                 last_fired_at = e.at;
                 fired += 1;
             }
         }
         fired += s.pop_due(SimTime::MAX).len();
-        prop_assert_eq!(fired, times.len());
-        prop_assert_eq!(s.remaining(), 0);
+        assert_eq!(fired, times.len(), "case {case}");
+        assert_eq!(s.remaining(), 0, "case {case}");
     }
 }

@@ -33,7 +33,11 @@ fn main() {
     }
     let t = Instant::now();
     let par8 = rt.run(move |ctx| fib_par(ctx, n, 16));
-    println!("  8 workers:  {:?} (same answer: {})", t.elapsed(), par8 == seq);
+    println!(
+        "  8 workers:  {:?} (same answer: {})",
+        t.elapsed(),
+        par8 == seq
+    );
 
     // --- N-queens: irregular search --------------------------------------
     let q = 12;
@@ -53,7 +57,10 @@ fn main() {
         });
         rt.run(move |ctx| fib_par(ctx, n, 16))
     });
-    println!("  survivors still computed fib({n}) = {result} (correct: {})", result == seq);
+    println!(
+        "  survivors still computed fib({n}) = {result} (correct: {})",
+        result == seq
+    );
 
     rt.shutdown();
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, test, and a quick DES-throughput
+# regression check. Everything runs without registry access — the workspace
+# has no external dependencies.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+# rustfmt may be absent from minimal toolchains; the formatting gate is
+# advisory there rather than a hard failure.
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "rustfmt not installed; skipping format check"
+fi
+
+echo "== clippy =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --release -- -D warnings
+else
+    echo "clippy not installed; skipping lint"
+fi
+
+echo "== build =="
+cargo build --release
+
+echo "== test =="
+cargo test --workspace -q
+
+echo "== DES throughput (quick) =="
+SAGRID_BENCH_QUICK=1 SAGRID_BENCH_OUT="$PWD/target/BENCH_des_throughput.quick.json" \
+    cargo bench -p sagrid-bench --bench des_throughput
+echo "wrote target/BENCH_des_throughput.quick.json (committed baseline: BENCH_des_throughput.json)"
+
+echo "== experiments smoke (parallel == serial) =="
+./target/release/experiments --quick --serial > target/ci_serial.txt
+./target/release/experiments --quick > target/ci_parallel.txt
+diff target/ci_serial.txt target/ci_parallel.txt
+echo "parallel output is byte-identical to serial"
+
+echo "CI OK"

@@ -218,7 +218,10 @@ fn injections_change_behaviour_only_after_their_time() {
     );
     let clean_total = clean.total_runtime.as_secs_f64();
     let loaded_total = loaded.total_runtime.as_secs_f64();
-    assert!(loaded_total > clean_total, "the load must slow the run down");
+    assert!(
+        loaded_total > clean_total,
+        "the load must slow the run down"
+    );
 }
 
 #[test]

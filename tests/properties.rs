@@ -1,7 +1,9 @@
-//! Property-based tests (proptest) on the core data structures and the
-//! paper's invariants, spanning crates.
+//! Randomized property tests on the core data structures and the paper's
+//! invariants, spanning crates. Deterministic: every case derives from a
+//! fixed-seed [`Xoshiro256StarStar`], so failures reproduce exactly (the
+//! container has no registry access, hence no proptest — the invariants are
+//! the same ones a shrinking framework would check).
 
-use proptest::prelude::*;
 use sagrid::adapt::{
     cluster_badness, node_badness, wa_efficiency, AdaptPolicy, BadnessCoefficients,
 };
@@ -14,56 +16,84 @@ use sagrid::sched::{AllocPolicy, Requirements, ResourcePool};
 use sagrid::simnet::EventQueue;
 use std::collections::BTreeSet;
 
-proptest! {
-    /// Weighted average efficiency always lies in [0, 1], whatever garbage
-    /// the measurement layer produces.
-    #[test]
-    fn wa_efficiency_is_bounded(pairs in prop::collection::vec((0.0f64..2.0, -0.5f64..1.5), 0..50)) {
-        let e = wa_efficiency(pairs);
-        prop_assert!((0.0..=1.0).contains(&e), "wa_eff {e}");
-    }
+const CASES: u64 = 200;
 
-    /// Badness is monotone: slower nodes and worse links are never *less*
-    /// bad.
-    #[test]
-    fn badness_is_monotone(
-        s1 in 0.01f64..1.0, s2 in 0.01f64..1.0,
-        ic1 in 0.0f64..1.0, ic2 in 0.0f64..1.0,
-    ) {
-        let c = BadnessCoefficients::default();
+fn rng_for(test: u64, case: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seeded(0x5EED_0000 + test * 1_000 + case)
+}
+
+fn f64_in(rng: &mut impl Rng64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen_f64()
+}
+
+/// Weighted average efficiency always lies in [0, 1], whatever garbage the
+/// measurement layer produces.
+#[test]
+fn wa_efficiency_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let n = rng.gen_index(50);
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|_| (f64_in(&mut rng, 0.0, 2.0), f64_in(&mut rng, -0.5, 1.5)))
+            .collect();
+        let e = wa_efficiency(pairs);
+        assert!((0.0..=1.0).contains(&e), "case {case}: wa_eff {e}");
+    }
+}
+
+/// Badness is monotone: slower nodes and worse links are never *less* bad.
+#[test]
+fn badness_is_monotone() {
+    let c = BadnessCoefficients::default();
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let s1 = f64_in(&mut rng, 0.01, 1.0);
+        let s2 = f64_in(&mut rng, 0.01, 1.0);
+        let ic1 = f64_in(&mut rng, 0.0, 1.0);
+        let ic2 = f64_in(&mut rng, 0.0, 1.0);
         let (slow, fast) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
         let (lo, hi) = if ic1 <= ic2 { (ic1, ic2) } else { (ic2, ic1) };
-        prop_assert!(node_badness(&c, slow, lo, false) >= node_badness(&c, fast, lo, false));
-        prop_assert!(node_badness(&c, slow, hi, false) >= node_badness(&c, slow, lo, false));
-        prop_assert!(cluster_badness(&c, slow, hi) >= cluster_badness(&c, fast, lo));
+        assert!(node_badness(&c, slow, lo, false) >= node_badness(&c, fast, lo, false));
+        assert!(node_badness(&c, slow, hi, false) >= node_badness(&c, slow, lo, false));
+        assert!(cluster_badness(&c, slow, hi) >= cluster_badness(&c, fast, lo));
     }
+}
 
-    /// Grow/shrink sizing respects its bounds for every efficiency value.
-    #[test]
-    fn policy_sizing_is_bounded(wa in 0.0f64..1.0, n in 1usize..200) {
-        let p = AdaptPolicy::default();
+/// Grow/shrink sizing respects its bounds for every efficiency value.
+#[test]
+fn policy_sizing_is_bounded() {
+    let p = AdaptPolicy::default();
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let wa = rng.gen_f64();
+        let n = 1 + rng.gen_index(199);
         if wa > p.e_max {
             let g = p.grow_size(wa, n);
-            prop_assert!(g >= 1 && g <= p.max_growth_per_period);
+            assert!(g >= 1 && g <= p.max_growth_per_period, "case {case}");
         } else if wa < p.e_min {
             let s = p.shrink_size(wa, n);
-            prop_assert!(s <= n.saturating_sub(p.min_nodes));
+            assert!(s <= n.saturating_sub(p.min_nodes), "case {case}");
             if n > p.min_nodes {
-                prop_assert!(s >= 1);
+                assert!(s >= 1, "case {case}");
             }
         }
     }
+}
 
-    /// The event queue pops in nondecreasing time order under arbitrary
-    /// interleavings of pushes and pops.
-    #[test]
-    fn event_queue_is_time_ordered(ops in prop::collection::vec((0u64..1_000, any::<bool>()), 1..200)) {
+/// The event queue pops in nondecreasing time order under arbitrary
+/// interleavings of pushes and pops.
+#[test]
+fn event_queue_is_time_ordered() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let ops = 1 + rng.gen_index(199);
         let mut q: EventQueue<u64> = EventQueue::new();
         let mut last_popped = SimTime::ZERO;
-        for (dt, pop) in ops {
-            if pop {
+        for _ in 0..ops {
+            let dt = rng.gen_range(1_000);
+            if rng.gen_bool(0.5) {
                 if let Some((t, _)) = q.pop() {
-                    prop_assert!(t >= last_popped);
+                    assert!(t >= last_popped, "case {case}");
                     last_popped = t;
                 }
             } else {
@@ -73,22 +103,24 @@ proptest! {
             }
         }
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last_popped);
+            assert!(t >= last_popped, "case {case}");
             last_popped = t;
         }
     }
+}
 
-    /// Generated task trees are well-formed: every non-root node has
-    /// exactly one parent, the critical path never exceeds total work, and
-    /// subtree leaf counts add up.
-    #[test]
-    fn task_trees_are_well_formed(seed in any::<u64>(), depth in 1u32..5, spread in 1.0f64..50.0) {
+/// Generated task trees are well-formed: every non-root node has exactly
+/// one parent, the critical path never exceeds total work, and subtree leaf
+/// counts add up.
+#[test]
+fn task_trees_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
         let shape = TreeShape {
-            depth,
-            work_spread: spread,
+            depth: 1 + rng.gen_index(4) as u32,
+            work_spread: f64_in(&mut rng, 1.0, 50.0),
             ..TreeShape::small()
         };
-        let mut rng = Xoshiro256StarStar::seeded(seed);
         let tree: TaskTree = shape.generate(&mut rng);
         let mut parents = vec![0u32; tree.len()];
         for i in 0..tree.len() {
@@ -96,26 +128,26 @@ proptest! {
                 parents[c] += 1;
             }
         }
-        prop_assert_eq!(parents[0], 0);
-        prop_assert!(parents[1..].iter().all(|&p| p == 1));
-        prop_assert!(tree.critical_path() <= tree.total_work());
+        assert_eq!(parents[0], 0, "case {case}");
+        assert!(parents[1..].iter().all(|&p| p == 1), "case {case}");
+        assert!(tree.critical_path() <= tree.total_work(), "case {case}");
         let counts = tree.subtree_leaf_counts();
-        prop_assert_eq!(counts[0] as usize, tree.leaf_count());
+        assert_eq!(counts[0] as usize, tree.leaf_count(), "case {case}");
     }
+}
 
-    /// The resource pool never over-grants, never grants blacklisted
-    /// resources, and releasing everything restores the free count.
-    #[test]
-    fn pool_respects_capacity_and_blacklists(
-        n_req in 0usize..60,
-        blacklist_cluster in 0u16..3,
-        seed in any::<u64>(),
-    ) {
+/// The resource pool never over-grants, never grants blacklisted
+/// resources, and releasing everything restores the free count.
+#[test]
+fn pool_respects_capacity_and_blacklists() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let n_req = rng.gen_index(60);
         let mut pool = ResourcePool::new(&sagrid::core::config::GridConfig::uniform(3, 8));
-        let mut rng = Xoshiro256StarStar::seeded(seed);
-        let excluded_nodes: BTreeSet<NodeId> =
-            (0..rng.gen_range(5)).map(|_| NodeId(rng.gen_range(24) as u32)).collect();
-        let excluded_clusters: BTreeSet<ClusterId> = [ClusterId(blacklist_cluster)].into();
+        let excluded_nodes: BTreeSet<NodeId> = (0..rng.gen_range(5))
+            .map(|_| NodeId(rng.gen_range(24) as u32))
+            .collect();
+        let excluded_clusters: BTreeSet<ClusterId> = [ClusterId(rng.gen_range(3) as u16)].into();
         let grants = pool.request(
             n_req,
             AllocPolicy::LocalityAware,
@@ -124,32 +156,35 @@ proptest! {
             &excluded_clusters,
             &[],
         );
-        prop_assert!(grants.len() <= n_req);
+        assert!(grants.len() <= n_req, "case {case}");
         let mut seen = BTreeSet::new();
         for g in &grants {
-            prop_assert!(!excluded_nodes.contains(&g.node));
-            prop_assert!(!excluded_clusters.contains(&g.cluster));
-            prop_assert!(seen.insert(g.node), "node granted twice");
+            assert!(!excluded_nodes.contains(&g.node), "case {case}");
+            assert!(!excluded_clusters.contains(&g.cluster), "case {case}");
+            assert!(seen.insert(g.node), "case {case}: node granted twice");
         }
         for g in &grants {
             pool.release(g.node);
         }
-        prop_assert_eq!(pool.free_count(), 24);
+        assert_eq!(pool.free_count(), 24, "case {case}");
     }
+}
 
-    /// Statistics conservation: however activity is sliced into the
-    /// buckets, the total equals the sum of the parts and the overhead
-    /// fraction stays within [0, 1].
-    #[test]
-    fn stats_conservation(
-        spans in prop::collection::vec((0u64..10_000, 0u8..5), 1..100),
-    ) {
+/// Statistics conservation: however activity is sliced into the buckets,
+/// the total equals the sum of the parts and the overhead fraction stays
+/// within [0, 1].
+#[test]
+fn stats_conservation() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let spans = 1 + rng.gen_index(99);
         let mut stats = NodeStats::new(NodeId(0), ClusterId(0), SimTime::ZERO);
         let mut expected_total = 0u64;
         let mut now = SimTime::ZERO;
-        for (len, kind) in spans {
+        for _ in 0..spans {
+            let len = rng.gen_range(10_000);
             let d = SimDuration::from_micros(len);
-            match kind {
+            match rng.gen_range(5) {
                 0 => stats.add_busy(d),
                 1 => stats.add_idle(d),
                 2 => stats.add_comm(d, true),
@@ -160,42 +195,48 @@ proptest! {
             now += d;
         }
         let report = stats.take_report(now, 1.0);
-        prop_assert_eq!(report.breakdown.total(), SimDuration::from_micros(expected_total));
+        assert_eq!(
+            report.breakdown.total(),
+            SimDuration::from_micros(expected_total),
+            "case {case}"
+        );
         let ovh = report.overhead_fraction();
-        prop_assert!((0.0..=1.0).contains(&ovh));
-        prop_assert!(report.ic_overhead_fraction() <= ovh + 1e-12);
+        assert!((0.0..=1.0).contains(&ovh), "case {case}");
+        assert!(report.ic_overhead_fraction() <= ovh + 1e-12, "case {case}");
     }
+}
 
-    /// Overhead breakdown merge is associative with totals.
-    #[test]
-    fn breakdown_merge_adds_totals(
-        a in (0u64..1_000, 0u64..1_000, 0u64..1_000, 0u64..1_000, 0u64..1_000),
-        b in (0u64..1_000, 0u64..1_000, 0u64..1_000, 0u64..1_000, 0u64..1_000),
-    ) {
-        let mk = |(busy, idle, intra, inter, bench): (u64, u64, u64, u64, u64)| OverheadBreakdown {
-            busy: SimDuration(busy),
-            idle: SimDuration(idle),
-            intra_comm: SimDuration(intra),
-            inter_comm: SimDuration(inter),
-            benchmark: SimDuration(bench),
+/// Overhead breakdown merge is associative with totals.
+#[test]
+fn breakdown_merge_adds_totals() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let mk = |rng: &mut Xoshiro256StarStar| OverheadBreakdown {
+            busy: SimDuration(rng.gen_range(1_000)),
+            idle: SimDuration(rng.gen_range(1_000)),
+            intra_comm: SimDuration(rng.gen_range(1_000)),
+            inter_comm: SimDuration(rng.gen_range(1_000)),
+            benchmark: SimDuration(rng.gen_range(1_000)),
         };
-        let (x, y) = (mk(a), mk(b));
+        let (x, y) = (mk(&mut rng), mk(&mut rng));
         let mut merged = x;
         merged.merge(&y);
-        prop_assert_eq!(merged.total(), x.total() + y.total());
+        assert_eq!(merged.total(), x.total() + y.total(), "case {case}");
     }
+}
 
-    /// Network deliveries never go backwards in time, and bigger messages
-    /// never arrive earlier than smaller ones sent at the same instant on
-    /// the same path.
-    #[test]
-    fn network_delivery_is_causal_and_monotone(
-        bytes_small in 1u64..10_000,
-        extra in 1u64..1_000_000,
-        from in 0u16..3,
-        to in 0u16..3,
-    ) {
-        use sagrid::simnet::Network;
+/// Network deliveries never go backwards in time, and bigger messages
+/// never arrive earlier than smaller ones sent at the same instant on the
+/// same path.
+#[test]
+fn network_delivery_is_causal_and_monotone() {
+    use sagrid::simnet::Network;
+    for case in 0..CASES {
+        let mut rng = rng_for(9, case);
+        let bytes_small = 1 + rng.gen_range(9_999);
+        let extra = 1 + rng.gen_range(999_999);
+        let from = rng.gen_range(3) as u16;
+        let to = rng.gen_range(3) as u16;
         let mut net = Network::new(&sagrid::core::config::GridConfig::uniform(3, 4));
         let now = SimTime::from_secs(1);
         // Send the *large* message through a fresh network so queueing from
@@ -203,8 +244,11 @@ proptest! {
         let mut net2 = net.clone();
         let small = net.deliver(now, ClusterId(from), ClusterId(to), bytes_small);
         let large = net2.deliver(now, ClusterId(from), ClusterId(to), bytes_small + extra);
-        prop_assert!(small.arrives_at > now);
-        prop_assert!(large.arrives_at >= small.arrives_at);
-        prop_assert!(small.src_clear_at <= small.arrives_at || from == to);
+        assert!(small.arrives_at > now, "case {case}");
+        assert!(large.arrives_at >= small.arrives_at, "case {case}");
+        assert!(
+            small.src_clear_at <= small.arrives_at || from == to,
+            "case {case}"
+        );
     }
 }

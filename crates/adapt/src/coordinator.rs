@@ -18,7 +18,7 @@
 //! tightens the lower bound on the bandwidth the application needs, which is
 //! passed to the scheduler on subsequent requests.
 
-use crate::badness::{cluster_views, rank_nodes_by_badness, worst_cluster};
+use crate::badness::{cluster_views, node_badness, worst_cluster};
 use crate::efficiency::wa_efficiency_of_reports;
 use crate::policy::AdaptPolicy;
 use sagrid_core::ids::{ClusterId, NodeId};
@@ -90,8 +90,35 @@ impl Decision {
     }
 }
 
+/// The badness inputs of one node at evaluation time — the provenance of
+/// a removal decision. Captures exactly the terms the badness formula
+/// consumed, so a decision can be audited (or re-derived) from the log
+/// alone.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeBadnessRecord {
+    /// The node.
+    pub node: NodeId,
+    /// Its cluster.
+    pub cluster: ClusterId,
+    /// Measured relative speed (the α term's input).
+    pub speed: f64,
+    /// Inter-cluster overhead fraction (the β term's input).
+    pub ic_overhead: f64,
+    /// Whether the node sat in the worst cluster (the γ term's input).
+    pub in_worst_cluster: bool,
+    /// The resulting badness value.
+    pub badness: f64,
+}
+
 /// One line of the coordinator's decision log (drives the experiment
 /// reports' event annotations, e.g. "badly connected cluster removed").
+///
+/// Beyond the decision itself, each entry is a full provenance record:
+/// the per-node badness terms that ranked the candidates, the blacklist
+/// contents *after* the decision was applied (the delta against the
+/// previous entry shows what this decision added), and the learned
+/// requirements in force. A decision is reconstructible from this entry
+/// alone — and from the JSONL stream the engine emits for it.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DecisionLogEntry {
     /// When the evaluation happened.
@@ -102,6 +129,15 @@ pub struct DecisionLogEntry {
     pub nodes: usize,
     /// The decision taken.
     pub decision: Decision,
+    /// Badness inputs per reporting node, ranked worst-first (the order
+    /// removal candidates were considered in). Empty when no reports.
+    pub badness: Vec<NodeBadnessRecord>,
+    /// Blacklisted nodes after this decision (sorted).
+    pub blacklisted_nodes: Vec<NodeId>,
+    /// Blacklisted clusters after this decision (sorted).
+    pub blacklisted_clusters: Vec<ClusterId>,
+    /// Learned requirements after this decision.
+    pub learned: LearnedRequirements,
 }
 
 /// The adaptation coordinator state machine.
@@ -235,7 +271,7 @@ impl Coordinator {
     pub fn evaluate(&mut self, now: SimTime, fastest_available_speed: Option<f64>) -> Decision {
         let reports: Vec<MonitoringReport> = self.latest.values().copied().collect();
         if reports.is_empty() {
-            return self.log_and_return(now, 0.0, 0, Decision::None);
+            return self.log_and_return(now, 0.0, 0, Vec::new(), Decision::None);
         }
         let wa_eff = wa_efficiency_of_reports(&reports);
         let n = reports.len();
@@ -245,6 +281,11 @@ impl Coordinator {
         // than computing node badness (paper §3.3). Only meaningful when
         // the application spans more than one cluster.
         let views = cluster_views(&reports);
+        // Provenance: the badness terms of every reporting node at this
+        // instant, ranked worst-first — the exact inputs a removal decision
+        // considers, captured whether or not one is taken.
+        let worst = worst_cluster(&self.policy.coefficients, &views);
+        let provenance = badness_provenance(&self.policy.coefficients, &reports, worst);
         if views.len() >= 2 {
             let second_worst_ic = {
                 let mut ics: Vec<f64> = views.iter().map(|v| v.ic_overhead).collect();
@@ -282,6 +323,7 @@ impl Coordinator {
                     now,
                     wa_eff,
                     n,
+                    provenance,
                     Decision::RemoveCluster { cluster, nodes },
                 );
             }
@@ -299,7 +341,7 @@ impl Coordinator {
                 requirements: self.learned,
                 prefer,
             };
-            return self.log_and_return(now, wa_eff, n, decision);
+            return self.log_and_return(now, wa_eff, n, provenance, decision);
         }
 
         // Step 3: efficiency below E_MIN ⇒ performance problem (or simply
@@ -311,25 +353,29 @@ impl Coordinator {
         if wa_eff < self.policy.e_min {
             let count = self.policy.shrink_size(wa_eff, n);
             if count == 0 {
-                return self.log_and_return(now, wa_eff, n, Decision::None);
+                return self.log_and_return(now, wa_eff, n, provenance, Decision::None);
             }
-            let worst = worst_cluster(&self.policy.coefficients, &views);
-            let ranked = rank_nodes_by_badness(&self.policy.coefficients, &reports, worst);
-            let median = ranked[ranked.len() / 2].1;
-            let outliers = ranked
+            let median = provenance[provenance.len() / 2].badness;
+            let outliers = provenance
                 .iter()
-                .take_while(|&&(_, b)| b > median * self.policy.badness_outlier_factor)
+                .take_while(|p| p.badness > median * self.policy.badness_outlier_factor)
                 .count();
             let removable = n.saturating_sub(self.policy.min_nodes);
             let count = count.max(outliers).min(removable);
-            let nodes: Vec<NodeId> = ranked.iter().take(count).map(|&(id, _)| id).collect();
+            let nodes: Vec<NodeId> = provenance.iter().take(count).map(|p| p.node).collect();
             if self.policy.blacklist_removed {
                 self.blacklisted_nodes.extend(nodes.iter().copied());
             }
             for node in &nodes {
                 self.latest.remove(node);
             }
-            return self.log_and_return(now, wa_eff, n, Decision::RemoveNodes { nodes });
+            return self.log_and_return(
+                now,
+                wa_eff,
+                n,
+                provenance,
+                Decision::RemoveNodes { nodes },
+            );
         }
 
         // Step 4 (extension, §7): efficiency is acceptable, but distinctly
@@ -364,12 +410,34 @@ impl Coordinator {
                         add,
                         requirements,
                     };
-                    return self.log_and_return(now, wa_eff, n, decision);
+                    return self.log_and_return(now, wa_eff, n, provenance, decision);
                 }
             }
         }
 
-        self.log_and_return(now, wa_eff, n, Decision::None)
+        self.log_and_return(now, wa_eff, n, provenance, Decision::None)
+    }
+
+    /// Notes that `nodes` crashed (fail-stop failure, paper §5 scenario 6).
+    ///
+    /// Crashed resources are treated like removed ones: their reports are
+    /// dropped and — under the default blacklisting policy — they are
+    /// blacklisted so the scheduler never hands them back. When an entire
+    /// cluster went down at once, `cluster` blacklists the whole site:
+    /// re-adding survivors of a failed site would just invite the next
+    /// fault-detection round-trip.
+    pub fn record_crashed(&mut self, nodes: &[NodeId], cluster: Option<ClusterId>) {
+        for node in nodes {
+            self.latest.remove(node);
+            if self.policy.blacklist_removed {
+                self.blacklisted_nodes.insert(*node);
+            }
+        }
+        if let Some(c) = cluster {
+            if self.policy.blacklist_removed {
+                self.blacklisted_clusters.insert(c);
+            }
+        }
     }
 
     fn log_and_return(
@@ -377,6 +445,7 @@ impl Coordinator {
         at: SimTime,
         wa_efficiency: f64,
         nodes: usize,
+        badness: Vec<NodeBadnessRecord>,
         decision: Decision,
     ) -> Decision {
         self.log.push(DecisionLogEntry {
@@ -384,9 +453,45 @@ impl Coordinator {
             wa_efficiency,
             nodes,
             decision: decision.clone(),
+            badness,
+            blacklisted_nodes: self.blacklisted_nodes.iter().copied().collect(),
+            blacklisted_clusters: self.blacklisted_clusters.iter().copied().collect(),
+            learned: self.learned,
         });
         decision
     }
+}
+
+/// Computes the full badness provenance for one evaluation: every node's
+/// formula inputs and result, ranked worst-first with the same tie-break
+/// as [`crate::badness::rank_nodes_by_badness`] (higher node id first).
+fn badness_provenance(
+    coeff: &crate::badness::BadnessCoefficients,
+    reports: &[MonitoringReport],
+    worst: Option<ClusterId>,
+) -> Vec<NodeBadnessRecord> {
+    let mut records: Vec<NodeBadnessRecord> = reports
+        .iter()
+        .map(|r| {
+            let ic = r.ic_overhead_fraction();
+            let in_worst = Some(r.cluster) == worst;
+            NodeBadnessRecord {
+                node: r.node,
+                cluster: r.cluster,
+                speed: r.speed,
+                ic_overhead: ic,
+                in_worst_cluster: in_worst,
+                badness: node_badness(coeff, r.speed, ic, in_worst),
+            }
+        })
+        .collect();
+    records.sort_by(|a, b| {
+        b.badness
+            .partial_cmp(&a.badness)
+            .expect("badness is finite")
+            .then(b.node.cmp(&a.node))
+    });
+    records
 }
 
 #[cfg(test)]
@@ -622,6 +727,62 @@ mod tests {
         assert_eq!(c.log()[0].decision.kind(), "add");
         assert_eq!(c.log()[0].nodes, 4);
         assert!(c.log()[0].wa_efficiency > 0.5);
+    }
+
+    #[test]
+    fn log_entries_carry_full_provenance() {
+        let mut c = coordinator();
+        c.record_report(report(0, 0, 1.0, 0.6, 0.02));
+        c.record_report(report(1, 1, 1.0, 0.2, 0.4));
+        c.observe_uplink(ClusterId(1), 100_000.0);
+        let _ = c.evaluate(SimTime::ZERO, None); // removes cluster 1
+        let entry = &c.log()[0];
+        // The badness terms of both reporting nodes, worst first.
+        assert_eq!(entry.badness.len(), 2);
+        assert_eq!(entry.badness[0].node, NodeId(1));
+        assert!(entry.badness[0].in_worst_cluster);
+        assert!(entry.badness[0].badness > entry.badness[1].badness);
+        assert!((entry.badness[0].ic_overhead - 0.4).abs() < 1e-6);
+        // Post-decision blacklist and learned state are snapshotted.
+        assert_eq!(entry.blacklisted_clusters, vec![ClusterId(1)]);
+        assert!(entry.blacklisted_nodes.is_empty());
+        assert_eq!(entry.learned.min_uplink_bps, Some(100_000.0));
+        // A removal decision's victims are exactly the top of the ranking.
+        match &entry.decision {
+            Decision::RemoveCluster { nodes, .. } => {
+                assert_eq!(nodes, &vec![NodeId(1)]);
+            }
+            d => panic!("expected RemoveCluster, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_and_clusters_are_blacklisted() {
+        let mut c = coordinator();
+        for i in 0..4 {
+            c.record_report(report(i, (i % 2) as u16, 1.0, 0.4, 0.0));
+        }
+        c.record_crashed(&[NodeId(1), NodeId(3)], Some(ClusterId(1)));
+        assert_eq!(c.known_nodes(), 2);
+        assert!(c.blacklisted_nodes().contains(&NodeId(1)));
+        assert!(c.blacklisted_nodes().contains(&NodeId(3)));
+        assert!(c.blacklisted_clusters().contains(&ClusterId(1)));
+        // Node-only crashes don't blacklist a cluster.
+        c.record_crashed(&[NodeId(0)], None);
+        assert!(!c.blacklisted_clusters().contains(&ClusterId(0)));
+    }
+
+    #[test]
+    fn crash_blacklisting_respects_policy_switch() {
+        let mut c = Coordinator::new(AdaptPolicy {
+            blacklist_removed: false,
+            ..Default::default()
+        });
+        c.record_report(report(0, 0, 1.0, 0.4, 0.0));
+        c.record_crashed(&[NodeId(0)], Some(ClusterId(0)));
+        assert!(c.blacklisted_nodes().is_empty());
+        assert!(c.blacklisted_clusters().is_empty());
+        assert_eq!(c.known_nodes(), 0, "reports still dropped");
     }
 
     #[test]

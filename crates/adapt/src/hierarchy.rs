@@ -155,6 +155,21 @@ impl HierarchicalCoordinator {
         self.main.observe_uplink(cluster, bps);
     }
 
+    /// Forwards a crash notification (see [`Coordinator::record_crashed`])
+    /// and keeps the sub-coordinators consistent: a fully-crashed cluster
+    /// stops digesting.
+    pub fn record_crashed(&mut self, nodes: &[NodeId], cluster: Option<ClusterId>) {
+        for &n in nodes {
+            for sub in self.subs.values_mut() {
+                sub.node_gone(n);
+            }
+        }
+        if let Some(c) = cluster {
+            self.subs.remove(&c);
+        }
+        self.main.record_crashed(nodes, cluster);
+    }
+
     /// One monitoring period: collect digests, reconstruct reports, run the
     /// flat flowchart. Decisions are identical to a flat coordinator fed
     /// the raw reports.

@@ -46,7 +46,7 @@ pub mod policy;
 
 pub use badness::{cluster_badness, node_badness, BadnessCoefficients, ClusterView};
 pub use bandwidth::BandwidthEstimator;
-pub use coordinator::{Coordinator, Decision, DecisionLogEntry};
+pub use coordinator::{Coordinator, Decision, DecisionLogEntry, NodeBadnessRecord};
 pub use efficiency::{efficiency, wa_efficiency, wa_efficiency_of_reports};
 pub use feedback::{DominantTerm, FeedbackTuner};
 pub use hierarchy::{ClusterDigest, HierarchicalCoordinator, SubCoordinator};

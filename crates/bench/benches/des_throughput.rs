@@ -2,14 +2,23 @@
 //! time on the scenario 1 (overhead, single cluster) and scenario 4
 //! (overloaded WAN link, multi-cluster) workloads.
 //!
+//! Each scenario is measured twice — metrics registry off (the default
+//! path) and on — so the cost of full instrumentation is tracked as a
+//! first-class number. The two variants run *interleaved* and the overhead
+//! is the median of per-pair ratios, which cancels the machine-load drift
+//! that dominates mean-based comparisons on shared hardware. The budget is
+//! < 5% slowdown with metrics on.
+//!
 //! Writes `BENCH_des_throughput.json` (hand-rolled emitter, no serde) so
 //! regressions are diffable in review; `--quick` / `SAGRID_BENCH_QUICK=1`
 //! shrinks the sample count for CI smoke runs.
 
-use sagrid_bench::{bench_scenario, measure, quick_mode, Json};
+use sagrid_bench::{bench_scenario, fmt_ns, quick_mode, Json};
+use sagrid_core::metrics::Metrics;
 use sagrid_exp::scenarios::ScenarioId;
 use sagrid_simgrid::{AdaptMode, GridSim, RunResult};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_one(id: ScenarioId, label: &str, samples: u32) -> Json {
     let scenario = bench_scenario(id);
@@ -17,14 +26,54 @@ fn bench_one(id: ScenarioId, label: &str, samples: u32) -> Json {
     // pins it down so events/sec comes out of pure wall-clock samples.
     let probe: RunResult = GridSim::run(scenario.config(AdaptMode::Adapt));
     let events = probe.events_processed;
-    let m = measure(label, 1, samples, || {
-        black_box(GridSim::run(scenario.config(AdaptMode::Adapt)));
-    });
-    let events_per_sec = events as f64 / (m.mean_ns as f64 / 1e9);
+    let run_plain = || black_box(GridSim::run(scenario.config(AdaptMode::Adapt)));
+    let run_metered = || {
+        black_box(
+            GridSim::try_run_with_metrics(scenario.config(AdaptMode::Adapt), Metrics::enabled())
+                .expect("bench scenario is valid"),
+        )
+    };
+    // Warm both variants, then sample them back-to-back so each pair sees
+    // the same machine conditions.
+    run_plain();
+    run_metered();
+    let mut plain_ns: Vec<u128> = Vec::with_capacity(samples as usize);
+    let mut metered_ns: Vec<u128> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let t = Instant::now();
+        run_plain();
+        plain_ns.push(t.elapsed().as_nanos());
+        let t = Instant::now();
+        run_metered();
+        metered_ns.push(t.elapsed().as_nanos());
+    }
+    let mean = |xs: &[u128]| xs.iter().sum::<u128>() / xs.len() as u128;
+    let (mean_ns, min_ns) = (
+        mean(&plain_ns),
+        *plain_ns.iter().min().expect("samples > 0"),
+    );
+    let mean_ns_metrics = mean(&metered_ns);
+    let mut ratios: Vec<f64> = plain_ns
+        .iter()
+        .zip(&metered_ns)
+        .map(|(&p, &m)| m as f64 / p as f64)
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    let events_per_sec = events as f64 / (mean_ns as f64 / 1e9);
+    println!(
+        "{label:<40} mean {:>12}   min {:>12}   ({samples} samples)",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+    );
     println!(
         "{label:<40} {events} events, {:.0} events/sec (steals {}, peer-cache hits {})",
         events_per_sec, probe.steal_attempts, probe.peer_cache_hits
     );
+    println!("{label:<40} metrics-on overhead {overhead_pct:+.2}% (median of pairs, budget < 5%)");
+    if overhead_pct >= 5.0 {
+        println!("WARNING: {label} metrics overhead {overhead_pct:+.2}% exceeds the 5% budget");
+    }
     Json::Obj(vec![
         ("name".into(), Json::Str(label.into())),
         ("events".into(), Json::Int(events as u128)),
@@ -36,9 +85,14 @@ fn bench_one(id: ScenarioId, label: &str, samples: u32) -> Json {
             "peer_cache_hits".into(),
             Json::Int(probe.peer_cache_hits as u128),
         ),
-        ("samples".into(), Json::Int(m.samples as u128)),
-        ("mean_ns".into(), Json::Int(m.mean_ns)),
-        ("min_ns".into(), Json::Int(m.min_ns)),
+        ("samples".into(), Json::Int(samples as u128)),
+        ("mean_ns".into(), Json::Int(mean_ns)),
+        ("min_ns".into(), Json::Int(min_ns)),
+        ("mean_ns_metrics".into(), Json::Int(mean_ns_metrics)),
+        (
+            "metrics_overhead_pct".into(),
+            Json::Num((overhead_pct * 100.0).round() / 100.0),
+        ),
         ("events_per_sec".into(), Json::Num(events_per_sec.round())),
     ])
 }

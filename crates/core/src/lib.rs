@@ -17,6 +17,9 @@
 //!   measured relative speed);
 //! * [`config`] — grid topology descriptions, including the DAS-2 system the
 //!   paper evaluated on;
+//! * [`metrics`] — a dependency-free registry of named atomic counters,
+//!   gauges and fixed-bucket histograms plus a structured JSONL event
+//!   sink, zero-cost when disabled;
 //! * [`workload`] — the irregular divide-and-conquer task-tree model used by
 //!   the simulated runtime, with generators for Barnes-Hut-like iterative
 //!   workloads.
@@ -26,6 +29,7 @@
 
 pub mod config;
 pub mod ids;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -33,6 +37,7 @@ pub mod workload;
 
 pub use config::{ClusterSpec, GridConfig, LinkSpec};
 pub use ids::{ClusterId, NodeId, TaskId};
+pub use metrics::{MetricEvent, Metrics, MetricsReport};
 pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 pub use stats::{MonitoringReport, NodeStats, OverheadBreakdown};
 pub use time::{SimDuration, SimTime};

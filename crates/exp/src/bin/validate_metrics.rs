@@ -1,0 +1,109 @@
+//! `validate_metrics DIR` — sanity-checks a `--emit-metrics` output
+//! directory: every `run_*.jsonl` line must parse as a JSON object with a
+//! known `type` tag, and every `run_*_gantt.csv` must carry the documented
+//! header. Prints a one-line summary per file; exits non-zero on the first
+//! malformed file, so CI can use it as a smoke test.
+
+use sagrid_core::metrics::parse_json;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn check_jsonl(path: &Path) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let mut records = 0;
+    let mut events = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ty = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| format!("line {}: record without a type tag", lineno + 1))?;
+        match ty {
+            "event" => {
+                events += 1;
+                if v.get("kind").and_then(|k| k.as_str()).is_none() {
+                    return Err(format!("line {}: event without a kind", lineno + 1));
+                }
+            }
+            "counter" | "gauge" | "histogram" => {
+                if v.get("name").and_then(|n| n.as_str()).is_none() {
+                    return Err(format!("line {}: {ty} without a name", lineno + 1));
+                }
+            }
+            other => return Err(format!("line {}: unknown record type {other}", lineno + 1)),
+        }
+        records += 1;
+    }
+    if records == 0 {
+        return Err("empty metrics stream".into());
+    }
+    Ok((records, events))
+}
+
+fn check_gantt(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let mut lines = text.lines();
+    if lines.next() != Some("node,start,end,kind") {
+        return Err("missing node,start,end,kind header".into());
+    }
+    let mut spans = 0;
+    for (lineno, line) in lines.enumerate() {
+        if line.split(',').count() != 4 {
+            return Err(format!("line {}: expected 4 columns", lineno + 2));
+        }
+        spans += 1;
+    }
+    Ok(spans)
+}
+
+fn main() -> ExitCode {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => d,
+        None => {
+            eprintln!("usage: validate_metrics DIR");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut names: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("run_"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("validate_metrics: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!("validate_metrics: no run_* files in {dir}");
+        return ExitCode::FAILURE;
+    }
+    let mut checked = 0;
+    for path in &names {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let outcome = if name.ends_with(".jsonl") {
+            check_jsonl(path)
+                .map(|(records, events)| format!("{records} records ({events} events)"))
+        } else if name.ends_with(".csv") {
+            check_gantt(path).map(|spans| format!("{spans} spans"))
+        } else {
+            continue;
+        };
+        match outcome {
+            Ok(summary) => println!("{name}: ok, {summary}"),
+            Err(e) => {
+                eprintln!("{name}: INVALID — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        checked += 1;
+    }
+    println!("validate_metrics: {checked} files ok");
+    ExitCode::SUCCESS
+}

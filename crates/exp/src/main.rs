@@ -3,12 +3,17 @@
 //!
 //! ```text
 //! experiments [--all] [--figure N] [--table s1] [--ablations]
-//!             [--quick] [--serial] [--out DIR]
+//!             [--quick] [--serial] [--out DIR] [--emit-metrics DIR]
 //! ```
 //!
 //! With no arguments, runs everything at paper scale and prints the
 //! paper-style reports to stdout. `--out DIR` additionally writes CSV series
 //! for external plotting. `--quick` shortens runs (for smoke testing).
+//! `--emit-metrics DIR` enables the metrics registry for every batched run
+//! and writes one `run_NNNN.jsonl` stream (counters, gauges, histograms and
+//! the structured event log, decisions included) plus one
+//! `run_NNNN_gantt.csv` activity trace per run; stdout stays byte-identical
+//! to a plain invocation.
 //!
 //! Independent simulation runs are fanned out over a worker pool sized by
 //! the `SAGRID_THREADS` environment variable (default: all cores); every
@@ -30,6 +35,7 @@ struct Args {
     quick: bool,
     serial: bool,
     out: Option<PathBuf>,
+    emit_metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +46,7 @@ fn parse_args() -> Args {
         quick: false,
         serial: false,
         out: None,
+        emit_metrics: None,
     };
     let mut all = true;
     let mut it = std::env::args().skip(1);
@@ -67,6 +74,10 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--serial" => args.serial = true,
             "--out" => args.out = it.next().map(PathBuf::from),
+            "--emit-metrics" => {
+                let dir = it.next().expect("--emit-metrics takes a directory");
+                args.emit_metrics = Some(PathBuf::from(dir));
+            }
             other => panic!("unknown argument {other}; see the crate docs"),
         }
     }
@@ -93,6 +104,10 @@ fn main() {
     }
     if let Some(dir) = &args.out {
         std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+    if let Some(dir) = &args.emit_metrics {
+        std::fs::create_dir_all(dir).expect("create --emit-metrics directory");
+        parallel::set_emit_dir(Some(dir.clone()));
     }
 
     if args.figures.contains(&1) {

@@ -14,17 +14,69 @@
 //! 2. the `SAGRID_THREADS` environment variable;
 //! 3. [`std::thread::available_parallelism`].
 
-use sagrid_simgrid::{GridSim, RunResult, SimConfig};
+use sagrid_core::metrics::Metrics;
+use sagrid_simgrid::{trace, GridSim, RunResult, SimConfig};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Process-wide thread-count override (0 = no override).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Directory that [`run_batch`] writes per-run metrics into (none by
+/// default — the `--emit-metrics DIR` flag routes through this).
+static EMIT_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Monotonic run index across batches, so emitted file names are stable in
+/// submission order regardless of the worker-pool size.
+static EMIT_INDEX: AtomicUsize = AtomicUsize::new(0);
+
 /// Forces the worker-pool size for subsequent [`run_batch`] calls
 /// (`None` restores automatic selection). `Some(1)` is serial mode.
 pub fn set_thread_override(n: Option<usize>) {
     THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Directs subsequent [`run_batch`] calls to run with the metrics registry
+/// and activity tracing enabled, writing one `run_NNNN.jsonl` metrics
+/// stream and one `run_NNNN_gantt.csv` trace per run into `dir` (`None`
+/// restores the default: metrics disabled, nothing written). Run numbering
+/// restarts from zero and follows batch submission order, so the emitted
+/// files are identical whatever the thread count.
+pub fn set_emit_dir(dir: Option<PathBuf>) {
+    EMIT_INDEX.store(0, Ordering::Relaxed);
+    *EMIT_DIR.lock().expect("emit dir poisoned") = dir;
+}
+
+/// Runs one configuration, honouring the emit directory: metrics and
+/// tracing on + files written when set, the byte-identical default path
+/// otherwise.
+fn run_one(cfg: SimConfig, emit: Option<&(PathBuf, usize)>) -> RunResult {
+    let Some((dir, index)) = emit else {
+        return GridSim::run(cfg);
+    };
+    let mut cfg = cfg;
+    cfg.record_trace = true;
+    let result = GridSim::try_run_with_metrics(cfg, Metrics::enabled())
+        .expect("invalid simulation configuration");
+    write_run_artifacts(dir, *index, &result);
+    result
+}
+
+/// Writes the JSONL metrics stream and the Gantt-style trace CSV for run
+/// `index` into `dir`.
+fn write_run_artifacts(dir: &Path, index: usize, result: &RunResult) {
+    let report = result
+        .metrics
+        .as_ref()
+        .expect("emit runs always enable metrics");
+    std::fs::write(dir.join(format!("run_{index:04}.jsonl")), report.to_jsonl())
+        .expect("write metrics jsonl");
+    let mut csv = String::from("node,start,end,kind\n");
+    for (node, tr) in &result.activity_traces {
+        csv.push_str(&trace::to_csv(*node, tr));
+    }
+    std::fs::write(dir.join(format!("run_{index:04}_gantt.csv")), csv).expect("write trace csv");
 }
 
 /// The worker-pool size [`run_batch`] would use for `jobs` runs.
@@ -55,8 +107,19 @@ pub fn run_batch(configs: Vec<SimConfig>) -> Vec<RunResult> {
 /// [`run_batch`] with an explicit worker count (used by the determinism
 /// tests to pin both sides of a serial-vs-parallel comparison).
 pub fn run_batch_on(configs: Vec<SimConfig>, threads: usize) -> Vec<RunResult> {
+    // Reserve this batch's run indices up front: file names depend only on
+    // submission order, never on which worker claims which run.
+    let emit: Option<PathBuf> = EMIT_DIR.lock().expect("emit dir poisoned").clone();
+    let emit_base = emit
+        .is_some()
+        .then(|| EMIT_INDEX.fetch_add(configs.len(), Ordering::Relaxed));
+    let emit_for = |i: usize| emit.clone().zip(emit_base.map(|b| b + i));
     if threads <= 1 || configs.len() <= 1 {
-        return configs.into_iter().map(GridSim::run).collect();
+        return configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| run_one(c, emit_for(i).as_ref()))
+            .collect();
     }
     let inputs: Vec<Mutex<Option<SimConfig>>> =
         configs.into_iter().map(|c| Mutex::new(Some(c))).collect();
@@ -74,7 +137,7 @@ pub fn run_batch_on(configs: Vec<SimConfig>, threads: usize) -> Vec<RunResult> {
                     .expect("input slot poisoned")
                     .take()
                     .expect("each run is claimed exactly once");
-                let result = GridSim::run(cfg);
+                let result = run_one(cfg, emit_for(i).as_ref());
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }

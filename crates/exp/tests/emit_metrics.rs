@@ -1,0 +1,91 @@
+//! End-to-end tests for `--emit-metrics`: per-run JSONL metrics streams and
+//! Gantt trace CSVs must be deterministic (byte-identical at any worker-pool
+//! size), well-formed JSON, and must never perturb the simulation itself.
+//!
+//! These tests own the process-wide emit directory, so they live in their
+//! own integration-test binary: nothing else here may call
+//! `parallel::run_batch` concurrently.
+
+use sagrid_core::metrics::parse_json;
+use sagrid_exp::parallel::{run_batch_on, set_emit_dir};
+use sagrid_exp::scenarios::{Scenario, ScenarioId};
+use sagrid_simgrid::{AdaptMode, SimConfig};
+use std::path::PathBuf;
+
+fn batch() -> Vec<SimConfig> {
+    // Paper-scale scenarios trimmed to 16 iterations: long enough for
+    // coordinator ticks (and hence decision events), short enough for CI.
+    let mut s1 = Scenario::new(ScenarioId::S1Overhead);
+    s1.iterations = 16;
+    let mut s4 = Scenario::new(ScenarioId::S4OverloadedLink);
+    s4.iterations = 16;
+    vec![
+        s1.config(AdaptMode::NoAdapt),
+        s1.config(AdaptMode::Adapt),
+        s4.config(AdaptMode::NoAdapt),
+        s4.config(AdaptMode::Adapt),
+    ]
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sagrid-emit-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn emitted_metrics_are_identical_serial_and_parallel() {
+    let serial_dir = fresh_dir("serial");
+    let parallel_dir = fresh_dir("parallel");
+
+    set_emit_dir(Some(serial_dir.clone()));
+    let serial = run_batch_on(batch(), 1);
+    set_emit_dir(Some(parallel_dir.clone()));
+    let parallel = run_batch_on(batch(), 4);
+    set_emit_dir(None);
+
+    // The runs themselves are unperturbed by metrics + tracing.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.iteration_durations, p.iteration_durations);
+        assert_eq!(s.events_processed, p.events_processed);
+        assert!(s.metrics.is_some(), "emit runs carry a metrics report");
+    }
+    // Per-run files exist under submission-order names and are
+    // byte-identical whatever the worker count.
+    for i in 0..4 {
+        for name in [format!("run_{i:04}.jsonl"), format!("run_{i:04}_gantt.csv")] {
+            let a = std::fs::read(serial_dir.join(&name)).expect("serial file");
+            let b = std::fs::read(parallel_dir.join(&name)).expect("parallel file");
+            assert!(!a.is_empty(), "{name} must not be empty");
+            assert_eq!(a, b, "{name} differs between serial and parallel");
+        }
+    }
+
+    // Every JSONL line parses as a JSON object with a "type" tag; the
+    // adaptive overloaded-link run must include decision events.
+    let adaptive = std::fs::read_to_string(serial_dir.join("run_0003.jsonl")).expect("jsonl");
+    let mut decisions = 0;
+    for line in adaptive.lines() {
+        let v = parse_json(line).expect("every line is valid JSON");
+        let ty = v.get("type").and_then(|t| t.as_str()).expect("type tag");
+        assert!(
+            ["event", "counter", "gauge", "histogram"].contains(&ty),
+            "unexpected record type {ty}"
+        );
+        if ty == "event" && v.get("kind").and_then(|k| k.as_str()) == Some("decision") {
+            decisions += 1;
+        }
+    }
+    assert!(decisions > 0, "an adaptive run must log decision events");
+
+    // The Gantt CSV has the documented header and node,start,end,kind rows.
+    let gantt = std::fs::read_to_string(serial_dir.join("run_0003_gantt.csv")).expect("csv");
+    let mut lines = gantt.lines();
+    assert_eq!(lines.next(), Some("node,start,end,kind"));
+    let first = lines.next().expect("at least one span");
+    assert_eq!(first.split(',').count(), 4);
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&parallel_dir);
+}

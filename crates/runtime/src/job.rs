@@ -170,6 +170,9 @@ impl<T: Send> JoinHandle<T> {
             if holder == ctx.worker_id() || !ctx.is_worker_alive(holder) {
                 // Either nobody will ever run it for us, or it died with a
                 // crashed worker. Re-execute inline.
+                if holder != ctx.worker_id() {
+                    ctx.note_rescue();
+                }
                 self.job.execute(ctx);
                 continue;
             }

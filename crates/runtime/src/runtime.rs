@@ -3,8 +3,9 @@
 use crate::config::RuntimeConfig;
 use crate::deque::{Injector, Worker as Deque};
 use crate::job::{Job, Task, NO_HOLDER};
-use crate::worker::{worker_main, BenchProbe, Control, Shared, WorkerShared};
+use crate::worker::{worker_main, BenchProbe, Control, RtMetrics, Shared, WorkerShared};
 use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::Metrics;
 use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
 use sagrid_core::time::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -31,12 +32,26 @@ impl Runtime {
     ///
     /// Panics on an invalid configuration.
     pub fn new(cfg: RuntimeConfig) -> Self {
+        Self::with_metrics(cfg, Metrics::disabled())
+    }
+
+    /// Starts the worker threads described by `cfg`, reporting spawns,
+    /// steals (split by locality), crashes, requeues and membership changes
+    /// into `metrics`. With [`Metrics::disabled`] this is exactly
+    /// [`Runtime::new`]: no registry is allocated and every observation
+    /// point is a single branch.
+    ///
+    /// Panics on an invalid configuration.
+    pub fn with_metrics(cfg: RuntimeConfig, metrics: Metrics) -> Self {
         cfg.validate().expect("invalid runtime configuration");
+        let rm = RtMetrics::resolve(&metrics);
         let shared = Arc::new(Shared {
             cfg: cfg.clone(),
             workers: RwLock::new(Vec::new()),
             injector: Injector::new(),
             shutdown: AtomicBool::new(false),
+            metrics,
+            rm,
         });
         let rt = Self {
             shared,
@@ -73,7 +88,17 @@ impl Runtime {
             .spawn(move || worker_main(shared, id, deque, rx))
             .expect("spawn worker thread");
         self.threads.lock().expect("threads poisoned").push(handle);
+        if let Some(rm) = &self.shared.rm {
+            rm.workers_joined.inc();
+            rm.workers_alive.add(1);
+        }
         id
+    }
+
+    /// The metrics registry this runtime reports into (disabled unless the
+    /// runtime was built with [`Runtime::with_metrics`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
     }
 
     /// Runs a root job to completion on the pool and returns its result.
@@ -99,6 +124,9 @@ impl Runtime {
                 if dead && !job_for_tick.is_done() {
                     job_for_tick.set_holder(NO_HOLDER);
                     shared.injector.push(job_for_tick.clone());
+                    if let Some(rm) = &shared.rm {
+                        rm.requeues.inc();
+                    }
                 }
             }
         });
@@ -126,8 +154,14 @@ impl Runtime {
     pub fn crash_worker(&self, id: WorkerId) {
         let workers = self.shared.workers.read().expect("workers poisoned");
         if let Some(w) = workers.get(id) {
-            w.alive.store(false, Ordering::Release);
+            let was_alive = w.alive.swap(false, Ordering::AcqRel);
             let _ = w.ctrl.send(Control::Crash);
+            if was_alive {
+                if let Some(rm) = &self.shared.rm {
+                    rm.crashes.inc();
+                    rm.workers_alive.add(-1);
+                }
+            }
         }
     }
 
@@ -386,6 +420,47 @@ mod tests {
             v + 1
         });
         assert_eq!(done, 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_spawns_steals_and_membership() {
+        let rt = Runtime::with_metrics(RuntimeConfig::single_cluster(4), Metrics::enabled());
+        assert_eq!(rt.run(|ctx| fib(ctx, 20)), 6765);
+        let report = rt.metrics().report();
+        // fib(20) spawns one child per node with n >= 2.
+        assert!(report.counter("rt.spawns") > 1_000);
+        assert_eq!(report.counter("rt.workers_joined"), 4);
+        assert_eq!(report.gauge("rt.workers_alive"), 4);
+        // On a single cluster every steal is local.
+        assert_eq!(report.counter("rt.steals.remote_ok"), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_crashes_and_leaves() {
+        let rt = Runtime::with_metrics(RuntimeConfig::single_cluster(3), Metrics::enabled());
+        rt.crash_worker(2);
+        rt.crash_worker(2); // double-crash counts once
+        rt.remove_worker(1);
+        assert_eq!(rt.run(|ctx| fib(ctx, 15)), 610);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while rt.alive_workers().len() != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = rt.metrics().report();
+        assert_eq!(report.counter("rt.crashes"), 1);
+        assert_eq!(report.counter("rt.workers_left"), 1);
+        assert_eq!(report.gauge("rt.workers_alive"), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn default_runtime_reports_nothing() {
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        assert_eq!(rt.run(|ctx| fib(ctx, 15)), 610);
+        assert!(!rt.metrics().is_enabled());
+        assert!(rt.metrics().report().is_empty());
         rt.shutdown();
     }
 

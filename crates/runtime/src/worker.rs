@@ -4,6 +4,7 @@
 use crate::config::RuntimeConfig;
 use crate::deque::{Injector, Stealer, Worker as Deque};
 use crate::job::Task;
+use sagrid_core::metrics::{Counter, Gauge, Metrics};
 use sagrid_core::rng::{Rng64, SplitMix64};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -90,12 +91,55 @@ impl WorkerShared {
     }
 }
 
+/// Pre-resolved metric handles for the threaded runtime; `None` when
+/// metrics are disabled, so every hot-path observation is a single branch.
+pub(crate) struct RtMetrics {
+    pub(crate) spawns: Arc<Counter>,
+    pub(crate) steals_local_ok: Arc<Counter>,
+    pub(crate) steals_local_failed: Arc<Counter>,
+    pub(crate) steals_remote_ok: Arc<Counter>,
+    pub(crate) steals_remote_failed: Arc<Counter>,
+    pub(crate) crashes: Arc<Counter>,
+    pub(crate) requeues: Arc<Counter>,
+    pub(crate) rescues: Arc<Counter>,
+    pub(crate) workers_joined: Arc<Counter>,
+    pub(crate) workers_left: Arc<Counter>,
+    pub(crate) workers_alive: Arc<Gauge>,
+}
+
+impl RtMetrics {
+    /// Resolves every handle once; `None` when `metrics` is disabled.
+    pub(crate) fn resolve(metrics: &Metrics) -> Option<Self> {
+        if !metrics.is_enabled() {
+            return None;
+        }
+        let c = |name: &str| metrics.counter(name).expect("metrics enabled");
+        Some(Self {
+            spawns: c("rt.spawns"),
+            steals_local_ok: c("rt.steals.local_ok"),
+            steals_local_failed: c("rt.steals.local_failed"),
+            steals_remote_ok: c("rt.steals.remote_ok"),
+            steals_remote_failed: c("rt.steals.remote_failed"),
+            crashes: c("rt.crashes"),
+            requeues: c("rt.requeues"),
+            rescues: c("rt.rescues"),
+            workers_joined: c("rt.workers_joined"),
+            workers_left: c("rt.workers_left"),
+            workers_alive: metrics.gauge("rt.workers_alive").expect("metrics enabled"),
+        })
+    }
+}
+
 /// Runtime-wide shared state.
 pub(crate) struct Shared {
     pub(crate) cfg: RuntimeConfig,
     pub(crate) workers: RwLock<Vec<Arc<WorkerShared>>>,
     pub(crate) injector: Injector<Arc<dyn Task>>,
     pub(crate) shutdown: AtomicBool,
+    /// The registry the runtime reports into (disabled by default).
+    pub(crate) metrics: Metrics,
+    /// Pre-resolved handles derived from `metrics`.
+    pub(crate) rm: Option<RtMetrics>,
 }
 
 /// The execution context handed to every divide-and-conquer job. Provides
@@ -140,7 +184,18 @@ impl<'a> WorkerCtx<'a> {
         let job = crate::job::Job::new(f);
         job.set_holder(self.me);
         self.local.push(job.clone());
+        if let Some(rm) = &self.shared.rm {
+            rm.spawns.inc();
+        }
         crate::job::JoinHandle { job }
+    }
+
+    /// Records a joiner re-executing a job lost with a dead worker
+    /// (fault-tolerance self-rescue).
+    pub(crate) fn note_rescue(&self) {
+        if let Some(rm) = &self.shared.rm {
+            rm.rescues.inc();
+        }
     }
 
     /// Whether worker `id` is currently alive ([`crate::job::NO_HOLDER`]
@@ -237,9 +292,25 @@ impl<'a> WorkerCtx<'a> {
             }
             if let Some(t) = got {
                 stats.steals_ok.fetch_add(1, Ordering::Relaxed);
+                if let Some(rm) = &self.shared.rm {
+                    let c = if wide {
+                        &rm.steals_remote_ok
+                    } else {
+                        &rm.steals_local_ok
+                    };
+                    c.inc();
+                }
                 return Some(t);
             }
             stats.steals_failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(rm) = &self.shared.rm {
+                let c = if wide {
+                    &rm.steals_remote_failed
+                } else {
+                    &rm.steals_local_failed
+                };
+                c.inc();
+            }
         }
         None
     }
@@ -276,15 +347,25 @@ pub(crate) fn worker_main(
                 Control::Leave => {
                     // Malleability: hand every queued task back to the
                     // global queue so no work is lost, then retire.
+                    let mut handed_back = 0u64;
                     while let Some(t) = local.pop() {
                         t.set_holder(crate::job::NO_HOLDER);
                         shared.injector.push(t);
+                        handed_back += 1;
                     }
                     my.alive.store(false, Ordering::Release);
+                    if let Some(rm) = &shared.rm {
+                        rm.requeues.add(handed_back);
+                        rm.workers_left.inc();
+                        rm.workers_alive.add(-1);
+                    }
                     return;
                 }
                 Control::Crash => {
-                    // Abandon everything; joiners will re-execute.
+                    // Abandon everything; joiners will re-execute. The
+                    // crash counters live in `Runtime::crash_worker` (the
+                    // only sender), which keeps them exact even when this
+                    // thread exits through the alive-flag check instead.
                     my.alive.store(false, Ordering::Release);
                     return;
                 }

@@ -2,7 +2,9 @@
 
 use sagrid_core::config::GridConfig;
 use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::{Counter, Metrics};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A node handed out by the scheduler.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,6 +64,19 @@ pub struct ResourcePool {
     clusters: Vec<ClusterPool>,
     /// Cluster of every node ever created (dense, indexed by node id).
     node_cluster: Vec<ClusterId>,
+    /// Pre-resolved metric handles; `None` when metrics are disabled so the
+    /// hot path pays a single branch.
+    sm: Option<SchedMetrics>,
+}
+
+/// Pre-resolved counter handles for the scheduler, so the allocation path
+/// never does a name lookup.
+#[derive(Clone, Debug)]
+struct SchedMetrics {
+    grants: Arc<Counter>,
+    requests: Arc<Counter>,
+    releases: Arc<Counter>,
+    nodes_lost: Arc<Counter>,
 }
 
 impl ResourcePool {
@@ -89,7 +104,23 @@ impl ResourcePool {
         Self {
             clusters,
             node_cluster,
+            sm: None,
         }
+    }
+
+    /// Connects the pool to a metrics registry. When `metrics` is enabled
+    /// the pool counts grants (`sched.grants`), allocation requests
+    /// (`sched.requests`), releases (`sched.releases`) and permanently lost
+    /// nodes (`sched.nodes_lost`); when disabled this is a no-op.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.sm = metrics.is_enabled().then(|| SchedMetrics {
+            grants: metrics.counter("sched.grants").expect("metrics enabled"),
+            requests: metrics.counter("sched.requests").expect("metrics enabled"),
+            releases: metrics.counter("sched.releases").expect("metrics enabled"),
+            nodes_lost: metrics
+                .counter("sched.nodes_lost")
+                .expect("metrics enabled"),
+        });
     }
 
     /// The cluster a node belongs to.
@@ -140,6 +171,9 @@ impl ResourcePool {
                 });
             }
         }
+        if let Some(sm) = &self.sm {
+            sm.grants.add(grants.len() as u64);
+        }
         grants
     }
 
@@ -163,6 +197,9 @@ impl ResourcePool {
         prefer: &[ClusterId],
     ) -> Vec<NodeGrant> {
         let mut grants = Vec::new();
+        if let Some(sm) = &self.sm {
+            sm.requests.inc();
+        }
         if n == 0 {
             return grants;
         }
@@ -228,6 +265,9 @@ impl ResourcePool {
                 });
             }
         }
+        if let Some(sm) = &self.sm {
+            sm.grants.add(grants.len() as u64);
+        }
         grants
     }
 
@@ -239,6 +279,9 @@ impl ResourcePool {
             let newly = c.free.insert(node);
             assert!(newly, "node {node} released twice");
         }
+        if let Some(sm) = &self.sm {
+            sm.releases.inc();
+        }
     }
 
     /// Marks a node permanently unavailable (crashed hardware).
@@ -247,6 +290,9 @@ impl ResourcePool {
         let c = &mut self.clusters[cid.index()];
         c.free.remove(&node);
         c.lost.insert(node);
+        if let Some(sm) = &self.sm {
+            sm.nodes_lost.inc();
+        }
     }
 }
 

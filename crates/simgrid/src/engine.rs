@@ -19,6 +19,7 @@ use sagrid_adapt::feedback::{dominant_term, DominantTerm, FeedbackTuner};
 use sagrid_adapt::hierarchy::HierarchicalCoordinator;
 use sagrid_adapt::{BadnessCoefficients, BandwidthEstimator, SpeedTracker};
 use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::{Counter, Gauge, Histogram, MetricEvent, Metrics, Value};
 use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
 use sagrid_core::stats::OverheadBreakdown;
 use sagrid_core::time::{SimDuration, SimTime};
@@ -27,6 +28,7 @@ use sagrid_registry::{Membership, RegistryConfig};
 use sagrid_sched::{AllocPolicy, NodeGrant, Requirements, ResourcePool};
 use sagrid_simnet::{EventQueue, Injection, Network};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Engine events.
 #[derive(Clone, Debug)]
@@ -133,6 +135,52 @@ impl Coord {
             Coord::Hierarchical(h) => h.set_coefficients(coefficients),
         }
     }
+
+    fn record_crashed(&mut self, nodes: &[NodeId], cluster: Option<ClusterId>) {
+        match self {
+            Coord::Flat(c) => c.record_crashed(nodes, cluster),
+            Coord::Hierarchical(h) => h.record_crashed(nodes, cluster),
+        }
+    }
+}
+
+/// Pre-resolved registry handles for the engine's membership- and
+/// decision-rate instrumentation. Per-steal statistics are deliberately
+/// *not* here: the engine is single-threaded, so those are accumulated as
+/// plain integers on the engine itself and folded into the registry once
+/// at teardown — the steal hot path pays no atomics even with metrics on.
+struct EngineMetrics {
+    joins: Arc<Counter>,
+    leaves: Arc<Counter>,
+    crashes: Arc<Counter>,
+    task_transfers: Arc<Counter>,
+    injections: Arc<Counter>,
+    decisions: Arc<Counter>,
+    nodes_alive: Arc<Gauge>,
+    iteration_secs: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn resolve(metrics: &Metrics) -> Option<Self> {
+        if !metrics.is_enabled() {
+            return None;
+        }
+        let c = |name: &str| metrics.counter(name).expect("registry is enabled");
+        Some(Self {
+            joins: c("des.node_joins"),
+            leaves: c("des.node_leaves"),
+            crashes: c("des.node_crashes"),
+            task_transfers: c("des.task_transfers"),
+            injections: c("des.injections"),
+            decisions: c("des.decisions"),
+            nodes_alive: metrics
+                .gauge("des.nodes_alive")
+                .expect("registry is enabled"),
+            iteration_secs: metrics
+                .histogram("des.iteration_secs", &[30, 60, 120, 240, 480, 960])
+                .expect("registry is enabled"),
+        })
+    }
 }
 
 /// The simulation engine. Construct with [`GridSim::new`], execute with
@@ -212,16 +260,43 @@ pub struct GridSim {
     timed_out: bool,
     /// Steal requests sent (sync and wide).
     steal_attempts: u64,
+    /// Wide-area (inter-cluster) steal requests sent.
+    wide_steal_attempts: u64,
+    /// Steal requests per victim cluster, folded into the registry as
+    /// `des.steals.to_cluster.<n>` at teardown.
+    steals_by_cluster: Vec<u64>,
     /// Victim selections served by the incremental peer cache.
     peer_cache_hits: u64,
+    /// The metrics registry handle (disabled by default; see
+    /// [`GridSim::try_run_with_metrics`]).
+    metrics: Metrics,
+    /// Pre-resolved instrument handles, present only when enabled.
+    em: Option<EngineMetrics>,
 }
 
 impl GridSim {
-    /// Builds the engine; panics on an invalid configuration.
+    /// Builds the engine; panics on an invalid configuration. Thin wrapper
+    /// over [`GridSim::try_new`] for callers that construct configurations
+    /// statically.
     pub fn new(cfg: SimConfig) -> Self {
-        cfg.validate().expect("invalid simulation configuration");
+        Self::try_new(cfg).expect("invalid simulation configuration")
+    }
+
+    /// Builds the engine, reporting an invalid configuration as an error
+    /// instead of panicking — the right entry point when the configuration
+    /// comes from user input (CLI flags, sweep generators).
+    pub fn try_new(cfg: SimConfig) -> Result<Self, String> {
+        Self::try_new_with_metrics(cfg, Metrics::disabled())
+    }
+
+    /// Fallible constructor wiring a metrics registry through every layer
+    /// the engine owns (scheduler pool included). Pass
+    /// [`Metrics::disabled`] for zero-overhead operation.
+    pub fn try_new_with_metrics(cfg: SimConfig, metrics: Metrics) -> Result<Self, String> {
+        cfg.validate()?;
         let network = Network::new(&cfg.grid);
-        let pool = ResourcePool::new(&cfg.grid);
+        let mut pool = ResourcePool::new(&cfg.grid);
+        pool.set_metrics(&metrics);
         let coordinator = if cfg.hierarchical_coordinator {
             Coord::Hierarchical(HierarchicalCoordinator::new(cfg.policy))
         } else {
@@ -232,7 +307,8 @@ impl GridSim {
         let tuner = cfg
             .feedback_tuning
             .then(|| FeedbackTuner::new(cfg.policy.coefficients));
-        Self {
+        let em = EngineMetrics::resolve(&metrics);
+        Ok(Self {
             network,
             pool,
             registry: Membership::new(RegistryConfig::default()),
@@ -261,15 +337,35 @@ impl GridSim {
             aggregate: OverheadBreakdown::default(),
             timed_out: false,
             steal_attempts: 0,
+            wide_steal_attempts: 0,
+            steals_by_cluster: vec![0; cfg.grid.clusters.len()],
             peer_cache_hits: 0,
+            metrics,
+            em,
             queue: EventQueue::new(),
             cfg,
-        }
+        })
     }
 
-    /// Runs the simulation to completion and returns the results.
+    /// Runs the simulation to completion and returns the results. Panics
+    /// on an invalid configuration (see [`GridSim::try_run`]).
     pub fn run(cfg: SimConfig) -> RunResult {
-        let mut sim = Self::new(cfg);
+        Self::try_run(cfg).expect("invalid simulation configuration")
+    }
+
+    /// Runs the simulation to completion, reporting configuration errors
+    /// instead of panicking.
+    pub fn try_run(cfg: SimConfig) -> Result<RunResult, String> {
+        Self::try_run_with_metrics(cfg, Metrics::disabled())
+    }
+
+    /// Runs with a live metrics registry: counters/gauges/histograms and
+    /// structured events (injections, crashes, joins/leaves, decisions with
+    /// full provenance) are recorded into `metrics` and snapshotted into
+    /// [`RunResult::metrics`]. The simulated run itself is bit-identical to
+    /// a metrics-disabled run.
+    pub fn try_run_with_metrics(cfg: SimConfig, metrics: Metrics) -> Result<RunResult, String> {
+        let mut sim = Self::try_new_with_metrics(cfg, metrics)?;
         sim.start();
         let cap = SimTime::ZERO + sim.cfg.timing.max_virtual_time;
         while !sim.finished {
@@ -282,7 +378,7 @@ impl GridSim {
             }
             sim.handle(now, ev);
         }
-        sim.into_result()
+        Ok(sim.into_result())
     }
 
     // ------------------------------------------------------------------
@@ -341,6 +437,9 @@ impl GridSim {
 
     fn record_node_count(&mut self, now: SimTime) {
         self.node_count_timeline.push((now, self.alive.len()));
+        if let Some(em) = &self.em {
+            em.nodes_alive.set(self.alive.len() as i64);
+        }
     }
 
     /// Hands `tasks` to the lowest-id alive node (or stashes them if the
@@ -454,6 +553,14 @@ impl GridSim {
         self.alive.insert(id, cluster);
         self.registry.join(now, id, cluster);
         self.record_node_count(now);
+        if let Some(em) = &self.em {
+            em.joins.inc();
+            self.metrics.emit(
+                MetricEvent::new(now.0, "join")
+                    .with("node", Value::U64(u64::from(id.0)))
+                    .with("cluster", Value::U64(u64::from(cluster.0))),
+            );
+        }
         // Adopt any orphaned tasks (including iteration roots, which are
         // re-homed to the adopter).
         let orphans = std::mem::take(&mut self.orphans);
@@ -639,8 +746,10 @@ impl GridSim {
         wide: bool,
     ) {
         self.steal_attempts += 1;
+        self.wide_steal_attempts += wide as u64;
         let from = self.node(thief).cluster;
         let to = self.node(victim).cluster;
+        self.steals_by_cluster[to.index()] += 1;
         let d = self
             .network
             .deliver(now, from, to, self.cfg.timing.steal_msg_bytes);
@@ -860,6 +969,9 @@ impl GridSim {
     fn end_iteration(&mut self, now: SimTime) {
         let dur = now.saturating_since(self.iteration_started);
         self.iteration_durations.push(dur);
+        if let Some(em) = &self.em {
+            em.iteration_secs.record(dur.0 / 1_000_000);
+        }
         self.iter += 1;
         if self.iter >= self.cfg.workload.iterations.len() {
             self.finished = true;
@@ -935,6 +1047,15 @@ impl GridSim {
         self.coordinator.node_gone(id);
         self.speeds.remove(id);
         self.record_node_count(now);
+        if let Some(em) = &self.em {
+            em.leaves.inc();
+            self.metrics.emit(
+                MetricEvent::new(now.0, "leave")
+                    .with("node", Value::U64(u64::from(id.0)))
+                    .with("cluster", Value::U64(u64::from(cluster.0)))
+                    .with("queued_tasks", Value::U64(queued.len() as u64)),
+            );
+        }
         if !queued.is_empty() {
             // Hand the queue to a peer; the transfer crosses the network.
             if let Some(target) = self.alive.lowest() {
@@ -948,6 +1069,16 @@ impl GridSim {
                     self.node(target).cluster,
                     bytes,
                 );
+                if let Some(em) = &self.em {
+                    em.task_transfers.inc();
+                    self.metrics.emit(
+                        MetricEvent::new(now.0, "task_transfer")
+                            .with("from", Value::U64(u64::from(id.0)))
+                            .with("to", Value::U64(u64::from(target.0)))
+                            .with("tasks", Value::U64(queued.len() as u64))
+                            .with("bytes", Value::U64(bytes)),
+                    );
+                }
                 self.queue.push(
                     d.arrives_at,
                     Event::TaskTransfer {
@@ -982,6 +1113,9 @@ impl GridSim {
         self.registry.report_crash(id);
         self.pool.mark_lost(id);
         self.record_node_count(now);
+        if let Some(em) = &self.em {
+            em.crashes.inc();
+        }
         tasks
     }
 
@@ -1006,6 +1140,9 @@ impl GridSim {
             injections
         };
         for inj in due {
+            if let Some(em) = &self.em {
+                em.injections.inc();
+            }
             match inj {
                 Injection::CpuLoad {
                     cluster,
@@ -1022,15 +1159,45 @@ impl GridSim {
                             .expect("alive node must exist")
                             .load_factor = factor.max(1.0);
                     }
+                    if self.metrics.is_enabled() {
+                        self.metrics.emit(
+                            MetricEvent::new(now.0, "injection")
+                                .with("injection", Value::Str("cpu_load".to_string()))
+                                .with("cluster", Value::U64(u64::from(cluster.0)))
+                                .with("nodes", Value::U64(take as u64))
+                                .with("factor", Value::F64(factor)),
+                        );
+                    }
                 }
                 Injection::UplinkBandwidth {
                     cluster,
                     bandwidth_bps,
                 } => {
                     self.network.set_uplink_bandwidth(cluster, bandwidth_bps);
+                    if self.metrics.is_enabled() {
+                        self.metrics.emit(
+                            MetricEvent::new(now.0, "injection")
+                                .with("injection", Value::Str("uplink_bandwidth".to_string()))
+                                .with("cluster", Value::U64(u64::from(cluster.0)))
+                                .with("bps", Value::F64(bandwidth_bps)),
+                        );
+                    }
                 }
                 Injection::CrashCluster { cluster } => {
                     let victims = self.alive.members(cluster).to_vec();
+                    // Fail-stop site failure: the coordinator blacklists
+                    // the whole cluster so it is never re-added — re-granting
+                    // a failed site's survivors would just repeat the fault
+                    // detection round-trip (paper §5, scenario 6).
+                    self.coordinator.record_crashed(&victims, Some(cluster));
+                    if self.metrics.is_enabled() {
+                        self.metrics.emit(
+                            MetricEvent::new(now.0, "injection")
+                                .with("injection", Value::Str("crash_cluster".to_string()))
+                                .with("cluster", Value::U64(u64::from(cluster.0)))
+                                .with("nodes", Value::U64(victims.len() as u64)),
+                        );
+                    }
                     self.crash_many(now, victims);
                 }
                 Injection::CrashNodes { cluster, count } => {
@@ -1041,6 +1208,16 @@ impl GridSim {
                         .copied()
                         .take(count)
                         .collect();
+                    // Partial failure: blacklist the victims, not the site.
+                    self.coordinator.record_crashed(&victims, None);
+                    if self.metrics.is_enabled() {
+                        self.metrics.emit(
+                            MetricEvent::new(now.0, "injection")
+                                .with("injection", Value::Str("crash_nodes".to_string()))
+                                .with("cluster", Value::U64(u64::from(cluster.0)))
+                                .with("nodes", Value::U64(victims.len() as u64)),
+                        );
+                    }
                     self.crash_many(now, victims);
                 }
             }
@@ -1054,6 +1231,18 @@ impl GridSim {
         let mut tasks = Vec::new();
         for &v in &victims {
             tasks.extend(self.crash_node(now, v));
+        }
+        if self.metrics.is_enabled() {
+            self.metrics.emit(
+                MetricEvent::new(now.0, "crash")
+                    .with(
+                        "victims",
+                        Value::Raw(crate::provenance::u64_array(
+                            victims.iter().map(|v| u64::from(v.0)),
+                        )),
+                    )
+                    .with("orphaned_tasks", Value::U64(tasks.len() as u64)),
+            );
         }
         self.queue.push(
             now + self.cfg.timing.fault_detection_delay,
@@ -1147,6 +1336,15 @@ impl GridSim {
                 .map(|r| (r.node, (r.speed, r.ic_overhead_fraction())))
                 .collect();
             let decision = self.coordinator.evaluate(now, fastest_available);
+            if let Some(em) = &self.em {
+                em.decisions.inc();
+                // Every decision becomes a provenance event: the wa_eff,
+                // per-node badness terms and blacklist/learned state that
+                // produced it, reconstructible from the JSONL stream alone.
+                if let Some(entry) = self.coordinator.main().log().last() {
+                    self.metrics.emit(crate::provenance::decision_event(entry));
+                }
+            }
             if self.tuner.is_some() {
                 if let Decision::RemoveNodes { nodes } = &decision {
                     // Majority dominant term over the removed set.
@@ -1318,6 +1516,25 @@ impl GridSim {
                     .map(|t| (NodeId(i as u32), t))
             })
             .collect();
+        // Fold the plainly-accumulated hot-path statistics (and the
+        // kernel's event total, only known at teardown) into the registry
+        // so one snapshot carries every counter. Keeping these as plain
+        // integers during the run keeps the steal path free of atomics.
+        if self.metrics.is_enabled() {
+            let add = |name: &str, v: u64| {
+                if let Some(c) = self.metrics.counter(name) {
+                    c.add(v);
+                }
+            };
+            add("des.events_processed", self.queue.processed());
+            add("des.steal_attempts", self.steal_attempts);
+            add("des.wide_steal_attempts", self.wide_steal_attempts);
+            add("des.peer_cache_hits", self.peer_cache_hits);
+            for (i, &n) in self.steals_by_cluster.iter().enumerate() {
+                add(&format!("des.steals.to_cluster.{i}"), n);
+            }
+        }
+        let metrics = self.metrics.is_enabled().then(|| self.metrics.report());
         RunResult {
             total_runtime,
             iteration_durations: self.iteration_durations,
@@ -1331,6 +1548,7 @@ impl GridSim {
             peer_cache_hits: self.peer_cache_hits,
             timed_out: self.timed_out,
             activity_traces,
+            metrics,
         }
     }
 }
@@ -1494,6 +1712,107 @@ mod tests {
         let traced = GridSim::run(cfg);
         assert_eq!(plain.iteration_durations, traced.iteration_durations);
         assert_eq!(plain.events_processed, traced.events_processed);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs() {
+        let err = |cfg: SimConfig| GridSim::try_new(cfg).map(|_| ()).unwrap_err();
+
+        let mut empty_layout = base_config();
+        empty_layout.initial_layout.clear();
+        let e = err(empty_layout);
+        assert!(e.contains("initial layout"), "unexpected error: {e}");
+
+        let mut unknown_cluster = base_config();
+        unknown_cluster.initial_layout = vec![(ClusterId(9), 4)];
+        let e = err(unknown_cluster);
+        assert!(e.contains("unknown cluster"), "unexpected error: {e}");
+
+        let mut oversubscribed = base_config();
+        oversubscribed.initial_layout = vec![(ClusterId(0), 99)];
+        let e = err(oversubscribed);
+        assert!(e.contains("capacity"), "unexpected error: {e}");
+
+        let mut no_work = base_config();
+        no_work.workload.iterations.clear();
+        assert!(GridSim::try_new(no_work).is_err());
+
+        assert!(GridSim::try_new(base_config()).is_ok());
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_configs() {
+        let a = GridSim::run(base_config());
+        let b = GridSim::try_run(base_config()).expect("config is valid");
+        assert_eq!(a.iteration_durations, b.iteration_durations);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn metrics_disabled_runs_carry_no_report() {
+        let r = GridSim::run(base_config());
+        assert!(
+            r.metrics.is_none(),
+            "default runs must not allocate metrics"
+        );
+    }
+
+    #[test]
+    fn metrics_enabled_run_is_identical_and_mirrors_counters() {
+        use sagrid_core::metrics::Metrics;
+        let plain = GridSim::run(base_config());
+        let metered = GridSim::try_run_with_metrics(base_config(), Metrics::enabled())
+            .expect("config is valid");
+        // Metrics observation must not perturb the simulation.
+        assert_eq!(plain.iteration_durations, metered.iteration_durations);
+        assert_eq!(plain.events_processed, metered.events_processed);
+        let report = metered.metrics.as_ref().expect("metrics were enabled");
+        // Registry counters mirror the RunResult's ad-hoc counters exactly.
+        assert_eq!(report.counter("des.steal_attempts"), metered.steal_attempts);
+        assert_eq!(
+            report.counter("des.peer_cache_hits"),
+            metered.peer_cache_hits
+        );
+        assert_eq!(
+            report.counter("des.events_processed"),
+            metered.events_processed
+        );
+        // Per-victim-cluster steal counters partition the total.
+        let by_cluster: u64 = (0..3)
+            .map(|i| report.counter(&format!("des.steals.to_cluster.{i}")))
+            .sum();
+        assert_eq!(by_cluster, metered.steal_attempts);
+        // Every node joined once; the alive gauge ends at the final count.
+        assert_eq!(report.counter("des.node_joins"), 8);
+        assert_eq!(report.gauge("des.nodes_alive"), 8);
+        assert_eq!(report.events_of_kind("join").count(), 8);
+        // The scheduler shares the same registry.
+        assert_eq!(report.counter("sched.grants"), 8);
+    }
+
+    #[test]
+    fn crash_metrics_count_victims_and_decisions_are_logged() {
+        use sagrid_core::metrics::Metrics;
+        let mut cfg = base_config();
+        cfg.mode = AdaptMode::Adapt;
+        cfg.injections = InjectionSchedule::new(vec![sagrid_simnet::ScheduledInjection {
+            at: SimTime::from_secs(5),
+            injection: Injection::CrashCluster {
+                cluster: ClusterId(1),
+            },
+        }]);
+        let r = GridSim::try_run_with_metrics(cfg, Metrics::enabled()).expect("valid");
+        let report = r.metrics.as_ref().expect("metrics were enabled");
+        assert_eq!(report.counter("des.node_crashes"), 4);
+        assert_eq!(report.counter("des.injections"), 1);
+        assert_eq!(report.events_of_kind("crash").count(), 1);
+        assert_eq!(report.events_of_kind("injection").count(), 1);
+        assert_eq!(
+            report.counter("des.decisions"),
+            r.decisions.len() as u64,
+            "one decision event per coordinator log entry"
+        );
+        assert_eq!(report.events_of_kind("decision").count(), r.decisions.len());
     }
 
     #[test]

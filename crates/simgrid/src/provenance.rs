@@ -1,0 +1,374 @@
+//! Decision-provenance serialisation: every coordinator decision becomes
+//! a structured [`MetricEvent`] carrying the full evidence that produced
+//! it — the weighted-average efficiency, the per-node badness terms, the
+//! blacklist state after the decision and the learned requirements.
+//!
+//! The inverse direction, [`reconstruct_decision`], parses one emitted
+//! JSONL line back into a [`DecisionProvenance`]; a regression test
+//! asserts that a whole scenario-5 decision log is reconstructible from
+//! the JSONL stream alone.
+
+use sagrid_adapt::coordinator::LearnedRequirements;
+use sagrid_adapt::{Decision, DecisionLogEntry, NodeBadnessRecord};
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::{JsonValue, MetricEvent, Value};
+use sagrid_core::time::SimTime;
+use std::fmt::Write as _;
+
+/// Builds the `"decision"` metric event for one decision-log entry.
+pub fn decision_event(entry: &DecisionLogEntry) -> MetricEvent {
+    let mut ev = MetricEvent::new(entry.at.0, "decision")
+        .with("decision", Value::Str(entry.decision.kind().to_string()))
+        .with("wa_eff", Value::F64(entry.wa_efficiency))
+        .with("reports", Value::U64(entry.nodes as u64));
+    match &entry.decision {
+        Decision::None => {}
+        Decision::Add { count, prefer, .. } => {
+            ev = ev.with("count", Value::U64(*count as u64)).with(
+                "prefer",
+                Value::Raw(u64_array(prefer.iter().map(|c| u64::from(c.0)))),
+            );
+        }
+        Decision::RemoveNodes { nodes } => {
+            ev = ev.with(
+                "remove",
+                Value::Raw(u64_array(nodes.iter().map(|n| u64::from(n.0)))),
+            );
+        }
+        Decision::RemoveCluster { cluster, nodes } => {
+            ev = ev.with("cluster", Value::U64(u64::from(cluster.0))).with(
+                "remove",
+                Value::Raw(u64_array(nodes.iter().map(|n| u64::from(n.0)))),
+            );
+        }
+        Decision::OpportunisticSwap { remove, add, .. } => {
+            ev = ev.with("count", Value::U64(*add as u64)).with(
+                "remove",
+                Value::Raw(u64_array(remove.iter().map(|n| u64::from(n.0)))),
+            );
+        }
+    }
+    ev = ev
+        .with("badness", Value::Raw(badness_array(&entry.badness)))
+        .with(
+            "blacklist_nodes",
+            Value::Raw(u64_array(
+                entry.blacklisted_nodes.iter().map(|n| u64::from(n.0)),
+            )),
+        )
+        .with(
+            "blacklist_clusters",
+            Value::Raw(u64_array(
+                entry.blacklisted_clusters.iter().map(|c| u64::from(c.0)),
+            )),
+        );
+    if let Some(bw) = entry.learned.min_uplink_bps {
+        ev = ev.with("min_uplink_bps", Value::F64(bw));
+    }
+    if let Some(s) = entry.learned.min_speed {
+        ev = ev.with("min_speed", Value::F64(s));
+    }
+    ev
+}
+
+pub(crate) fn u64_array(items: impl Iterator<Item = u64>) -> String {
+    let mut out = String::from("[");
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+fn badness_array(records: &[NodeBadnessRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"node\":{},\"cluster\":{},\"speed\":{},\"ic\":{},\"worst\":{},\"badness\":{}}}",
+            r.node.0, r.cluster.0, r.speed, r.ic_overhead, r.in_worst_cluster, r.badness
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// A decision reconstructed from one emitted JSONL line. Field-for-field
+/// comparable against the in-memory [`DecisionLogEntry`] it came from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionProvenance {
+    /// Evaluation time.
+    pub at: SimTime,
+    /// Weighted-average efficiency input.
+    pub wa_efficiency: f64,
+    /// Number of reports consumed.
+    pub reports: usize,
+    /// Decision kind tag (matches [`Decision::kind`]).
+    pub kind: String,
+    /// Nodes removed by the decision (empty for none/add).
+    pub removed: Vec<NodeId>,
+    /// The removed cluster, for `remove-cluster`.
+    pub cluster: Option<ClusterId>,
+    /// Requested node count, for `add`/`opportunistic-swap`.
+    pub count: Option<usize>,
+    /// Preferred clusters, for `add`.
+    pub prefer: Vec<ClusterId>,
+    /// Ranked badness terms.
+    pub badness: Vec<NodeBadnessRecord>,
+    /// Blacklisted nodes after the decision.
+    pub blacklisted_nodes: Vec<NodeId>,
+    /// Blacklisted clusters after the decision.
+    pub blacklisted_clusters: Vec<ClusterId>,
+    /// Learned requirements after the decision.
+    pub learned: LearnedRequirements,
+}
+
+impl DecisionProvenance {
+    /// Whether this reconstruction agrees with `entry` on every recorded
+    /// field. Float comparisons are exact: the JSON encoder uses Rust's
+    /// shortest-roundtrip formatting, so serialise→parse is lossless.
+    pub fn matches(&self, entry: &DecisionLogEntry) -> bool {
+        let decision_fields_match = match &entry.decision {
+            Decision::None => self.removed.is_empty() && self.cluster.is_none(),
+            Decision::Add { count, prefer, .. } => {
+                self.count == Some(*count) && self.prefer == *prefer
+            }
+            Decision::RemoveNodes { nodes } => self.removed == *nodes,
+            Decision::RemoveCluster { cluster, nodes } => {
+                self.cluster == Some(*cluster) && self.removed == *nodes
+            }
+            Decision::OpportunisticSwap { remove, add, .. } => {
+                self.removed == *remove && self.count == Some(*add)
+            }
+        };
+        self.at == entry.at
+            && self.wa_efficiency == entry.wa_efficiency
+            && self.reports == entry.nodes
+            && self.kind == entry.decision.kind()
+            && decision_fields_match
+            && self.badness == entry.badness
+            && self.blacklisted_nodes == entry.blacklisted_nodes
+            && self.blacklisted_clusters == entry.blacklisted_clusters
+            && self.learned == entry.learned
+    }
+}
+
+/// Parses one JSONL `"decision"` event back into its provenance record.
+pub fn reconstruct_decision(line: &JsonValue) -> Result<DecisionProvenance, String> {
+    if line.get("kind").and_then(JsonValue::as_str) != Some("decision") {
+        return Err("not a decision event".to_string());
+    }
+    let at = SimTime(
+        line.get("at_us")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing at_us")?,
+    );
+    let wa_efficiency = line
+        .get("wa_eff")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing wa_eff")?;
+    let reports = line
+        .get("reports")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing reports")? as usize;
+    let kind = line
+        .get("decision")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing decision kind")?
+        .to_string();
+    let removed = node_list(line.get("remove"))?;
+    let cluster = line
+        .get("cluster")
+        .and_then(JsonValue::as_u64)
+        .map(|c| ClusterId(c as u16));
+    let count = line
+        .get("count")
+        .and_then(JsonValue::as_u64)
+        .map(|c| c as usize);
+    let prefer = cluster_list(line.get("prefer"))?;
+    let badness = line
+        .get("badness")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing badness")?
+        .iter()
+        .map(badness_record)
+        .collect::<Result<Vec<_>, _>>()?;
+    let blacklisted_nodes = node_list(line.get("blacklist_nodes"))?;
+    let blacklisted_clusters = cluster_list(line.get("blacklist_clusters"))?;
+    let learned = LearnedRequirements {
+        min_uplink_bps: line.get("min_uplink_bps").and_then(JsonValue::as_f64),
+        min_speed: line.get("min_speed").and_then(JsonValue::as_f64),
+    };
+    Ok(DecisionProvenance {
+        at,
+        wa_efficiency,
+        reports,
+        kind,
+        removed,
+        cluster,
+        count,
+        prefer,
+        badness,
+        blacklisted_nodes,
+        blacklisted_clusters,
+        learned,
+    })
+}
+
+fn node_list(v: Option<&JsonValue>) -> Result<Vec<NodeId>, String> {
+    let Some(v) = v else {
+        return Ok(Vec::new());
+    };
+    v.as_arr()
+        .ok_or("expected array of node ids".to_string())?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(|n| NodeId(n as u32))
+                .ok_or("bad node id".to_string())
+        })
+        .collect()
+}
+
+fn cluster_list(v: Option<&JsonValue>) -> Result<Vec<ClusterId>, String> {
+    let Some(v) = v else {
+        return Ok(Vec::new());
+    };
+    v.as_arr()
+        .ok_or("expected array of cluster ids".to_string())?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(|c| ClusterId(c as u16))
+                .ok_or("bad cluster id".to_string())
+        })
+        .collect()
+}
+
+fn badness_record(v: &JsonValue) -> Result<NodeBadnessRecord, String> {
+    Ok(NodeBadnessRecord {
+        node: NodeId(
+            v.get("node")
+                .and_then(JsonValue::as_u64)
+                .ok_or("bad badness.node")? as u32,
+        ),
+        cluster: ClusterId(
+            v.get("cluster")
+                .and_then(JsonValue::as_u64)
+                .ok_or("bad badness.cluster")? as u16,
+        ),
+        speed: v
+            .get("speed")
+            .and_then(JsonValue::as_f64)
+            .ok_or("bad badness.speed")?,
+        ic_overhead: v
+            .get("ic")
+            .and_then(JsonValue::as_f64)
+            .ok_or("bad badness.ic")?,
+        in_worst_cluster: v
+            .get("worst")
+            .and_then(JsonValue::as_bool)
+            .ok_or("bad badness.worst")?,
+        badness: v
+            .get("badness")
+            .and_then(JsonValue::as_f64)
+            .ok_or("bad badness.badness")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_core::metrics::parse_json;
+
+    fn entry(decision: Decision) -> DecisionLogEntry {
+        DecisionLogEntry {
+            at: SimTime::from_secs(180),
+            wa_efficiency: 0.7321098,
+            nodes: 3,
+            decision,
+            badness: vec![
+                NodeBadnessRecord {
+                    node: NodeId(7),
+                    cluster: ClusterId(1),
+                    speed: 0.875,
+                    ic_overhead: 0.4123,
+                    in_worst_cluster: true,
+                    badness: 52.37290017,
+                },
+                NodeBadnessRecord {
+                    node: NodeId(2),
+                    cluster: ClusterId(0),
+                    speed: 1.0,
+                    ic_overhead: 0.01,
+                    in_worst_cluster: false,
+                    badness: 2.0,
+                },
+            ],
+            blacklisted_nodes: vec![NodeId(7)],
+            blacklisted_clusters: vec![ClusterId(1)],
+            learned: LearnedRequirements {
+                min_uplink_bps: Some(100_000.5),
+                min_speed: None,
+            },
+        }
+    }
+
+    fn round_trip(e: &DecisionLogEntry) -> DecisionProvenance {
+        let json = decision_event(e).to_json();
+        let parsed = parse_json(&json).expect("event serialises to valid JSON");
+        reconstruct_decision(&parsed).expect("decision reconstructs")
+    }
+
+    #[test]
+    fn every_decision_variant_round_trips_losslessly() {
+        let variants = vec![
+            Decision::None,
+            Decision::Add {
+                count: 4,
+                requirements: LearnedRequirements::default(),
+                prefer: vec![ClusterId(0), ClusterId(2)],
+            },
+            Decision::RemoveNodes {
+                nodes: vec![NodeId(7), NodeId(3)],
+            },
+            Decision::RemoveCluster {
+                cluster: ClusterId(1),
+                nodes: vec![NodeId(7)],
+            },
+            Decision::OpportunisticSwap {
+                remove: vec![NodeId(2)],
+                add: 1,
+                requirements: LearnedRequirements::default(),
+            },
+        ];
+        for d in variants {
+            let e = entry(d);
+            let rec = round_trip(&e);
+            assert!(rec.matches(&e), "mismatch for {:?}: {rec:?}", e.decision);
+        }
+    }
+
+    #[test]
+    fn mismatches_are_detected() {
+        let e = entry(Decision::RemoveNodes {
+            nodes: vec![NodeId(7)],
+        });
+        let mut rec = round_trip(&e);
+        assert!(rec.matches(&e));
+        rec.wa_efficiency += 1e-9;
+        assert!(!rec.matches(&e), "a perturbed field must not match");
+    }
+
+    #[test]
+    fn non_decision_events_are_rejected() {
+        let parsed = parse_json("{\"type\":\"event\",\"at_us\":1,\"kind\":\"join\"}").unwrap();
+        assert!(reconstruct_decision(&parsed).is_err());
+    }
+}

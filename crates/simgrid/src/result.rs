@@ -3,6 +3,7 @@
 use crate::trace::NodeTrace;
 use sagrid_adapt::DecisionLogEntry;
 use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::MetricsReport;
 use sagrid_core::stats::OverheadBreakdown;
 use sagrid_core::time::{SimDuration, SimTime};
 
@@ -41,6 +42,11 @@ pub struct RunResult {
     /// [`crate::SimConfig::record_trace`]. Crashed nodes keep the trace
     /// recorded up to their crash.
     pub activity_traces: Vec<(NodeId, NodeTrace)>,
+    /// Snapshot of the metrics registry at the end of the run — counters,
+    /// gauges, histograms and the structured event stream. `None` when the
+    /// run was started with metrics disabled (the default), so the default
+    /// output stays byte-identical to pre-metrics builds.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl RunResult {
@@ -136,6 +142,7 @@ mod tests {
             peer_cache_hits: 0,
             timed_out: false,
             activity_traces: Vec::new(),
+            metrics: None,
         }
     }
 

@@ -24,20 +24,50 @@ else
 fi
 
 echo "== build =="
-cargo build --release
+cargo build --workspace --release
 
 echo "== test =="
 cargo test --workspace -q
+
+echo "== doc tests =="
+cargo test --workspace -q --doc
 
 echo "== DES throughput (quick) =="
 SAGRID_BENCH_QUICK=1 SAGRID_BENCH_OUT="$PWD/target/BENCH_des_throughput.quick.json" \
     cargo bench -p sagrid-bench --bench des_throughput
 echo "wrote target/BENCH_des_throughput.quick.json (committed baseline: BENCH_des_throughput.json)"
 
+echo "== DES throughput vs committed baseline (warn-only, +/-20%) =="
+# Quick samples on shared hardware are noisy, so drift is reported, never
+# fatal. Compares events_per_sec per run name against the checked-in
+# full-scale baseline.
+awk '
+    /"name"/           { gsub(/[",]/, ""); name = $2 }
+    /"events_per_sec"/ {
+        gsub(/,/, "");
+        if (NR == FNR) { base[name] = $2 }
+        else if (name in base) {
+            delta = ($2 / base[name] - 1.0) * 100.0
+            printf "  %-28s baseline %12.0f ev/s, now %12.0f ev/s (%+.1f%%)\n", \
+                   name, base[name], $2, delta
+            if (delta > 20 || delta < -20)
+                printf "  WARNING: %s drifted more than 20%% from the baseline\n", name
+        }
+    }
+' BENCH_des_throughput.json target/BENCH_des_throughput.quick.json
+
 echo "== experiments smoke (parallel == serial) =="
 ./target/release/experiments --quick --serial > target/ci_serial.txt
 ./target/release/experiments --quick > target/ci_parallel.txt
 diff target/ci_serial.txt target/ci_parallel.txt
 echo "parallel output is byte-identical to serial"
+
+echo "== emit-metrics smoke (JSONL well-formed, stdout unperturbed) =="
+rm -rf target/ci_metrics
+./target/release/experiments --quick --serial --emit-metrics target/ci_metrics \
+    > target/ci_emit.txt
+diff target/ci_serial.txt target/ci_emit.txt
+echo "stdout is byte-identical with --emit-metrics"
+./target/release/validate_metrics target/ci_metrics
 
 echo "CI OK"

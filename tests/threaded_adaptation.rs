@@ -4,6 +4,7 @@
 
 use sagrid::adapt::AdaptPolicy;
 use sagrid::apps::{fib_par, fib_seq, nqueens_par, nqueens_seq, tsp_par, tsp_seq, TspInstance};
+use sagrid::core::metrics::Metrics;
 use sagrid::core::time::SimDuration;
 use sagrid::runtime::{AdaptiveRuntime, Runtime, RuntimeConfig};
 use std::sync::Arc;
@@ -25,7 +26,7 @@ fn applications_are_correct_across_emulated_clusters() {
 
 #[test]
 fn pool_survives_rolling_crashes_during_long_searches() {
-    let rt = Runtime::new(RuntimeConfig::single_cluster(6));
+    let rt = Runtime::with_metrics(RuntimeConfig::single_cluster(6), Metrics::enabled());
     let result = std::thread::scope(|s| {
         s.spawn(|| {
             for i in 0..3 {
@@ -36,6 +37,50 @@ fn pool_survives_rolling_crashes_during_long_searches() {
         rt.run(|ctx| nqueens_par(ctx, 10, 3))
     });
     assert_eq!(result, nqueens_seq(10));
+    // The registry must have seen the whole story: three crashes, the
+    // survivors stealing work (single cluster ⇒ all local), the work tree
+    // spawned, and a half-empty pool at the end.
+    let report = rt.metrics().report();
+    assert_eq!(report.counter("rt.crashes"), 3);
+    assert_eq!(report.counter("rt.workers_joined"), 6);
+    assert_eq!(report.gauge("rt.workers_alive"), 3);
+    assert!(
+        report.counter("rt.spawns") > 100,
+        "nqueens(10) spawns a large task tree, saw {}",
+        report.counter("rt.spawns")
+    );
+    let local_attempts =
+        report.counter("rt.steals.local_ok") + report.counter("rt.steals.local_failed");
+    assert!(
+        local_attempts > 0,
+        "idle workers must have attempted local steals"
+    );
+    assert_eq!(
+        report.counter("rt.steals.remote_ok") + report.counter("rt.steals.remote_failed"),
+        0,
+        "a single-cluster pool has no remote victims"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn disabled_metrics_observe_nothing() {
+    // Zero-cost path: a default runtime performs no metric work at all —
+    // the report stays empty (no counters, no events) even after crashes
+    // and a full computation.
+    let rt = Runtime::new(RuntimeConfig::single_cluster(3));
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(10));
+            rt.crash_worker(2);
+        });
+        rt.run(|ctx| nqueens_par(ctx, 9, 3))
+    });
+    assert_eq!(result, nqueens_seq(9));
+    assert!(!rt.metrics().is_enabled());
+    let report = rt.metrics().report();
+    assert!(report.is_empty(), "disabled registry must record nothing");
+    assert_eq!(report.counter("rt.crashes"), 0);
     rt.shutdown();
 }
 

@@ -17,6 +17,8 @@
 //!   measured relative speed);
 //! * [`config`] — grid topology descriptions, including the DAS-2 system the
 //!   paper evaluated on;
+//! * [`json`] — hand-rolled JSON writing/parsing shared by the metrics
+//!   sink, the provenance serialisation and the wire protocol;
 //! * [`metrics`] — a dependency-free registry of named atomic counters,
 //!   gauges and fixed-bucket histograms plus a structured JSONL event
 //!   sink, zero-cost when disabled;
@@ -29,6 +31,7 @@
 
 pub mod config;
 pub mod ids;
+pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod stats;

@@ -4,7 +4,7 @@
 //! header. Prints a one-line summary per file; exits non-zero on the first
 //! malformed file, so CI can use it as a smoke test.
 
-use sagrid_core::metrics::parse_json;
+use sagrid_core::json::parse_json;
 use std::path::Path;
 use std::process::ExitCode;
 

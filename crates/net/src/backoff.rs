@@ -1,0 +1,115 @@
+//! Exponential reconnect backoff with deterministic jitter.
+//!
+//! Reconnect storms are the classic failure mode of a centralized registry:
+//! when the hub restarts, every worker dials back at once. The usual cure is
+//! randomised exponential backoff; here the jitter comes from
+//! [`Xoshiro256StarStar`] seeded per peer, so a given worker's retry
+//! schedule is exactly reproducible — the same property the simulation
+//! stack guarantees for every other random choice.
+
+use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
+use std::time::Duration;
+
+/// Deterministic exponential backoff: attempt `k` waits a uniformly
+/// jittered duration in `[cap/2, cap]` of `base * 2^k`, clamped to `cap`.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: Xoshiro256StarStar,
+}
+
+impl Backoff {
+    /// Creates a backoff schedule. `seed` should be distinct per peer (e.g.
+    /// derived from the node id) so peers do not retry in lockstep.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        assert!(base > Duration::ZERO, "backoff base must be positive");
+        assert!(cap >= base, "backoff cap must be at least the base");
+        Self {
+            base,
+            cap,
+            attempt: 0,
+            rng: Xoshiro256StarStar::seeded(seed),
+        }
+    }
+
+    /// Number of delays handed out since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Returns the next delay and advances the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(self.attempt.min(20)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        // Jitter into [exp/2, exp]: full-jitter loses too much progress on
+        // the first retries; half-jitter keeps determinism tests meaningful.
+        let jitter = 0.5 + 0.5 * self.rng.gen_f64();
+        exp.mul_f64(jitter)
+    }
+
+    /// Resets the schedule after a successful connection.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 42);
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 42);
+        for _ in 0..10 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 1);
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 2);
+        let sa: Vec<Duration> = (0..5).map(|_| a.next_delay()).collect();
+        let sb: Vec<Duration> = (0..5).map(|_| b.next_delay()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn delays_grow_and_saturate_at_the_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(640);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut prev_ceiling = Duration::ZERO;
+        for k in 0..12u32 {
+            let d = b.next_delay();
+            let ceiling = base.saturating_mul(1 << k.min(10)).min(cap);
+            assert!(d <= ceiling, "attempt {k}: {d:?} above ceiling {ceiling:?}");
+            assert!(d >= ceiling / 2, "attempt {k}: {d:?} below half-ceiling");
+            assert!(ceiling >= prev_ceiling, "ceilings are monotone");
+            prev_ceiling = ceiling;
+        }
+        assert!(b.next_delay() <= cap);
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 3);
+        let first = b.next_delay();
+        let _ = b.next_delay();
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        // After reset the ceiling is back at the base, so the delay cannot
+        // exceed it.
+        let again = b.next_delay();
+        assert!(again <= Duration::from_millis(10));
+        // Deterministic rng advanced, so the exact value differs from the
+        // first call in general — only the ceiling matters.
+        let _ = first;
+    }
+}

@@ -1,0 +1,478 @@
+//! Local process-mode launcher: spawns a hub, a coordinator daemon and N
+//! worker processes on loopback, then reproduces the paper's adaptation
+//! scenarios over real sockets:
+//!
+//! * `--scenario crash` — SIGKILLs a worker and verifies the hub's
+//!   heartbeat detector declares it dead, the coordinator blacklists it,
+//!   and a rejoin attempt under the same node id is refused.
+//! * `--scenario full` — additionally starts one deliberately slow worker
+//!   (`--speed 0.2`) and verifies the out-of-process coordinator's badness
+//!   ranking removes exactly that node, on top of the crash checks.
+//!
+//! Grow decisions are applied by spawning new worker processes when the hub
+//! relays `SpawnWorker`; shrink decisions arrive at workers as leave
+//! signals. On exit the launcher asserts every child has terminated (no
+//! orphans) and that the coordinator's emitted JSONL decision stream
+//! reconstructs through `simgrid::provenance` like an in-process run's.
+
+use sagrid_core::ids::NodeId;
+use sagrid_core::json::parse_json;
+use sagrid_net::conn::{Connection, NetEvent};
+use sagrid_net::wire::Message;
+use sagrid_net::Args;
+use sagrid_simgrid::provenance::{reconstruct_decision, DecisionProvenance};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tails a child's stdout, tagging every line, and feeds each line to a
+/// hook (for machine-parsed markers like `HUB_PORT=` or `JOINED node=`).
+fn pump(tag: String, out: ChildStdout, mut hook: impl FnMut(&str) + Send + 'static) {
+    std::thread::Builder::new()
+        .name(format!("pump-{tag}"))
+        .spawn(move || {
+            for line in BufReader::new(out).lines() {
+                let Ok(line) = line else { break };
+                println!("[{tag}] {line}");
+                hook(&line);
+            }
+        })
+        .expect("spawn pump thread");
+}
+
+struct WorkerArgs {
+    duty: f64,
+    period_ms: u64,
+    heartbeat_ms: u64,
+}
+
+/// Spawns a worker process and returns it together with a channel that
+/// yields the node id once the worker prints `JOINED node=K`.
+fn spawn_worker(
+    bin_dir: &Path,
+    hub_addr: &str,
+    wa: &WorkerArgs,
+    speed: Option<f64>,
+    claim: Option<u32>,
+    tag: String,
+) -> Result<(Child, Receiver<u32>), String> {
+    let mut cmd = Command::new(bin_dir.join("sagrid-worker"));
+    cmd.arg("--hub")
+        .arg(hub_addr)
+        .arg("--cluster")
+        .arg("0")
+        .arg("--duty")
+        .arg(wa.duty.to_string())
+        .arg("--period-ms")
+        .arg(wa.period_ms.to_string())
+        .arg("--heartbeat-ms")
+        .arg(wa.heartbeat_ms.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if let Some(s) = speed {
+        cmd.arg("--speed").arg(s.to_string());
+    }
+    if let Some(n) = claim {
+        cmd.arg("--claim-node").arg(n.to_string());
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn sagrid-worker: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = channel();
+    pump(tag, stdout, move |line| {
+        if let Some(rest) = line.strip_prefix("JOINED node=") {
+            if let Ok(n) = rest.trim().parse::<u32>() {
+                let _ = tx.send(n);
+            }
+        }
+    });
+    Ok((child, rx))
+}
+
+/// A spawned child plus what we know about it, for the final orphan sweep.
+struct Tracked {
+    name: String,
+    child: Child,
+}
+
+struct Checks {
+    failures: Vec<String>,
+}
+
+impl Checks {
+    fn assert(&mut self, ok: bool, what: &str) {
+        if ok {
+            println!("CHECK ok: {what}");
+        } else {
+            println!("CHECK FAILED: {what}");
+            self.failures.push(what.to_string());
+        }
+    }
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let args = Args::parse(
+        std::env::args().skip(1),
+        &["workers", "scenario", "duration-ms", "out", "kill-index"],
+    )?;
+    let workers: usize = args.get_or("workers", 4)?;
+    let scenario: String = args.get_or("scenario", "crash".to_string())?;
+    let full = match scenario.as_str() {
+        "crash" => false,
+        "full" => true,
+        other => return Err(format!("unknown scenario {other:?} (crash|full)")),
+    };
+    if workers < 3 {
+        return Err("need at least 3 workers".to_string());
+    }
+    let duration =
+        Duration::from_millis(args.get_or("duration-ms", if full { 12_000u64 } else { 7_000u64 })?);
+    let out: String = args.get_or("out", "target/grid_local_out".to_string())?;
+    let kill_index: u32 = args.get_or("kill-index", 1)?;
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {out}: {e}"))?;
+
+    let bin_dir: PathBuf = std::env::current_exe()
+        .map_err(|e| format!("current_exe: {e}"))?
+        .parent()
+        .ok_or("current_exe has no parent")?
+        .to_path_buf();
+
+    // Full scenario math (defaults: E_MIN 0.30, E_MAX 0.50): healthy duty
+    // 0.35 and one slow worker at speed 0.1 give a weighted average of
+    // (4·0.35 + 0.1·0.35)/5 ≈ 0.287 < E_MIN, so the coordinator shrinks by
+    // exactly one node — the slow one, whose badness (∝ 1/speed) dominates.
+    // After its removal the healthy average 0.35 sits inside the band.
+    let wa = WorkerArgs {
+        duty: if full { 0.35 } else { 0.4 },
+        period_ms: if full { 500 } else { 300 },
+        heartbeat_ms: 100,
+    };
+
+    // --- Hub ------------------------------------------------------------
+    let mut hub_child = Command::new(bin_dir.join("sagrid-hub"))
+        .args([
+            "--port",
+            "0",
+            "--clusters",
+            "1",
+            "--nodes-per-cluster",
+            &(workers * 2 + 4).to_string(),
+            "--heartbeat-timeout-ms",
+            "700",
+            "--detect-interval-ms",
+            "100",
+            "--out",
+            &out,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn sagrid-hub: {e}"))?;
+    let (port_tx, port_rx) = channel::<u16>();
+    let died: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    {
+        let died = Arc::clone(&died);
+        let stdout = hub_child.stdout.take().expect("piped stdout");
+        pump("hub".to_string(), stdout, move |line| {
+            if let Some(rest) = line.strip_prefix("HUB_PORT=") {
+                if let Ok(p) = rest.trim().parse() {
+                    let _ = port_tx.send(p);
+                }
+            } else if let Some(rest) = line.strip_prefix("EVENT died n") {
+                if let Ok(n) = rest.trim().parse() {
+                    died.lock().expect("died set").insert(n);
+                }
+            }
+        });
+    }
+    let port = port_rx
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| "hub never printed HUB_PORT=".to_string())?;
+    let hub_addr = format!("127.0.0.1:{port}");
+    println!("grid-local: hub on {hub_addr}");
+
+    // --- Coordinator daemon ---------------------------------------------
+    let coord_out = format!("{out}/run_coordinatord.jsonl");
+    let mut coord_child = Command::new(bin_dir.join("sagrid-coordinatord"))
+        .args([
+            "--hub",
+            &hub_addr,
+            "--period-ms",
+            "600",
+            "--warmup-ms",
+            if full { "3000" } else { "1500" },
+            "--out",
+            &coord_out,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn sagrid-coordinatord: {e}"))?;
+    let provenance_ok = Arc::new(AtomicBool::new(false));
+    let coord_up = {
+        let (tx, rx) = channel::<()>();
+        let flag = Arc::clone(&provenance_ok);
+        let stdout = coord_child.stdout.take().expect("piped stdout");
+        pump("coord".to_string(), stdout, move |line| {
+            if line.starts_with("COORDINATOR_UP") {
+                let _ = tx.send(());
+            } else if line.starts_with("PROVENANCE_OK") {
+                flag.store(true, Ordering::Release);
+            }
+        });
+        rx
+    };
+    coord_up
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| "coordinator daemon never came up".to_string())?;
+
+    // --- Launcher control connection (applies grow decisions) -----------
+    let (events_tx, events_rx) = channel::<NetEvent>();
+    let stream = TcpStream::connect(&hub_addr).map_err(|e| format!("connect to hub: {e}"))?;
+    let control =
+        Connection::spawn(1, stream, events_tx, None).map_err(|e| format!("control conn: {e}"))?;
+    control.send(Message::LauncherHello);
+
+    // Grow decisions come back as SpawnWorker; apply them by spawning real
+    // processes that claim the granted node id.
+    let grown: Arc<Mutex<Vec<Tracked>>> = Arc::new(Mutex::new(Vec::new()));
+    let grow_handler: Sender<NetEvent>;
+    {
+        let (tx, rx) = channel::<NetEvent>();
+        grow_handler = tx;
+        let grown = Arc::clone(&grown);
+        let bin_dir = bin_dir.clone();
+        let hub_addr = hub_addr.clone();
+        let wa2 = WorkerArgs { ..wa };
+        std::thread::Builder::new()
+            .name("grow-handler".to_string())
+            .spawn(move || {
+                while let Ok(evt) = rx.recv() {
+                    if let NetEvent::Message(_, Message::SpawnWorker { node, .. }) = evt {
+                        println!("grid-local: grow -> spawning worker for {node}");
+                        if let Ok((child, _)) = spawn_worker(
+                            &bin_dir,
+                            &hub_addr,
+                            &wa2,
+                            None,
+                            Some(node.0),
+                            format!("w{}+", node.0),
+                        ) {
+                            grown.lock().expect("grown list").push(Tracked {
+                                name: format!("grown-worker-{}", node.0),
+                                child,
+                            });
+                        }
+                    }
+                }
+            })
+            .expect("spawn grow handler");
+    }
+    std::thread::Builder::new()
+        .name("control-events".to_string())
+        .spawn(move || {
+            while let Ok(evt) = events_rx.recv() {
+                let _ = grow_handler.send(evt);
+            }
+        })
+        .expect("spawn control event forwarder");
+
+    // --- Workers ---------------------------------------------------------
+    // In the full scenario the *last* worker is deliberately slow: the
+    // paper's overloaded-processor case, which the badness ranking must
+    // single out.
+    let mut worker_children: Vec<(u32, Child)> = Vec::new();
+    for i in 0..workers {
+        let slow = full && i == workers - 1;
+        let (child, joined) = spawn_worker(
+            &bin_dir,
+            &hub_addr,
+            &wa,
+            slow.then_some(0.1),
+            None,
+            format!("w{i}"),
+        )?;
+        let node = joined
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| format!("worker {i} never joined"))?;
+        worker_children.push((node, child));
+    }
+    let slow_node = full.then(|| worker_children[workers - 1].0);
+    let start = Instant::now();
+    println!(
+        "grid-local: {workers} workers up{}",
+        slow_node
+            .map(|n| format!(" (slow: n{n})"))
+            .unwrap_or_default()
+    );
+
+    // --- Crash injection -------------------------------------------------
+    std::thread::sleep(Duration::from_millis(1000));
+    let victim = kill_index;
+    let victim_child = worker_children
+        .iter_mut()
+        .find(|(n, _)| *n == victim)
+        .ok_or(format!("no worker holds node id {victim} to kill"))?;
+    victim_child.1.kill().map_err(|e| format!("kill: {e}"))?;
+    victim_child.1.wait().map_err(|e| format!("reap: {e}"))?;
+    println!("grid-local: SIGKILLed worker n{victim}");
+
+    let mut checks = Checks {
+        failures: Vec::new(),
+    };
+
+    // The hub must declare the victim dead via missed heartbeats (the
+    // closed socket alone is NOT treated as a death).
+    let detect_deadline = Instant::now() + Duration::from_secs(6);
+    let detected = loop {
+        if died.lock().expect("died set").contains(&victim) {
+            break true;
+        }
+        if Instant::now() > detect_deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    checks.assert(
+        detected,
+        "hub detected the SIGKILLed worker via heartbeat timeout",
+    );
+
+    // A blacklisted node id must never rejoin.
+    let (mut rejoin_child, _) = spawn_worker(
+        &bin_dir,
+        &hub_addr,
+        &wa,
+        None,
+        Some(victim),
+        format!("w{victim}-rejoin"),
+    )?;
+    let rejoin_status = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match rejoin_child.try_wait() {
+                Ok(Some(status)) => break Some(status),
+                Ok(None) if Instant::now() > deadline => {
+                    let _ = rejoin_child.kill();
+                    let _ = rejoin_child.wait();
+                    break None;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => break None,
+            }
+        }
+    };
+    checks.assert(
+        rejoin_status.and_then(|s| s.code()) == Some(3),
+        "rejoin attempt under the blacklisted node id was refused",
+    );
+
+    // --- Let the adaptation loop run, then shut everything down ----------
+    let remaining = duration.saturating_sub(start.elapsed());
+    std::thread::sleep(remaining);
+    control.send(Message::Shutdown);
+
+    let mut all: Vec<Tracked> = Vec::new();
+    all.push(Tracked {
+        name: "hub".to_string(),
+        child: hub_child,
+    });
+    all.push(Tracked {
+        name: "coordinatord".to_string(),
+        child: coord_child,
+    });
+    for (n, child) in worker_children {
+        all.push(Tracked {
+            name: format!("worker-{n}"),
+            child,
+        });
+    }
+    all.append(&mut grown.lock().expect("grown list"));
+
+    let reap_deadline = Instant::now() + Duration::from_secs(10);
+    let mut orphans = Vec::new();
+    for t in &mut all {
+        loop {
+            match t.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() > reap_deadline => {
+                    let _ = t.child.kill();
+                    let _ = t.child.wait();
+                    orphans.push(t.name.clone());
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => return Err(format!("wait for {}: {e}", t.name)),
+            }
+        }
+    }
+    checks.assert(
+        orphans.is_empty(),
+        &format!("all children exited after shutdown (orphans: {orphans:?})"),
+    );
+    checks.assert(
+        provenance_ok.load(Ordering::Acquire),
+        "coordinator self-verified its provenance stream (PROVENANCE_OK)",
+    );
+
+    // --- Offline verification of the emitted decision stream -------------
+    let text = std::fs::read_to_string(&coord_out).map_err(|e| format!("read {coord_out}: {e}"))?;
+    let mut decisions: Vec<DecisionProvenance> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let value =
+            parse_json(line).map_err(|e| format!("{coord_out}:{}: bad JSON: {e}", i + 1))?;
+        if value.get("kind").and_then(|k| k.as_str()) == Some("decision") {
+            decisions.push(
+                reconstruct_decision(&value).map_err(|e| format!("{coord_out}:{}: {e}", i + 1))?,
+            );
+        }
+    }
+    checks.assert(
+        !decisions.is_empty(),
+        "coordinator emitted reconstructible decision events",
+    );
+    checks.assert(
+        decisions
+            .last()
+            .is_some_and(|d| d.blacklisted_nodes.contains(&NodeId(victim))),
+        "crashed node is blacklisted in the final decision entry",
+    );
+    if let Some(slow) = slow_node {
+        let removed = decisions
+            .iter()
+            .find(|d| d.kind == "remove-nodes" && d.removed.contains(&NodeId(slow)));
+        checks.assert(
+            removed.is_some(),
+            "badness ranking removed the slow worker (remove-nodes decision)",
+        );
+        checks.assert(
+            removed.is_some_and(|d| d.badness.first().is_some_and(|b| b.node == NodeId(slow))),
+            "slow worker ranked worst in the removal's badness provenance",
+        );
+    }
+
+    Ok(checks.failures)
+}
+
+fn main() {
+    match run() {
+        Ok(failures) if failures.is_empty() => {
+            println!("grid-local: PASS");
+        }
+        Ok(failures) => {
+            println!("grid-local: FAIL ({} checks)", failures.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("grid-local: {e}");
+            std::process::exit(2);
+        }
+    }
+}

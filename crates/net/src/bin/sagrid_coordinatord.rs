@@ -1,0 +1,213 @@
+//! The adaptation coordinator, out-of-process.
+//!
+//! This binary wraps the *unchanged* [`sagrid_adapt::Coordinator`]: stats
+//! reports arrive over TCP instead of a function call, and decisions leave
+//! as `Grow`/`Shrink` wire messages instead of return values — the
+//! Figure-2 flowchart logic itself is byte-for-byte the library version
+//! that the in-process runtime and the discrete-event simulation use.
+//!
+//! Every decision is also emitted as a `"decision"` metric event (via
+//! [`sagrid_simgrid::provenance::decision_event`]), so the JSONL stream
+//! written at shutdown reconstructs through
+//! [`sagrid_simgrid::provenance::reconstruct_decision`] exactly like an
+//! in-process run's. The daemon self-verifies this on shutdown and prints
+//! `PROVENANCE_OK n=<entries>`.
+
+use sagrid_adapt::{AdaptPolicy, Coordinator, Decision, SpeedTracker};
+use sagrid_core::json::parse_json;
+use sagrid_core::metrics::Metrics;
+use sagrid_core::time::{SimDuration, SimTime};
+use sagrid_net::conn::{Connection, NetEvent};
+use sagrid_net::wire::Message;
+use sagrid_net::{Args, Backoff};
+use sagrid_simgrid::provenance::{decision_event, reconstruct_decision};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(
+        std::env::args().skip(1),
+        &["hub", "period-ms", "warmup-ms", "out"],
+    )?;
+    let hub: String = args.require("hub")?;
+    let period = Duration::from_millis(args.get_or("period-ms", 600u64)?);
+    let warmup = Duration::from_millis(args.get_or("warmup-ms", 0u64)?);
+    let out = args.get("out").map(str::to_string);
+
+    let (events_tx, events_rx) = channel::<NetEvent>();
+    let mut backoff = Backoff::new(
+        Duration::from_millis(50),
+        Duration::from_millis(300),
+        0xc00d,
+    );
+    let mut next_conn = 0u64;
+    let dial = |next_conn: &mut u64, backoff: &mut Backoff| -> Result<Connection, String> {
+        loop {
+            match TcpStream::connect(&hub) {
+                Ok(s) => {
+                    backoff.reset();
+                    *next_conn += 1;
+                    let conn = Connection::spawn(*next_conn, s, events_tx.clone(), None)
+                        .map_err(|e| format!("connection setup: {e}"))?;
+                    conn.send(Message::CoordinatorHello);
+                    return Ok(conn);
+                }
+                Err(e) => {
+                    if backoff.attempts() >= 12 {
+                        return Err(format!("cannot reach hub at {hub}: {e}"));
+                    }
+                    std::thread::sleep(backoff.next_delay());
+                }
+            }
+        }
+    };
+    let mut conn = dial(&mut next_conn, &mut backoff)?;
+    println!("COORDINATOR_UP");
+    std::io::stdout().flush().ok();
+
+    let metrics = Metrics::enabled();
+    let mut coordinator = Coordinator::new(AdaptPolicy::default());
+    let mut speeds = SpeedTracker::new();
+    let mut emitted = 0usize;
+    let epoch = Instant::now();
+    let started = Instant::now();
+    let mut last_eval = Instant::now();
+
+    let shutdown = loop {
+        match events_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(NetEvent::Message(_, msg)) => match msg {
+                Message::StatsReport {
+                    mut report,
+                    bench_micros,
+                } if !coordinator.blacklisted_nodes().contains(&report.node) => {
+                    speeds.record(report.node, SimDuration::from_micros(bench_micros.max(1)));
+                    report.speed = speeds.relative_speed(report.node).unwrap_or(1.0);
+                    coordinator.record_report(report);
+                }
+                Message::CrashNotice { node, .. } => {
+                    // Single-node fail-stop: blacklist the node, keep its
+                    // cluster (the hub reports cluster-wide outages as
+                    // individual notices for every member).
+                    coordinator.record_crashed(&[node], None);
+                    speeds.remove(node);
+                    println!("CRASH_RECORDED node={}", node.0);
+                }
+                Message::Shutdown => break true,
+                _ => {}
+            },
+            Ok(NetEvent::Closed(id)) if id == conn.id() => {
+                // Reconnect; a hub that stays unreachable means the session
+                // ended (the shutdown RST can outrun the Shutdown frame), so
+                // finish up exactly as if Shutdown had arrived.
+                match dial(&mut next_conn, &mut backoff) {
+                    Ok(c) => conn = c,
+                    Err(_) => {
+                        println!("HUB_GONE");
+                        break false;
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break false,
+        }
+
+        if last_eval.elapsed() >= period && started.elapsed() >= warmup {
+            last_eval = Instant::now();
+            let now = SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+            let decision = coordinator.evaluate(now, None);
+            match &decision {
+                Decision::None => {}
+                Decision::Add {
+                    count,
+                    requirements,
+                    prefer,
+                } => {
+                    conn.send(Message::Grow {
+                        count: *count as u32,
+                        prefer: prefer.clone(),
+                        min_uplink_bps: requirements.min_uplink_bps,
+                        min_speed: requirements.min_speed,
+                    });
+                }
+                Decision::RemoveNodes { nodes } => {
+                    for n in nodes {
+                        speeds.remove(*n);
+                        coordinator.node_gone(*n);
+                    }
+                    conn.send(Message::Shrink {
+                        nodes: nodes.clone(),
+                        cluster: None,
+                    });
+                }
+                Decision::RemoveCluster { cluster, nodes } => {
+                    for n in nodes {
+                        speeds.remove(*n);
+                        coordinator.node_gone(*n);
+                    }
+                    conn.send(Message::Shrink {
+                        nodes: nodes.clone(),
+                        cluster: Some(*cluster),
+                    });
+                }
+                Decision::OpportunisticSwap { .. } => {
+                    // Off by default; process mode does not enable it.
+                }
+            }
+            // Emit provenance events for every new log entry, exactly as
+            // the in-process engines do.
+            for entry in &coordinator.log()[emitted..] {
+                metrics.emit(decision_event(entry));
+                println!(
+                    "DECISION kind={} wa={:.3} nodes={}",
+                    entry.decision.kind(),
+                    entry.wa_efficiency,
+                    entry.nodes
+                );
+            }
+            emitted = coordinator.log().len();
+        }
+    };
+
+    // Self-verify: every emitted decision event must round-trip through
+    // the provenance parser back to its in-memory log entry.
+    let report = metrics.report();
+    let events: Vec<_> = report.events_of_kind("decision").collect();
+    if events.len() != coordinator.log().len() {
+        return Err(format!(
+            "provenance mismatch: {} events vs {} log entries",
+            events.len(),
+            coordinator.log().len()
+        ));
+    }
+    for (event, entry) in events.iter().zip(coordinator.log()) {
+        let json = parse_json(&event.to_json())
+            .map_err(|e| format!("emitted decision does not re-parse: {e}"))?;
+        let prov = reconstruct_decision(&json)?;
+        if !prov.matches(entry) {
+            return Err(format!(
+                "provenance mismatch at t={:?}: {:?}",
+                entry.at, entry.decision
+            ));
+        }
+    }
+    println!("PROVENANCE_OK n={}", events.len());
+
+    if let Some(path) = out {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+        }
+        std::fs::write(&path, report.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    let _ = shutdown;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("sagrid-coordinatord: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The hub binary: registry + resource pool over TCP.
+//!
+//! Prints `HUB_PORT=<port>` on stdout once bound (machine-parsed by
+//! `grid-local`), then `EVENT joined/left/died <node>` lines as membership
+//! changes, and writes a `run_hub.jsonl` metrics stream on shutdown.
+
+use sagrid_core::metrics::Metrics;
+use sagrid_net::{Args, Hub, HubConfig};
+use std::io::Write;
+use std::time::Duration;
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(
+        std::env::args().skip(1),
+        &[
+            "port",
+            "clusters",
+            "nodes-per-cluster",
+            "heartbeat-timeout-ms",
+            "detect-interval-ms",
+            "out",
+        ],
+    )?;
+    let port: u16 = args.get_or("port", 0)?;
+    let cfg = HubConfig {
+        clusters: args.get_or("clusters", 2usize)?,
+        nodes_per_cluster: args.get_or("nodes-per-cluster", 32usize)?,
+        heartbeat_timeout: Duration::from_millis(args.get_or("heartbeat-timeout-ms", 2000u64)?),
+        detect_interval: Duration::from_millis(args.get_or("detect-interval-ms", 200u64)?),
+    };
+    let out = args.get("out").map(str::to_string);
+
+    let hub = Hub::bind(&format!("127.0.0.1:{port}"), cfg, Metrics::enabled())
+        .map_err(|e| format!("bind failed: {e}"))?;
+    println!("HUB_PORT={}", hub.port());
+    std::io::stdout().flush().ok();
+
+    let metrics = hub.run();
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
+        let path = format!("{dir}/run_hub.jsonl");
+        std::fs::write(&path, metrics.report().to_jsonl())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("sagrid-hub: {e}");
+        std::process::exit(2);
+    }
+}

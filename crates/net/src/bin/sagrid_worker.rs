@@ -1,0 +1,296 @@
+//! A process-mode worker: one threaded [`sagrid_runtime`] runtime that
+//! joins the hub, heartbeats, runs a divide-and-conquer workload at a
+//! configurable duty cycle, and reports its statistics record every
+//! monitoring period.
+//!
+//! Exit codes: 0 normal (asked to leave / hub shut down), 2 usage error,
+//! 3 join refused (e.g. blacklisted after a crash — the launcher asserts
+//! this), 4 could not reach the hub.
+
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
+use sagrid_net::conn::{Connection, NetEvent};
+use sagrid_net::wire::Message;
+use sagrid_net::{Args, Backoff};
+use sagrid_runtime::{Runtime, RuntimeConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAX_CONNECT_ATTEMPTS: u32 = 12;
+
+fn connect(hub: &str, backoff: &mut Backoff) -> Result<TcpStream, String> {
+    loop {
+        match TcpStream::connect(hub) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if backoff.attempts() >= MAX_CONNECT_ATTEMPTS {
+                    return Err(format!("cannot reach hub at {hub}: {e}"));
+                }
+                std::thread::sleep(backoff.next_delay());
+            }
+        }
+    }
+}
+
+/// Dials the hub, joins (fresh or claiming a specific node id) and waits
+/// for the verdict. Returns the connection and the granted node id.
+fn join(
+    hub: &str,
+    cluster: ClusterId,
+    claim: Option<NodeId>,
+    backoff: &mut Backoff,
+    events: &Sender<NetEvent>,
+    inbox: &Receiver<NetEvent>,
+    next_conn: &mut u64,
+) -> Result<(Connection, NodeId), String> {
+    let stream = connect(hub, backoff)?;
+    backoff.reset();
+    *next_conn += 1;
+    let conn = Connection::spawn(*next_conn, stream, events.clone(), None)
+        .map_err(|e| format!("connection setup: {e}"))?;
+    conn.send(Message::Join { cluster, claim });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match inbox.recv_timeout(left) {
+            Ok(NetEvent::Message(
+                id,
+                Message::JoinAck {
+                    node,
+                    accepted,
+                    reason,
+                },
+            )) if id == conn.id() => {
+                if accepted {
+                    return Ok((conn, node));
+                }
+                println!("JOIN_REFUSED {reason}");
+                std::io::stdout().flush().ok();
+                std::process::exit(3);
+            }
+            // Stale events from a previous connection: ignore.
+            Ok(_) => continue,
+            Err(_) => return Err("timed out waiting for join ack".to_string()),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(
+        std::env::args().skip(1),
+        &[
+            "hub",
+            "cluster",
+            "claim-node",
+            "speed",
+            "heartbeat-ms",
+            "period-ms",
+            "duty",
+        ],
+    )?;
+    let hub: String = args.require("hub")?;
+    let cluster = ClusterId(args.get_or("cluster", 0u16)?);
+    let claim = args
+        .get("claim-node")
+        .map(|raw| raw.parse::<u32>().map(NodeId))
+        .transpose()
+        .map_err(|_| "--claim-node: expected a node id".to_string())?;
+    let speed: f64 = args.get_or("speed", 1.0)?;
+    let heartbeat = Duration::from_millis(args.get_or("heartbeat-ms", 100u64)?);
+    let period = Duration::from_millis(args.get_or("period-ms", 500u64)?);
+    let duty: f64 = args.get_or("duty", 0.4)?;
+    if !(0.05..=1.0).contains(&duty) {
+        return Err("--duty must be in [0.05, 1.0]".to_string());
+    }
+
+    let (events_tx, events_rx) = channel::<NetEvent>();
+    let seed = 0x5eed_0000
+        + u64::from(
+            claim
+                .map(|n| n.0)
+                .unwrap_or(u32::from(std::process::id() as u16)),
+        );
+    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(1), seed);
+    let mut next_conn = 0u64;
+    let (mut conn, node) = join(
+        &hub,
+        cluster,
+        claim,
+        &mut backoff,
+        &events_tx,
+        &events_rx,
+        &mut next_conn,
+    )
+    .map_err(|e| {
+        // The launcher distinguishes "unreachable" from "refused".
+        eprintln!("sagrid-worker: {e}");
+        std::process::exit(4);
+    })
+    .unwrap();
+    println!("JOINED node={}", node.0);
+    std::io::stdout().flush().ok();
+
+    // One local worker thread; the speed knob emulates an overloaded or
+    // intrinsically slow machine (it also stretches the benchmark, which is
+    // how the coordinator learns the node's relative speed).
+    let rt = Arc::new(Runtime::new(RuntimeConfig::single_cluster(1)));
+    rt.set_worker_speed(0, speed.clamp(0.05, 1.0));
+
+    // Workload thread: bursts of divide-and-conquer work interleaved with
+    // sleeps sized so the *measured* busy fraction tracks `duty`. The sleep
+    // multiplier is steered by a feedback loop below, because the runtime's
+    // accounting does not attribute every idle microsecond (steal-scan time
+    // is unaccounted), so an open-loop ratio would overshoot the target.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sleep_factor = Arc::new(std::sync::Mutex::new((1.0 - duty) / duty));
+    {
+        let rt = Arc::clone(&rt);
+        let stop = Arc::clone(&stop);
+        let sleep_factor = Arc::clone(&sleep_factor);
+        std::thread::Builder::new()
+            .name("worker-load".to_string())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let t0 = Instant::now();
+                    let _ = rt.run(|ctx| sagrid_apps::fib_par(ctx, 22, 12));
+                    let busy = t0.elapsed();
+                    let f = *sleep_factor.lock().expect("sleep factor");
+                    // Cap so a leave signal is still honoured promptly, but
+                    // high enough that slow machines keep the duty ratio.
+                    std::thread::sleep(busy.mul_f64(f).min(Duration::from_secs(1)));
+                }
+            })
+            .expect("spawn workload thread");
+    }
+
+    // Benchmarking runs on its own thread: on a slow node the probe takes
+    // many times longer (that is the point of the speed knob), and blocking
+    // the protocol loop on it would starve heartbeats into a false death.
+    let bench_micros = Arc::new(AtomicU64::new(0));
+    {
+        let rt = Arc::clone(&rt);
+        let stop = Arc::clone(&stop);
+        let bench_micros = Arc::clone(&bench_micros);
+        std::thread::Builder::new()
+            .name("worker-bench".to_string())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if let Some(d) = rt.benchmark_worker(0) {
+                        bench_micros.store((d.as_micros() as u64).max(1), Ordering::Release);
+                    }
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn benchmark thread");
+    }
+
+    let mut last_heartbeat = Instant::now();
+    let mut last_report = Instant::now();
+    loop {
+        match events_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(NetEvent::Message(_, msg)) => match msg {
+                Message::SignalLeave { node: n } if n == node => {
+                    conn.send(Message::Leaving { node });
+                    // Give the writer thread a moment to flush the farewell.
+                    std::thread::sleep(Duration::from_millis(100));
+                    println!("LEAVING");
+                    stop.store(true, Ordering::Release);
+                    return Ok(());
+                }
+                Message::Shutdown => {
+                    println!("SHUTDOWN");
+                    stop.store(true, Ordering::Release);
+                    return Ok(());
+                }
+                _ => {}
+            },
+            Ok(NetEvent::Closed(id)) if id == conn.id() => {
+                // Transport dropped: reconnect with backoff, claiming our
+                // node id so the registry treats it as the same member. A
+                // hub that stays unreachable means the session is over (a
+                // shutdown's RST can outrun the Shutdown frame itself) —
+                // that is a normal exit, not an error.
+                let mut rb = Backoff::new(
+                    Duration::from_millis(50),
+                    Duration::from_millis(250),
+                    seed ^ 0xdead,
+                );
+                match join(
+                    &hub,
+                    cluster,
+                    Some(node),
+                    &mut rb,
+                    &events_tx,
+                    &events_rx,
+                    &mut next_conn,
+                ) {
+                    Ok((c, n)) => {
+                        assert_eq!(n, node, "hub re-assigned a claimed id");
+                        conn = c;
+                        println!("REJOINED node={}", node.0);
+                    }
+                    Err(_) => {
+                        println!("HUB_GONE");
+                        stop.store(true, Ordering::Release);
+                        return Ok(());
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+
+        if last_heartbeat.elapsed() >= heartbeat {
+            last_heartbeat = Instant::now();
+            conn.send(Message::Heartbeat { node });
+        }
+        if last_report.elapsed() >= period {
+            last_report = Instant::now();
+            let bench = bench_micros.load(Ordering::Acquire);
+            let mut breakdown = OverheadBreakdown::default();
+            for (r, _) in rt.take_monitoring_reports() {
+                breakdown.busy += r.breakdown.busy;
+                breakdown.idle += r.breakdown.idle;
+                breakdown.intra_comm += r.breakdown.intra_comm;
+                breakdown.inter_comm += r.breakdown.inter_comm;
+                breakdown.benchmark += r.breakdown.benchmark;
+            }
+            // Feedback: multiplicatively adjust the sleep multiplier so the
+            // measured busy fraction converges onto the duty target.
+            let measured = breakdown.busy.fraction_of(breakdown.total());
+            if measured > 0.01 {
+                let mut f = sleep_factor.lock().expect("sleep factor");
+                *f = (*f * (measured / duty).clamp(0.5, 2.0)).clamp(0.05, 50.0);
+            }
+            let report = MonitoringReport {
+                node,
+                cluster,
+                period_end: rt.now(),
+                breakdown,
+                // Placeholder: the coordinator recomputes relative speed
+                // from the benchmark durations of *all* nodes.
+                speed: 1.0,
+            };
+            // Skip the report until the first benchmark lands: the speed
+            // tracker needs a real duration to rank this node.
+            if bench > 0 {
+                conn.send(Message::StatsReport {
+                    report,
+                    bench_micros: bench,
+                });
+            }
+        }
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("sagrid-worker: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-connection reader/writer threads over a `TcpStream`.
+//!
+//! Each [`Connection`] owns two detached threads: the writer drains an
+//! outbox channel and frames messages onto the socket; the reader decodes
+//! frames and forwards them as [`NetEvent`]s into a shared sink channel
+//! (the hub's or client's single event loop). Dropping the `Connection`
+//! closes the outbox, which makes the writer shut the socket down, which
+//! unblocks the reader — no join handles, no leaked sockets.
+
+use crate::wire::{read_frame, Message};
+use sagrid_core::metrics::{Counter, Metrics};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+/// Identifier of a connection within one process (monotonic, never reused).
+pub type ConnId = u64;
+
+/// What a connection's reader thread reports into the owning event loop.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A new connection was established (sent by accept loops / dialers,
+    /// carrying the connection handle itself).
+    Opened(Connection),
+    /// A decoded message arrived on the connection.
+    Message(ConnId, Message),
+    /// The connection is gone: clean EOF, transport error or a protocol
+    /// violation (undecodable frame). Exactly one per connection.
+    Closed(ConnId),
+}
+
+/// Pre-resolved `net.*` counters, so the per-frame hot path never does a
+/// name lookup (same idiom as the scheduler's and runtime's metrics).
+#[derive(Clone, Debug)]
+pub struct NetMetrics {
+    frames_sent: Arc<Counter>,
+    frames_received: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+}
+
+impl NetMetrics {
+    /// Resolves the counter handles; `None` when metrics are disabled.
+    pub fn resolve(metrics: &Metrics) -> Option<Self> {
+        metrics.is_enabled().then(|| Self {
+            frames_sent: metrics.counter("net.frames_sent").expect("enabled"),
+            frames_received: metrics.counter("net.frames_received").expect("enabled"),
+            bytes_sent: metrics.counter("net.bytes_sent").expect("enabled"),
+            bytes_received: metrics.counter("net.bytes_received").expect("enabled"),
+            decode_errors: metrics.counter("net.decode_errors").expect("enabled"),
+        })
+    }
+}
+
+/// A live connection: a handle to send messages, plus two background
+/// threads pumping the socket.
+#[derive(Clone, Debug)]
+pub struct Connection {
+    id: ConnId,
+    peer: SocketAddr,
+    outbox: Sender<Message>,
+}
+
+impl Connection {
+    /// Takes ownership of `stream` and starts the reader/writer threads.
+    /// Every inbound message and the final close surface on `events`.
+    ///
+    /// An [`NetEvent::Opened`] carrying a clone of the handle is enqueued
+    /// *before* the reader thread starts, so an event loop always sees
+    /// `Opened` before any `Message` from the same connection — without
+    /// this guarantee a fast peer's first message could race the accept
+    /// loop's registration and be processed against an unknown connection.
+    pub fn spawn(
+        id: ConnId,
+        stream: TcpStream,
+        events: Sender<NetEvent>,
+        nm: Option<NetMetrics>,
+    ) -> io::Result<Connection> {
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        let reader_stream = stream.try_clone()?;
+        let (outbox, inbox) = channel::<Message>();
+        let conn = Connection { id, peer, outbox };
+        let _ = events.send(NetEvent::Opened(conn.clone()));
+
+        let writer_nm = nm.clone();
+        std::thread::Builder::new()
+            .name(format!("net-writer-{id}"))
+            .spawn(move || {
+                let mut w = BufWriter::new(&stream);
+                while let Ok(msg) = inbox.recv() {
+                    let payload = msg.encode();
+                    if crate::wire::write_frame(&mut w, &payload).is_err() {
+                        break;
+                    }
+                    if let Some(nm) = &writer_nm {
+                        nm.frames_sent.inc();
+                        nm.bytes_sent.add(payload.len() as u64 + 4);
+                    }
+                }
+                // Outbox closed or write failed: tear the socket down so the
+                // reader thread (ours and the peer's) unblocks.
+                let _ = stream.shutdown(Shutdown::Both);
+            })
+            .expect("spawn net writer thread");
+
+        std::thread::Builder::new()
+            .name(format!("net-reader-{id}"))
+            .spawn(move || {
+                let mut r = BufReader::new(reader_stream);
+                while let Ok(Some(payload)) = read_frame(&mut r) {
+                    if let Some(nm) = &nm {
+                        nm.frames_received.inc();
+                        nm.bytes_received.add(payload.len() as u64 + 4);
+                    }
+                    match Message::decode(&payload) {
+                        Ok(msg) => {
+                            if events.send(NetEvent::Message(id, msg)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // Protocol violation: drop the peer.
+                            if let Some(nm) = &nm {
+                                nm.decode_errors.inc();
+                            }
+                            break;
+                        }
+                    }
+                }
+                if let Ok(s) = r.into_inner().try_clone() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                let _ = events.send(NetEvent::Closed(id));
+            })
+            .expect("spawn net reader thread");
+
+        Ok(conn)
+    }
+
+    /// The connection's process-local id.
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// The remote address.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Queues a message for the writer thread. Returns `false` when the
+    /// connection is already gone (the caller will observe a
+    /// [`NetEvent::Closed`] too).
+    pub fn send(&self, msg: Message) -> bool {
+        self.outbox.send(msg).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::send_message;
+    use sagrid_core::ids::NodeId;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    #[test]
+    fn messages_flow_both_ways_and_close_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (events_tx, events_rx) = channel();
+
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let msg = crate::wire::recv_message(&mut r).unwrap().unwrap();
+            assert_eq!(msg, Message::Heartbeat { node: NodeId(3) });
+            let mut w = BufWriter::new(&stream);
+            send_message(&mut w, &Message::Shutdown).unwrap();
+            // Drop the socket: the client must observe Closed.
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let conn = Connection::spawn(1, stream, events_tx, None).unwrap();
+        assert!(conn.send(Message::Heartbeat { node: NodeId(3) }));
+
+        let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(evt, NetEvent::Opened(_)), "got {evt:?}");
+        let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        match evt {
+            NetEvent::Message(1, Message::Shutdown) => {}
+            other => panic!("expected Shutdown, got {other:?}"),
+        }
+        let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(evt, NetEvent::Closed(1)), "got {evt:?}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_count_frames_and_bytes() {
+        let metrics = Metrics::enabled();
+        let nm = NetMetrics::resolve(&metrics);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (events_tx, events_rx) = channel();
+
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            while let Ok(Some(_)) = crate::wire::recv_message(&mut r) {}
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let conn = Connection::spawn(9, stream, events_tx, nm).unwrap();
+        for i in 0..5 {
+            assert!(conn.send(Message::Heartbeat { node: NodeId(i) }));
+        }
+        let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let NetEvent::Opened(registered) = evt else {
+            panic!("expected Opened first, got {evt:?}")
+        };
+        drop(registered);
+        drop(conn); // both handles gone → writer flushes and shuts down
+        let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(evt, NetEvent::Closed(9)));
+        server.join().unwrap();
+        let report = metrics.report();
+        assert_eq!(report.counter("net.frames_sent"), 5);
+        assert!(report.counter("net.bytes_sent") >= 5 * 9);
+    }
+}

@@ -1,0 +1,491 @@
+//! The hub: registry + resource pool served over TCP.
+//!
+//! One process plays the paper's centralized registry and grid scheduler:
+//! it accepts worker/coordinator/launcher connections, maps wall-clock
+//! heartbeats onto the `SimTime`-driven [`Membership`] state machine,
+//! allocates node ids from a [`ResourcePool`], forwards statistics to the
+//! out-of-process coordinator, relays its grow/shrink decisions, and runs
+//! the heartbeat failure detector.
+//!
+//! A deliberately subtle point: an *unexpected connection close is not a
+//! death*. SIGKILL closes the victim's socket immediately, long before any
+//! heartbeat is missed; treating EOF as a crash would short-circuit the
+//! failure detector the paper describes (and penalise workers that merely
+//! lost a TCP connection and will reconnect with backoff). Only the
+//! heartbeat timeout declares a node dead.
+
+use crate::conn::{ConnId, Connection, NetEvent, NetMetrics};
+use crate::wire::Message;
+use sagrid_core::config::GridConfig;
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::{MetricEvent, Metrics, Value};
+use sagrid_core::time::{SimDuration, SimTime};
+use sagrid_registry::{Membership, RegistryConfig, RegistryEvent};
+use sagrid_sched::{AllocPolicy, Requirements, ResourcePool};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::net::TcpListener;
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Hub tuning knobs (wall-clock durations; the hub converts them to
+/// `SimTime` microseconds against its own epoch).
+#[derive(Clone, Copy, Debug)]
+pub struct HubConfig {
+    /// Number of clusters in the emulated grid pool.
+    pub clusters: usize,
+    /// Nodes per cluster in the pool.
+    pub nodes_per_cluster: usize,
+    /// A worker silent for longer than this is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// How often the failure detector runs (also the event-loop tick).
+    pub detect_interval: Duration,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 2,
+            nodes_per_cluster: 32,
+            heartbeat_timeout: Duration::from_secs(2),
+            detect_interval: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What a connection has identified itself as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Unknown,
+    Worker(NodeId),
+    Coordinator,
+    Launcher,
+}
+
+/// Hub-side pre-resolved counters (`net.*` namespace, shared with the
+/// transport counters from [`NetMetrics`]).
+struct HubCounters {
+    joins: std::sync::Arc<sagrid_core::metrics::Counter>,
+    join_refusals: std::sync::Arc<sagrid_core::metrics::Counter>,
+    heartbeats: std::sync::Arc<sagrid_core::metrics::Counter>,
+    stats_forwarded: std::sync::Arc<sagrid_core::metrics::Counter>,
+    deaths: std::sync::Arc<sagrid_core::metrics::Counter>,
+    leaves: std::sync::Arc<sagrid_core::metrics::Counter>,
+    grow_requests: std::sync::Arc<sagrid_core::metrics::Counter>,
+    spawns_requested: std::sync::Arc<sagrid_core::metrics::Counter>,
+    shrink_requests: std::sync::Arc<sagrid_core::metrics::Counter>,
+}
+
+impl HubCounters {
+    fn resolve(m: &Metrics) -> Option<Self> {
+        m.is_enabled().then(|| Self {
+            joins: m.counter("net.joins").expect("enabled"),
+            join_refusals: m.counter("net.join_refusals").expect("enabled"),
+            heartbeats: m.counter("net.heartbeats").expect("enabled"),
+            stats_forwarded: m.counter("net.stats_forwarded").expect("enabled"),
+            deaths: m.counter("net.deaths").expect("enabled"),
+            leaves: m.counter("net.leaves").expect("enabled"),
+            grow_requests: m.counter("net.grow_requests").expect("enabled"),
+            spawns_requested: m.counter("net.spawns_requested").expect("enabled"),
+            shrink_requests: m.counter("net.shrink_requests").expect("enabled"),
+        })
+    }
+}
+
+/// A bound, not-yet-running hub. [`Hub::bind`] then [`Hub::run`].
+pub struct Hub {
+    listener: TcpListener,
+    cfg: HubConfig,
+    metrics: Metrics,
+}
+
+impl Hub {
+    /// Binds the listening socket (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str, cfg: HubConfig, metrics: Metrics) -> io::Result<Hub> {
+        assert!(cfg.clusters > 0 && cfg.nodes_per_cluster > 0);
+        let listener = TcpListener::bind(addr)?;
+        Ok(Hub {
+            listener,
+            cfg,
+            metrics,
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.listener.local_addr().map(|a| a.port()).unwrap_or(0)
+    }
+
+    /// Serves until a launcher sends [`Message::Shutdown`]. Returns the
+    /// metrics handle so the caller can write the final report.
+    pub fn run(self) -> Metrics {
+        let (events_tx, events_rx) = channel::<NetEvent>();
+        let nm = NetMetrics::resolve(&self.metrics);
+
+        // Accept loop: hand every connection to the event loop as Opened.
+        {
+            let listener = self.listener.try_clone().expect("clone listener");
+            let events_tx = events_tx.clone();
+            let nm = nm.clone();
+            std::thread::Builder::new()
+                .name("hub-accept".to_string())
+                .spawn(move || {
+                    let mut next_id: ConnId = 1;
+                    while let Ok((stream, _)) = listener.accept() {
+                        // spawn() itself enqueues the Opened event before
+                        // the reader starts, so the event loop registers
+                        // the connection before its first message.
+                        if Connection::spawn(next_id, stream, events_tx.clone(), nm.clone()).is_ok()
+                        {
+                            next_id += 1;
+                        }
+                    }
+                })
+                .expect("spawn hub accept thread");
+        }
+
+        let hc = HubCounters::resolve(&self.metrics);
+        let epoch = Instant::now();
+        let now = |epoch: Instant| SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+
+        let mut membership = Membership::new(RegistryConfig {
+            heartbeat_timeout: SimDuration::from_micros(
+                self.cfg.heartbeat_timeout.as_micros() as u64
+            ),
+        });
+        let mut pool = ResourcePool::new(&GridConfig::uniform(
+            self.cfg.clusters,
+            self.cfg.nodes_per_cluster,
+        ));
+        pool.set_metrics(&self.metrics);
+
+        let mut conns: BTreeMap<ConnId, Connection> = BTreeMap::new();
+        let mut roles: BTreeMap<ConnId, Role> = BTreeMap::new();
+        let mut node_conn: BTreeMap<NodeId, ConnId> = BTreeMap::new();
+        let mut coordinator: Option<ConnId> = None;
+        let mut launcher: Option<ConnId> = None;
+        let mut pending_spawns: BTreeSet<NodeId> = BTreeSet::new();
+        // Grow grants made while no launcher is connected wait here instead
+        // of being dropped (the launcher's hello may race the coordinator's
+        // first decision).
+        let mut pending_grants: Vec<(NodeId, ClusterId)> = Vec::new();
+        let mut blacklisted_nodes: BTreeSet<NodeId> = BTreeSet::new();
+        let mut blacklisted_clusters: BTreeSet<ClusterId> = BTreeSet::new();
+        let mut last_detect = Instant::now();
+
+        'serve: loop {
+            let event = match events_rx.recv_timeout(self.cfg.detect_interval) {
+                Ok(e) => Some(e),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break 'serve,
+            };
+
+            if let Some(event) = event {
+                match event {
+                    NetEvent::Opened(conn) => {
+                        roles.insert(conn.id(), Role::Unknown);
+                        conns.insert(conn.id(), conn);
+                    }
+                    NetEvent::Closed(id) => {
+                        let role = roles.remove(&id).unwrap_or(Role::Unknown);
+                        conns.remove(&id);
+                        match role {
+                            // NOT a death: the worker may reconnect (and a
+                            // SIGKILL'd one must be caught by the heartbeat
+                            // timeout, not by EOF — see module docs).
+                            Role::Worker(node) => {
+                                if node_conn.get(&node) == Some(&id) {
+                                    node_conn.remove(&node);
+                                }
+                            }
+                            Role::Coordinator => {
+                                if coordinator == Some(id) {
+                                    coordinator = None;
+                                }
+                            }
+                            Role::Launcher => {
+                                if launcher == Some(id) {
+                                    launcher = None;
+                                }
+                            }
+                            Role::Unknown => {}
+                        }
+                    }
+                    NetEvent::Message(id, msg) => match msg {
+                        Message::Join { cluster, claim } => {
+                            let t = now(epoch);
+                            let verdict = match claim {
+                                Some(node) => {
+                                    if blacklisted_nodes.contains(&node) {
+                                        Err(format!("node {node} is blacklisted"))
+                                    } else if pending_spawns.remove(&node) {
+                                        let c = pool.cluster_of(node);
+                                        membership.join(t, node, c);
+                                        Ok(node)
+                                    } else if matches!(
+                                        membership.state(node),
+                                        Some(
+                                            sagrid_registry::MemberState::Alive
+                                                | sagrid_registry::MemberState::Leaving
+                                        )
+                                    ) {
+                                        // Transport-level reconnect of a
+                                        // member that never missed enough
+                                        // heartbeats to be declared dead.
+                                        membership.heartbeat(t, node);
+                                        Ok(node)
+                                    } else {
+                                        Err(format!("node {node} is blacklisted, dead or unknown"))
+                                    }
+                                }
+                                None => {
+                                    if cluster.index() >= self.cfg.clusters {
+                                        Err(format!("no such cluster {cluster}"))
+                                    } else if blacklisted_clusters.contains(&cluster) {
+                                        Err(format!("cluster {cluster} is blacklisted"))
+                                    } else {
+                                        // Force the grant into the declared
+                                        // cluster by excluding all others.
+                                        let excl: BTreeSet<ClusterId> = (0..self.cfg.clusters)
+                                            .map(|i| ClusterId(i as u16))
+                                            .filter(|c| *c != cluster)
+                                            .chain(blacklisted_clusters.iter().copied())
+                                            .collect();
+                                        match pool
+                                            .request(
+                                                1,
+                                                AllocPolicy::LocalityAware,
+                                                &Requirements::default(),
+                                                &blacklisted_nodes,
+                                                &excl,
+                                                &[cluster],
+                                            )
+                                            .first()
+                                        {
+                                            Some(grant) => {
+                                                membership.join(t, grant.node, grant.cluster);
+                                                Ok(grant.node)
+                                            }
+                                            None => {
+                                                Err(format!("cluster {cluster} has no free nodes"))
+                                            }
+                                        }
+                                    }
+                                }
+                            };
+                            match verdict {
+                                Ok(node) => {
+                                    roles.insert(id, Role::Worker(node));
+                                    node_conn.insert(node, id);
+                                    if let Some(c) = conns.get(&id) {
+                                        c.send(Message::JoinAck {
+                                            node,
+                                            accepted: true,
+                                            reason: String::new(),
+                                        });
+                                    }
+                                    if let Some(hc) = &hc {
+                                        hc.joins.inc();
+                                    }
+                                    println!("EVENT joined {node}");
+                                }
+                                Err(reason) => {
+                                    if let Some(c) = conns.get(&id) {
+                                        c.send(Message::JoinAck {
+                                            node: NodeId(u32::MAX),
+                                            accepted: false,
+                                            reason,
+                                        });
+                                    }
+                                    if let Some(hc) = &hc {
+                                        hc.join_refusals.inc();
+                                    }
+                                }
+                            }
+                        }
+                        Message::Heartbeat { node } => {
+                            membership.heartbeat(now(epoch), node);
+                            if let Some(hc) = &hc {
+                                hc.heartbeats.inc();
+                            }
+                        }
+                        Message::StatsReport {
+                            report,
+                            bench_micros,
+                        } => {
+                            // Reports from blacklisted nodes are dropped so a
+                            // removed worker can never re-enter the
+                            // coordinator's report set through a stale socket.
+                            if !blacklisted_nodes.contains(&report.node) {
+                                if let Some(cid) = coordinator {
+                                    if let Some(c) = conns.get(&cid) {
+                                        c.send(Message::StatsReport {
+                                            report,
+                                            bench_micros,
+                                        });
+                                        if let Some(hc) = &hc {
+                                            hc.stats_forwarded.inc();
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Message::Leaving { node } => {
+                            membership.leave(node);
+                            // Blacklisted (shrink-removed) nodes never return
+                            // to the pool; voluntary leavers do.
+                            if !blacklisted_nodes.contains(&node) {
+                                pool.release(node);
+                            }
+                            node_conn.remove(&node);
+                            if let Some(hc) = &hc {
+                                hc.leaves.inc();
+                            }
+                            println!("EVENT left {node}");
+                        }
+                        Message::CoordinatorHello => {
+                            roles.insert(id, Role::Coordinator);
+                            coordinator = Some(id);
+                        }
+                        Message::LauncherHello => {
+                            roles.insert(id, Role::Launcher);
+                            launcher = Some(id);
+                            if let Some(lc) = conns.get(&id) {
+                                for (node, cluster) in pending_grants.drain(..) {
+                                    pending_spawns.insert(node);
+                                    lc.send(Message::SpawnWorker { node, cluster });
+                                    if let Some(hc) = &hc {
+                                        hc.spawns_requested.inc();
+                                    }
+                                }
+                            }
+                        }
+                        Message::Grow {
+                            count,
+                            prefer,
+                            min_uplink_bps,
+                            min_speed,
+                        } => {
+                            if roles.get(&id) == Some(&Role::Coordinator) {
+                                if let Some(hc) = &hc {
+                                    hc.grow_requests.inc();
+                                }
+                                let grants = pool.request(
+                                    count as usize,
+                                    AllocPolicy::LocalityAware,
+                                    &Requirements {
+                                        min_uplink_bps,
+                                        min_speed,
+                                    },
+                                    &blacklisted_nodes,
+                                    &blacklisted_clusters,
+                                    &prefer,
+                                );
+                                match launcher.and_then(|l| conns.get(&l)) {
+                                    Some(lc) => {
+                                        for g in grants {
+                                            pending_spawns.insert(g.node);
+                                            lc.send(Message::SpawnWorker {
+                                                node: g.node,
+                                                cluster: g.cluster,
+                                            });
+                                            if let Some(hc) = &hc {
+                                                hc.spawns_requested.inc();
+                                            }
+                                        }
+                                    }
+                                    None => {
+                                        // Nobody can spawn processes yet:
+                                        // hold the grants for the launcher.
+                                        pending_grants
+                                            .extend(grants.iter().map(|g| (g.node, g.cluster)));
+                                    }
+                                }
+                            }
+                        }
+                        Message::Shrink { nodes, cluster } => {
+                            if roles.get(&id) == Some(&Role::Coordinator) {
+                                if let Some(hc) = &hc {
+                                    hc.shrink_requests.inc();
+                                }
+                                blacklisted_nodes.extend(nodes.iter().copied());
+                                if let Some(c) = cluster {
+                                    blacklisted_clusters.insert(c);
+                                }
+                                for node in nodes {
+                                    membership.signal_leave(node);
+                                }
+                                for node in membership.take_signals() {
+                                    if let Some(c) =
+                                        node_conn.get(&node).and_then(|cid| conns.get(cid))
+                                    {
+                                        c.send(Message::SignalLeave { node });
+                                    }
+                                }
+                            }
+                        }
+                        Message::Shutdown => {
+                            if roles.get(&id) == Some(&Role::Launcher) {
+                                for c in conns.values() {
+                                    c.send(Message::Shutdown);
+                                }
+                                // Give the writer threads a moment to flush
+                                // before the process tears the sockets down.
+                                std::thread::sleep(Duration::from_millis(150));
+                                break 'serve;
+                            }
+                        }
+                        // Hub-outbound messages arriving inbound: ignore.
+                        Message::JoinAck { .. }
+                        | Message::SignalLeave { .. }
+                        | Message::CrashNotice { .. }
+                        | Message::SpawnWorker { .. } => {}
+                    },
+                }
+            }
+
+            // Failure detection on the wall clock, independent of traffic.
+            if last_detect.elapsed() >= self.cfg.detect_interval {
+                last_detect = Instant::now();
+                let t = now(epoch);
+                for dead in membership.detect_failures(t) {
+                    let cluster = membership.cluster_of(dead).unwrap_or(ClusterId(0));
+                    pool.mark_lost(dead);
+                    blacklisted_nodes.insert(dead);
+                    node_conn.remove(&dead);
+                    if let Some(hc) = &hc {
+                        hc.deaths.inc();
+                    }
+                    println!("EVENT died {dead}");
+                    if let Some(c) = coordinator.and_then(|cid| conns.get(&cid)) {
+                        c.send(Message::CrashNotice {
+                            node: dead,
+                            cluster,
+                        });
+                    }
+                }
+            }
+
+            // Surface registry transitions as metric events.
+            if self.metrics.is_enabled() {
+                let t = now(epoch);
+                for evt in membership.take_events() {
+                    let (node, state) = match evt {
+                        RegistryEvent::Joined(n, _) => (n, "joined"),
+                        RegistryEvent::Left(n) => (n, "left"),
+                        RegistryEvent::Died(n) => (n, "died"),
+                    };
+                    self.metrics.emit(
+                        MetricEvent::new(t.0, "member")
+                            .with("node", Value::U64(u64::from(node.0)))
+                            .with("state", Value::Str(state.to_string())),
+                    );
+                }
+            } else {
+                let _ = membership.take_events();
+            }
+        }
+
+        self.metrics.clone()
+    }
+}

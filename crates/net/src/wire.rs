@@ -1,0 +1,700 @@
+//! Length-prefixed binary framing and the hand-rolled control-plane codec.
+//!
+//! Every frame on the wire is a 4-byte little-endian payload length followed
+//! by the payload; the payload is one [`Message`], encoded as a tag byte
+//! plus fixed-width little-endian fields (f64s travel as their IEEE-754 bit
+//! patterns, so values round-trip exactly). The format is documented in
+//! DESIGN.md §"Wire protocol"; no external serialisation crate is used.
+
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
+use sagrid_core::time::{SimDuration, SimTime};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload. Control-plane messages are tiny; a larger
+/// length prefix means a corrupt or hostile peer and the connection drops.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A decoding failure. The transport treats any of these as a protocol
+/// violation and closes the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// Bytes remained after the message was fully decoded.
+    Trailing(usize),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A boolean field held something other than 0 or 1.
+    BadBool(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A length prefix exceeded [`MAX_FRAME`].
+    FrameTooLarge(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadBool(b) => write!(f, "invalid boolean byte {b:#04x}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Every control-plane message of the process-mode deployment.
+///
+/// Direction conventions: workers send `Join`/`Heartbeat`/`StatsReport`/
+/// `Leaving`; the hub sends `JoinAck`/`SignalLeave`/`SpawnWorker`/
+/// `CrashNotice`/`Shutdown`; the out-of-process coordinator sends
+/// `CoordinatorHello`/`Grow`/`Shrink`; the launcher sends `LauncherHello`
+/// and `Shutdown`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// A worker asks to join. `claim` is `None` for a fresh worker (the hub
+    /// allocates a node id from the pool) and `Some` when re-claiming an id:
+    /// either a reconnect after a transport drop, or a spawn the hub itself
+    /// requested via [`Message::SpawnWorker`].
+    Join {
+        /// Cluster the worker wants to (or was told to) join.
+        cluster: ClusterId,
+        /// Previously assigned node id, if any.
+        claim: Option<NodeId>,
+    },
+    /// The hub's verdict on a `Join`.
+    JoinAck {
+        /// The assigned (or confirmed) node id. Meaningless when refused.
+        node: NodeId,
+        /// Whether the worker is in.
+        accepted: bool,
+        /// Human-readable refusal reason (empty when accepted).
+        reason: String,
+    },
+    /// Periodic liveness signal; maps onto `Membership::heartbeat`.
+    Heartbeat {
+        /// The heartbeating node.
+        node: NodeId,
+    },
+    /// End-of-period statistics, forwarded by the hub to the coordinator.
+    StatsReport {
+        /// The per-node statistics record from `sagrid_core`.
+        report: MonitoringReport,
+        /// Raw speed-benchmark duration in microseconds (0 = no benchmark
+        /// this period); the coordinator normalises these into relative
+        /// speeds.
+        bench_micros: u64,
+    },
+    /// A worker confirms a graceful departure.
+    Leaving {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// The hub tells a worker to leave (a shrink decision reached it).
+    SignalLeave {
+        /// The node being signalled out.
+        node: NodeId,
+    },
+    /// The hub tells the coordinator a node died (missed heartbeats).
+    CrashNotice {
+        /// The dead node.
+        node: NodeId,
+        /// Its cluster.
+        cluster: ClusterId,
+    },
+    /// First message on a coordinator connection.
+    CoordinatorHello,
+    /// First message on a launcher connection.
+    LauncherHello,
+    /// Coordinator → hub: request more nodes (an `Add` decision).
+    Grow {
+        /// How many nodes to request from the pool.
+        count: u32,
+        /// Clusters the application already occupies (locality preference).
+        prefer: Vec<ClusterId>,
+        /// Learned lower bound on site uplink bandwidth.
+        min_uplink_bps: Option<f64>,
+        /// Learned lower bound on node speed.
+        min_speed: Option<f64>,
+    },
+    /// Coordinator → hub: remove these nodes (a `RemoveNodes` or
+    /// `RemoveCluster` decision).
+    Shrink {
+        /// Victims, worst-first.
+        nodes: Vec<NodeId>,
+        /// Set when an entire badly-connected cluster is being dropped.
+        cluster: Option<ClusterId>,
+    },
+    /// Hub → launcher: start a worker process for this granted node.
+    SpawnWorker {
+        /// The node id the new worker must claim.
+        node: NodeId,
+        /// The cluster it belongs to.
+        cluster: ClusterId,
+    },
+    /// Orderly teardown of the whole deployment.
+    Shutdown,
+}
+
+const TAG_JOIN: u8 = 0x01;
+const TAG_JOIN_ACK: u8 = 0x02;
+const TAG_HEARTBEAT: u8 = 0x03;
+const TAG_STATS: u8 = 0x04;
+const TAG_LEAVING: u8 = 0x05;
+const TAG_SIGNAL_LEAVE: u8 = 0x06;
+const TAG_CRASH_NOTICE: u8 = 0x07;
+const TAG_COORD_HELLO: u8 = 0x08;
+const TAG_LAUNCHER_HELLO: u8 = 0x09;
+const TAG_GROW: u8 = 0x0a;
+const TAG_SHRINK: u8 = 0x0b;
+const TAG_SPAWN_WORKER: u8 = 0x0c;
+const TAG_SHUTDOWN: u8 = 0x0d;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u32(out, x);
+        }
+    }
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_f64(out, x);
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_report(out: &mut Vec<u8>, r: &MonitoringReport) {
+    put_u32(out, r.node.0);
+    put_u16(out, r.cluster.0);
+    put_u64(out, r.period_end.0);
+    put_u64(out, r.breakdown.busy.0);
+    put_u64(out, r.breakdown.idle.0);
+    put_u64(out, r.breakdown.intra_comm.0);
+    put_u64(out, r.breakdown.inter_comm.0);
+    put_u64(out, r.breakdown.benchmark.0);
+    put_f64(out, r.speed);
+}
+
+/// Byte cursor over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    fn opt_u32(&mut self) -> Result<Option<u32>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn report(&mut self) -> Result<MonitoringReport, WireError> {
+        Ok(MonitoringReport {
+            node: NodeId(self.u32()?),
+            cluster: ClusterId(self.u16()?),
+            period_end: SimTime(self.u64()?),
+            breakdown: OverheadBreakdown {
+                busy: SimDuration(self.u64()?),
+                idle: SimDuration(self.u64()?),
+                intra_comm: SimDuration(self.u64()?),
+                inter_comm: SimDuration(self.u64()?),
+                benchmark: SimDuration(self.u64()?),
+            },
+            speed: self.f64()?,
+        })
+    }
+}
+
+impl Message {
+    /// Encodes the message as a frame payload (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Message::Join { cluster, claim } => {
+                out.push(TAG_JOIN);
+                put_u16(&mut out, cluster.0);
+                put_opt_u32(&mut out, claim.map(|n| n.0));
+            }
+            Message::JoinAck {
+                node,
+                accepted,
+                reason,
+            } => {
+                out.push(TAG_JOIN_ACK);
+                put_u32(&mut out, node.0);
+                put_bool(&mut out, *accepted);
+                put_str(&mut out, reason);
+            }
+            Message::Heartbeat { node } => {
+                out.push(TAG_HEARTBEAT);
+                put_u32(&mut out, node.0);
+            }
+            Message::StatsReport {
+                report,
+                bench_micros,
+            } => {
+                out.push(TAG_STATS);
+                put_report(&mut out, report);
+                put_u64(&mut out, *bench_micros);
+            }
+            Message::Leaving { node } => {
+                out.push(TAG_LEAVING);
+                put_u32(&mut out, node.0);
+            }
+            Message::SignalLeave { node } => {
+                out.push(TAG_SIGNAL_LEAVE);
+                put_u32(&mut out, node.0);
+            }
+            Message::CrashNotice { node, cluster } => {
+                out.push(TAG_CRASH_NOTICE);
+                put_u32(&mut out, node.0);
+                put_u16(&mut out, cluster.0);
+            }
+            Message::CoordinatorHello => out.push(TAG_COORD_HELLO),
+            Message::LauncherHello => out.push(TAG_LAUNCHER_HELLO),
+            Message::Grow {
+                count,
+                prefer,
+                min_uplink_bps,
+                min_speed,
+            } => {
+                out.push(TAG_GROW);
+                put_u32(&mut out, *count);
+                put_u32(&mut out, prefer.len() as u32);
+                for c in prefer {
+                    put_u16(&mut out, c.0);
+                }
+                put_opt_f64(&mut out, *min_uplink_bps);
+                put_opt_f64(&mut out, *min_speed);
+            }
+            Message::Shrink { nodes, cluster } => {
+                out.push(TAG_SHRINK);
+                put_u32(&mut out, nodes.len() as u32);
+                for n in nodes {
+                    put_u32(&mut out, n.0);
+                }
+                match cluster {
+                    None => out.push(0),
+                    Some(c) => {
+                        out.push(1);
+                        put_u16(&mut out, c.0);
+                    }
+                }
+            }
+            Message::SpawnWorker { node, cluster } => {
+                out.push(TAG_SPAWN_WORKER);
+                put_u32(&mut out, node.0);
+                put_u16(&mut out, cluster.0);
+            }
+            Message::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes one frame payload. The whole payload must be consumed.
+    pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+        let mut c = Cursor { buf, pos: 0 };
+        let msg = match c.u8()? {
+            TAG_JOIN => Message::Join {
+                cluster: ClusterId(c.u16()?),
+                claim: c.opt_u32()?.map(NodeId),
+            },
+            TAG_JOIN_ACK => Message::JoinAck {
+                node: NodeId(c.u32()?),
+                accepted: c.boolean()?,
+                reason: c.string()?,
+            },
+            TAG_HEARTBEAT => Message::Heartbeat {
+                node: NodeId(c.u32()?),
+            },
+            TAG_STATS => Message::StatsReport {
+                report: c.report()?,
+                bench_micros: c.u64()?,
+            },
+            TAG_LEAVING => Message::Leaving {
+                node: NodeId(c.u32()?),
+            },
+            TAG_SIGNAL_LEAVE => Message::SignalLeave {
+                node: NodeId(c.u32()?),
+            },
+            TAG_CRASH_NOTICE => Message::CrashNotice {
+                node: NodeId(c.u32()?),
+                cluster: ClusterId(c.u16()?),
+            },
+            TAG_COORD_HELLO => Message::CoordinatorHello,
+            TAG_LAUNCHER_HELLO => Message::LauncherHello,
+            TAG_GROW => {
+                let count = c.u32()?;
+                let n = c.u32()? as usize;
+                if n > MAX_FRAME / 2 {
+                    return Err(WireError::Truncated);
+                }
+                let mut prefer = Vec::with_capacity(n);
+                for _ in 0..n {
+                    prefer.push(ClusterId(c.u16()?));
+                }
+                Message::Grow {
+                    count,
+                    prefer,
+                    min_uplink_bps: c.opt_f64()?,
+                    min_speed: c.opt_f64()?,
+                }
+            }
+            TAG_SHRINK => {
+                let n = c.u32()? as usize;
+                if n > MAX_FRAME / 4 {
+                    return Err(WireError::Truncated);
+                }
+                let mut nodes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    nodes.push(NodeId(c.u32()?));
+                }
+                let cluster = match c.u8()? {
+                    0 => None,
+                    1 => Some(ClusterId(c.u16()?)),
+                    b => return Err(WireError::BadBool(b)),
+                };
+                Message::Shrink { nodes, cluster }
+            }
+            TAG_SPAWN_WORKER => Message::SpawnWorker {
+                node: NodeId(c.u32()?),
+                cluster: ClusterId(c.u16()?),
+            },
+            TAG_SHUTDOWN => Message::Shutdown,
+            t => return Err(WireError::BadTag(t)),
+        };
+        if c.pos != buf.len() {
+            return Err(WireError::Trailing(buf.len() - c.pos));
+        }
+        Ok(msg)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "oversized outgoing frame");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary; EOF mid-frame is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encodes and writes one message as a frame.
+pub fn send_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    write_frame(w, &msg.encode())
+}
+
+/// Reads and decodes one message. `Ok(None)` on clean EOF; decode failures
+/// surface as [`io::ErrorKind::InvalidData`].
+pub fn recv_message<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    Message::decode(&payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> MonitoringReport {
+        MonitoringReport {
+            node: NodeId(7),
+            cluster: ClusterId(2),
+            period_end: SimTime::from_millis(1234),
+            breakdown: OverheadBreakdown {
+                busy: SimDuration(100),
+                idle: SimDuration(20),
+                intra_comm: SimDuration(3),
+                inter_comm: SimDuration(4),
+                benchmark: SimDuration(5),
+            },
+            speed: 0.4375,
+        }
+    }
+
+    /// One instance of every message variant — the loopback acceptance
+    /// criterion demands a round-trip test for each message type.
+    fn every_message() -> Vec<Message> {
+        vec![
+            Message::Join {
+                cluster: ClusterId(3),
+                claim: None,
+            },
+            Message::Join {
+                cluster: ClusterId(0),
+                claim: Some(NodeId(42)),
+            },
+            Message::JoinAck {
+                node: NodeId(9),
+                accepted: true,
+                reason: String::new(),
+            },
+            Message::JoinAck {
+                node: NodeId(9),
+                accepted: false,
+                reason: "node n9 is blacklisted — π≠\"3\"".to_string(),
+            },
+            Message::Heartbeat { node: NodeId(1) },
+            Message::StatsReport {
+                report: sample_report(),
+                bench_micros: 1500,
+            },
+            Message::Leaving { node: NodeId(5) },
+            Message::SignalLeave { node: NodeId(6) },
+            Message::CrashNotice {
+                node: NodeId(8),
+                cluster: ClusterId(1),
+            },
+            Message::CoordinatorHello,
+            Message::LauncherHello,
+            Message::Grow {
+                count: 4,
+                prefer: vec![ClusterId(0), ClusterId(2)],
+                min_uplink_bps: Some(1e6),
+                min_speed: None,
+            },
+            Message::Grow {
+                count: 1,
+                prefer: vec![],
+                min_uplink_bps: None,
+                min_speed: Some(0.75),
+            },
+            Message::Shrink {
+                nodes: vec![NodeId(3), NodeId(1)],
+                cluster: None,
+            },
+            Message::Shrink {
+                nodes: vec![NodeId(10), NodeId(11)],
+                cluster: Some(ClusterId(4)),
+            },
+            Message::SpawnWorker {
+                node: NodeId(12),
+                cluster: ClusterId(1),
+            },
+            Message::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_type_round_trips() {
+        for msg in every_message() {
+            let bytes = msg.encode();
+            let back = Message::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn stats_report_floats_are_bit_exact() {
+        let msg = Message::StatsReport {
+            report: MonitoringReport {
+                speed: 0.1 + 0.2, // not representable "nicely"
+                ..sample_report()
+            },
+            bench_micros: u64::MAX,
+        };
+        let back = Message::decode(&msg.encode()).unwrap();
+        match back {
+            Message::StatsReport { report, .. } => {
+                assert_eq!(report.speed.to_bits(), (0.1f64 + 0.2).to_bits());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        for msg in every_message() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                // Every strict prefix must fail — never panic, never succeed
+                // (tags with no fields have no strict prefix but the empty
+                // buffer, which must also fail).
+                let r = Message::decode(&bytes[..cut]);
+                assert!(r.is_err(), "{msg:?} decoded from {cut}-byte prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for msg in every_message() {
+            let mut bytes = msg.encode();
+            bytes.push(0xff);
+            assert_eq!(Message::decode(&bytes), Err(WireError::Trailing(1)));
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(Message::decode(&[0x7f]), Err(WireError::BadTag(0x7f)));
+        assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_is_rejected() {
+        // JoinAck with accepted byte = 7.
+        let mut bytes = vec![TAG_JOIN_ACK];
+        put_u32(&mut bytes, 1);
+        bytes.push(7);
+        put_str(&mut bytes, "");
+        assert_eq!(Message::decode(&bytes), Err(WireError::BadBool(7)));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        for msg in every_message() {
+            send_message(&mut buf, &msg).unwrap();
+        }
+        let mut r = io::Cursor::new(buf);
+        for msg in every_message() {
+            assert_eq!(recv_message(&mut r).unwrap(), Some(msg));
+        }
+        assert_eq!(recv_message(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_mid_header_is_an_error_not_a_clean_close() {
+        let err = read_frame(&mut io::Cursor::new(vec![1u8, 0])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,254 @@
+//! Loopback integration tests for the hub: raw TCP clients drive the full
+//! control-plane protocol against a real `Hub` on an ephemeral port.
+
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::Metrics;
+use sagrid_net::wire::{recv_message, send_message, Message};
+use sagrid_net::{Hub, HubConfig};
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn start_hub(heartbeat_timeout: Duration) -> (u16, JoinHandle<Metrics>) {
+    let cfg = HubConfig {
+        clusters: 2,
+        nodes_per_cluster: 4,
+        heartbeat_timeout,
+        detect_interval: Duration::from_millis(50),
+    };
+    let hub = Hub::bind("127.0.0.1:0", cfg, Metrics::enabled()).expect("bind hub");
+    let port = hub.port();
+    (port, std::thread::spawn(move || hub.run()))
+}
+
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to hub");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        Client { stream }
+    }
+
+    fn send(&mut self, msg: Message) {
+        send_message(&mut self.stream, &msg).expect("send to hub");
+    }
+
+    fn recv(&mut self) -> Message {
+        recv_message(&mut self.stream)
+            .expect("recv from hub")
+            .expect("hub closed the connection")
+    }
+
+    fn join(&mut self, cluster: u16, claim: Option<u32>) -> Result<NodeId, String> {
+        self.send(Message::Join {
+            cluster: ClusterId(cluster),
+            claim: claim.map(NodeId),
+        });
+        match self.recv() {
+            Message::JoinAck {
+                node,
+                accepted: true,
+                ..
+            } => Ok(node),
+            Message::JoinAck {
+                accepted: false,
+                reason,
+                ..
+            } => Err(reason),
+            other => panic!("expected JoinAck, got {other:?}"),
+        }
+    }
+}
+
+fn shutdown(port: u16, hub: JoinHandle<Metrics>) -> Metrics {
+    let mut launcher = Client::connect(port);
+    launcher.send(Message::LauncherHello);
+    launcher.send(Message::Shutdown);
+    hub.join().expect("hub thread")
+}
+
+#[test]
+fn fresh_joins_get_pool_ids_cluster_major() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut a = Client::connect(port);
+    let mut b = Client::connect(port);
+    let mut c = Client::connect(port);
+    // Cluster 0 owns ids 0..4, cluster 1 owns 4..8 (pool is cluster-major).
+    assert_eq!(a.join(0, None).unwrap(), NodeId(0));
+    assert_eq!(b.join(0, None).unwrap(), NodeId(1));
+    assert_eq!(c.join(1, None).unwrap(), NodeId(4));
+    // A cluster beyond the pool is refused.
+    let mut d = Client::connect(port);
+    assert!(d.join(9, None).is_err());
+    let metrics = shutdown(port, hub);
+    let report = metrics.report();
+    assert_eq!(report.counter("net.joins"), 3);
+    assert_eq!(report.counter("net.join_refusals"), 1);
+}
+
+#[test]
+fn missed_heartbeats_declare_death_and_block_rejoin() {
+    let (port, hub) = start_hub(Duration::from_millis(300));
+    let mut coord = Client::connect(port);
+    coord.send(Message::CoordinatorHello);
+
+    let mut worker = Client::connect(port);
+    let node = worker.join(0, None).unwrap();
+    // Go silent without closing the socket: only the heartbeat timeout —
+    // not an EOF — may declare the death.
+    let notice = coord.recv();
+    assert_eq!(
+        notice,
+        Message::CrashNotice {
+            node,
+            cluster: ClusterId(0)
+        }
+    );
+
+    // The dead id is blacklisted: claiming it again is refused...
+    let mut ghost = Client::connect(port);
+    assert!(ghost.join(0, Some(node.0)).is_err());
+    // ...and fresh joins are never granted it.
+    let mut fresh = Client::connect(port);
+    assert_ne!(fresh.join(0, None).unwrap(), node);
+
+    let metrics = shutdown(port, hub);
+    assert_eq!(metrics.report().counter("net.deaths"), 1);
+}
+
+#[test]
+fn stats_reports_are_forwarded_to_the_coordinator() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut coord = Client::connect(port);
+    coord.send(Message::CoordinatorHello);
+    let mut worker = Client::connect(port);
+    let node = worker.join(0, None).unwrap();
+
+    let report = sagrid_core::stats::MonitoringReport {
+        node,
+        cluster: ClusterId(0),
+        period_end: sagrid_core::time::SimTime::from_millis(500),
+        breakdown: sagrid_core::stats::OverheadBreakdown {
+            busy: sagrid_core::time::SimDuration::from_millis(300),
+            idle: sagrid_core::time::SimDuration::from_millis(200),
+            ..Default::default()
+        },
+        speed: 1.0,
+    };
+    worker.send(Message::StatsReport {
+        report,
+        bench_micros: 1234,
+    });
+    match coord.recv() {
+        Message::StatsReport {
+            report: fwd,
+            bench_micros,
+        } => {
+            assert_eq!(fwd.node, node);
+            assert_eq!(fwd.breakdown, report.breakdown);
+            assert_eq!(bench_micros, 1234);
+        }
+        other => panic!("expected forwarded StatsReport, got {other:?}"),
+    }
+    shutdown(port, hub);
+}
+
+#[test]
+fn grow_reaches_the_launcher_and_claimed_joins_are_accepted() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut coord = Client::connect(port);
+    coord.send(Message::CoordinatorHello);
+    let mut launcher = Client::connect(port);
+    launcher.send(Message::LauncherHello);
+
+    coord.send(Message::Grow {
+        count: 2,
+        prefer: vec![ClusterId(0)],
+        min_uplink_bps: None,
+        min_speed: None,
+    });
+    let mut granted = Vec::new();
+    for _ in 0..2 {
+        match launcher.recv() {
+            Message::SpawnWorker { node, cluster } => {
+                assert_eq!(cluster, ClusterId(0));
+                granted.push(node);
+            }
+            other => panic!("expected SpawnWorker, got {other:?}"),
+        }
+    }
+    assert_eq!(granted, vec![NodeId(0), NodeId(1)]);
+
+    // The spawned processes claim exactly the granted ids.
+    let mut w0 = Client::connect(port);
+    assert_eq!(w0.join(0, Some(granted[0].0)).unwrap(), granted[0]);
+    // An id that was never granted (and never spawned) is refused.
+    let mut rogue = Client::connect(port);
+    assert!(rogue.join(0, Some(3)).is_err());
+
+    launcher.send(Message::Shutdown);
+    hub.join().expect("hub thread");
+}
+
+#[test]
+fn shrink_signals_the_node_and_blacklists_its_id() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut coord = Client::connect(port);
+    coord.send(Message::CoordinatorHello);
+    let mut w0 = Client::connect(port);
+    let n0 = w0.join(0, None).unwrap();
+    let mut w1 = Client::connect(port);
+    let n1 = w1.join(0, None).unwrap();
+
+    coord.send(Message::Shrink {
+        nodes: vec![n0],
+        cluster: None,
+    });
+    assert_eq!(w0.recv(), Message::SignalLeave { node: n0 });
+    w0.send(Message::Leaving { node: n0 });
+
+    // The removed id is blacklisted: no rejoin, and fresh joins skip it.
+    let mut ghost = Client::connect(port);
+    assert!(ghost.join(0, Some(n0.0)).is_err());
+    let mut fresh = Client::connect(port);
+    let n2 = fresh.join(0, None).unwrap();
+    assert_ne!(n2, n0);
+    assert_ne!(n2, n1);
+
+    shutdown(port, hub);
+}
+
+#[test]
+fn transport_reconnect_of_an_alive_member_is_accepted() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut worker = Client::connect(port);
+    let node = worker.join(0, None).unwrap();
+    drop(worker); // the TCP connection dies; the member does not
+
+    let mut back = Client::connect(port);
+    assert_eq!(back.join(0, Some(node.0)).unwrap(), node);
+    shutdown(port, hub);
+}
+
+#[test]
+fn shutdown_requires_the_launcher_role() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut worker = Client::connect(port);
+    worker.join(0, None).unwrap();
+    // A non-launcher Shutdown is ignored: the hub keeps serving.
+    worker.send(Message::Shutdown);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut probe = Client::connect(port);
+    probe.join(0, None).unwrap();
+    // A real launcher shutdown broadcasts to every connection and stops.
+    let mut launcher = Client::connect(port);
+    launcher.send(Message::LauncherHello);
+    launcher.send(Message::Shutdown);
+    assert_eq!(probe.recv(), Message::Shutdown);
+    hub.join().expect("hub thread");
+}

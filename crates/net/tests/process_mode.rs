@@ -1,0 +1,28 @@
+//! End-to-end process-mode test: `grid-local` spawns a real hub, a real
+//! coordinator daemon and real worker processes over loopback TCP, injects
+//! a SIGKILL crash, and verifies detection, blacklisting and the emitted
+//! decision-provenance stream. This is the crash scenario kept short; the
+//! full paper scenario (slow-worker removal) runs in ci.sh.
+
+#[test]
+fn grid_local_crash_scenario_passes() {
+    let out = std::env::temp_dir().join(format!("grid_local_test_{}", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))
+        .args([
+            "--workers",
+            "3",
+            "--scenario",
+            "crash",
+            "--duration-ms",
+            "5000",
+            "--out",
+            out.to_str().expect("utf8 temp path"),
+        ])
+        .status()
+        .expect("launch grid-local");
+    assert!(status.success(), "grid-local exited with {status}");
+    // The hub and coordinator both wrote their JSONL metric streams.
+    assert!(out.join("run_hub.jsonl").exists());
+    assert!(out.join("run_coordinatord.jsonl").exists());
+    std::fs::remove_dir_all(&out).ok();
+}

@@ -1,0 +1,87 @@
+//! Edge cases of the membership failure detector that the process-mode
+//! hub depends on: the timeout boundary is strict, a detection sweep is
+//! idempotent, and the deterministic election re-elects after the elected
+//! node itself dies of heartbeat silence.
+
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::time::{SimDuration, SimTime};
+use sagrid_registry::{MemberState, Membership, RegistryConfig, RegistryEvent};
+
+fn registry(timeout: SimDuration) -> Membership {
+    Membership::new(RegistryConfig {
+        heartbeat_timeout: timeout,
+    })
+}
+
+#[test]
+fn heartbeat_exactly_at_the_timeout_boundary_survives() {
+    // The detector uses a strict `>` comparison: a member whose silence
+    // equals the timeout exactly is still alive; one microsecond more and
+    // it is dead. The hub's wall-clock mapping relies on this, otherwise
+    // a heartbeat arriving in the same detector tick would be a coin flip.
+    let timeout = SimDuration::from_micros(1_000);
+    let mut r = registry(timeout);
+    r.join(SimTime::ZERO, NodeId(0), ClusterId(0));
+
+    assert!(r.detect_failures(SimTime::from_micros(1_000)).is_empty());
+    assert_eq!(r.state(NodeId(0)), Some(MemberState::Alive));
+
+    let dead = r.detect_failures(SimTime::from_micros(1_001));
+    assert_eq!(dead, vec![NodeId(0)]);
+    assert_eq!(r.state(NodeId(0)), Some(MemberState::Dead));
+}
+
+#[test]
+fn detect_failures_is_idempotent() {
+    // Repeated sweeps past the same death must not re-report it: the hub
+    // runs the detector every tick and forwards each death to the
+    // coordinator exactly once (record_crashed is also idempotent, but the
+    // wire traffic should not repeat either).
+    let mut r = registry(SimDuration::from_secs(1));
+    r.join(SimTime::ZERO, NodeId(4), ClusterId(1));
+
+    let first = r.detect_failures(SimTime::from_secs(5));
+    assert_eq!(first, vec![NodeId(4)]);
+    let second = r.detect_failures(SimTime::from_secs(6));
+    assert!(second.is_empty(), "death re-reported: {second:?}");
+    let third = r.detect_failures(SimTime::from_secs(60));
+    assert!(third.is_empty());
+
+    let died: Vec<_> = r
+        .take_events()
+        .into_iter()
+        .filter(|e| matches!(e, RegistryEvent::Died(_)))
+        .collect();
+    assert_eq!(died, vec![RegistryEvent::Died(NodeId(4))]);
+}
+
+#[test]
+fn coordinator_reelection_after_the_elected_node_crashes() {
+    // Election is deterministic (lowest alive id). When the elected node
+    // dies of heartbeat silence the next-lowest survivor takes over, and
+    // heartbeats from the dead ex-coordinator are ignored — it cannot
+    // resurrect itself and split the election.
+    let mut r = registry(SimDuration::from_secs(1));
+    r.join(SimTime::ZERO, NodeId(2), ClusterId(0));
+    r.join(SimTime::ZERO, NodeId(5), ClusterId(0));
+    r.join(SimTime::ZERO, NodeId(8), ClusterId(1));
+    assert_eq!(r.elect_coordinator(), Some(NodeId(2)));
+
+    // Only the two higher-id members keep heartbeating.
+    r.heartbeat(SimTime::from_secs(2), NodeId(5));
+    r.heartbeat(SimTime::from_secs(2), NodeId(8));
+    let dead = r.detect_failures(SimTime::from_secs(2));
+    assert_eq!(dead, vec![NodeId(2)]);
+    assert_eq!(r.elect_coordinator(), Some(NodeId(5)));
+
+    // A late heartbeat from the dead node must not flip the election back.
+    r.heartbeat(SimTime::from_secs(3), NodeId(2));
+    assert_eq!(r.state(NodeId(2)), Some(MemberState::Dead));
+    assert_eq!(r.elect_coordinator(), Some(NodeId(5)));
+
+    // The failover cascades: kill the new coordinator too.
+    r.heartbeat(SimTime::from_secs(4), NodeId(8));
+    let dead = r.detect_failures(SimTime::from_secs(4));
+    assert_eq!(dead, vec![NodeId(5)]);
+    assert_eq!(r.elect_coordinator(), Some(NodeId(8)));
+}

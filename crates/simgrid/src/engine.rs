@@ -1237,7 +1237,7 @@ impl GridSim {
                 MetricEvent::new(now.0, "crash")
                     .with(
                         "victims",
-                        Value::Raw(crate::provenance::u64_array(
+                        Value::Raw(sagrid_core::json::u64_array(
                             victims.iter().map(|v| u64::from(v.0)),
                         )),
                     )

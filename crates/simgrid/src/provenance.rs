@@ -11,7 +11,8 @@
 use sagrid_adapt::coordinator::LearnedRequirements;
 use sagrid_adapt::{Decision, DecisionLogEntry, NodeBadnessRecord};
 use sagrid_core::ids::{ClusterId, NodeId};
-use sagrid_core::metrics::{JsonValue, MetricEvent, Value};
+use sagrid_core::json::{u64_array, write_f64, JsonValue};
+use sagrid_core::metrics::{MetricEvent, Value};
 use sagrid_core::time::SimTime;
 use std::fmt::Write as _;
 
@@ -71,18 +72,6 @@ pub fn decision_event(entry: &DecisionLogEntry) -> MetricEvent {
     ev
 }
 
-pub(crate) fn u64_array(items: impl Iterator<Item = u64>) -> String {
-    let mut out = String::from("[");
-    for (i, v) in items.enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "{v}");
-    }
-    out.push(']');
-    out
-}
-
 fn badness_array(records: &[NodeBadnessRecord]) -> String {
     let mut out = String::from("[");
     for (i, r) in records.iter().enumerate() {
@@ -91,9 +80,15 @@ fn badness_array(records: &[NodeBadnessRecord]) -> String {
         }
         let _ = write!(
             out,
-            "{{\"node\":{},\"cluster\":{},\"speed\":{},\"ic\":{},\"worst\":{},\"badness\":{}}}",
-            r.node.0, r.cluster.0, r.speed, r.ic_overhead, r.in_worst_cluster, r.badness
+            "{{\"node\":{},\"cluster\":{},\"speed\":",
+            r.node.0, r.cluster.0
         );
+        write_f64(&mut out, r.speed);
+        out.push_str(",\"ic\":");
+        write_f64(&mut out, r.ic_overhead);
+        let _ = write!(out, ",\"worst\":{},\"badness\":", r.in_worst_cluster);
+        write_f64(&mut out, r.badness);
+        out.push('}');
     }
     out.push(']');
     out
@@ -285,7 +280,7 @@ fn badness_record(v: &JsonValue) -> Result<NodeBadnessRecord, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sagrid_core::metrics::parse_json;
+    use sagrid_core::json::parse_json;
 
     fn entry(decision: Decision) -> DecisionLogEntry {
         DecisionLogEntry {

@@ -62,6 +62,18 @@ echo "== experiments smoke (parallel == serial) =="
 diff target/ci_serial.txt target/ci_parallel.txt
 echo "parallel output is byte-identical to serial"
 
+echo "== process-mode smoke (hub + 4 workers + coordinatord on loopback) =="
+# Bounded end-to-end run of the paper's crash scenario over real sockets:
+# grid-local spawns the hub, four workers and the out-of-process
+# coordinator, SIGKILLs one worker, and asserts the registry reports the
+# crash (heartbeat timeout, not socket close), the blacklisted id never
+# rejoins, and every child is reaped — no orphans. The hard timeout keeps
+# a wedged run from hanging the gate.
+rm -rf target/ci_grid_local
+timeout 55 ./target/release/grid-local --workers 4 --scenario crash \
+    --duration-ms 6000 --out target/ci_grid_local
+./target/release/validate_metrics target/ci_grid_local
+
 echo "== emit-metrics smoke (JSONL well-formed, stdout unperturbed) =="
 rm -rf target/ci_metrics
 ./target/release/experiments --quick --serial --emit-metrics target/ci_metrics \

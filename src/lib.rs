@@ -19,6 +19,8 @@
 //! * [`registry`] — Ibis-like membership and fault
 //!   detection;
 //! * [`sched`] — Zorilla-like grid resource pool;
+//! * [`net`] — process-mode TCP control plane (std-only wire codec,
+//!   hub/worker/coordinator binaries, `grid-local` launcher);
 //! * [`apps`] — divide-and-conquer applications (Fibonacci,
 //!   N-queens, adaptive quadrature, TSP, Barnes-Hut);
 //! * [`exp`] — the experiment harness reproducing every figure
@@ -31,6 +33,7 @@ pub use sagrid_adapt as adapt;
 pub use sagrid_apps as apps;
 pub use sagrid_core as core;
 pub use sagrid_exp as exp;
+pub use sagrid_net as net;
 pub use sagrid_registry as registry;
 pub use sagrid_runtime as runtime;
 pub use sagrid_sched as sched;

@@ -21,6 +21,10 @@
 //! Every application offers a sequential reference implementation (used by
 //! the tests as ground truth) and a parallel version against
 //! [`sagrid_runtime::WorkerCtx`].
+//!
+//! [`remote`] additionally packages fib and nqueens subcomputations as
+//! serializable [`RemoteJob`]s so the process-mode steal plane can ship
+//! work between worker processes.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -30,13 +34,15 @@ pub mod fib;
 pub mod matmul;
 pub mod nqueens;
 pub mod quadrature;
+pub mod remote;
 pub mod sort;
 pub mod tsp;
 
 pub use barneshut::{BarnesHut, Body};
 pub use fib::{fib_par, fib_seq};
 pub use matmul::{matmul_par, matmul_seq, Matrix};
-pub use nqueens::{nqueens_par, nqueens_seq};
+pub use nqueens::{nqueens_par, nqueens_par_from, nqueens_seq, nqueens_seq_from};
 pub use quadrature::{integrate_par, integrate_seq};
+pub use remote::{frontier, RemoteDecodeError, RemoteJob};
 pub use sort::{mergesort_par, mergesort_seq};
 pub use tsp::{tsp_par, tsp_seq, TspInstance};

@@ -8,76 +8,68 @@
 use sagrid_runtime::WorkerCtx;
 
 /// Counts solutions to the N-queens problem, sequentially.
-///
-/// `cols`, `diag1`, `diag2` are occupancy bitmasks for the partial
-/// placement of the first `row` rows.
 pub fn nqueens_seq(n: u32) -> u64 {
-    fn go(n: u32, cols: u32, d1: u32, d2: u32) -> u64 {
-        if cols == (1 << n) - 1 {
-            return 1;
-        }
-        let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
-        let mut count = 0;
-        while free != 0 {
-            let bit = free & free.wrapping_neg();
-            free ^= bit;
-            count += go(n, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
-        }
-        count
-    }
     if n == 0 {
         return 1; // the empty placement
     }
-    go(n, 0, 0, 0)
+    nqueens_seq_from(n, 0, 0, 0)
+}
+
+/// Counts solutions reachable from a partial placement, sequentially.
+///
+/// `cols`, `d1`, `d2` are the column / rising-diagonal / falling-diagonal
+/// occupancy bitmasks of the rows placed so far, with the diagonal masks
+/// already shifted to the next row — the state the cross-process steal
+/// plane ships in a `sagrid_apps::remote` job.
+pub fn nqueens_seq_from(n: u32, cols: u32, d1: u32, d2: u32) -> u64 {
+    if cols == (1 << n) - 1 {
+        return 1;
+    }
+    let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
+    let mut count = 0;
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        count += nqueens_seq_from(n, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
+    }
+    count
 }
 
 /// Parallel N-queens: spawn a job per feasible queen position until
 /// `spawn_depth` rows are placed, then continue sequentially.
 pub fn nqueens_par(ctx: &WorkerCtx<'_>, n: u32, spawn_depth: u32) -> u64 {
-    fn seq(n: u32, cols: u32, d1: u32, d2: u32) -> u64 {
-        if cols == (1 << n) - 1 {
-            return 1;
-        }
-        let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
-        let mut count = 0;
-        while free != 0 {
-            let bit = free & free.wrapping_neg();
-            free ^= bit;
-            count += seq(n, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
-        }
-        count
-    }
-
-    fn par(
-        ctx: &WorkerCtx<'_>,
-        n: u32,
-        cols: u32,
-        d1: u32,
-        d2: u32,
-        depth: u32,
-        spawn_depth: u32,
-    ) -> u64 {
-        if cols == (1 << n) - 1 {
-            return 1;
-        }
-        if depth >= spawn_depth {
-            return seq(n, cols, d1, d2);
-        }
-        let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
-        let mut handles = Vec::new();
-        while free != 0 {
-            let bit = free & free.wrapping_neg();
-            free ^= bit;
-            let (nc, nd1, nd2) = (cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
-            handles.push(ctx.spawn(move |ctx| par(ctx, n, nc, nd1, nd2, depth + 1, spawn_depth)));
-        }
-        handles.into_iter().map(|h| h.join(ctx)).sum()
-    }
-
     if n == 0 {
         return 1;
     }
-    par(ctx, n, 0, 0, 0, 0, spawn_depth)
+    nqueens_par_from(ctx, n, 0, 0, 0, spawn_depth)
+}
+
+/// Parallel N-queens from a partial placement (bitmask conventions as in
+/// [`nqueens_seq_from`]): `spawn_depth` further rows spawn jobs, the rest
+/// runs sequentially.
+pub fn nqueens_par_from(
+    ctx: &WorkerCtx<'_>,
+    n: u32,
+    cols: u32,
+    d1: u32,
+    d2: u32,
+    spawn_depth: u32,
+) -> u64 {
+    if cols == (1 << n) - 1 {
+        return 1;
+    }
+    if spawn_depth == 0 {
+        return nqueens_seq_from(n, cols, d1, d2);
+    }
+    let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
+    let mut handles = Vec::new();
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        let (nc, nd1, nd2) = (cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
+        handles.push(ctx.spawn(move |ctx| nqueens_par_from(ctx, n, nc, nd1, nd2, spawn_depth - 1)));
+    }
+    handles.into_iter().map(|h| h.join(ctx)).sum()
 }
 
 #[cfg(test)]

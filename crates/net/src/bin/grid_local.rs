@@ -8,6 +8,12 @@
 //! * `--scenario full` — additionally starts one deliberately slow worker
 //!   (`--speed 0.2`) and verifies the out-of-process coordinator's badness
 //!   ranking removes exactly that node, on top of the crash checks.
+//! * `--scenario steal` — a slow root worker exports a frontier of
+//!   serialized fib subjobs through the wire-level steal plane; thief
+//!   workers in two clusters drain it by CRS and return the values. The
+//!   launcher verifies jobs migrated between processes (steal counters),
+//!   the distributed sum matches the sequential reference, and the
+//!   thieves' `inter_comm` overhead is real measured wire time.
 //!
 //! Grow decisions are applied by spawning new worker processes when the hub
 //! relays `SpawnWorker`; shrink decisions arrive at workers as leave
@@ -53,20 +59,26 @@ struct WorkerArgs {
 }
 
 /// Spawns a worker process and returns it together with a channel that
-/// yields the node id once the worker prints `JOINED node=K`.
+/// yields the node id once the worker prints `JOINED node=K`. Every
+/// stdout line is also fed to `extra_hook` so scenarios can watch for
+/// their own markers (`ROOT_DONE`, `STEALS …`).
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     bin_dir: &Path,
     hub_addr: &str,
     wa: &WorkerArgs,
+    cluster: u16,
     speed: Option<f64>,
     claim: Option<u32>,
+    extra: &[String],
     tag: String,
+    mut extra_hook: impl FnMut(&str) + Send + 'static,
 ) -> Result<(Child, Receiver<u32>), String> {
     let mut cmd = Command::new(bin_dir.join("sagrid-worker"));
     cmd.arg("--hub")
         .arg(hub_addr)
         .arg("--cluster")
-        .arg("0")
+        .arg(cluster.to_string())
         .arg("--duty")
         .arg(wa.duty.to_string())
         .arg("--period-ms")
@@ -81,6 +93,7 @@ fn spawn_worker(
     if let Some(n) = claim {
         cmd.arg("--claim-node").arg(n.to_string());
     }
+    cmd.args(extra);
     let mut child = cmd
         .spawn()
         .map_err(|e| format!("spawn sagrid-worker: {e}"))?;
@@ -92,6 +105,7 @@ fn spawn_worker(
                 let _ = tx.send(n);
             }
         }
+        extra_hook(line);
     });
     Ok((child, rx))
 }
@@ -117,6 +131,283 @@ impl Checks {
     }
 }
 
+/// Parses a worker's exit summary `STEALS ok=N failed=M served=K
+/// inter_us=T` into `(ok, served, inter_us)`.
+fn parse_steals(line: &str) -> Option<(u64, u64, u64)> {
+    let rest = line.strip_prefix("STEALS ")?;
+    let (mut ok, mut served, mut inter) = (None, None, None);
+    for part in rest.split_whitespace() {
+        let (k, v) = part.split_once('=')?;
+        match k {
+            "ok" => ok = v.parse().ok(),
+            "served" => served = v.parse().ok(),
+            "inter_us" => inter = v.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((ok?, served?, inter?))
+}
+
+/// Fibonacci argument for the steal scenario's distributed root job.
+const STEAL_FIB_N: u64 = 34;
+/// Frontier depth: 2^7 = 128 independent subjobs to spread around.
+const STEAL_DEPTH: u32 = 7;
+
+/// The `steal` scenario: a deliberately slow root worker in cluster 0
+/// expands `fib(STEAL_FIB_N)` into a frontier of subjobs and exports them
+/// through its steal server; full-speed thief workers in both clusters
+/// drain the pool over the wire by CRS and send the values back. Verifies
+/// that work spawned in one process really executes in others
+/// (`remote_ok`/`served` counters), that the distributed sum matches the
+/// sequential reference, and that the thieves' `inter_comm` overhead is
+/// reconstructed from measured steal wire time.
+fn run_steal(
+    workers: usize,
+    duration: Duration,
+    out: &str,
+    bin_dir: &Path,
+) -> Result<Vec<String>, String> {
+    // --- Hub with two clusters (CRS needs a remote tier) -----------------
+    let mut hub_child = Command::new(bin_dir.join("sagrid-hub"))
+        .args([
+            "--port",
+            "0",
+            "--clusters",
+            "2",
+            "--nodes-per-cluster",
+            &(workers + 4).to_string(),
+            "--heartbeat-timeout-ms",
+            "1500",
+            "--detect-interval-ms",
+            "200",
+            "--out",
+            out,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn sagrid-hub: {e}"))?;
+    let (port_tx, port_rx) = channel::<u16>();
+    {
+        let stdout = hub_child.stdout.take().expect("piped stdout");
+        pump("hub".to_string(), stdout, move |line| {
+            if let Some(rest) = line.strip_prefix("HUB_PORT=") {
+                if let Ok(p) = rest.trim().parse() {
+                    let _ = port_tx.send(p);
+                }
+            }
+        });
+    }
+    let port = port_rx
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| "hub never printed HUB_PORT=".to_string())?;
+    let hub_addr = format!("127.0.0.1:{port}");
+    println!("grid-local: hub on {hub_addr} (steal scenario)");
+
+    // --- Launcher control connection (delivers the final Shutdown) -------
+    let (events_tx, _events_rx) = channel::<NetEvent>();
+    let stream = TcpStream::connect(&hub_addr).map_err(|e| format!("connect to hub: {e}"))?;
+    let control =
+        Connection::spawn(1, stream, events_tx, None).map_err(|e| format!("control conn: {e}"))?;
+    control.send(Message::LauncherHello);
+
+    let wa = WorkerArgs {
+        duty: 0.3,
+        period_ms: 300,
+        heartbeat_ms: 200,
+    };
+
+    // Shared marker state fed by the stdout pumps.
+    let root_result: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+    let root_done = Arc::new(AtomicBool::new(false));
+    // (tag, remote_ok, served, inter_us) per worker, from exit summaries.
+    type StealLines = Arc<Mutex<Vec<(String, u64, u64, u64)>>>;
+    let steals: StealLines = Arc::new(Mutex::new(Vec::new()));
+    let steal_hook = |tag: String, steals: &StealLines| {
+        let steals = Arc::clone(steals);
+        move |line: &str| {
+            if let Some(parsed) = parse_steals(line) {
+                steals.lock().expect("steals list").push((
+                    tag.clone(),
+                    parsed.0,
+                    parsed.1,
+                    parsed.2,
+                ));
+            }
+        }
+    };
+
+    // --- Root: slow, cluster 0, owns the distributed computation ---------
+    let root_metrics = format!("{out}/steal_root_metrics.jsonl");
+    let mut tracked: Vec<Tracked> = Vec::new();
+    let (root_child, root_joined) = {
+        let extra: Vec<String> = [
+            "--steal",
+            "on",
+            "--workload",
+            "fib",
+            "--root-arg",
+            &STEAL_FIB_N.to_string(),
+            "--root-depth",
+            &STEAL_DEPTH.to_string(),
+            "--out",
+            &root_metrics,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rr = Arc::clone(&root_result);
+        let rd = Arc::clone(&root_done);
+        let sh = steal_hook("root".to_string(), &steals);
+        spawn_worker(
+            bin_dir,
+            &hub_addr,
+            &wa,
+            0,
+            Some(0.1),
+            None,
+            &extra,
+            "root".to_string(),
+            move |line| {
+                if let Some(rest) = line.strip_prefix("ROOT_RESULT=") {
+                    if let Ok(v) = rest.trim().parse() {
+                        *rr.lock().expect("root result") = Some(v);
+                    }
+                } else if line.starts_with("ROOT_DONE") {
+                    rd.store(true, Ordering::Release);
+                }
+                sh(line);
+            },
+        )?
+    };
+    let root_node = root_joined
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| "root worker never joined".to_string())?;
+    tracked.push(Tracked {
+        name: format!("root-{root_node}"),
+        child: root_child,
+    });
+
+    // --- Thieves: full speed, spread over both clusters -------------------
+    let mut thief_tags = Vec::new();
+    for i in 0..workers - 1 {
+        let cluster = (i % 2) as u16; // at least one same- and one cross-cluster thief
+        let tag = format!("t{i}c{cluster}");
+        let thief_metrics = format!("{out}/steal_thief{i}_metrics.jsonl");
+        let extra: Vec<String> = ["--steal", "on", "--out", &thief_metrics]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (child, joined) = spawn_worker(
+            bin_dir,
+            &hub_addr,
+            &wa,
+            cluster,
+            None,
+            None,
+            &extra,
+            tag.clone(),
+            steal_hook(tag.clone(), &steals),
+        )?;
+        let node = joined
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| format!("thief {i} never joined"))?;
+        tracked.push(Tracked {
+            name: format!("thief-{node}"),
+            child,
+        });
+        thief_tags.push(tag);
+    }
+    println!("grid-local: root n{root_node} + {} thieves up", workers - 1);
+
+    // --- Wait for the distributed computation, then shut down -------------
+    let deadline = Instant::now() + duration;
+    while !root_done.load(Ordering::Acquire) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Let final stats reports drain before tearing the grid down.
+    std::thread::sleep(Duration::from_millis(500));
+    control.send(Message::Shutdown);
+
+    let mut checks = Checks {
+        failures: Vec::new(),
+    };
+
+    let reap_deadline = Instant::now() + Duration::from_secs(10);
+    let mut orphans = Vec::new();
+    tracked.push(Tracked {
+        name: "hub".to_string(),
+        child: hub_child,
+    });
+    for t in &mut tracked {
+        loop {
+            match t.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() > reap_deadline => {
+                    let _ = t.child.kill();
+                    let _ = t.child.wait();
+                    orphans.push(t.name.clone());
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => return Err(format!("wait for {}: {e}", t.name)),
+            }
+        }
+    }
+
+    checks.assert(
+        root_done.load(Ordering::Acquire),
+        "root finished the distributed computation before the deadline",
+    );
+    let expected = sagrid_apps::fib_seq(STEAL_FIB_N);
+    let got = *root_result.lock().expect("root result");
+    checks.assert(
+        got == Some(expected),
+        &format!("distributed fib({STEAL_FIB_N}) = {got:?} matches sequential {expected}"),
+    );
+
+    let lines = steals.lock().expect("steals list").clone();
+    let root_served: u64 = lines
+        .iter()
+        .filter(|(tag, ..)| tag == "root")
+        .map(|&(_, _, served, _)| served)
+        .sum();
+    let thief_ok: u64 = lines
+        .iter()
+        .filter(|(tag, ..)| tag != "root")
+        .map(|&(_, ok, ..)| ok)
+        .sum();
+    let thief_inter: u64 = lines
+        .iter()
+        .filter(|(tag, ..)| tag != "root")
+        .map(|&(.., inter)| inter)
+        .sum();
+    checks.assert(
+        root_served > 0,
+        &format!("root exported jobs to thieves over the wire (served={root_served})"),
+    );
+    checks.assert(
+        thief_ok > 0,
+        &format!("thieves executed jobs stolen from the root process (remote_ok={thief_ok})"),
+    );
+    checks.assert(
+        thief_inter > 0,
+        &format!("thief inter_comm was reconstructed from measured wire time ({thief_inter}us)"),
+    );
+    checks.assert(
+        orphans.is_empty(),
+        &format!("all children exited after shutdown (orphans: {orphans:?})"),
+    );
+    checks.assert(
+        std::fs::metadata(&root_metrics)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false),
+        "root dumped a non-empty metrics JSONL",
+    );
+
+    Ok(checks.failures)
+}
+
 fn run() -> Result<Vec<String>, String> {
     let args = Args::parse(
         std::env::args().skip(1),
@@ -124,16 +415,23 @@ fn run() -> Result<Vec<String>, String> {
     )?;
     let workers: usize = args.get_or("workers", 4)?;
     let scenario: String = args.get_or("scenario", "crash".to_string())?;
-    let full = match scenario.as_str() {
-        "crash" => false,
-        "full" => true,
-        other => return Err(format!("unknown scenario {other:?} (crash|full)")),
+    let (full, steal) = match scenario.as_str() {
+        "crash" => (false, false),
+        "full" => (true, false),
+        "steal" => (false, true),
+        other => return Err(format!("unknown scenario {other:?} (crash|full|steal)")),
     };
     if workers < 3 {
         return Err("need at least 3 workers".to_string());
     }
-    let duration =
-        Duration::from_millis(args.get_or("duration-ms", if full { 12_000u64 } else { 7_000u64 })?);
+    let default_duration = if steal {
+        30_000u64
+    } else if full {
+        12_000
+    } else {
+        7_000
+    };
+    let duration = Duration::from_millis(args.get_or("duration-ms", default_duration)?);
     let out: String = args.get_or("out", "target/grid_local_out".to_string())?;
     let kill_index: u32 = args.get_or("kill-index", 1)?;
     std::fs::create_dir_all(&out).map_err(|e| format!("create {out}: {e}"))?;
@@ -143,6 +441,10 @@ fn run() -> Result<Vec<String>, String> {
         .parent()
         .ok_or("current_exe has no parent")?
         .to_path_buf();
+
+    if steal {
+        return run_steal(workers, duration, &out, &bin_dir);
+    }
 
     // Full scenario math (defaults: E_MIN 0.30, E_MAX 0.50): healthy duty
     // 0.35 and one slow worker at speed 0.1 give a weighted average of
@@ -261,9 +563,12 @@ fn run() -> Result<Vec<String>, String> {
                             &bin_dir,
                             &hub_addr,
                             &wa2,
+                            0,
                             None,
                             Some(node.0),
+                            &[],
                             format!("w{}+", node.0),
+                            |_| {},
                         ) {
                             grown.lock().expect("grown list").push(Tracked {
                                 name: format!("grown-worker-{}", node.0),
@@ -295,9 +600,12 @@ fn run() -> Result<Vec<String>, String> {
             &bin_dir,
             &hub_addr,
             &wa,
+            0,
             slow.then_some(0.1),
             None,
+            &[],
             format!("w{i}"),
+            |_| {},
         )?;
         let node = joined
             .recv_timeout(Duration::from_secs(10))
@@ -350,9 +658,12 @@ fn run() -> Result<Vec<String>, String> {
         &bin_dir,
         &hub_addr,
         &wa,
+        0,
         None,
         Some(victim),
+        &[],
         format!("w{victim}-rejoin"),
+        |_| {},
     )?;
     let rejoin_status = {
         let deadline = Instant::now() + Duration::from_secs(10);

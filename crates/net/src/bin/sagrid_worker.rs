@@ -3,24 +3,42 @@
 //! configurable duty cycle, and reports its statistics record every
 //! monitoring period.
 //!
+//! With `--steal on` the worker also participates in the wire-level work
+//! stealing plane: it binds a steal listener, announces the address to the
+//! hub (which broadcasts the peer directory to everyone), and installs a
+//! remote-steal hook so idle runtime workers steal serialized jobs from
+//! peer processes by CRS — a random same-cluster victim first, then a
+//! random victim in another cluster. A worker given `--root-arg` is the
+//! root of a distributed computation: it expands the root job into a
+//! frontier of independent subjobs, exports them through its steal server
+//! while executing its own share, and prints `ROOT_RESULT=<v>` /
+//! `ROOT_DONE` once every subjob's value has come home.
+//!
 //! Exit codes: 0 normal (asked to leave / hub shut down), 2 usage error,
 //! 3 join refused (e.g. blacklisted after a crash — the launcher asserts
 //! this), 4 could not reach the hub.
 
+use sagrid_apps::{frontier, RemoteJob};
 use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::Metrics;
 use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
 use sagrid_net::conn::{Connection, NetEvent};
+use sagrid_net::steal::{spawn_steal_server, ExportPool, NetStealHook, StealClient, StealMetrics};
 use sagrid_net::wire::Message;
 use sagrid_net::{Args, Backoff};
 use sagrid_runtime::{Runtime, RuntimeConfig};
 use std::io::Write;
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const MAX_CONNECT_ATTEMPTS: u32 = 12;
+
+/// How long an exported job may sit with a thief before the root assumes
+/// the thief died and re-pends it.
+const RECLAIM_AFTER: Duration = Duration::from_secs(5);
 
 fn connect(hub: &str, backoff: &mut Backoff) -> Result<TcpStream, String> {
     loop {
@@ -79,6 +97,14 @@ fn join(
     }
 }
 
+/// Everything the steal plane hangs onto for the lifetime of the process.
+struct StealPlane {
+    pool: Arc<ExportPool>,
+    client: Arc<StealClient>,
+    /// The announced listener address, re-announced after a rejoin.
+    addr: String,
+}
+
 fn run() -> Result<(), String> {
     let args = Args::parse(
         std::env::args().skip(1),
@@ -90,6 +116,11 @@ fn run() -> Result<(), String> {
             "heartbeat-ms",
             "period-ms",
             "duty",
+            "steal",
+            "workload",
+            "root-arg",
+            "root-depth",
+            "out",
         ],
     )?;
     let hub: String = args.require("hub")?;
@@ -105,6 +136,22 @@ fn run() -> Result<(), String> {
     let duty: f64 = args.get_or("duty", 0.4)?;
     if !(0.05..=1.0).contains(&duty) {
         return Err("--duty must be in [0.05, 1.0]".to_string());
+    }
+    let steal_on = match args.get("steal").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--steal: expected on|off, got {other:?}")),
+    };
+    let workload: String = args.get_or("workload", "fib".to_string())?;
+    let root_arg: Option<u64> = args
+        .get("root-arg")
+        .map(|raw| raw.parse())
+        .transpose()
+        .map_err(|_| "--root-arg: expected a number".to_string())?;
+    let root_depth: u32 = args.get_or("root-depth", 8u32)?;
+    let metrics_out = args.get("out").map(|s| s.to_string());
+    if root_arg.is_some() && !steal_on {
+        return Err("--root-arg requires --steal on".to_string());
     }
 
     let (events_tx, events_rx) = channel::<NetEvent>();
@@ -140,14 +187,132 @@ fn run() -> Result<(), String> {
     let rt = Arc::new(Runtime::new(RuntimeConfig::single_cluster(1)));
     rt.set_worker_speed(0, speed.clamp(0.05, 1.0));
 
-    // Workload thread: bursts of divide-and-conquer work interleaved with
-    // sleeps sized so the *measured* busy fraction tracks `duty`. The sleep
-    // multiplier is steered by a feedback loop below, because the runtime's
-    // accounting does not attribute every idle microsecond (steal-scan time
-    // is unaccounted), so an open-loop ratio would overshoot the target.
+    // Steal-plane metrics live in a process-wide registry dumped to --out
+    // JSONL on exit; with stealing off and no --out the registry is free.
+    let metrics = if steal_on || metrics_out.is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
+
+    let steal_plane = if steal_on {
+        let pool = Arc::new(ExportPool::new());
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind steal listener: {e}"))?;
+        let addr = spawn_steal_server(
+            listener,
+            Arc::clone(&pool),
+            metrics.counter("net.steals.served"),
+        )
+        .map_err(|e| format!("spawn steal server: {e}"))?
+        .to_string();
+        let client = Arc::new(StealClient::new(
+            node,
+            cluster,
+            StealMetrics::resolve(&metrics),
+        ));
+        // Idle runtime workers steal serialized jobs over the wire and run
+        // them through the normal spawn/join path, so their busy time is
+        // accounted like any local task's.
+        rt.set_remote_steal_hook(Arc::new(NetStealHook::new(
+            Arc::clone(&client),
+            |ctx, payload| {
+                let job = RemoteJob::decode(payload).ok()?;
+                Some(ctx.spawn(move |ctx| job.execute(ctx)).join(ctx))
+            },
+        )));
+        conn.send(Message::PeerAnnounce {
+            node,
+            steal_addr: addr.clone(),
+        });
+        println!("STEAL_ADDR {addr}");
+        Some(StealPlane { pool, client, addr })
+    } else {
+        None
+    };
+
     let stop = Arc::new(AtomicBool::new(false));
+    // Duty-cycle sleep multiplier, steered by the feedback loop in the
+    // protocol loop below. A root worker spawns no duty workload, so the
+    // feedback writes are simply never read.
     let sleep_factor = Arc::new(std::sync::Mutex::new((1.0 - duty) / duty));
-    {
+
+    if let Some(arg) = root_arg {
+        // Root of a distributed computation: expand the frontier, export it
+        // through the steal pool, execute our own share front-to-back while
+        // thieves drain the back, and reassemble the result by addition.
+        let plane = steal_plane.as_ref().expect("checked above");
+        // Each frontier subjob runs as ONE sequential task wherever it
+        // lands: the frontier expansion already provides the parallelism
+        // (across processes), and a single task keeps the runtime's speed
+        // emulation linear — nested spawn/join inside a slow worker pads
+        // every nesting level, compounding the slowdown geometrically.
+        let root_job = match workload.as_str() {
+            "fib" => RemoteJob::Fib {
+                n: arg,
+                threshold: u64::MAX,
+            },
+            "nqueens" => RemoteJob::NQueens {
+                n: arg as u32,
+                cols: 0,
+                d1: 0,
+                d2: 0,
+                spawn_depth: 0,
+            },
+            other => return Err(format!("--workload: expected fib|nqueens, got {other:?}")),
+        };
+        let jobs = frontier(root_job, root_depth);
+        for job in &jobs {
+            plane.pool.offer(job.encode());
+        }
+        println!("ROOT_JOBS {}", jobs.len());
+        std::io::stdout().flush().ok();
+        let pool = Arc::clone(&plane.pool);
+        let client = Arc::clone(&plane.client);
+        let rt = Arc::clone(&rt);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("root-drive".to_string())
+            .spawn(move || {
+                // Give thieves a head start: hold off on local execution
+                // until at least one peer is in the directory (or a bound
+                // elapses), so a fast root on a fast host does not drain
+                // the pool before any thief has even joined the grid.
+                let t0 = Instant::now();
+                while client.peers() == 0
+                    && t0.elapsed() < Duration::from_secs(3)
+                    && !stop.load(Ordering::Acquire)
+                {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                std::thread::sleep(Duration::from_millis(200));
+                while !stop.load(Ordering::Acquire) {
+                    if let Some((id, payload)) = pool.take_local() {
+                        if let Ok(job) = RemoteJob::decode(&payload) {
+                            let value = rt.run(move |ctx| job.execute(ctx));
+                            pool.complete(id, value);
+                        }
+                    } else if pool.is_done() {
+                        println!("ROOT_RESULT={}", pool.sum());
+                        println!("ROOT_DONE");
+                        std::io::stdout().flush().ok();
+                        return;
+                    } else {
+                        // Jobs are out with thieves; re-pend any whose
+                        // thief has gone silent, then wait for results.
+                        pool.reclaim_stale(RECLAIM_AFTER);
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            })
+            .expect("spawn root drive thread");
+    } else {
+        // Workload thread: bursts of divide-and-conquer work interleaved
+        // with sleeps sized so the *measured* busy fraction tracks `duty`.
+        // The sleep multiplier is steered by a feedback loop below, because
+        // the runtime's accounting does not attribute every idle
+        // microsecond (steal-scan time is unaccounted), so an open-loop
+        // ratio would overshoot the target.
         let rt = Arc::clone(&rt);
         let stop = Arc::clone(&stop);
         let sleep_factor = Arc::clone(&sleep_factor);
@@ -188,6 +353,32 @@ fn run() -> Result<(), String> {
             .expect("spawn benchmark thread");
     }
 
+    // Running total of measured cross-process communication time, printed
+    // in the STEALS summary on exit (the per-period values flow to the hub
+    // as the StatsReport's inter_comm overhead).
+    let mut inter_total_us = 0u64;
+
+    // Prints the steal summary and dumps the metrics registry; called on
+    // every orderly exit path.
+    let finish = |inter_total_us: u64| {
+        let report = metrics.report();
+        if steal_on {
+            println!(
+                "STEALS ok={} failed={} served={} inter_us={}",
+                report.counter("net.steals.remote_ok"),
+                report.counter("net.steals.remote_failed"),
+                report.counter("net.steals.served"),
+                inter_total_us,
+            );
+        }
+        if let Some(path) = &metrics_out {
+            if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+                eprintln!("sagrid-worker: write {path}: {e}");
+            }
+        }
+        std::io::stdout().flush().ok();
+    };
+
     let mut last_heartbeat = Instant::now();
     let mut last_report = Instant::now();
     loop {
@@ -195,16 +386,28 @@ fn run() -> Result<(), String> {
             Ok(NetEvent::Message(_, msg)) => match msg {
                 Message::SignalLeave { node: n } if n == node => {
                     conn.send(Message::Leaving { node });
-                    // Give the writer thread a moment to flush the farewell.
-                    std::thread::sleep(Duration::from_millis(100));
+                    // Wait until the writer confirms the farewell actually
+                    // reached the socket — a blind sleep raced the writer
+                    // thread and sometimes lost the frame on a loaded host.
+                    if !conn.flush(Duration::from_secs(2)) {
+                        eprintln!("sagrid-worker: farewell flush failed");
+                    }
                     println!("LEAVING");
                     stop.store(true, Ordering::Release);
+                    finish(inter_total_us);
                     return Ok(());
                 }
                 Message::Shutdown => {
                     println!("SHUTDOWN");
                     stop.store(true, Ordering::Release);
+                    finish(inter_total_us);
                     return Ok(());
+                }
+                Message::PeerDirectory { peers } => {
+                    if let Some(plane) = &steal_plane {
+                        plane.client.update_directory(peers);
+                        println!("PEERS {}", plane.client.peers());
+                    }
                 }
                 _ => {}
             },
@@ -232,17 +435,29 @@ fn run() -> Result<(), String> {
                         assert_eq!(n, node, "hub re-assigned a claimed id");
                         conn = c;
                         println!("REJOINED node={}", node.0);
+                        if let Some(plane) = &steal_plane {
+                            // The hub pruned us from the directory if it
+                            // declared us dead; re-announcing is idempotent.
+                            conn.send(Message::PeerAnnounce {
+                                node,
+                                steal_addr: plane.addr.clone(),
+                            });
+                        }
                     }
                     Err(_) => {
                         println!("HUB_GONE");
                         stop.store(true, Ordering::Release);
+                        finish(inter_total_us);
                         return Ok(());
                     }
                 }
             }
             Ok(_) => {}
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            Err(RecvTimeoutError::Disconnected) => {
+                finish(inter_total_us);
+                return Ok(());
+            }
         }
 
         if last_heartbeat.elapsed() >= heartbeat {
@@ -260,6 +475,7 @@ fn run() -> Result<(), String> {
                 breakdown.inter_comm += r.breakdown.inter_comm;
                 breakdown.benchmark += r.breakdown.benchmark;
             }
+            inter_total_us += breakdown.inter_comm.0;
             // Feedback: multiplicatively adjust the sleep multiplier so the
             // measured busy fraction converges onto the duty target.
             let measured = breakdown.busy.fraction_of(breakdown.total());

@@ -6,13 +6,22 @@
 //! (the hub's or client's single event loop). Dropping the `Connection`
 //! closes the outbox, which makes the writer shut the socket down, which
 //! unblocks the reader — no join handles, no leaked sockets.
+//!
+//! The reader symmetrically signals the writer: when it exits (EOF, decode
+//! error, transport failure) it enqueues [`Outgoing::ReaderGone`] through a
+//! `Weak` handle, so a writer parked on an idle outbox terminates promptly
+//! instead of leaking until the next outgoing send. The handle is `Weak`
+//! deliberately — a strong `Sender` clone in the reader would keep the
+//! outbox open after every public handle is dropped, deadlocking both
+//! threads against each other.
 
 use crate::wire::{read_frame, Message};
 use sagrid_core::metrics::{Counter, Metrics};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// Identifier of a connection within one process (monotonic, never reused).
 pub type ConnId = u64;
@@ -28,6 +37,29 @@ pub enum NetEvent {
     /// The connection is gone: clean EOF, transport error or a protocol
     /// violation (undecodable frame). Exactly one per connection.
     Closed(ConnId),
+}
+
+/// What travels through the outbox to the writer thread. FIFO ordering is
+/// load-bearing: a [`Outgoing::Flush`] ack means every frame queued before
+/// it has been written and flushed to the socket.
+enum Outgoing {
+    /// A message to frame onto the socket.
+    Msg(Message),
+    /// Ack on the carried channel once all previously queued frames have
+    /// hit the socket ([`crate::wire::write_frame`] flushes per frame).
+    Flush(Sender<()>),
+    /// The reader thread exited: drain what is queued, then terminate.
+    ReaderGone,
+}
+
+impl std::fmt::Debug for Outgoing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outgoing::Msg(m) => f.debug_tuple("Msg").field(m).finish(),
+            Outgoing::Flush(_) => f.write_str("Flush"),
+            Outgoing::ReaderGone => f.write_str("ReaderGone"),
+        }
+    }
 }
 
 /// Pre-resolved `net.*` counters, so the per-frame hot path never does a
@@ -54,13 +86,21 @@ impl NetMetrics {
     }
 }
 
+/// The shared core of a connection handle. Held strongly by every public
+/// [`Connection`] clone and weakly by the reader thread; when the last
+/// strong reference drops, the outbox closes and the writer winds down.
+#[derive(Debug)]
+struct ConnInner {
+    outbox: Sender<Outgoing>,
+}
+
 /// A live connection: a handle to send messages, plus two background
 /// threads pumping the socket.
 #[derive(Clone, Debug)]
 pub struct Connection {
     id: ConnId,
     peer: SocketAddr,
-    outbox: Sender<Message>,
+    inner: Arc<ConnInner>,
 }
 
 impl Connection {
@@ -81,8 +121,15 @@ impl Connection {
         stream.set_nodelay(true)?;
         let peer = stream.peer_addr()?;
         let reader_stream = stream.try_clone()?;
-        let (outbox, inbox) = channel::<Message>();
-        let conn = Connection { id, peer, outbox };
+        let (outbox, inbox) = channel::<Outgoing>();
+        let conn = Connection {
+            id,
+            peer,
+            inner: Arc::new(ConnInner { outbox }),
+        };
+        // Weak: must not keep the outbox alive once every public handle is
+        // dropped (see module docs).
+        let reader_signal: Weak<ConnInner> = Arc::downgrade(&conn.inner);
         let _ = events.send(NetEvent::Opened(conn.clone()));
 
         let writer_nm = nm.clone();
@@ -90,18 +137,32 @@ impl Connection {
             .name(format!("net-writer-{id}"))
             .spawn(move || {
                 let mut w = BufWriter::new(&stream);
-                while let Ok(msg) = inbox.recv() {
-                    let payload = msg.encode();
-                    if crate::wire::write_frame(&mut w, &payload).is_err() {
-                        break;
-                    }
-                    if let Some(nm) = &writer_nm {
-                        nm.frames_sent.inc();
-                        nm.bytes_sent.add(payload.len() as u64 + 4);
+                while let Ok(out) = inbox.recv() {
+                    match out {
+                        Outgoing::Msg(msg) => {
+                            let payload = msg.encode();
+                            if crate::wire::write_frame(&mut w, &payload).is_err() {
+                                break;
+                            }
+                            if let Some(nm) = &writer_nm {
+                                nm.frames_sent.inc();
+                                nm.bytes_sent.add(payload.len() as u64 + 4);
+                            }
+                        }
+                        Outgoing::Flush(ack) => {
+                            // write_frame flushes per frame, so reaching this
+                            // queue position means everything before it is
+                            // already on the socket.
+                            let _ = ack.send(());
+                        }
+                        Outgoing::ReaderGone => break,
                     }
                 }
-                // Outbox closed or write failed: tear the socket down so the
-                // reader thread (ours and the peer's) unblocks.
+                // Outbox closed, write failed or reader gone: tear the socket
+                // down so the reader thread (ours and the peer's) unblocks.
+                // Dropping `inbox` here also makes every later `send`/`flush`
+                // on surviving handles return `false` instead of queueing
+                // into the void.
                 let _ = stream.shutdown(Shutdown::Both);
             })
             .expect("spawn net writer thread");
@@ -133,6 +194,13 @@ impl Connection {
                 if let Ok(s) = r.into_inner().try_clone() {
                     let _ = s.shutdown(Shutdown::Both);
                 }
+                // Wake a writer parked on an idle outbox so it terminates
+                // now rather than at the next outgoing send. If the upgrade
+                // fails every public handle is already gone and the closed
+                // channel has woken the writer by itself.
+                if let Some(inner) = reader_signal.upgrade() {
+                    let _ = inner.outbox.send(Outgoing::ReaderGone);
+                }
                 let _ = events.send(NetEvent::Closed(id));
             })
             .expect("spawn net reader thread");
@@ -154,7 +222,20 @@ impl Connection {
     /// connection is already gone (the caller will observe a
     /// [`NetEvent::Closed`] too).
     pub fn send(&self, msg: Message) -> bool {
-        self.outbox.send(msg).is_ok()
+        self.inner.outbox.send(Outgoing::Msg(msg)).is_ok()
+    }
+
+    /// Blocks until every message queued before this call has been written
+    /// and flushed to the socket, or `timeout` elapses. Returns `true` on a
+    /// confirmed drain; `false` on timeout or when the connection is
+    /// already gone. This is how a departing process guarantees its
+    /// farewell frame is on the wire before exiting — a sleep only hopes.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let (ack_tx, ack_rx) = channel();
+        if self.inner.outbox.send(Outgoing::Flush(ack_tx)).is_err() {
+            return false;
+        }
+        ack_rx.recv_timeout(timeout).is_ok()
     }
 }
 
@@ -164,7 +245,7 @@ mod tests {
     use crate::wire::send_message;
     use sagrid_core::ids::NodeId;
     use std::net::TcpListener;
-    use std::time::Duration;
+    use std::time::Instant;
 
     #[test]
     fn messages_flow_both_ways_and_close_is_reported() {
@@ -229,5 +310,109 @@ mod tests {
         let report = metrics.report();
         assert_eq!(report.counter("net.frames_sent"), 5);
         assert!(report.counter("net.bytes_sent") >= 5 * 9);
+    }
+
+    #[test]
+    fn flush_confirms_queued_frames_are_on_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (events_tx, events_rx) = channel();
+        let (got_tx, got_rx) = channel::<Message>();
+
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            while let Ok(Some(msg)) = crate::wire::recv_message(&mut r) {
+                if got_tx.send(msg).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let conn = Connection::spawn(2, stream, events_tx, None).unwrap();
+        // Drain the Opened event and drop the handle clone it carries —
+        // otherwise it keeps the outbox open past the final drop below.
+        let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let NetEvent::Opened(registered) = evt else {
+            panic!("expected Opened first, got {evt:?}")
+        };
+        drop(registered);
+        for i in 0..20 {
+            assert!(conn.send(Message::Heartbeat { node: NodeId(i) }));
+        }
+        assert!(conn.send(Message::Leaving { node: NodeId(7) }));
+        assert!(
+            conn.flush(Duration::from_secs(5)),
+            "flush must ack within the timeout"
+        );
+        // The ack guarantees the frames were written and flushed; a live
+        // loopback socket delivers them promptly after that.
+        let mut got = Vec::new();
+        while got.len() < 21 {
+            got.push(got_rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        }
+        assert_eq!(got.last(), Some(&Message::Leaving { node: NodeId(7) }));
+        drop(conn);
+        let _ = events_rx; // keep the sink alive until here
+        server.join().unwrap();
+    }
+
+    /// Live thread names of this process (Linux: `/proc/self/task/*/comm`).
+    #[cfg(target_os = "linux")]
+    fn live_thread_names() -> Vec<String> {
+        let mut names = Vec::new();
+        if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+            for t in tasks.flatten() {
+                if let Ok(name) = std::fs::read_to_string(t.path().join("comm")) {
+                    names.push(name.trim().to_string());
+                }
+            }
+        }
+        names
+    }
+
+    /// Regression: the reader exiting (peer EOF) must terminate the writer
+    /// too, even while a public handle keeps the outbox open and idle —
+    /// previously the writer stayed parked on `recv()` forever.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reader_exit_terminates_both_threads() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (events_tx, events_rx) = channel();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        // Thread names are capped at 15 chars; id 4242 keeps both unique.
+        let conn = Connection::spawn(4242, stream, events_tx, None).unwrap();
+        let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(evt, NetEvent::Opened(_)));
+        assert!(live_thread_names().iter().any(|n| n == "net-writer-4242"));
+
+        // Peer closes: reader sees EOF and must take the writer down with
+        // it, while `conn` still holds the outbox open.
+        drop(server_side);
+        let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(evt, NetEvent::Closed(4242)), "got {evt:?}");
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let names = live_thread_names();
+            let alive = |n: &str| names.iter().any(|x| x == n);
+            if !alive("net-reader-4242") && !alive("net-writer-4242") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "connection threads still alive: {names:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // The dead connection rejects further traffic instead of queueing
+        // into the void.
+        assert!(!conn.send(Message::Shutdown));
+        assert!(!conn.flush(Duration::from_millis(100)));
     }
 }

@@ -15,7 +15,7 @@
 //! heartbeat timeout declares a node dead.
 
 use crate::conn::{ConnId, Connection, NetEvent, NetMetrics};
-use crate::wire::Message;
+use crate::wire::{Message, PeerInfo};
 use sagrid_core::config::GridConfig;
 use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::metrics::{MetricEvent, Metrics, Value};
@@ -89,6 +89,26 @@ impl HubCounters {
             spawns_requested: m.counter("net.spawns_requested").expect("enabled"),
             shrink_requests: m.counter("net.shrink_requests").expect("enabled"),
         })
+    }
+}
+
+/// Sends the full steal-plane peer directory to every connected worker.
+///
+/// Full snapshots rather than deltas: a snapshot is idempotent, so a lost
+/// or reordered broadcast heals on the next directory change instead of
+/// leaving a worker with a permanently stale view.
+fn broadcast_directory(
+    peer_dir: &BTreeMap<NodeId, PeerInfo>,
+    node_conn: &BTreeMap<NodeId, ConnId>,
+    conns: &BTreeMap<ConnId, Connection>,
+) {
+    let snapshot = Message::PeerDirectory {
+        peers: peer_dir.values().cloned().collect(),
+    };
+    for cid in node_conn.values() {
+        if let Some(c) = conns.get(cid) {
+            c.send(snapshot.clone());
+        }
     }
 }
 
@@ -171,6 +191,10 @@ impl Hub {
         let mut pending_grants: Vec<(NodeId, ClusterId)> = Vec::new();
         let mut blacklisted_nodes: BTreeSet<NodeId> = BTreeSet::new();
         let mut blacklisted_clusters: BTreeSet<ClusterId> = BTreeSet::new();
+        // Steal-plane peer directory: node → where its steal listener is.
+        // Populated by PeerAnnounce, pruned on leave/death, pushed to every
+        // worker as a full snapshot whenever it changes.
+        let mut peer_dir: BTreeMap<NodeId, PeerInfo> = BTreeMap::new();
         let mut last_detect = Instant::now();
 
         'serve: loop {
@@ -283,6 +307,18 @@ impl Hub {
                                             accepted: true,
                                             reason: String::new(),
                                         });
+                                        // Bring the newcomer up to date on
+                                        // the steal plane right away; later
+                                        // changes rebroadcast to everyone.
+                                        // An empty directory conveys
+                                        // nothing, so skip the frame (and
+                                        // keep non-stealing deployments
+                                        // free of directory traffic).
+                                        if !peer_dir.is_empty() {
+                                            c.send(Message::PeerDirectory {
+                                                peers: peer_dir.values().cloned().collect(),
+                                            });
+                                        }
                                     }
                                     if let Some(hc) = &hc {
                                         hc.joins.inc();
@@ -338,6 +374,9 @@ impl Hub {
                                 pool.release(node);
                             }
                             node_conn.remove(&node);
+                            if peer_dir.remove(&node).is_some() {
+                                broadcast_directory(&peer_dir, &node_conn, &conns);
+                            }
                             if let Some(hc) = &hc {
                                 hc.leaves.inc();
                             }
@@ -435,11 +474,33 @@ impl Hub {
                                 break 'serve;
                             }
                         }
-                        // Hub-outbound messages arriving inbound: ignore.
+                        Message::PeerAnnounce { node, steal_addr } => {
+                            // Only the worker that owns the node id may
+                            // announce a listener for it.
+                            if roles.get(&id) == Some(&Role::Worker(node)) {
+                                let cluster = pool.cluster_of(node);
+                                peer_dir.insert(
+                                    node,
+                                    PeerInfo {
+                                        node,
+                                        cluster,
+                                        steal_addr,
+                                    },
+                                );
+                                broadcast_directory(&peer_dir, &node_conn, &conns);
+                            }
+                        }
+                        // Hub-outbound messages arriving inbound, and
+                        // steal-plane traffic (worker ↔ worker, never through
+                        // the hub): ignore.
                         Message::JoinAck { .. }
                         | Message::SignalLeave { .. }
                         | Message::CrashNotice { .. }
-                        | Message::SpawnWorker { .. } => {}
+                        | Message::SpawnWorker { .. }
+                        | Message::PeerDirectory { .. }
+                        | Message::StealRequest { .. }
+                        | Message::StealReply { .. }
+                        | Message::StealResult { .. } => {}
                     },
                 }
             }
@@ -448,11 +509,13 @@ impl Hub {
             if last_detect.elapsed() >= self.cfg.detect_interval {
                 last_detect = Instant::now();
                 let t = now(epoch);
+                let mut dir_changed = false;
                 for dead in membership.detect_failures(t) {
                     let cluster = membership.cluster_of(dead).unwrap_or(ClusterId(0));
                     pool.mark_lost(dead);
                     blacklisted_nodes.insert(dead);
                     node_conn.remove(&dead);
+                    dir_changed |= peer_dir.remove(&dead).is_some();
                     if let Some(hc) = &hc {
                         hc.deaths.inc();
                     }
@@ -463,6 +526,9 @@ impl Hub {
                             cluster,
                         });
                     }
+                }
+                if dir_changed {
+                    broadcast_directory(&peer_dir, &node_conn, &conns);
                 }
             }
 

@@ -27,11 +27,13 @@
 pub mod backoff;
 pub mod conn;
 pub mod hub;
+pub mod steal;
 pub mod wire;
 
 pub use backoff::Backoff;
 pub use conn::{ConnId, Connection, NetEvent, NetMetrics};
 pub use hub::{Hub, HubConfig};
+pub use steal::{ExportPool, NetStealHook, StealClient, StealMetrics};
 pub use wire::Message;
 
 use std::collections::BTreeMap;

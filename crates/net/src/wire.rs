@@ -48,13 +48,42 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// One worker's entry in the steal-plane peer directory: where its steal
+/// listener can be dialled, and which cluster it sits in (CRS victim
+/// selection is cluster-aware).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerInfo {
+    /// The peer's node id.
+    pub node: NodeId,
+    /// The peer's cluster (drives local-first victim selection).
+    pub cluster: ClusterId,
+    /// `host:port` of the peer's steal listener.
+    pub steal_addr: String,
+}
+
+/// A serialized divide-and-conquer job travelling in a [`Message::StealReply`].
+///
+/// `id` is victim-local: the thief echoes it back in the
+/// [`Message::StealResult`] so the victim can complete the right join slot.
+/// `payload` is an application-level encoding (`sagrid_apps::remote`) that
+/// the thief reconstructs and executes in its own process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StealJob {
+    /// Victim-local job id, echoed in the result.
+    pub id: u64,
+    /// Application-encoded job (opaque to the control plane).
+    pub payload: Vec<u8>,
+}
+
 /// Every control-plane message of the process-mode deployment.
 ///
 /// Direction conventions: workers send `Join`/`Heartbeat`/`StatsReport`/
-/// `Leaving`; the hub sends `JoinAck`/`SignalLeave`/`SpawnWorker`/
-/// `CrashNotice`/`Shutdown`; the out-of-process coordinator sends
-/// `CoordinatorHello`/`Grow`/`Shrink`; the launcher sends `LauncherHello`
-/// and `Shutdown`.
+/// `Leaving`/`PeerAnnounce`; the hub sends `JoinAck`/`SignalLeave`/
+/// `SpawnWorker`/`CrashNotice`/`PeerDirectory`/`Shutdown`; the
+/// out-of-process coordinator sends `CoordinatorHello`/`Grow`/`Shrink`;
+/// the launcher sends `LauncherHello` and `Shutdown`. The steal plane
+/// (`StealRequest`/`StealReply`/`StealResult`) travels worker ↔ worker on
+/// dedicated connections, not through the hub.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
     /// A worker asks to join. `claim` is `None` for a fresh worker (the hub
@@ -139,6 +168,45 @@ pub enum Message {
     },
     /// Orderly teardown of the whole deployment.
     Shutdown,
+    /// Worker → hub: "my steal listener is reachable here". Sent right
+    /// after a successful join; the hub folds it into the peer directory
+    /// and rebroadcasts.
+    PeerAnnounce {
+        /// The announcing node (must match the connection's worker role).
+        node: NodeId,
+        /// `host:port` of the worker's steal listener.
+        steal_addr: String,
+    },
+    /// Hub → workers: full snapshot of the steal-plane peer directory.
+    /// Sent to a worker right after its `JoinAck` and rebroadcast to every
+    /// worker whenever the directory changes (announce, leave, death) —
+    /// snapshots are idempotent, so a lost or reordered update heals on the
+    /// next change.
+    PeerDirectory {
+        /// Every known peer with a live steal listener.
+        peers: Vec<PeerInfo>,
+    },
+    /// Thief → victim (steal plane): request one exportable job.
+    StealRequest {
+        /// The requesting node (victim-side accounting/debugging).
+        thief: NodeId,
+    },
+    /// Victim → thief: the job, or `None` when the victim's export pool is
+    /// dry (the CRS client then tries the next tier).
+    StealReply {
+        /// The exported job, if any.
+        job: Option<StealJob>,
+    },
+    /// Thief → victim: the value computed for a stolen job. Completes the
+    /// victim's join slot for `id` (first result wins — a reclaimed job
+    /// re-executed locally may race this, harmlessly, because jobs are
+    /// pure).
+    StealResult {
+        /// The victim-local job id from the [`StealJob`].
+        id: u64,
+        /// The computed value.
+        value: u64,
+    },
 }
 
 const TAG_JOIN: u8 = 0x01;
@@ -154,6 +222,15 @@ const TAG_GROW: u8 = 0x0a;
 const TAG_SHRINK: u8 = 0x0b;
 const TAG_SPAWN_WORKER: u8 = 0x0c;
 const TAG_SHUTDOWN: u8 = 0x0d;
+const TAG_PEER_ANNOUNCE: u8 = 0x0e;
+const TAG_PEER_DIRECTORY: u8 = 0x0f;
+const TAG_STEAL_REQUEST: u8 = 0x10;
+const TAG_STEAL_REPLY: u8 = 0x11;
+const TAG_STEAL_RESULT: u8 = 0x12;
+
+/// Smallest possible encoding of one [`PeerInfo`] (node + cluster + empty
+/// string), used to bound hostile directory length prefixes.
+const PEER_INFO_MIN_BYTES: usize = 4 + 2 + 4;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -219,6 +296,25 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
+    /// Bytes left to decode. List length prefixes are bounded by
+    /// `remaining() / min_element_size` *before* any reservation, so a
+    /// hostile prefix can never drive a large allocation (a flat
+    /// `MAX_FRAME`-derived bound would ignore element width and admit
+    /// multi-hundred-kilobyte over-reservations before `Truncated` fires).
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes and bounds a list length prefix: the claimed count must fit
+    /// in the remaining bytes at `min_element_size` bytes per element.
+    fn list_len(&mut self, min_element_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() / min_element_size {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
         if end > self.buf.len() {
@@ -283,6 +379,19 @@ impl<'a> Cursor<'a> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn peer_info(&mut self) -> Result<PeerInfo, WireError> {
+        Ok(PeerInfo {
+            node: NodeId(self.u32()?),
+            cluster: ClusterId(self.u16()?),
+            steal_addr: self.string()?,
+        })
     }
 
     fn report(&mut self) -> Result<MonitoringReport, WireError> {
@@ -384,6 +493,41 @@ impl Message {
                 put_u16(&mut out, cluster.0);
             }
             Message::Shutdown => out.push(TAG_SHUTDOWN),
+            Message::PeerAnnounce { node, steal_addr } => {
+                out.push(TAG_PEER_ANNOUNCE);
+                put_u32(&mut out, node.0);
+                put_str(&mut out, steal_addr);
+            }
+            Message::PeerDirectory { peers } => {
+                out.push(TAG_PEER_DIRECTORY);
+                put_u32(&mut out, peers.len() as u32);
+                for p in peers {
+                    put_u32(&mut out, p.node.0);
+                    put_u16(&mut out, p.cluster.0);
+                    put_str(&mut out, &p.steal_addr);
+                }
+            }
+            Message::StealRequest { thief } => {
+                out.push(TAG_STEAL_REQUEST);
+                put_u32(&mut out, thief.0);
+            }
+            Message::StealReply { job } => {
+                out.push(TAG_STEAL_REPLY);
+                match job {
+                    None => out.push(0),
+                    Some(j) => {
+                        out.push(1);
+                        put_u64(&mut out, j.id);
+                        put_u32(&mut out, j.payload.len() as u32);
+                        out.extend_from_slice(&j.payload);
+                    }
+                }
+            }
+            Message::StealResult { id, value } => {
+                out.push(TAG_STEAL_RESULT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *value);
+            }
         }
         out
     }
@@ -422,10 +566,7 @@ impl Message {
             TAG_LAUNCHER_HELLO => Message::LauncherHello,
             TAG_GROW => {
                 let count = c.u32()?;
-                let n = c.u32()? as usize;
-                if n > MAX_FRAME / 2 {
-                    return Err(WireError::Truncated);
-                }
+                let n = c.list_len(2)?; // ClusterId = 2 bytes
                 let mut prefer = Vec::with_capacity(n);
                 for _ in 0..n {
                     prefer.push(ClusterId(c.u16()?));
@@ -438,10 +579,7 @@ impl Message {
                 }
             }
             TAG_SHRINK => {
-                let n = c.u32()? as usize;
-                if n > MAX_FRAME / 4 {
-                    return Err(WireError::Truncated);
-                }
+                let n = c.list_len(4)?; // NodeId = 4 bytes
                 let mut nodes = Vec::with_capacity(n);
                 for _ in 0..n {
                     nodes.push(NodeId(c.u32()?));
@@ -458,6 +596,36 @@ impl Message {
                 cluster: ClusterId(c.u16()?),
             },
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_PEER_ANNOUNCE => Message::PeerAnnounce {
+                node: NodeId(c.u32()?),
+                steal_addr: c.string()?,
+            },
+            TAG_PEER_DIRECTORY => {
+                let n = c.list_len(PEER_INFO_MIN_BYTES)?;
+                let mut peers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    peers.push(c.peer_info()?);
+                }
+                Message::PeerDirectory { peers }
+            }
+            TAG_STEAL_REQUEST => Message::StealRequest {
+                thief: NodeId(c.u32()?),
+            },
+            TAG_STEAL_REPLY => {
+                let job = match c.u8()? {
+                    0 => None,
+                    1 => Some(StealJob {
+                        id: c.u64()?,
+                        payload: c.bytes()?,
+                    }),
+                    b => return Err(WireError::BadBool(b)),
+                };
+                Message::StealReply { job }
+            }
+            TAG_STEAL_RESULT => Message::StealResult {
+                id: c.u64()?,
+                value: c.u64()?,
+            },
             t => return Err(WireError::BadTag(t)),
         };
         if c.pos != buf.len() {
@@ -602,6 +770,37 @@ mod tests {
                 cluster: ClusterId(1),
             },
             Message::Shutdown,
+            Message::PeerAnnounce {
+                node: NodeId(3),
+                steal_addr: "127.0.0.1:45231".to_string(),
+            },
+            Message::PeerDirectory { peers: vec![] },
+            Message::PeerDirectory {
+                peers: vec![
+                    PeerInfo {
+                        node: NodeId(0),
+                        cluster: ClusterId(0),
+                        steal_addr: "127.0.0.1:9001".to_string(),
+                    },
+                    PeerInfo {
+                        node: NodeId(5),
+                        cluster: ClusterId(1),
+                        steal_addr: "10.0.0.7:9002".to_string(),
+                    },
+                ],
+            },
+            Message::StealRequest { thief: NodeId(2) },
+            Message::StealReply { job: None },
+            Message::StealReply {
+                job: Some(StealJob {
+                    id: 99,
+                    payload: vec![0x01, 0xff, 0x00, 0x7f],
+                }),
+            },
+            Message::StealResult {
+                id: 99,
+                value: u64::MAX,
+            },
         ]
     }
 
@@ -669,6 +868,41 @@ mod tests {
         bytes.push(7);
         put_str(&mut bytes, "");
         assert_eq!(Message::decode(&bytes), Err(WireError::BadBool(7)));
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_bounded_by_remaining_bytes() {
+        // A claimed count far beyond what the remaining bytes could hold
+        // must fail *before* any reservation — n is bounded by
+        // remaining / min_element_size, not by a flat MAX_FRAME fraction.
+        // Grow: count then a huge prefer-list length with a 2-byte body.
+        let mut grow = vec![TAG_GROW];
+        put_u32(&mut grow, 1);
+        put_u32(&mut grow, 250_000); // claims 250k ClusterIds (500 KB)
+        put_u16(&mut grow, 0); // ...but only one is present
+        assert_eq!(Message::decode(&grow), Err(WireError::Truncated));
+
+        // Shrink: huge node-list length, 4-byte body.
+        let mut shrink = vec![TAG_SHRINK];
+        put_u32(&mut shrink, 100_000);
+        put_u32(&mut shrink, 1);
+        assert_eq!(Message::decode(&shrink), Err(WireError::Truncated));
+
+        // PeerDirectory: huge peer count, tiny body.
+        let mut dir = vec![TAG_PEER_DIRECTORY];
+        put_u32(&mut dir, u32::MAX);
+        put_u32(&mut dir, 1); // a few stray bytes
+        assert_eq!(Message::decode(&dir), Err(WireError::Truncated));
+
+        // The bound must still admit legitimate maximal lists: n elements
+        // in exactly n * min_element_size remaining bytes.
+        let mut ok = vec![TAG_SHRINK];
+        put_u32(&mut ok, 3);
+        for i in 0..3u32 {
+            put_u32(&mut ok, i);
+        }
+        ok.push(0); // cluster: None
+        assert!(Message::decode(&ok).is_ok());
     }
 
     #[test]

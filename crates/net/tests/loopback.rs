@@ -3,11 +3,12 @@
 
 use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::metrics::Metrics;
-use sagrid_net::wire::{recv_message, send_message, Message};
+use sagrid_net::conn::{Connection, NetEvent};
+use sagrid_net::wire::{recv_message, send_message, Message, PeerInfo};
 use sagrid_net::{Hub, HubConfig};
 use std::net::TcpStream;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn start_hub(heartbeat_timeout: Duration) -> (u16, JoinHandle<Metrics>) {
     let cfg = HubConfig {
@@ -70,6 +71,15 @@ fn shutdown(port: u16, hub: JoinHandle<Metrics>) -> Metrics {
     launcher.send(Message::LauncherHello);
     launcher.send(Message::Shutdown);
     hub.join().expect("hub thread")
+}
+
+/// Skips non-directory traffic until the next `PeerDirectory` broadcast.
+fn next_directory(c: &mut Client) -> Vec<PeerInfo> {
+    loop {
+        if let Message::PeerDirectory { peers } = c.recv() {
+            return peers;
+        }
+    }
 }
 
 #[test]
@@ -232,6 +242,187 @@ fn transport_reconnect_of_an_alive_member_is_accepted() {
 
     let mut back = Client::connect(port);
     assert_eq!(back.join(0, Some(node.0)).unwrap(), node);
+    shutdown(port, hub);
+}
+
+/// Reads directory snapshots until one satisfies `pred` (snapshots are
+/// idempotent full states, so skipping intermediates is always safe).
+fn wait_directory(c: &mut Client, pred: impl Fn(&[PeerInfo]) -> bool) -> Vec<PeerInfo> {
+    loop {
+        let dir = next_directory(c);
+        if pred(&dir) {
+            return dir;
+        }
+    }
+}
+
+#[test]
+fn peer_directory_reaches_members_and_prunes_on_leave() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+
+    // A joins and announces: A's own snapshot eventually carries A with
+    // the hub-resolved cluster.
+    let mut a = Client::connect(port);
+    let na = a.join(0, None).unwrap();
+    a.send(Message::PeerAnnounce {
+        node: na,
+        steal_addr: "127.0.0.1:7001".to_string(),
+    });
+    let dir = wait_directory(&mut a, |d| d.iter().any(|p| p.node == na));
+    assert!(dir.contains(&PeerInfo {
+        node: na,
+        cluster: ClusterId(0),
+        steal_addr: "127.0.0.1:7001".to_string(),
+    }));
+
+    // B joins another cluster: between the post-join snapshot and the
+    // announce rebroadcasts, B learns about A without A resending a thing.
+    let mut b = Client::connect(port);
+    let nb = b.join(1, None).unwrap();
+    b.send(Message::PeerAnnounce {
+        node: nb,
+        steal_addr: "127.0.0.1:7002".to_string(),
+    });
+    for (c, me) in [(&mut a, na), (&mut b, nb)] {
+        let dir = wait_directory(c, |d| d.len() == 2);
+        assert!(dir.iter().any(|p| p.node == me));
+        assert!(dir
+            .iter()
+            .any(|p| p.node == nb && p.cluster == ClusterId(1)));
+    }
+
+    // A rogue announcement for somebody else's node id is ignored: B may
+    // only speak for itself.
+    b.send(Message::PeerAnnounce {
+        node: na,
+        steal_addr: "6.6.6.6:666".to_string(),
+    });
+    // B leaves: A's directory converges back to just A, with A's original
+    // address — proving the rogue update never landed.
+    b.send(Message::Leaving { node: nb });
+    let dir = wait_directory(&mut a, |d| d.len() == 1);
+    assert_eq!(dir[0].node, na);
+    assert_eq!(dir[0].steal_addr, "127.0.0.1:7001");
+
+    shutdown(port, hub);
+}
+
+#[test]
+fn peer_directory_prunes_dead_members() {
+    let (port, hub) = start_hub(Duration::from_millis(400));
+    let mut a = Client::connect(port);
+    let na = a.join(0, None).unwrap();
+    a.send(Message::PeerAnnounce {
+        node: na,
+        steal_addr: "127.0.0.1:7001".to_string(),
+    });
+    let mut b = Client::connect(port);
+    let nb = b.join(0, None).unwrap();
+    b.send(Message::PeerAnnounce {
+        node: nb,
+        steal_addr: "127.0.0.1:7002".to_string(),
+    });
+
+    // B goes silent; A keeps heartbeating and waits for the pruned
+    // snapshot driven by the failure detector.
+    a.stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("read timeout");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    // The hub interleaves frames from the two sockets arbitrarily, so an
+    // early snapshot may hold either node alone; pruning is only proven
+    // once B has been seen in the directory and then disappears from it.
+    let mut seen_b = false;
+    let pruned = loop {
+        a.send(Message::Heartbeat { node: na });
+        match recv_message(&mut a.stream) {
+            Ok(Some(Message::PeerDirectory { peers })) => {
+                seen_b |= peers.iter().any(|p| p.node == nb);
+                if seen_b && peers.len() == 1 && peers[0].node == na {
+                    break peers;
+                }
+            }
+            Ok(Some(_)) => {}
+            Ok(None) => panic!("hub closed the connection"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                assert!(
+                    Instant::now() < deadline,
+                    "dead member was never pruned from the directory"
+                );
+            }
+            Err(e) => panic!("recv: {e}"),
+        }
+    };
+    assert_eq!(pruned[0].node, na);
+
+    let metrics = shutdown(port, hub);
+    assert_eq!(metrics.report().counter("net.deaths"), 1);
+}
+
+#[test]
+fn leave_farewell_is_flushed_before_the_connection_is_torn_down() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut a = Client::connect(port);
+    let na = a.join(0, None).unwrap();
+    a.send(Message::PeerAnnounce {
+        node: na,
+        steal_addr: "127.0.0.1:7001".to_string(),
+    });
+
+    // B connects through a real `Connection` (the worker binary's path:
+    // dedicated reader/writer threads, so a send() only queues).
+    let (events_tx, events_rx) = std::sync::mpsc::channel::<NetEvent>();
+    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    let conn = Connection::spawn(77, stream, events_tx, None).expect("spawn conn");
+    conn.send(Message::Join {
+        cluster: ClusterId(0),
+        claim: None,
+    });
+    let nb = loop {
+        match events_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("event")
+        {
+            NetEvent::Message(_, Message::JoinAck { node, accepted, .. }) => {
+                assert!(accepted);
+                break node;
+            }
+            other => drop(other), // Opened event holds a Connection clone
+        }
+    };
+    conn.send(Message::PeerAnnounce {
+        node: nb,
+        steal_addr: "127.0.0.1:7002".to_string(),
+    });
+
+    // The farewell handshake under test: queue the Leaving frame, wait
+    // until the writer confirms it reached the socket, then tear the
+    // connection down immediately — no grace sleep.
+    conn.send(Message::Leaving { node: nb });
+    assert!(
+        conn.flush(Duration::from_secs(5)),
+        "writer never confirmed the farewell flush"
+    );
+    drop(conn);
+    drop(events_rx);
+
+    // Only the Leaving frame prunes the directory here (EOF alone never
+    // does, and the heartbeat timeout is far beyond this test): once B has
+    // appeared in a snapshot and the directory converges back to exactly
+    // A, the farewell must have survived the teardown.
+    let mut seen_b = false;
+    let dir = loop {
+        let d = next_directory(&mut a);
+        seen_b |= d.iter().any(|p| p.node == nb);
+        if seen_b && d.len() == 1 && d[0].node == na {
+            break d;
+        }
+    };
+    assert_eq!(dir[0].node, na);
+
     shutdown(port, hub);
 }
 

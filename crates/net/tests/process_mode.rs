@@ -26,3 +26,28 @@ fn grid_local_crash_scenario_passes() {
     assert!(out.join("run_coordinatord.jsonl").exists());
     std::fs::remove_dir_all(&out).ok();
 }
+
+#[test]
+fn grid_local_steal_scenario_passes() {
+    let out = std::env::temp_dir().join(format!("grid_local_steal_test_{}", std::process::id()));
+    // The scenario itself asserts the interesting facts (root result
+    // correct, remote steals observed, measured inter-cluster time > 0)
+    // and exits non-zero if any check fails; the duration is a deadline,
+    // not a sleep — the run ends as soon as the root result is in.
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))
+        .args([
+            "--workers",
+            "3",
+            "--scenario",
+            "steal",
+            "--duration-ms",
+            "30000",
+            "--out",
+            out.to_str().expect("utf8 temp path"),
+        ])
+        .status()
+        .expect("launch grid-local");
+    assert!(status.success(), "grid-local exited with {status}");
+    assert!(out.join("steal_root_metrics.jsonl").exists());
+    std::fs::remove_dir_all(&out).ok();
+}

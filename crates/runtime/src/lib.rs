@@ -59,4 +59,4 @@ pub use adaptive::AdaptiveRuntime;
 pub use config::{ClusterLayout, RuntimeConfig};
 pub use job::JoinHandle;
 pub use runtime::{Runtime, WorkerId};
-pub use worker::WorkerCtx;
+pub use worker::{RemoteStealHook, WorkerCtx};

@@ -3,7 +3,9 @@
 use crate::config::RuntimeConfig;
 use crate::deque::{Injector, Worker as Deque};
 use crate::job::{Job, Task, NO_HOLDER};
-use crate::worker::{worker_main, BenchProbe, Control, RtMetrics, Shared, WorkerShared};
+use crate::worker::{
+    worker_main, BenchProbe, Control, RemoteStealHook, RtMetrics, Shared, WorkerShared,
+};
 use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::metrics::Metrics;
 use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
@@ -52,6 +54,7 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             metrics,
             rm,
+            remote_steal: RwLock::new(None),
         });
         let rt = Self {
             shared,
@@ -132,6 +135,26 @@ impl Runtime {
         });
         job.take_result()
             .unwrap_or_else(|| panic!("divide-and-conquer job panicked"))
+    }
+
+    /// Installs (or replaces) the cross-process steal provider. Workers
+    /// invoke it when every in-process work source is dry, before parking;
+    /// see [`RemoteStealHook`] for the contract.
+    pub fn set_remote_steal_hook(&self, hook: Arc<dyn RemoteStealHook>) {
+        *self
+            .shared
+            .remote_steal
+            .write()
+            .expect("remote steal hook poisoned") = Some(hook);
+    }
+
+    /// Removes the cross-process steal provider, if any.
+    pub fn clear_remote_steal_hook(&self) {
+        *self
+            .shared
+            .remote_steal
+            .write()
+            .expect("remote steal hook poisoned") = None;
     }
 
     /// Adds a fresh worker to `cluster` at full speed (malleability:
@@ -461,6 +484,50 @@ mod tests {
         assert_eq!(rt.run(|ctx| fib(ctx, 15)), 610);
         assert!(!rt.metrics().is_enabled());
         assert!(rt.metrics().report().is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn remote_steal_hook_feeds_idle_workers_and_counts_inter_comm() {
+        use std::sync::atomic::AtomicU64;
+
+        // Hands out exactly one "remote" job, executes it through the
+        // normal spawn/join path, and attributes a measured wire wait.
+        struct FeedOnce {
+            fed: AtomicBool,
+            result: Arc<AtomicU64>,
+        }
+        impl crate::worker::RemoteStealHook for FeedOnce {
+            fn try_remote_steal(&self, ctx: &crate::worker::WorkerCtx<'_>) -> bool {
+                if self.fed.swap(true, Ordering::SeqCst) {
+                    return false;
+                }
+                let h = ctx.spawn(move |ctx| fib(ctx, 10));
+                let v = h.join(ctx);
+                self.result.store(v, Ordering::SeqCst);
+                ctx.note_remote_wait(Duration::from_micros(80));
+                true
+            }
+        }
+
+        let rt = Runtime::new(RuntimeConfig::single_cluster(2));
+        let result = Arc::new(AtomicU64::new(0));
+        rt.set_remote_steal_hook(Arc::new(FeedOnce {
+            fed: AtomicBool::new(false),
+            result: Arc::clone(&result),
+        }));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while result.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(result.load(Ordering::SeqCst), 55, "hook never ran");
+        let reports = rt.take_monitoring_reports();
+        let inter: u64 = reports.iter().map(|(r, _)| r.breakdown.inter_comm.0).sum();
+        assert!(
+            inter >= 80,
+            "measured remote wait must land in inter_comm, got {inter}µs"
+        );
+        rt.clear_remote_steal_hook();
         rt.shutdown();
     }
 

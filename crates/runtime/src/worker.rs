@@ -130,6 +130,21 @@ impl RtMetrics {
     }
 }
 
+/// A pluggable provider of work from *outside* this process.
+///
+/// Installed via [`crate::Runtime::set_remote_steal_hook`], invoked by a
+/// worker only after every in-process source came up dry (own deque,
+/// global queue, sibling threads). The hook owns the whole remote
+/// interaction — victim selection, the wire round trip, reconstructing
+/// and executing the stolen job via `ctx`, returning the result to the
+/// victim — and reports whether it made progress. It must return `false`
+/// promptly when nothing is stealable so the worker can park; blocking
+/// here stalls the worker loop.
+pub trait RemoteStealHook: Send + Sync {
+    /// Tries to obtain and execute one remote job. `true` = progress made.
+    fn try_remote_steal(&self, ctx: &WorkerCtx<'_>) -> bool;
+}
+
 /// Runtime-wide shared state.
 pub(crate) struct Shared {
     pub(crate) cfg: RuntimeConfig,
@@ -140,6 +155,8 @@ pub(crate) struct Shared {
     pub(crate) metrics: Metrics,
     /// Pre-resolved handles derived from `metrics`.
     pub(crate) rm: Option<RtMetrics>,
+    /// Cross-process steal provider; `None` until installed.
+    pub(crate) remote_steal: RwLock<Option<Arc<dyn RemoteStealHook>>>,
 }
 
 /// The execution context handed to every divide-and-conquer job. Provides
@@ -188,6 +205,19 @@ impl<'a> WorkerCtx<'a> {
             rm.spawns.inc();
         }
         crate::job::JoinHandle { job }
+    }
+
+    /// Attributes `d` of measured remote-steal wire time to this worker's
+    /// inter-cluster communication overhead — the paper's `inter_comm`
+    /// input, here a real wall-clock measurement of network round trips
+    /// rather than an emulated delay. Called by [`RemoteStealHook`]
+    /// implementations.
+    pub fn note_remote_wait(&self, d: Duration) {
+        let workers = self.shared.workers.read().expect("workers poisoned");
+        workers[self.me]
+            .stats
+            .inter_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Records a joiner re-executing a job lost with a dead worker
@@ -400,6 +430,16 @@ pub(crate) fn worker_main(
             return;
         }
         if !ctx.run_one() {
+            // Every in-process source is dry: give the cross-process hook
+            // a chance before parking.
+            let hook = shared
+                .remote_steal
+                .read()
+                .expect("remote steal hook poisoned")
+                .clone();
+            if hook.is_some_and(|h| h.try_remote_steal(&ctx)) {
+                continue;
+            }
             let park = shared.cfg.idle_park;
             std::thread::sleep(park);
             shared.workers.read().expect("workers poisoned")[me]

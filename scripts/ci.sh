@@ -74,6 +74,29 @@ timeout 55 ./target/release/grid-local --workers 4 --scenario crash \
     --duration-ms 6000 --out target/ci_grid_local
 ./target/release/validate_metrics target/ci_grid_local
 
+echo "== steal smoke (work migrates between processes over the wire) =="
+# Bounded run of the wire-level work-stealing scenario: a slow root worker
+# exports a fib frontier, thieves on two clusters steal jobs over TCP via
+# CRS victim selection, and grid-local asserts the reassembled result
+# matches the sequential value. The gate additionally requires that at
+# least one remote steal actually happened — a run where every job stayed
+# local would pass the arithmetic check while proving nothing.
+rm -rf target/ci_grid_steal
+timeout 60 ./target/release/grid-local --workers 4 --scenario steal \
+    --duration-ms 30000 --out target/ci_grid_steal
+./target/release/validate_metrics target/ci_grid_steal
+awk '
+    /"name":"net.steals.remote_ok"/ {
+        n = $0
+        sub(/.*"value":/, "", n); sub(/[,}].*/, "", n)
+        total += n
+    }
+    END {
+        printf "  net.steals.remote_ok total across thieves: %d\n", total
+        if (total < 1) { print "  FAIL: no remote steals observed"; exit 1 }
+    }
+' target/ci_grid_steal/steal_thief*_metrics.jsonl
+
 echo "== emit-metrics smoke (JSONL well-formed, stdout unperturbed) =="
 rm -rf target/ci_metrics
 ./target/release/experiments --quick --serial --emit-metrics target/ci_metrics \

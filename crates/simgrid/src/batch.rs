@@ -1,0 +1,83 @@
+//! Pooled task-batch storage for slim events.
+//!
+//! A handful of engine events (queue hand-offs from leaving nodes, crash
+//! recovery) carry *batches* — `Vec`s of task entries or victim ids. Embedding
+//! a `Vec` in the event enum costs 24 bytes per variant field and drags every
+//! event (steal requests included) up to that size, because an enum is as big
+//! as its largest variant. [`Batches`] moves the payload out of line: the
+//! event carries a 4-byte [`BatchId`] and the vectors live here, with freed
+//! slots (and their heap allocations) reused round-robin, so batch-carrying
+//! events allocate nothing in steady state.
+
+/// Index of a parked batch inside a [`Batches`] pool.
+pub(crate) type BatchId = u32;
+
+/// A pool of parked `Vec<T>` payloads addressed by [`BatchId`].
+#[derive(Debug)]
+pub(crate) struct Batches<T> {
+    store: Vec<Vec<T>>,
+    free: Vec<BatchId>,
+}
+
+impl<T> Default for Batches<T> {
+    fn default() -> Self {
+        Self {
+            store: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T> Batches<T> {
+    /// Parks `batch`, returning the id to embed in an event.
+    pub fn put(&mut self, batch: Vec<T>) -> BatchId {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.store[id as usize].is_empty());
+                self.store[id as usize] = batch;
+                id
+            }
+            None => {
+                self.store.push(batch);
+                (self.store.len() - 1) as BatchId
+            }
+        }
+    }
+
+    /// Takes the batch parked under `id`, freeing the slot (the slot's
+    /// allocation is handed to the caller with the batch; the slot itself is
+    /// reused).
+    pub fn take(&mut self, id: BatchId) -> Vec<T> {
+        let batch = std::mem::take(&mut self.store[id as usize]);
+        self.free.push(id);
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_take_roundtrips_and_reuses_slots() {
+        let mut b: Batches<u32> = Batches::default();
+        let a = b.put(vec![1, 2, 3]);
+        let c = b.put(vec![4]);
+        assert_ne!(a, c);
+        assert_eq!(b.take(a), vec![1, 2, 3]);
+        // The freed slot is reused for the next batch.
+        let d = b.put(vec![5, 6]);
+        assert_eq!(d, a);
+        assert_eq!(b.take(c), vec![4]);
+        assert_eq!(b.take(d), vec![5, 6]);
+    }
+
+    #[test]
+    fn interleaved_batches_stay_independent() {
+        let mut b: Batches<u32> = Batches::default();
+        let ids: Vec<BatchId> = (0..10).map(|i| b.put(vec![i; i as usize])).collect();
+        for (i, id) in ids.into_iter().enumerate().rev() {
+            assert_eq!(b.take(id), vec![i as u32; i]);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! re-inject orphaned tasks) follow the same design, but time is virtual and
 //! every run is deterministic.
 
+use crate::batch::{BatchId, Batches};
 use crate::config::{SimConfig, StealPolicy};
 use crate::node::{NodeActivity, SimNode};
 use crate::peers::PeerCache;
@@ -26,11 +27,24 @@ use sagrid_core::time::{SimDuration, SimTime};
 use sagrid_core::workload::TaskTree;
 use sagrid_registry::{Membership, RegistryConfig};
 use sagrid_sched::{AllocPolicy, NodeGrant, Requirements, ResourcePool};
-use sagrid_simnet::{EventQueue, Injection, Network};
+use sagrid_simnet::{EventQueue, Injection, Network, QueueBackend};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Engine events.
+///
+/// The enum is sized by its largest variant and the event queue moves
+/// millions of these, so the hot variants are kept lean on purpose:
+///
+/// * steal tokens are plain `u64`s with `0` meaning "asynchronous (wide)
+///   steal, no token" — real tokens start at 1 ([`SimNode::next_steal_token`]
+///   pre-increments — so the niche is free;
+/// * a stolen task travels as `(task, task_origin)` with
+///   `task == NO_TASK` for an empty reply, instead of an `Option` tuple;
+/// * message sizes are `u32` (a steal payload larger than 4 GiB is not a
+///   message, it is a migration);
+/// * batch-carrying rare events (leave hand-offs, crash recovery) embed a
+///   4-byte [`BatchId`] into pooled [`Batches`] instead of a 24-byte `Vec`.
 #[derive(Clone, Debug)]
 enum Event {
     /// A granted node finishes its startup and joins the computation.
@@ -43,35 +57,37 @@ enum Event {
     StealRequest {
         thief: NodeId,
         victim: NodeId,
-        token: Option<u64>,
+        /// Synchronous-steal token; `0` = asynchronous wide steal.
+        token: u64,
         wide: bool,
     },
     /// A steal reply arrives back at the thief.
     StealReply {
         thief: NodeId,
-        task: Option<(u32, NodeId)>,
-        token: Option<u64>,
+        /// Stolen task arena index, or [`NO_TASK`] for an empty reply.
+        task: u32,
+        /// Origin (spawner) of the stolen task; meaningless when empty.
+        task_origin: NodeId,
+        /// Token echoed from the request; `0` = asynchronous wide steal.
+        token: u64,
         wide: bool,
         /// Provenance for the bandwidth estimator (paper §3.3: bandwidth
         /// is estimated from measured data-transfer times).
         from_cluster: ClusterId,
-        bytes: u64,
+        bytes: u32,
         sent_at: SimTime,
     },
     /// A completed task's result arrives back at its spawner's cluster.
     ResultArrive {
         from_cluster: ClusterId,
         to_cluster: ClusterId,
-        bytes: u64,
+        bytes: u32,
         sent_at: SimTime,
     },
     /// A blocking result send has drained the sender's uplink.
     SendDone { node: NodeId },
     /// A leaving node's queued tasks arrive at a peer.
-    TaskTransfer {
-        to: NodeId,
-        tasks: Vec<(u32, NodeId)>,
-    },
+    TaskTransfer { to: NodeId, tasks: BatchId },
     /// An out-of-work node retries stealing.
     RetrySteal { node: NodeId, generation: u64 },
     /// The adaptation coordinator's periodic evaluation.
@@ -79,11 +95,11 @@ enum Event {
     /// Scenario perturbations due now.
     ApplyInjections,
     /// The runtime noticed a crash: clean up and re-inject orphaned tasks.
-    RecoverCrash {
-        victims: Vec<NodeId>,
-        tasks: Vec<(u32, NodeId)>,
-    },
+    RecoverCrash { victims: BatchId, tasks: BatchId },
 }
+
+/// Sentinel for "no task" in [`Event::StealReply::task`].
+const NO_TASK: u32 = u32::MAX;
 
 /// Flat or hierarchical coordinator, behind one dispatching façade so the
 /// engine is agnostic (paper §7: the hierarchy is a scalability fix, not a
@@ -206,6 +222,7 @@ impl EngineMetrics {
 ///     record_trace: false,
 ///     feedback_tuning: false,
 ///     hierarchical_coordinator: false,
+///     queue_backend: Default::default(),
 ///     seed: 42,
 /// };
 /// let result = GridSim::run(cfg);
@@ -235,6 +252,11 @@ pub struct GridSim {
     alive: PeerCache,
     /// Reusable id buffer for per-tick snapshots of the alive set.
     scratch_ids: Vec<NodeId>,
+    /// Pooled task batches referenced by [`Event::TaskTransfer`] /
+    /// [`Event::RecoverCrash`] (events stay 4 bytes wide per batch).
+    task_batches: Batches<(u32, NodeId)>,
+    /// Pooled crash-victim lists referenced by [`Event::RecoverCrash`].
+    victim_batches: Batches<NodeId>,
     /// Retry-chain staleness guards, indexed by node.
     retry_gen: Vec<u64>,
     /// Engine-side benchmark pacing: last benchmark start per node.
@@ -322,6 +344,8 @@ impl GridSim {
             nodes: (0..total).map(|_| None).collect(),
             alive: PeerCache::new(cfg.grid.clusters.len(), total),
             scratch_ids: Vec::new(),
+            task_batches: Batches::default(),
+            victim_batches: Batches::default(),
             retry_gen: vec![0; total],
             last_bench_start: vec![None; total],
             last_bench_load: vec![None; total],
@@ -342,7 +366,13 @@ impl GridSim {
             peer_cache_hits: 0,
             metrics,
             em,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(cfg.queue_backend.unwrap_or({
+                if total >= crate::config::AUTO_WHEEL_NODES {
+                    QueueBackend::Wheel
+                } else {
+                    QueueBackend::Heap
+                }
+            })),
             cfg,
         })
     }
@@ -490,13 +520,14 @@ impl GridSim {
             Event::StealReply {
                 thief,
                 task,
+                task_origin,
                 token,
                 wide,
                 from_cluster,
                 bytes,
                 sent_at,
             } => {
-                if wide && task.is_some() {
+                if wide && task != NO_TASK {
                     // Measure the transfer: effective bandwidth as the
                     // application sees it, queueing included.
                     let elapsed = now.saturating_since(sent_at);
@@ -505,9 +536,12 @@ impl GridSim {
                     } else {
                         self.pool.cluster_of(thief)
                     };
-                    self.bandwidth.observe(from_cluster, bytes, elapsed);
-                    self.bandwidth.observe(thief_cluster, bytes, elapsed);
+                    self.bandwidth
+                        .observe(from_cluster, u64::from(bytes), elapsed);
+                    self.bandwidth
+                        .observe(thief_cluster, u64::from(bytes), elapsed);
                 }
+                let task = (task != NO_TASK).then_some((task, task_origin));
                 self.on_steal_reply(now, thief, task, token, wide)
             }
             Event::ResultArrive {
@@ -517,16 +551,25 @@ impl GridSim {
                 sent_at,
             } => {
                 let elapsed = now.saturating_since(sent_at);
-                self.bandwidth.observe(from_cluster, bytes, elapsed);
-                self.bandwidth.observe(to_cluster, bytes, elapsed);
+                self.bandwidth
+                    .observe(from_cluster, u64::from(bytes), elapsed);
+                self.bandwidth
+                    .observe(to_cluster, u64::from(bytes), elapsed);
                 self.on_result_arrive(now)
             }
             Event::SendDone { node } => self.on_send_done(now, node),
-            Event::TaskTransfer { to, tasks } => self.on_task_transfer(now, to, tasks),
+            Event::TaskTransfer { to, tasks } => {
+                let tasks = self.task_batches.take(tasks);
+                self.on_task_transfer(now, to, tasks)
+            }
             Event::RetrySteal { node, generation } => self.on_retry(now, node, generation),
             Event::CoordinatorTick => self.on_coordinator_tick(now),
             Event::ApplyInjections => self.on_injections(now),
-            Event::RecoverCrash { victims, tasks } => self.on_recover(now, victims, tasks),
+            Event::RecoverCrash { victims, tasks } => {
+                let victims = self.victim_batches.take(victims);
+                let tasks = self.task_batches.take(tasks);
+                self.on_recover(now, victims, tasks)
+            }
         }
     }
 
@@ -683,7 +726,7 @@ impl GridSim {
             if let Some(victim) = self.alive.pick_other_cluster(my_cluster, &mut self.rng) {
                 self.peer_cache_hits += 1;
                 self.node_mut(id).wide_outstanding = true;
-                self.send_steal_request(now, id, victim, None, true);
+                self.send_steal_request(now, id, victim, 0, true);
             }
         }
 
@@ -708,7 +751,7 @@ impl GridSim {
             let token = self.node_mut(id).next_steal_token();
             self.node_mut(id)
                 .transition(now, NodeActivity::SyncSteal { token, wide });
-            self.send_steal_request(now, id, victim, Some(token), wide);
+            self.send_steal_request(now, id, victim, token, wide);
             return;
         }
 
@@ -742,7 +785,7 @@ impl GridSim {
         now: SimTime,
         thief: NodeId,
         victim: NodeId,
-        token: Option<u64>,
+        token: u64,
         wide: bool,
     ) {
         self.steal_attempts += 1;
@@ -769,7 +812,7 @@ impl GridSim {
         now: SimTime,
         thief: NodeId,
         victim: NodeId,
-        token: Option<u64>,
+        token: u64,
         wide: bool,
     ) {
         // A dead/left victim cannot answer; model the thief's timeout as an
@@ -796,15 +839,20 @@ impl GridSim {
         let d = self
             .network
             .deliver(now, victim_cluster, thief_cluster, payload);
+        let (task, task_origin) = match task {
+            Some((t, o)) => (t, o),
+            None => (NO_TASK, thief),
+        };
         self.queue.push(
             d.arrives_at,
             Event::StealReply {
                 thief,
                 task,
+                task_origin,
                 token,
                 wide,
                 from_cluster: victim_cluster,
-                bytes: payload,
+                bytes: u32::try_from(payload).unwrap_or(u32::MAX),
                 sent_at: now,
             },
         );
@@ -815,7 +863,7 @@ impl GridSim {
         now: SimTime,
         thief: NodeId,
         task: Option<(u32, NodeId)>,
-        token: Option<u64>,
+        token: u64,
         wide: bool,
     ) {
         if !self.alive.contains(thief) {
@@ -826,12 +874,14 @@ impl GridSim {
             }
             return;
         }
-        if wide && token.is_none() {
+        if wide && token == 0 {
             self.node_mut(thief).wide_outstanding = false;
         }
+        // Real tokens start at 1, so an asynchronous reply (token 0) never
+        // matches a node blocked on a synchronous steal.
         let awaited = matches!(
             self.node(thief).activity,
-            NodeActivity::SyncSteal { token: t, .. } if Some(t) == token
+            NodeActivity::SyncSteal { token: t, .. } if t == token
         );
         if awaited {
             match task {
@@ -911,7 +961,7 @@ impl GridSim {
                 Event::ResultArrive {
                     from_cluster: exec_cluster,
                     to_cluster: origin_cluster,
-                    bytes,
+                    bytes: u32::try_from(bytes).unwrap_or(u32::MAX),
                     sent_at: now,
                 },
             );
@@ -1083,7 +1133,7 @@ impl GridSim {
                     d.arrives_at,
                     Event::TaskTransfer {
                         to: target,
-                        tasks: queued,
+                        tasks: self.task_batches.put(queued),
                     },
                 );
             } else {
@@ -1157,7 +1207,7 @@ impl GridSim {
                         self.nodes[m.index()]
                             .as_mut()
                             .expect("alive node must exist")
-                            .load_factor = factor.max(1.0);
+                            .set_load_factor(factor.max(1.0));
                     }
                     if self.metrics.is_enabled() {
                         self.metrics.emit(
@@ -1246,7 +1296,10 @@ impl GridSim {
         }
         self.queue.push(
             now + self.cfg.timing.fault_detection_delay,
-            Event::RecoverCrash { victims, tasks },
+            Event::RecoverCrash {
+                victims: self.victim_batches.put(victims),
+                tasks: self.task_batches.put(tasks),
+            },
         );
     }
 
@@ -1585,6 +1638,7 @@ mod tests {
             record_trace: false,
             feedback_tuning: false,
             hierarchical_coordinator: false,
+            queue_backend: Default::default(),
             seed: 7,
         }
     }

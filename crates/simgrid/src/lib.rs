@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod batch;
 pub mod config;
 pub mod engine;
 pub mod node;
@@ -42,4 +43,5 @@ pub mod trace;
 pub use config::{AdaptMode, SimConfig, StealPolicy, TimingConfig};
 pub use engine::GridSim;
 pub use result::RunResult;
+pub use sagrid_simnet::QueueBackend;
 pub use trace::{NodeTrace, SpanKind, TraceSpan};

@@ -72,6 +72,10 @@ pub struct SimNode {
     pub cluster: ClusterId,
     /// Intrinsic speed relative to the grid's fastest node class.
     pub base_speed: f64,
+    /// Cached `1 / effective_speed()`; refreshed whenever `base_speed` or
+    /// `load_factor` changes (see [`SimNode::set_load_factor`]). Keeps the
+    /// task-start hot path free of float divisions.
+    inv_speed: f64,
     /// Injected background-load slowdown factor (≥ 1.0).
     pub load_factor: f64,
     /// Current activity.
@@ -122,6 +126,7 @@ impl SimNode {
             id,
             cluster,
             base_speed,
+            inv_speed: 1.0 / base_speed.max(1e-6),
             load_factor: 1.0,
             activity: NodeActivity::Waiting,
             activity_since: now,
@@ -143,9 +148,17 @@ impl SimNode {
         (self.base_speed / self.load_factor).max(1e-6)
     }
 
+    /// Updates the background-load multiplier, refreshing the cached
+    /// reciprocal speed. All post-construction speed changes go through
+    /// here so `execution_time` stays division-free.
+    pub fn set_load_factor(&mut self, factor: f64) {
+        self.load_factor = factor;
+        self.inv_speed = 1.0 / self.effective_speed();
+    }
+
     /// Wall time this node needs for `work` defined at speed 1.0.
     pub fn execution_time(&self, work: SimDuration) -> SimDuration {
-        work.mul_f64(1.0 / self.effective_speed())
+        work.mul_f64(self.inv_speed)
     }
 
     /// Whether the node participates in the computation.
@@ -255,8 +268,9 @@ mod tests {
         let w = SimDuration::from_secs(10);
         assert_eq!(n.execution_time(w), w);
         n.base_speed = 0.5;
+        n.set_load_factor(1.0);
         assert_eq!(n.execution_time(w), SimDuration::from_secs(20));
-        n.load_factor = 10.0;
+        n.set_load_factor(10.0);
         assert_eq!(n.execution_time(w), SimDuration::from_secs(200));
     }
 

@@ -18,6 +18,61 @@
 use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::rng::Rng64;
 
+/// A Fenwick (binary indexed) tree over per-cluster alive counts.
+///
+/// Cross-cluster victim selection needs "the `k`-th alive node in global
+/// ascending order" — a linear walk over clusters is fine at 3 clusters but
+/// O(15 000) per steal on a million-node grid. The tree answers prefix sums
+/// and order-statistic selection in O(log #clusters).
+#[derive(Clone, Debug)]
+struct ClusterCounts {
+    tree: Vec<usize>,
+}
+
+impl ClusterCounts {
+    fn new(clusters: usize) -> Self {
+        Self {
+            tree: vec![0; clusters + 1],
+        }
+    }
+
+    /// Adds `delta` to cluster `i`'s count.
+    fn add(&mut self, i: usize, delta: isize) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as isize + delta) as usize;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Total alive count in clusters `0..i`.
+    fn prefix(&self, i: usize) -> usize {
+        let mut i = i;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Locates the `k`-th (0-based) alive node in global ascending order:
+    /// returns `(cluster, offset within cluster)`. `k` must be < total.
+    fn select(&self, mut k: usize) -> (usize, usize) {
+        let mut pos = 0;
+        let mut bit = (self.tree.len() - 1).next_power_of_two();
+        while bit > 0 {
+            let next = pos + bit;
+            if next < self.tree.len() && self.tree[next] <= k {
+                k -= self.tree[next];
+                pos = next;
+            }
+            bit >>= 1;
+        }
+        (pos, k)
+    }
+}
+
 /// The set of alive nodes, organized per cluster for allocation-free
 /// victim selection.
 #[derive(Clone, Debug)]
@@ -26,6 +81,13 @@ pub struct PeerCache {
     members: Vec<Vec<NodeId>>,
     /// Per-node alive flag (indexed by `NodeId`), for O(1) membership.
     alive: Vec<bool>,
+    /// Position of each alive node within its cluster's `members` list
+    /// (indexed by `NodeId`; stale while dead). Makes in-cluster victim
+    /// picks O(1) instead of a binary search per steal.
+    pos: Vec<u32>,
+    /// Fenwick tree over per-cluster alive counts, for O(log #clusters)
+    /// cross-cluster selection.
+    by_cluster: ClusterCounts,
     /// Total alive count.
     count: usize,
 }
@@ -37,6 +99,8 @@ impl PeerCache {
         Self {
             members: vec![Vec::new(); clusters],
             alive: vec![false; nodes],
+            pos: vec![0; nodes],
+            by_cluster: ClusterCounts::new(clusters),
             count: 0,
         }
     }
@@ -48,6 +112,11 @@ impl PeerCache {
         let list = &mut self.members[cluster.0 as usize];
         let pos = list.binary_search(&id).unwrap_err();
         list.insert(pos, id);
+        self.pos[id.index()] = pos as u32;
+        for &m in &list[pos + 1..] {
+            self.pos[m.index()] += 1;
+        }
+        self.by_cluster.add(cluster.0 as usize, 1);
         self.count += 1;
     }
 
@@ -56,8 +125,13 @@ impl PeerCache {
         assert!(self.alive[id.index()], "node {id} removed while dead");
         self.alive[id.index()] = false;
         let list = &mut self.members[cluster.0 as usize];
-        let pos = list.binary_search(&id).expect("cluster list out of sync");
+        let pos = self.pos[id.index()] as usize;
+        debug_assert_eq!(list[pos], id, "cluster list out of sync");
         list.remove(pos);
+        for &m in &list[pos..] {
+            self.pos[m.index()] -= 1;
+        }
+        self.by_cluster.add(cluster.0 as usize, -1);
         self.count -= 1;
     }
 
@@ -78,7 +152,10 @@ impl PeerCache {
 
     /// The lowest-id alive node (the "master" in adoption paths).
     pub fn lowest(&self) -> Option<NodeId> {
-        self.members.iter().find_map(|m| m.first().copied())
+        (self.count > 0).then(|| {
+            let (c, off) = self.by_cluster.select(0);
+            self.members[c][off]
+        })
     }
 
     /// Alive nodes in ascending id order (ids are cluster-major, so chaining
@@ -128,7 +205,7 @@ impl PeerCache {
         let list = &self.members[cluster.0 as usize];
         let peers = list.len().checked_sub(1).filter(|&p| p > 0)?;
         let r = rng.gen_index(peers);
-        let pos = list.binary_search(&of).expect("`of` must be alive");
+        let pos = self.pos[of.index()] as usize;
         Some(if r < pos { list[r] } else { list[r + 1] })
     }
 
@@ -143,22 +220,10 @@ impl PeerCache {
         let peers = self.count.checked_sub(1).filter(|&p| p > 0)?;
         let r = rng.gen_index(peers);
         // Global ascending position of `of`, to skip it in the flat order.
-        let before: usize = self.members[..cluster.0 as usize]
-            .iter()
-            .map(Vec::len)
-            .sum();
-        let pos = before
-            + self.members[cluster.0 as usize]
-                .binary_search(&of)
-                .expect("`of` must be alive");
-        let mut idx = if r < pos { r } else { r + 1 };
-        for m in &self.members {
-            if idx < m.len() {
-                return Some(m[idx]);
-            }
-            idx -= m.len();
-        }
-        unreachable!("index within alive count")
+        let pos = self.by_cluster.prefix(cluster.0 as usize) + self.pos[of.index()] as usize;
+        let idx = if r < pos { r } else { r + 1 };
+        let (c, off) = self.by_cluster.select(idx);
+        Some(self.members[c][off])
     }
 
     /// Uniform random alive node outside `cluster`, or `None` (consuming no
@@ -168,17 +233,17 @@ impl PeerCache {
         if remote == 0 {
             return None;
         }
-        let mut idx = rng.gen_index(remote);
-        for (i, m) in self.members.iter().enumerate() {
-            if i == cluster.0 as usize {
-                continue;
-            }
-            if idx < m.len() {
-                return Some(m[idx]);
-            }
-            idx -= m.len();
-        }
-        unreachable!("index within remote count")
+        let idx = rng.gen_index(remote);
+        // Map the draw over "alive nodes not in `cluster`" onto a global
+        // ascending position by skipping `cluster`'s whole block.
+        let before = self.by_cluster.prefix(cluster.0 as usize);
+        let global = if idx < before {
+            idx
+        } else {
+            idx + self.members[cluster.0 as usize].len()
+        };
+        let (c, off) = self.by_cluster.select(global);
+        Some(self.members[c][off])
     }
 }
 

@@ -119,6 +119,7 @@ fn build(s: &Scenario) -> SimConfig {
         record_trace: false,
         feedback_tuning: s.feedback,
         hierarchical_coordinator: s.hierarchical,
+        queue_backend: Default::default(),
         seed: s.seed,
     }
 }

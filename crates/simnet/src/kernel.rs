@@ -9,10 +9,65 @@
 //! instant therefore execute in scheduling order, which (a) is deterministic
 //! and (b) preserves intuitive causality: an event scheduled as a consequence
 //! of another never runs before it.
+//!
+//! # Queue backends
+//!
+//! Two implementations share the `(time, seq)` contract and pop *identical*
+//! sequences for identical push sequences:
+//!
+//! * [`QueueBackend::Wheel`] (default) — a hierarchical timer wheel:
+//!   [`LEVELS`] levels of [`SLOTS`] slots each, 1 µs ticks, per-level
+//!   occupancy bitmaps, and per-slot FIFO buckets. Insert and pop are O(1)
+//!   amortized. Slots are indexed by the bits of the event's absolute
+//!   timestamp, and the level is the position of the highest bit in
+//!   `at XOR cursor` (the wheel's internal clock), so slot order within a
+//!   level *is* time order and no modulo wrap-around ambiguity exists.
+//!   Buckets store `(timestamp, payload)` pairs inline — the engine's slimmed
+//!   event enum is small enough that moving it through a cascade beats the
+//!   extra indirection of a payload slab (both were measured). Events beyond
+//!   the wheel horizon (`at - now >= 2^36` µs, ≈ 19 hours) go to a spill-over
+//!   binary heap ordered by `(at, seq)` and re-enter the wheel when the
+//!   cursor reaches their 2^36 µs block.
+//! * [`QueueBackend::Heap`] — the original `BinaryHeap<ScheduledEvent>`;
+//!   O(log n), kept as the oracle for equivalence tests and as a fallback.
+//!
+//! Why the pop order is identical: while the cursor is at `C`, all events
+//! with the same timestamp map to the same `(level, slot)` (a pure function
+//! of `at` and `C`), so they sit adjacently in one FIFO bucket in push
+//! (= seq) order; cascades drain buckets front-to-back, preserving that
+//! adjacency; and a level-0 slot holds exactly one timestamp (two distinct
+//! times with equal low six bits differ somewhere above bit 5, which would
+//! put at least one of them on a higher level). All events on level `k` are
+//! strictly earlier than all events on level `k+1`, and occupied slot index
+//! order within a level is time order, so "first slot of the lowest
+//! non-empty level" always yields the global minimum.
 
 use sagrid_core::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Number of slot-index bits per wheel level (64 slots per level).
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. Level `k` spans `2^(6(k+1))` µs of future.
+const LEVELS: usize = 6;
+/// Events further than `2^HORIZON_BITS` µs ahead spill to the overflow heap.
+const HORIZON_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+/// Which future-event-list implementation an [`EventQueue`] uses.
+///
+/// Both backends implement the same `(time, seq)` total order and are
+/// observationally identical; `Wheel` is the fast default, `Heap` is the
+/// reference implementation kept for equivalence testing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Hierarchical timer wheel, O(1) amortized (default).
+    #[default]
+    Wheel,
+    /// Binary min-heap oracle, O(log n).
+    Heap,
+}
 
 /// An event plus its scheduled execution time.
 #[derive(Clone, Debug)]
@@ -45,18 +100,181 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
+/// A beyond-horizon event waiting in the spill-over heap.
+///
+/// Carries `seq` so that draining a 2^36 µs block back into the wheel
+/// re-inserts equal-timestamp events in push order (the wheel's FIFO
+/// buckets then preserve it).
+#[derive(Clone, Debug)]
+struct Spilled<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Spilled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Spilled<E> {}
+impl<E> PartialOrd for Spilled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Spilled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap pops the earliest (at, seq) first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Hierarchical timer wheel state (see module docs for the invariants).
+#[derive(Debug)]
+struct Wheel<E> {
+    /// `LEVELS * SLOTS` FIFO buckets; bucket `level * SLOTS + slot`.
+    buckets: Box<[VecDeque<(u64, E)>]>,
+    /// Per-level slot-occupancy bitmaps (bit `s` set ⇔ bucket non-empty).
+    occupied: [u64; LEVELS],
+    /// Internal wheel clock; equals the queue's `now` between pops (cascades
+    /// advance it to slot starts mid-pop, never past the next event).
+    cursor: u64,
+    /// Beyond-horizon events, earliest `(at, seq)` first.
+    overflow: BinaryHeap<Spilled<E>>,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Self {
+            buckets: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; LEVELS],
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Files a within-horizon event into its `(level, slot)` bucket.
+    #[inline]
+    fn file(&mut self, at: u64, event: E) {
+        debug_assert!(at >= self.cursor);
+        let x = at ^ self.cursor;
+        debug_assert!(x >> HORIZON_BITS == 0);
+        let (level, slot) = if x == 0 {
+            (0, (at & (SLOTS as u64 - 1)) as usize)
+        } else {
+            let level = ((63 - x.leading_zeros()) / SLOT_BITS) as usize;
+            let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            (level, slot)
+        };
+        self.buckets[level * SLOTS + slot].push_back((at, event));
+        self.occupied[level] |= 1u64 << slot;
+    }
+
+    fn push(&mut self, at: u64, seq: u64, event: E) {
+        if (at ^ self.cursor) >> HORIZON_BITS != 0 {
+            self.overflow.push(Spilled { at, seq, event });
+        } else {
+            self.file(at, event);
+        }
+    }
+
+    /// Lowest non-empty level, or `LEVELS` when the wheel itself is empty.
+    #[inline]
+    fn lowest_level(&self) -> usize {
+        let mut level = 0;
+        while level < LEVELS && self.occupied[level] == 0 {
+            level += 1;
+        }
+        level
+    }
+
+    fn pop(&mut self) -> Option<(u64, E)> {
+        loop {
+            let level = self.lowest_level();
+            if level == LEVELS {
+                // Wheel empty: pull the next 2^36 µs block from overflow.
+                // All overflow events are in later blocks than everything the
+                // wheel held, so this never reorders.
+                let block = self.overflow.peek()?.at >> HORIZON_BITS;
+                self.cursor = block << HORIZON_BITS;
+                while let Some(s) = self.overflow.peek() {
+                    if s.at >> HORIZON_BITS != block {
+                        break;
+                    }
+                    let s = self.overflow.pop().expect("peeked");
+                    // Heap order is (at, seq), so equal-`at` spills re-enter
+                    // their bucket in push order.
+                    self.file(s.at, s.event);
+                }
+                continue;
+            }
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                let bucket = &mut self.buckets[slot];
+                let (at, event) = bucket.pop_front().expect("occupancy bit set");
+                if bucket.is_empty() {
+                    self.occupied[0] &= !(1u64 << slot);
+                }
+                self.cursor = at;
+                return Some((at, event));
+            }
+            // Cascade: advance the cursor to the slot's start time (still
+            // ≤ every event in the slot) and re-file the bucket one or more
+            // levels down.
+            let shift = SLOT_BITS * level as u32;
+            let upper = self.cursor >> (shift + SLOT_BITS) << (shift + SLOT_BITS);
+            self.cursor = upper | ((slot as u64) << shift);
+            self.occupied[level] &= !(1u64 << slot);
+            let mut bucket = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
+            for (at, event) in bucket.drain(..) {
+                self.file(at, event);
+            }
+            // Hand the (now empty) allocation back to avoid churn.
+            self.buckets[level * SLOTS + slot] = bucket;
+        }
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        let level = self.lowest_level();
+        if level == LEVELS {
+            return self.overflow.peek().map(|s| s.at);
+        }
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        if level == 0 {
+            // A level-0 slot holds exactly one timestamp.
+            return self.buckets[slot].front().map(|&(at, _)| at);
+        }
+        // Higher-level buckets mix timestamps; scan for the minimum. Not on
+        // the simulation hot path (the engine never peeks between events).
+        self.buckets[level * SLOTS + slot]
+            .iter()
+            .map(|&(at, _)| at)
+            .min()
+    }
+}
+
+/// The future-event list behind an [`EventQueue`].
+#[derive(Debug)]
+enum Backend<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<ScheduledEvent<E>>),
+}
+
 /// A deterministic future-event list with a virtual clock.
 ///
 /// The clock only moves forward: popping an event advances `now()` to the
-/// event's timestamp, and pushing an event in the past is a logic error
-/// (panics in all builds — a simulation that violates causality produces
-/// silently wrong figures, which is worse than a crash).
+/// event's timestamp. Scheduling into the past is a logic error: it trips a
+/// `debug_assert!` in debug builds, and in release builds the timestamp is
+/// clamped to `now()` (the event still runs, at the earliest legal time, and
+/// both backends agree on the resulting order — see [`EventQueue::push`]).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    backend: Backend<E>,
     now: SimTime,
     next_seq: u64,
     processed: u64,
+    len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -66,13 +284,30 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue with the clock at time zero.
+    /// An empty queue with the clock at time zero (timer-wheel backend).
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::Wheel)
+    }
+
+    /// An empty queue using the given backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            backend: match backend {
+                QueueBackend::Wheel => Backend::Wheel(Wheel::new()),
+                QueueBackend::Heap => Backend::Heap(BinaryHeap::new()),
+            },
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
+            len: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backend {
+            Backend::Wheel(_) => QueueBackend::Wheel,
+            Backend::Heap(_) => QueueBackend::Heap,
         }
     }
 
@@ -88,86 +323,124 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Schedules `event` at absolute time `at`.
     ///
-    /// Panics if `at` is before the current time.
+    /// `at` must not be before `now()`: scheduling into the past violates
+    /// causality. Debug builds assert; release builds clamp `at` to `now()`,
+    /// so the event fires immediately after the current one (and, like any
+    /// same-time tie, in push order). The clamp is part of the contract —
+    /// both queue backends apply it before ordering, so they stay
+    /// pop-for-pop identical even on this edge.
     pub fn push(&mut self, at: SimTime, event: E) {
-        assert!(
+        debug_assert!(
             at >= self.now,
             "cannot schedule into the past: at={at:?} < now={:?}",
             self.now
         );
+        let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, event });
+        self.len += 1;
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(at.0, seq, event),
+            Backend::Heap(h) => h.push(ScheduledEvent { at, seq, event }),
+        }
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty (simulation end).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let ev = self.heap.pop()?;
-        debug_assert!(ev.at >= self.now);
-        self.now = ev.at;
+        let (at, event) = match &mut self.backend {
+            Backend::Wheel(w) => {
+                let (at, event) = w.pop()?;
+                (SimTime(at), event)
+            }
+            Backend::Heap(h) => {
+                let ev = h.pop()?;
+                (ev.at, ev.event)
+            }
+        };
+        debug_assert!(at >= self.now);
+        self.now = at;
         self.processed += 1;
-        Some((ev.at, ev.event))
+        self.len -= 1;
+        Some((at, event))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Wheel(w) => w.peek_time().map(SimTime),
+            Backend::Heap(h) => h.peek().map(|e| e.at),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
     use sagrid_core::time::SimDuration;
+
+    fn both() -> [EventQueue<u64>; 2] {
+        [
+            EventQueue::with_backend(QueueBackend::Wheel),
+            EventQueue::with_backend(QueueBackend::Heap),
+        ]
+    }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), "c");
-        q.push(SimTime::from_secs(1), "a");
-        q.push(SimTime::from_secs(2), "b");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(SimTime::from_secs(3), "c");
+            q.push(SimTime::from_secs(1), "a");
+            q.push(SimTime::from_secs(2), "b");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "{backend:?}");
+        }
     }
 
     #[test]
     fn ties_break_in_push_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(5);
-        for i in 0..100 {
-            q.push(t, i);
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q = EventQueue::with_backend(backend);
+            let t = SimTime::from_secs(5);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{backend:?}");
         }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn clock_advances_monotonically() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(2), ());
-        q.push(SimTime::from_secs(1), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_secs(1));
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_secs(2));
-        assert_eq!(q.processed(), 2);
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(SimTime::from_secs(2), ());
+            q.push(SimTime::from_secs(1), ());
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_secs(1));
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_secs(2));
+            assert_eq!(q.processed(), 2);
+        }
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "cannot schedule into the past")]
-    fn scheduling_into_the_past_panics() {
+    fn scheduling_into_the_past_asserts_in_debug() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_secs(10), ());
         q.pop();
@@ -175,25 +448,136 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(debug_assertions))]
+    fn scheduling_into_the_past_clamps_in_release() {
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(SimTime::from_secs(10), "first");
+            q.pop();
+            q.push(SimTime::from_secs(5), "late-a"); // clamped to now = 10s
+            q.push(SimTime::from_secs(3), "late-b"); // ditto, after late-a
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t, e), (SimTime::from_secs(10), "late-a"), "{backend:?}");
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t, e), (SimTime::from_secs(10), "late-b"), "{backend:?}");
+        }
+    }
+
+    #[test]
     fn interleaved_push_pop_keeps_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(1), 1u32);
-        let (t, e) = q.pop().unwrap();
-        assert_eq!((t, e), (SimTime::from_secs(1), 1));
-        // Schedule relative to now.
-        q.push(q.now() + SimDuration::from_secs(1), 2);
-        q.push(q.now() + SimDuration::from_millis(500), 3);
-        assert_eq!(q.pop().unwrap().1, 3);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert!(q.is_empty());
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(SimTime::from_secs(1), 1u32);
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t, e), (SimTime::from_secs(1), 1));
+            // Schedule relative to now.
+            q.push(q.now() + SimDuration::from_secs(1), 2);
+            q.push(q.now() + SimDuration::from_millis(500), 3);
+            assert_eq!(q.pop().unwrap().1, 3);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn peek_time_matches_next_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(4), ());
-        q.push(SimTime::from_secs(2), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_secs(4), ());
+            q.push(SimTime::from_secs(2), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)), "{backend:?}");
+        }
+    }
+
+    /// Far-future events (beyond the 2^36 µs wheel horizon) take the
+    /// overflow path and still pop in exact `(time, seq)` order.
+    #[test]
+    fn overflow_events_keep_total_order() {
+        let horizon = SimDuration::from_micros(1 << HORIZON_BITS);
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q = EventQueue::with_backend(backend);
+            let far = SimTime::ZERO + horizon + SimDuration::from_secs(7);
+            q.push(far, "far-a");
+            q.push(SimTime::from_secs(1), "near");
+            q.push(far, "far-b"); // same instant: push order must hold
+            q.push(far + SimDuration::from_micros(1), "far-c");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(
+                order,
+                vec!["near", "far-a", "far-b", "far-c"],
+                "{backend:?}"
+            );
+            assert_eq!(q.now(), far + SimDuration::from_micros(1));
+        }
+    }
+
+    /// Pushing while popping across several wheel blocks: overflow events
+    /// re-enter the wheel and interleave correctly with near events.
+    #[test]
+    fn overflow_interleaves_with_near_events() {
+        let mut wheel = EventQueue::with_backend(QueueBackend::Wheel);
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        let mut rng = Xoshiro256StarStar::seeded(0xB10C);
+        let mut pushes: Vec<(SimTime, u64)> = Vec::new();
+        for i in 0..2_000u64 {
+            // Mix of near (µs..s) and far (multi-day) offsets.
+            let offset = if rng.gen_index(4) == 0 {
+                (1u64 << HORIZON_BITS) * (1 + rng.gen_range(3))
+            } else {
+                1 + rng.gen_range(1_000_000)
+            };
+            pushes.push((SimTime(offset), i));
+        }
+        for &(t, i) in &pushes {
+            wheel.push(t, i);
+            heap.push(t, i);
+        }
+        let mut popped = 0u64;
+        while let Some((wt, wi)) = wheel.pop() {
+            let (ht, hi) = heap.pop().expect("heap ran dry first");
+            assert_eq!((wt, wi), (ht, hi), "divergence after {popped} pops");
+            popped += 1;
+            // Keep some churn going mid-drain.
+            if popped.is_multiple_of(7) && popped < 1_000 {
+                let t = wheel.now() + SimDuration::from_micros(1 + rng.gen_range(1u64 << 37));
+                let tag = 1_000_000 + popped;
+                wheel.push(t, tag);
+                heap.push(t, tag);
+            }
+        }
+        assert!(heap.pop().is_none());
+        assert_eq!(wheel.len(), 0);
+    }
+
+    /// Steady-state churn with realistic inter-event gaps: the wheel and
+    /// the heap pop byte-identical `(time, payload)` sequences.
+    #[test]
+    fn wheel_matches_heap_under_churn() {
+        let mut rng = Xoshiro256StarStar::seeded(0x5EED_0001);
+        let [mut wheel, mut heap] = both();
+        for i in 0..200u64 {
+            let t = SimTime(rng.gen_range(2_000_000));
+            wheel.push(t, i);
+            heap.push(t, i);
+        }
+        for step in 0..20_000u64 {
+            let (wt, wi) = wheel.pop().expect("wheel empty");
+            let (ht, hi) = heap.pop().expect("heap empty");
+            assert_eq!((wt, wi), (ht, hi), "divergence at step {step}");
+            // 1-in-8 chance of a same-time push (tie churn), otherwise a
+            // spread of near-future gaps like the grid engine produces.
+            let gap = match rng.gen_index(8) {
+                0 => 0,
+                1..=4 => 100 + rng.gen_range(10_000),
+                5 | 6 => 1 + rng.gen_range(1_000_000),
+                _ => 1 + rng.gen_range(100_000_000),
+            };
+            let t = wheel.now() + SimDuration::from_micros(gap);
+            wheel.push(t, step);
+            heap.push(t, step);
+            assert_eq!(wheel.len(), heap.len());
+            assert_eq!(wheel.now(), heap.now());
+        }
     }
 }

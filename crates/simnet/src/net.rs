@@ -22,6 +22,14 @@ use sagrid_core::config::GridConfig;
 use sagrid_core::ids::ClusterId;
 use sagrid_core::time::{SimDuration, SimTime};
 
+/// Transmission time of `bytes` at a link with the given per-byte cost,
+/// rounded to the nearest microsecond (matching
+/// [`SimDuration::from_secs_f64`]'s rounding of `bytes / bandwidth`).
+#[inline]
+fn tx_time(bytes: u64, us_per_byte: f64) -> SimDuration {
+    SimDuration((bytes as f64 * us_per_byte).round() as u64)
+}
+
 /// A FIFO-serialized shared link (a cluster's WAN uplink).
 #[derive(Clone, Debug)]
 pub struct SharedLink {
@@ -29,6 +37,9 @@ pub struct SharedLink {
     pub latency: SimDuration,
     /// Current bandwidth in bytes/second.
     bandwidth_bps: f64,
+    /// Precomputed `1e6 / bandwidth_bps` — the transmit cost of one byte in
+    /// microseconds. Keeps the per-message hot path free of divisions.
+    us_per_byte: f64,
     /// Time until which the link's transmission slot is reserved.
     busy_until: SimTime,
     /// Total bytes ever accepted (for reports / bandwidth estimation).
@@ -42,6 +53,7 @@ impl SharedLink {
         Self {
             latency,
             bandwidth_bps,
+            us_per_byte: 1e6 / bandwidth_bps,
             busy_until: SimTime::ZERO,
             bytes_carried: 0,
         }
@@ -56,6 +68,7 @@ impl SharedLink {
     pub fn set_bandwidth(&mut self, bandwidth_bps: f64) {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
         self.bandwidth_bps = bandwidth_bps;
+        self.us_per_byte = 1e6 / bandwidth_bps;
     }
 
     /// Total bytes accepted so far.
@@ -68,7 +81,7 @@ impl SharedLink {
     /// adds `self.latency` once per traversal).
     pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
         let start = self.busy_until.max(now);
-        let tx = SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps);
+        let tx = tx_time(bytes, self.us_per_byte);
         self.busy_until = start + tx;
         self.bytes_carried += bytes;
         self.busy_until
@@ -101,7 +114,7 @@ pub struct Delivery {
 #[derive(Clone, Debug)]
 pub struct Network {
     lan_latency: Vec<SimDuration>,
-    lan_bandwidth_bps: Vec<f64>,
+    lan_us_per_byte: Vec<f64>,
     uplinks: Vec<SharedLink>,
     backbone_latency: SimDuration,
 }
@@ -111,7 +124,11 @@ impl Network {
     pub fn new(cfg: &GridConfig) -> Self {
         Self {
             lan_latency: cfg.clusters.iter().map(|c| c.lan.latency).collect(),
-            lan_bandwidth_bps: cfg.clusters.iter().map(|c| c.lan.bandwidth_bps).collect(),
+            lan_us_per_byte: cfg
+                .clusters
+                .iter()
+                .map(|c| 1e6 / c.lan.bandwidth_bps)
+                .collect(),
             uplinks: cfg
                 .clusters
                 .iter()
@@ -137,8 +154,7 @@ impl Network {
         bytes: u64,
     ) -> Delivery {
         if from == to {
-            let tx =
-                SimDuration::from_secs_f64(bytes as f64 / self.lan_bandwidth_bps[from.index()]);
+            let tx = tx_time(bytes, self.lan_us_per_byte[from.index()]);
             Delivery {
                 arrives_at: now + self.lan_latency[from.index()] + tx,
                 src_clear_at: now + tx,

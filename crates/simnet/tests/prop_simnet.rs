@@ -6,7 +6,7 @@ use sagrid_core::ids::ClusterId;
 use sagrid_core::rng::{Rng64, Xoshiro256StarStar};
 use sagrid_core::time::{SimDuration, SimTime};
 use sagrid_simnet::{
-    EventQueue, Injection, InjectionSchedule, Network, ScheduledInjection, SharedLink,
+    EventQueue, Injection, InjectionSchedule, Network, QueueBackend, ScheduledInjection, SharedLink,
 };
 
 const CASES: u64 = 150;
@@ -85,24 +85,64 @@ fn backlog_eventually_drains() {
 /// once, in time order.
 #[test]
 fn event_queue_conserves_events() {
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        for case in 0..CASES {
+            let mut rng = rng_for(4, case);
+            let n = 1 + rng.gen_index(199);
+            let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1_000_000)).collect();
+            let mut q: EventQueue<usize> = EventQueue::with_backend(backend);
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime(t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            let mut last = SimTime::ZERO;
+            while let Some((t, i)) = q.pop() {
+                assert!(t >= last, "{backend:?} case {case}");
+                assert!(!seen[i], "{backend:?} case {case}: event popped twice");
+                assert_eq!(t, SimTime(times[i]), "{backend:?} case {case}");
+                seen[i] = true;
+                last = t;
+            }
+            assert!(seen.iter().all(|&s| s), "{backend:?} case {case}");
+        }
+    }
+}
+
+/// Under a randomized interleaving of pushes (including pushes relative to
+/// the advancing clock, far-future spills past the wheel horizon, and
+/// already-due times) and pops, the wheel and the heap emit the exact same
+/// `(time, payload)` sequence.
+#[test]
+fn wheel_and_heap_pop_identically() {
     for case in 0..CASES {
-        let mut rng = rng_for(4, case);
-        let n = 1 + rng.gen_index(199);
-        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1_000_000)).collect();
-        let mut q: EventQueue<usize> = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(SimTime(t), i);
+        let mut rng = rng_for(6, case);
+        let mut wheel: EventQueue<usize> = EventQueue::with_backend(QueueBackend::Wheel);
+        let mut heap: EventQueue<usize> = EventQueue::with_backend(QueueBackend::Heap);
+        let mut next_id = 0usize;
+        for _ in 0..500 {
+            if rng.gen_index(3) > 0 || wheel.is_empty() {
+                // Mostly near-future pushes, occasionally beyond the
+                // 2^36 µs wheel horizon to exercise the overflow heap.
+                let ahead = if rng.gen_index(20) == 0 {
+                    (1 << 36) + rng.gen_range(1 << 20)
+                } else {
+                    rng.gen_range(5_000_000)
+                };
+                let at = wheel.now() + SimDuration(ahead);
+                wheel.push(at, next_id);
+                heap.push(at, next_id);
+                next_id += 1;
+            } else {
+                assert_eq!(wheel.pop(), heap.pop(), "case {case}");
+            }
         }
-        let mut seen = vec![false; times.len()];
-        let mut last = SimTime::ZERO;
-        while let Some((t, i)) = q.pop() {
-            assert!(t >= last, "case {case}");
-            assert!(!seen[i], "case {case}: event popped twice");
-            assert_eq!(t, SimTime(times[i]), "case {case}");
-            seen[i] = true;
-            last = t;
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w, h, "case {case}: drain diverged");
+            if w.is_none() {
+                break;
+            }
         }
-        assert!(seen.iter().all(|&s| s), "case {case}");
     }
 }
 

@@ -33,6 +33,8 @@ echo "== doc tests =="
 cargo test --workspace -q --doc
 
 echo "== DES throughput (quick) =="
+# Quick mode covers all three rows, the million-node stress scenario
+# included (one ~30 s sample of its bounded virtual-time slice).
 SAGRID_BENCH_QUICK=1 SAGRID_BENCH_OUT="$PWD/target/BENCH_des_throughput.quick.json" \
     cargo bench -p sagrid-bench --bench des_throughput
 echo "wrote target/BENCH_des_throughput.quick.json (committed baseline: BENCH_des_throughput.json)"
@@ -40,7 +42,7 @@ echo "wrote target/BENCH_des_throughput.quick.json (committed baseline: BENCH_de
 echo "== DES throughput vs committed baseline (warn-only, +/-20%) =="
 # Quick samples on shared hardware are noisy, so drift is reported, never
 # fatal. Compares events_per_sec per run name against the checked-in
-# full-scale baseline.
+# full-scale baseline for every row, des_million_node included.
 awk '
     /"name"/           { gsub(/[",]/, ""); name = $2 }
     /"events_per_sec"/ {

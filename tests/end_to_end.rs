@@ -151,6 +151,7 @@ fn time_accounting_is_conserved_for_static_runs() {
         record_trace: false,
         feedback_tuning: false,
         hierarchical_coordinator: false,
+        queue_backend: Default::default(),
         seed: 123,
     };
     let r = GridSim::run(cfg);
@@ -187,6 +188,7 @@ fn injections_change_behaviour_only_after_their_time() {
         record_trace: false,
         feedback_tuning: false,
         hierarchical_coordinator: false,
+        queue_backend: Default::default(),
         seed: 5,
     };
     let mut perturbed = base.clone();

@@ -4,6 +4,7 @@
 //! ```text
 //! experiments [--all] [--figure N] [--table s1] [--ablations]
 //!             [--quick] [--serial] [--out DIR] [--emit-metrics DIR]
+//!             [--scenario FILE] [--fuzz N] [--fuzz-seed SEED]
 //! ```
 //!
 //! With no arguments, runs everything at paper scale and prints the
@@ -19,6 +20,13 @@
 //! the `SAGRID_THREADS` environment variable (default: all cores); every
 //! byte of output is identical whatever the pool size. `--serial` forces a
 //! single worker.
+//!
+//! `--scenario FILE` runs one declarative scenario file (see
+//! `sagrid_scenario::spec`) through the DES with metrics enabled and
+//! gates on the adaptation invariants; the process exits non-zero on any
+//! violation. `--fuzz N` runs `N` seeded random scenarios (seeds
+//! `SEED..SEED+N`, `--fuzz-seed` defaults to 0) the same way, printing a
+//! one-line re-run command for every failing seed.
 
 use sagrid_adapt::AdaptPolicy;
 use sagrid_exp::report;
@@ -36,6 +44,9 @@ struct Args {
     serial: bool,
     out: Option<PathBuf>,
     emit_metrics: Option<PathBuf>,
+    scenario: Option<PathBuf>,
+    fuzz: Option<u64>,
+    fuzz_seed: u64,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +58,9 @@ fn parse_args() -> Args {
         serial: false,
         out: None,
         emit_metrics: None,
+        scenario: None,
+        fuzz: None,
+        fuzz_seed: 0,
     };
     let mut all = true;
     let mut it = std::env::args().skip(1);
@@ -78,6 +92,25 @@ fn parse_args() -> Args {
                 let dir = it.next().expect("--emit-metrics takes a directory");
                 args.emit_metrics = Some(PathBuf::from(dir));
             }
+            "--scenario" => {
+                all = false;
+                let f = it.next().expect("--scenario takes a scenario file");
+                args.scenario = Some(PathBuf::from(f));
+            }
+            "--fuzz" => {
+                all = false;
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--fuzz takes a seed count");
+                args.fuzz = Some(n);
+            }
+            "--fuzz-seed" => {
+                args.fuzz_seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--fuzz-seed takes an integer seed");
+            }
             other => panic!("unknown argument {other}; see the crate docs"),
         }
     }
@@ -97,6 +130,91 @@ fn scenario(id: ScenarioId, quick: bool) -> Scenario {
     }
 }
 
+/// Runs one declarative scenario file through the DES with metrics on and
+/// gates on the adaptation invariants. Returns `true` when the gate
+/// failed. With an `--emit-metrics` directory, the run's JSONL stream is
+/// written there as `scenario_<name>.jsonl`.
+fn run_scenario_file(path: &std::path::Path, emit_dir: Option<&std::path::Path>) -> bool {
+    use sagrid_core::metrics::Metrics;
+    use sagrid_scenario::{check_jsonl, InvariantConfig, ScenarioSpec};
+
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read scenario file {}: {e}", path.display()));
+    let spec = ScenarioSpec::parse(&text)
+        .unwrap_or_else(|e| panic!("invalid scenario file {}: {e}", path.display()));
+    let cfg = spec
+        .sim_config(sagrid_simgrid::AdaptMode::Adapt)
+        .unwrap_or_else(|e| panic!("scenario {} does not compile: {e}", spec.name));
+    println!("== SCENARIO {} ==\n", spec.name);
+    if !spec.description.is_empty() {
+        println!("  {}", spec.description);
+    }
+    let monitoring_secs = spec.monitoring_period_secs.unwrap_or(180);
+    let result = sagrid_simgrid::GridSim::try_run_with_metrics(cfg, Metrics::enabled())
+        .expect("validated scenario config must run");
+    let jsonl = result.metrics.as_ref().expect("metrics enabled").to_jsonl();
+    if let Some(dir) = emit_dir {
+        let out = dir.join(format!("scenario_{}.jsonl", spec.name));
+        std::fs::write(&out, &jsonl).expect("write scenario metrics stream");
+    }
+    println!(
+        "  runtime {:.1}s  iterations {}/{}  events processed {}  decisions {}{}",
+        result.total_runtime.as_secs_f64(),
+        result.iteration_durations.len(),
+        spec.iterations,
+        result.events_processed,
+        result.decisions.len(),
+        if result.timed_out { "  TIMED OUT" } else { "" },
+    );
+    let inv = InvariantConfig {
+        settle_us: monitoring_secs * 2_000_000,
+        expected_iterations: (!result.timed_out).then_some(spec.iterations as u64),
+        ..InvariantConfig::default()
+    };
+    let violations = check_jsonl(&jsonl, &inv);
+    if violations.is_empty() && !result.timed_out {
+        println!("  invariants: PASS\n");
+        false
+    } else {
+        for v in &violations {
+            println!("  invariant VIOLATED: {v}");
+        }
+        if result.timed_out {
+            println!("  invariant VIOLATED: run hit the virtual-time cap");
+        }
+        println!();
+        true
+    }
+}
+
+/// Runs `n` seeded fuzz scenarios (seeds `base..base+n`) and reports per
+/// seed. Returns `true` when any seed failed.
+fn run_fuzz(n: u64, base: u64) -> bool {
+    use sagrid_scenario::fuzz;
+
+    println!("== FUZZ: {n} seeded scenarios from seed {base} ==\n");
+    let mut failures = 0u64;
+    for seed in base..base.saturating_add(n) {
+        let out = fuzz::run_seed(seed);
+        if out.violations.is_empty() {
+            println!(
+                "  seed {seed}: PASS  ({} events, {} jsonl lines)",
+                out.spec.events.len(),
+                out.jsonl.lines().count()
+            );
+        } else {
+            failures += 1;
+            println!("  seed {seed}: FAIL");
+            for v in &out.violations {
+                println!("      {v}");
+            }
+            println!("      rerun: {}", fuzz::rerun_command(seed));
+        }
+    }
+    println!("\n  {n} seeds, {failures} failures.\n");
+    failures > 0
+}
+
 fn main() {
     let args = parse_args();
     if args.serial {
@@ -108,6 +226,17 @@ fn main() {
     if let Some(dir) = &args.emit_metrics {
         std::fs::create_dir_all(dir).expect("create --emit-metrics directory");
         parallel::set_emit_dir(Some(dir.clone()));
+    }
+
+    let mut gate_failed = false;
+    if let Some(path) = &args.scenario {
+        gate_failed |= run_scenario_file(path, args.emit_metrics.as_deref());
+    }
+    if let Some(n) = args.fuzz {
+        gate_failed |= run_fuzz(n, args.fuzz_seed);
+    }
+    if gate_failed {
+        std::process::exit(1);
     }
 
     if args.figures.contains(&1) {

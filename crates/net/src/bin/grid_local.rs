@@ -15,18 +15,38 @@
 //!   the distributed sum matches the sequential reference, and the
 //!   thieves' `inter_comm` overhead is real measured wire time.
 //!
+//! With `--scenario-file <path>` the launcher instead drives a declarative
+//! scenario (crates/scenario format — the same file the DES twin runs):
+//! it builds the grid's clusters on the hub, spawns `--workers-per-cluster`
+//! real workers per layout entry, compiles the file's timed events to
+//! primitive injections and applies each at its (time-scaled) wall-clock
+//! due time — CPU loads and uplink brownouts as `Perturb` messages fanned
+//! out by the hub, crashes as SIGKILL, grows as capacity grants, shrinks
+//! as leave signals. Afterwards it composes its own injection records with
+//! the coordinator daemon's decision stream and runs the crates/scenario
+//! adaptation-invariant checker over the merged JSONL, so a process-mode
+//! run is certified by the *same* invariants as a DES run.
+//!
 //! Grow decisions are applied by spawning new worker processes when the hub
 //! relays `SpawnWorker`; shrink decisions arrive at workers as leave
 //! signals. On exit the launcher asserts every child has terminated (no
 //! orphans) and that the coordinator's emitted JSONL decision stream
 //! reconstructs through `simgrid::provenance` like an in-process run's.
+//!
+//! Exit codes distinguish verdicts from infrastructure trouble: 0 all
+//! checks passed, 1 an adaptation invariant or launcher check failed,
+//! 2 infrastructure/usage error, 4 infrastructure *timeout* (a child never
+//! came up — the grid never reached the state the checks judge).
 
 use sagrid_core::ids::NodeId;
 use sagrid_core::json::parse_json;
+use sagrid_core::metrics::{MetricEvent, Value};
 use sagrid_net::conn::{Connection, NetEvent};
 use sagrid_net::wire::Message;
 use sagrid_net::Args;
+use sagrid_scenario::{check_jsonl, InvariantConfig, ScenarioSpec};
 use sagrid_simgrid::provenance::{reconstruct_decision, DecisionProvenance};
+use sagrid_simnet::Injection;
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader};
 use std::net::TcpStream;
@@ -114,6 +134,24 @@ fn spawn_worker(
 struct Tracked {
     name: String,
     child: Child,
+}
+
+/// Why a run could not even produce a verdict. `Infra` is a broken
+/// precondition (usage error, spawn failure, I/O); `Timeout` means a child
+/// never reached the state the checks judge (hub port, worker join,
+/// coordinator up) — CI treats the two differently, so they get distinct
+/// exit codes (2 vs 4; 3 is taken by the worker's join-refused exit).
+enum Failure {
+    Infra(String),
+    Timeout(String),
+}
+
+/// Lets every pre-existing `map_err(|e| format!(...))?` keep compiling:
+/// a bare string error is infrastructure trouble unless said otherwise.
+impl From<String> for Failure {
+    fn from(s: String) -> Self {
+        Failure::Infra(s)
+    }
 }
 
 struct Checks {
@@ -408,21 +446,521 @@ fn run_steal(
     Ok(checks.failures)
 }
 
-fn run() -> Result<Vec<String>, String> {
+/// Inputs of a `--scenario-file` run.
+struct ScenarioArgs {
+    path: String,
+    /// Real worker processes per layout cluster (the DES node counts
+    /// scale down onto this).
+    wpc: usize,
+    /// Virtual seconds → wall seconds factor (0.01 ⇒ a scenario minute
+    /// takes 600 ms of wall time).
+    time_scale: f64,
+    join_timeout: Duration,
+    /// Minimum coordinator decision events the run must emit.
+    min_decisions: usize,
+    out: String,
+    bin_dir: PathBuf,
+}
+
+/// One spawned scenario worker and whether it is still a valid
+/// perturbation/crash/shrink target.
+struct LiveWorker {
+    cluster: u16,
+    node: u32,
+    child: Child,
+    /// Crashed or asked to leave — no longer targetable.
+    gone: bool,
+}
+
+/// Wall-clock tail after the last injection, sized so the coordinator
+/// (600 ms period) demonstrably recovers inside the invariant checker's
+/// 2 s settle window with room to spare.
+const SCENARIO_SETTLE: Duration = Duration::from_millis(6000);
+
+/// Drives a declarative scenario file against real processes: the same
+/// events the DES executes are mapped onto `Perturb` fan-outs, SIGKILLs,
+/// capacity grants and leave signals, and the run is judged by the same
+/// crates/scenario adaptation invariants, from JSONL alone.
+fn run_scenario_file(sa: ScenarioArgs) -> Result<Vec<String>, Failure> {
+    let text = std::fs::read_to_string(&sa.path).map_err(|e| format!("read {}: {e}", sa.path))?;
+    let spec = ScenarioSpec::parse(&text)?;
+    let grid = spec.grid.build();
+    let mut injections = spec.compile(&grid)?;
+    // Stable sort: same-time primitives keep file order (the property
+    // scenario 5 — link first, CPUs second — depends on).
+    injections.sort_by_key(|s| s.at.0);
+    println!(
+        "grid-local: scenario \"{}\" — {} events -> {} primitive injections, \
+         time scale {}",
+        spec.name,
+        spec.events.len(),
+        injections.len(),
+        sa.time_scale,
+    );
+
+    // DES node counts scale down to `wpc` processes per cluster: an event
+    // hitting n of a cluster's N simulated nodes hits ceil(n·wpc/N) of its
+    // wpc real workers.
+    let layout_nodes = |cluster: u16| -> usize {
+        spec.layout
+            .iter()
+            .find(|&&(c, _)| c == cluster)
+            .map_or(sa.wpc.max(1), |&(_, n)| n.max(1))
+    };
+    let scale_count = |cluster: u16, n: usize| -> usize {
+        let base = layout_nodes(cluster);
+        (n * sa.wpc).div_ceil(base).clamp(1, sa.wpc)
+    };
+
+    // --- Hub with the scenario grid's clusters ---------------------------
+    let mut hub_child = Command::new(sa.bin_dir.join("sagrid-hub"))
+        .args([
+            "--port",
+            "0",
+            "--clusters",
+            &grid.clusters.len().to_string(),
+            "--nodes-per-cluster",
+            &(sa.wpc * 2 + 4).to_string(),
+            "--heartbeat-timeout-ms",
+            "700",
+            "--detect-interval-ms",
+            "100",
+            "--out",
+            &sa.out,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn sagrid-hub: {e}"))?;
+    let (port_tx, port_rx) = channel::<u16>();
+    {
+        let stdout = hub_child.stdout.take().expect("piped stdout");
+        pump("hub".to_string(), stdout, move |line| {
+            if let Some(rest) = line.strip_prefix("HUB_PORT=") {
+                if let Ok(p) = rest.trim().parse() {
+                    let _ = port_tx.send(p);
+                }
+            }
+        });
+    }
+    let port = port_rx
+        .recv_timeout(sa.join_timeout)
+        .map_err(|_| Failure::Timeout("hub never printed HUB_PORT=".to_string()))?;
+    let hub_addr = format!("127.0.0.1:{port}");
+    println!(
+        "grid-local: hub on {hub_addr} ({} clusters)",
+        grid.clusters.len()
+    );
+
+    // --- Coordinator daemon ----------------------------------------------
+    let coord_out = format!("{}/scenario_coordinatord.jsonl", sa.out);
+    let mut coord_child = Command::new(sa.bin_dir.join("sagrid-coordinatord"))
+        .args([
+            "--hub",
+            &hub_addr,
+            "--period-ms",
+            "600",
+            "--warmup-ms",
+            "2500",
+            "--out",
+            &coord_out,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn sagrid-coordinatord: {e}"))?;
+    let provenance_ok = Arc::new(AtomicBool::new(false));
+    let coord_up = {
+        let (tx, rx) = channel::<()>();
+        let flag = Arc::clone(&provenance_ok);
+        let stdout = coord_child.stdout.take().expect("piped stdout");
+        pump("coord".to_string(), stdout, move |line| {
+            if line.starts_with("COORDINATOR_UP") {
+                let _ = tx.send(());
+            } else if line.starts_with("PROVENANCE_OK") {
+                flag.store(true, Ordering::Release);
+            }
+        });
+        rx
+    };
+    coord_up
+        .recv_timeout(sa.join_timeout)
+        .map_err(|_| Failure::Timeout("coordinator daemon never came up".to_string()))?;
+    // The rebasing epoch for injection records: the daemon stamps its
+    // decision events relative to its own dial instant, moments before it
+    // printed COORDINATOR_UP — the skew is well under the invariant
+    // checker's multi-second settle window.
+    let coord_epoch = Instant::now();
+
+    // --- Launcher control connection -------------------------------------
+    let (events_tx, events_rx) = channel::<NetEvent>();
+    let stream = TcpStream::connect(&hub_addr).map_err(|e| format!("connect to hub: {e}"))?;
+    let control =
+        Connection::spawn(1, stream, events_tx, None).map_err(|e| format!("control conn: {e}"))?;
+    control.send(Message::LauncherHello);
+
+    let wa = WorkerArgs {
+        duty: 0.4,
+        period_ms: 500,
+        heartbeat_ms: 100,
+    };
+
+    // Grow decisions (the coordinator's or the scenario's) come back as
+    // SpawnWorker; apply them by spawning processes claiming the granted
+    // node id in the granted cluster.
+    let grown: Arc<Mutex<Vec<Tracked>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let (tx, rx) = channel::<NetEvent>();
+        let grown = Arc::clone(&grown);
+        let bin_dir = sa.bin_dir.clone();
+        let hub_addr = hub_addr.clone();
+        let wa2 = WorkerArgs { ..wa };
+        std::thread::Builder::new()
+            .name("grow-handler".to_string())
+            .spawn(move || {
+                while let Ok(evt) = rx.recv() {
+                    if let NetEvent::Message(_, Message::SpawnWorker { node, cluster }) = evt {
+                        println!("grid-local: grow -> spawning worker for {node} in {cluster}");
+                        if let Ok((child, _)) = spawn_worker(
+                            &bin_dir,
+                            &hub_addr,
+                            &wa2,
+                            cluster.0,
+                            None,
+                            Some(node.0),
+                            &[],
+                            format!("w{}+", node.0),
+                            |_| {},
+                        ) {
+                            grown.lock().expect("grown list").push(Tracked {
+                                name: format!("grown-worker-{}", node.0),
+                                child,
+                            });
+                        }
+                    }
+                }
+            })
+            .expect("spawn grow handler");
+        std::thread::Builder::new()
+            .name("control-events".to_string())
+            .spawn(move || {
+                while let Ok(evt) = events_rx.recv() {
+                    let _ = tx.send(evt);
+                }
+            })
+            .expect("spawn control event forwarder");
+    }
+
+    // --- Workers: wpc per layout cluster ---------------------------------
+    let mut live: Vec<LiveWorker> = Vec::new();
+    for &(cluster, _) in &spec.layout {
+        for i in 0..sa.wpc {
+            let (child, joined) = spawn_worker(
+                &sa.bin_dir,
+                &hub_addr,
+                &wa,
+                cluster,
+                None,
+                None,
+                &[],
+                format!("c{cluster}w{i}"),
+                |_| {},
+            )?;
+            let node = joined.recv_timeout(sa.join_timeout).map_err(|_| {
+                Failure::Timeout(format!("worker {i} of cluster {cluster} never joined"))
+            })?;
+            live.push(LiveWorker {
+                cluster,
+                node,
+                child,
+                gone: false,
+            });
+        }
+    }
+    println!(
+        "grid-local: {} workers up across {} clusters",
+        live.len(),
+        spec.layout.len()
+    );
+
+    // --- Timed injection loop --------------------------------------------
+    // Each primitive fires at its virtual time scaled to wall clock; the
+    // record written for the invariant checker carries the *actual* apply
+    // time rebased onto the coordinator's epoch, so injection and decision
+    // timestamps share one axis.
+    let t0 = Instant::now();
+    let mut records: Vec<String> = Vec::new();
+    for s in &injections {
+        let due = t0 + Duration::from_micros((s.at.0 as f64 * sa.time_scale) as u64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let at_us = Instant::now().duration_since(coord_epoch).as_micros() as u64;
+        let mut cluster_field: Option<u16> = None;
+        let kind = match s.injection {
+            Injection::CpuLoad {
+                cluster,
+                count,
+                factor,
+            } => {
+                cluster_field = Some(cluster.0);
+                control.send(Message::Perturb {
+                    cluster,
+                    count: count.map_or(0, |n| scale_count(cluster.0, n) as u32),
+                    speed: Some((1.0 / factor).clamp(0.05, 1.0)),
+                    inter_frac: None,
+                });
+                "cpu_load"
+            }
+            Injection::UplinkBandwidth {
+                cluster,
+                bandwidth_bps,
+            } => {
+                cluster_field = Some(cluster.0);
+                // Map the shaped uplink onto a synthetic inter-cluster wait
+                // fraction: full bandwidth ⇒ 0, a starved link ⇒ capped at
+                // 0.45 of the period — far beyond the coordinator's 0.08
+                // exceptional-overhead threshold.
+                let base = grid.clusters[cluster.index()].uplink.bandwidth_bps;
+                let frac = (1.0 - bandwidth_bps / base).clamp(0.0, 0.45);
+                control.send(Message::Perturb {
+                    cluster,
+                    count: 0,
+                    speed: None,
+                    inter_frac: Some(frac),
+                });
+                "uplink_bandwidth"
+            }
+            Injection::CrashCluster { cluster } => {
+                cluster_field = Some(cluster.0);
+                for w in live
+                    .iter_mut()
+                    .filter(|w| !w.gone && w.cluster == cluster.0)
+                {
+                    let _ = w.child.kill();
+                    let _ = w.child.wait();
+                    w.gone = true;
+                    println!("grid-local: SIGKILLed n{} ({cluster} site failure)", w.node);
+                }
+                "crash_cluster"
+            }
+            Injection::CrashNodes { cluster, count } => {
+                cluster_field = Some(cluster.0);
+                let n = scale_count(cluster.0, count);
+                for w in live
+                    .iter_mut()
+                    .filter(|w| !w.gone && w.cluster == cluster.0)
+                    .take(n)
+                {
+                    let _ = w.child.kill();
+                    let _ = w.child.wait();
+                    w.gone = true;
+                    println!("grid-local: SIGKILLed n{}", w.node);
+                }
+                "crash_nodes"
+            }
+            Injection::Grow { count, prefer } => {
+                // An external capacity grant (not a coordinator decision):
+                // the hub allocates from the pool and replies SpawnWorker,
+                // which the grow handler turns into real processes. The
+                // grant is sized against the first layout entry (the
+                // preferred cluster may be an empty spare site).
+                let base = spec
+                    .layout
+                    .first()
+                    .map_or(sa.wpc.max(1), |&(_, n)| n.max(1));
+                control.send(Message::Grow {
+                    count: ((count * sa.wpc).div_ceil(base)).max(1) as u32,
+                    prefer: prefer.into_iter().collect(),
+                    min_uplink_bps: None,
+                    min_speed: None,
+                });
+                "grow"
+            }
+            Injection::Shrink { cluster, count } => {
+                cluster_field = Some(cluster.0);
+                let n = scale_count(cluster.0, count);
+                for w in live
+                    .iter_mut()
+                    .filter(|w| !w.gone && w.cluster == cluster.0)
+                    .take(n)
+                {
+                    w.gone = true;
+                    control.send(Message::SignalLeave {
+                        node: NodeId(w.node),
+                    });
+                }
+                "shrink"
+            }
+        };
+        let mut ev =
+            MetricEvent::new(at_us, "injection").with("injection", Value::Str(kind.to_string()));
+        if let Some(c) = cluster_field {
+            ev = ev.with("cluster", Value::U64(u64::from(c)));
+        }
+        records.push(ev.to_json());
+        println!(
+            "grid-local: injected {kind} at +{:.2}s (virtual {:.1}s)",
+            t0.elapsed().as_secs_f64(),
+            s.at.0 as f64 / 1e6,
+        );
+    }
+
+    // --- Settle, shut down, reap ------------------------------------------
+    std::thread::sleep(SCENARIO_SETTLE);
+    control.send(Message::Shutdown);
+
+    let mut checks = Checks {
+        failures: Vec::new(),
+    };
+    let mut all: Vec<Tracked> = Vec::new();
+    all.push(Tracked {
+        name: "hub".to_string(),
+        child: hub_child,
+    });
+    all.push(Tracked {
+        name: "coordinatord".to_string(),
+        child: coord_child,
+    });
+    for w in live {
+        all.push(Tracked {
+            name: format!("worker-{}", w.node),
+            child: w.child,
+        });
+    }
+    all.append(&mut grown.lock().expect("grown list"));
+    let reap_deadline = Instant::now() + Duration::from_secs(10);
+    let mut orphans = Vec::new();
+    for t in &mut all {
+        loop {
+            match t.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() > reap_deadline => {
+                    let _ = t.child.kill();
+                    let _ = t.child.wait();
+                    orphans.push(t.name.clone());
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => return Err(Failure::Infra(format!("wait for {}: {e}", t.name))),
+            }
+        }
+    }
+    checks.assert(
+        orphans.is_empty(),
+        &format!("all children exited after shutdown (orphans: {orphans:?})"),
+    );
+    checks.assert(
+        provenance_ok.load(Ordering::Acquire),
+        "coordinator self-verified its provenance stream (PROVENANCE_OK)",
+    );
+
+    // --- Compose one JSONL stream and judge it ----------------------------
+    // Launcher-written injection records + the daemon's decision events,
+    // on the shared (coordinator-epoch) time axis. This is the exact
+    // artifact shape the DES twin emits, so the same checker runs on both.
+    let coord_text =
+        std::fs::read_to_string(&coord_out).map_err(|e| format!("read {coord_out}: {e}"))?;
+    let mut composed = records.join("\n");
+    composed.push('\n');
+    composed.push_str(&coord_text);
+    let stream_path = format!("{}/scenario_stream.jsonl", sa.out);
+    std::fs::write(&stream_path, &composed).map_err(|e| format!("write {stream_path}: {e}"))?;
+
+    let cfg = InvariantConfig {
+        recovery_eff: 0.25,
+        // Wall-clock settle: must fit inside SCENARIO_SETTLE.
+        settle_us: 2_000_000,
+        join_delay_us: 0,
+        // Decision-only streams carry no membership or teardown-counter
+        // records; those invariants are the DES twin's to certify.
+        check_membership: false,
+        check_conservation: false,
+        expected_iterations: None,
+    };
+    let violations = check_jsonl(&composed, &cfg);
+    checks.assert(
+        violations.is_empty(),
+        "adaptation invariants hold on the composed process-mode stream",
+    );
+    for v in &violations {
+        println!("grid-local: violation {v}");
+    }
+
+    // Offline reconstruction of every decision, like the classic scenarios.
+    let mut decisions = 0usize;
+    for (i, line) in coord_text.lines().enumerate() {
+        let value =
+            parse_json(line).map_err(|e| format!("{coord_out}:{}: bad JSON: {e}", i + 1))?;
+        if value.get("kind").and_then(|k| k.as_str()) == Some("decision") {
+            reconstruct_decision(&value).map_err(|e| format!("{coord_out}:{}: {e}", i + 1))?;
+            decisions += 1;
+        }
+    }
+    checks.assert(
+        decisions >= sa.min_decisions,
+        &format!(
+            "coordinator emitted at least {} reconstructible decision events (got {decisions})",
+            sa.min_decisions
+        ),
+    );
+
+    Ok(checks.failures)
+}
+
+fn run() -> Result<Vec<String>, Failure> {
     let args = Args::parse(
         std::env::args().skip(1),
-        &["workers", "scenario", "duration-ms", "out", "kill-index"],
+        &[
+            "workers",
+            "scenario",
+            "scenario-file",
+            "workers-per-cluster",
+            "time-scale",
+            "join-timeout-ms",
+            "min-decisions",
+            "duration-ms",
+            "out",
+            "kill-index",
+        ],
     )?;
+    if let Some(path) = args.get("scenario-file") {
+        let path = path.to_string();
+        let wpc: usize = args.get_or("workers-per-cluster", 3)?;
+        let time_scale: f64 = args.get_or("time-scale", 0.01)?;
+        let join_timeout = Duration::from_millis(args.get_or("join-timeout-ms", 10_000u64)?);
+        let min_decisions: usize = args.get_or("min-decisions", 1)?;
+        let out: String = args.get_or("out", "target/grid_local_out".to_string())?;
+        std::fs::create_dir_all(&out).map_err(|e| format!("create {out}: {e}"))?;
+        let bin_dir: PathBuf = std::env::current_exe()
+            .map_err(|e| format!("current_exe: {e}"))?
+            .parent()
+            .ok_or_else(|| "current_exe has no parent".to_string())?
+            .to_path_buf();
+        return run_scenario_file(ScenarioArgs {
+            path,
+            wpc,
+            time_scale,
+            join_timeout,
+            min_decisions,
+            out,
+            bin_dir,
+        });
+    }
     let workers: usize = args.get_or("workers", 4)?;
     let scenario: String = args.get_or("scenario", "crash".to_string())?;
     let (full, steal) = match scenario.as_str() {
         "crash" => (false, false),
         "full" => (true, false),
         "steal" => (false, true),
-        other => return Err(format!("unknown scenario {other:?} (crash|full|steal)")),
+        other => {
+            return Err(Failure::Infra(format!(
+                "unknown scenario {other:?} (crash|full|steal)"
+            )))
+        }
     };
     if workers < 3 {
-        return Err("need at least 3 workers".to_string());
+        return Err(Failure::Infra("need at least 3 workers".to_string()));
     }
     let default_duration = if steal {
         30_000u64
@@ -439,11 +977,11 @@ fn run() -> Result<Vec<String>, String> {
     let bin_dir: PathBuf = std::env::current_exe()
         .map_err(|e| format!("current_exe: {e}"))?
         .parent()
-        .ok_or("current_exe has no parent")?
+        .ok_or_else(|| "current_exe has no parent".to_string())?
         .to_path_buf();
 
     if steal {
-        return run_steal(workers, duration, &out, &bin_dir);
+        return run_steal(workers, duration, &out, &bin_dir).map_err(Failure::Infra);
     }
 
     // Full scenario math (defaults: E_MIN 0.30, E_MAX 0.50): healthy duty
@@ -496,7 +1034,7 @@ fn run() -> Result<Vec<String>, String> {
     }
     let port = port_rx
         .recv_timeout(Duration::from_secs(10))
-        .map_err(|_| "hub never printed HUB_PORT=".to_string())?;
+        .map_err(|_| Failure::Timeout("hub never printed HUB_PORT=".to_string()))?;
     let hub_addr = format!("127.0.0.1:{port}");
     println!("grid-local: hub on {hub_addr}");
 
@@ -533,7 +1071,7 @@ fn run() -> Result<Vec<String>, String> {
     };
     coord_up
         .recv_timeout(Duration::from_secs(10))
-        .map_err(|_| "coordinator daemon never came up".to_string())?;
+        .map_err(|_| Failure::Timeout("coordinator daemon never came up".to_string()))?;
 
     // --- Launcher control connection (applies grow decisions) -----------
     let (events_tx, events_rx) = channel::<NetEvent>();
@@ -609,7 +1147,7 @@ fn run() -> Result<Vec<String>, String> {
         )?;
         let node = joined
             .recv_timeout(Duration::from_secs(10))
-            .map_err(|_| format!("worker {i} never joined"))?;
+            .map_err(|_| Failure::Timeout(format!("worker {i} never joined")))?;
         worker_children.push((node, child));
     }
     let slow_node = full.then(|| worker_children[workers - 1].0);
@@ -720,7 +1258,7 @@ fn run() -> Result<Vec<String>, String> {
                     break;
                 }
                 Ok(None) => std::thread::sleep(Duration::from_millis(50)),
-                Err(e) => return Err(format!("wait for {}: {e}", t.name)),
+                Err(e) => return Err(Failure::Infra(format!("wait for {}: {e}", t.name))),
             }
         }
     }
@@ -781,9 +1319,13 @@ fn main() {
             println!("grid-local: FAIL ({} checks)", failures.len());
             std::process::exit(1);
         }
-        Err(e) => {
+        Err(Failure::Infra(e)) => {
             eprintln!("grid-local: {e}");
             std::process::exit(2);
+        }
+        Err(Failure::Timeout(e)) => {
+            eprintln!("grid-local: timeout: {e}");
+            std::process::exit(4);
         }
     }
 }

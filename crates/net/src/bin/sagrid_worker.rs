@@ -236,6 +236,12 @@ fn run() -> Result<(), String> {
     // protocol loop below. A root worker spawns no duty workload, so the
     // feedback writes are simply never read.
     let sleep_factor = Arc::new(std::sync::Mutex::new((1.0 - duty) / duty));
+    // Scenario-injected synthetic inter-cluster wait, as a fraction of each
+    // monitoring period. Set by a `Perturb` from the launcher (via the hub)
+    // to emulate a saturated uplink: the report assembly below reclassifies
+    // that much idle time as inter_comm, so the cluster's ic overhead rises
+    // without its busy fraction moving.
+    let mut synth_inter = 0.0f64;
 
     if let Some(arg) = root_arg {
         // Root of a distributed computation: expand the frontier, export it
@@ -409,6 +415,26 @@ fn run() -> Result<(), String> {
                         println!("PEERS {}", plane.client.peers());
                     }
                 }
+                Message::Perturb {
+                    speed, inter_frac, ..
+                } => {
+                    // A scenario perturbation relayed by the hub. Applying
+                    // the speed knob live re-paces both the workload and the
+                    // benchmark probe, so the coordinator's speed tracker
+                    // sees the change within a period or two.
+                    if let Some(s) = speed {
+                        rt.set_worker_speed(0, s.clamp(0.05, 1.0));
+                    }
+                    if let Some(f) = inter_frac {
+                        synth_inter = f.clamp(0.0, 0.95);
+                    }
+                    println!(
+                        "PERTURBED speed={} inter_frac={}",
+                        speed.map_or_else(|| "-".to_string(), |s| format!("{s}")),
+                        inter_frac.map_or_else(|| "-".to_string(), |f| format!("{f}")),
+                    );
+                    std::io::stdout().flush().ok();
+                }
                 _ => {}
             },
             Ok(NetEvent::Closed(id)) if id == conn.id() => {
@@ -474,6 +500,17 @@ fn run() -> Result<(), String> {
                 breakdown.intra_comm += r.breakdown.intra_comm;
                 breakdown.inter_comm += r.breakdown.inter_comm;
                 breakdown.benchmark += r.breakdown.benchmark;
+            }
+            if synth_inter > 0.0 {
+                // Reclassify idle time as inter-cluster wait: the busy
+                // fraction (and thus the efficiency term) stays put while
+                // the ic-overhead fraction rises to roughly `synth_inter`,
+                // which is exactly what a saturated uplink looks like in a
+                // monitoring report.
+                let synth =
+                    ((breakdown.total().0 as f64 * synth_inter) as u64).min(breakdown.idle.0);
+                breakdown.idle.0 -= synth;
+                breakdown.inter_comm.0 += synth;
             }
             inter_total_us += breakdown.inter_comm.0;
             // Feedback: multiplicatively adjust the sleep multiplier so the

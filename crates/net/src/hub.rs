@@ -405,7 +405,13 @@ impl Hub {
                             min_uplink_bps,
                             min_speed,
                         } => {
-                            if roles.get(&id) == Some(&Role::Coordinator) {
+                            // The coordinator grows on an Add decision; the
+                            // launcher grows when a scenario file injects an
+                            // external capacity grant.
+                            if matches!(
+                                roles.get(&id),
+                                Some(&Role::Coordinator) | Some(&Role::Launcher)
+                            ) {
                                 if let Some(hc) = &hc {
                                     hc.grow_requests.inc();
                                 }
@@ -490,11 +496,58 @@ impl Hub {
                                 broadcast_directory(&peer_dir, &node_conn, &conns);
                             }
                         }
+                        // A scenario file's graceful `shrink` event: signal
+                        // the nodes out through the registry exactly like a
+                        // coordinator Shrink, but WITHOUT blacklisting —
+                        // scenario-withdrawn nodes return to the pool when
+                        // their farewell arrives, so a later grow may hand
+                        // the same machines back.
+                        Message::SignalLeave { node } => {
+                            if roles.get(&id) == Some(&Role::Launcher) {
+                                membership.signal_leave(node);
+                                for node in membership.take_signals() {
+                                    if let Some(c) =
+                                        node_conn.get(&node).and_then(|cid| conns.get(cid))
+                                    {
+                                        c.send(Message::SignalLeave { node });
+                                    }
+                                }
+                            }
+                        }
+                        // A scenario perturbation: fan it out to (the first
+                        // `count` of) the cluster's connected workers.
+                        Message::Perturb {
+                            cluster,
+                            count,
+                            speed,
+                            inter_frac,
+                        } => {
+                            if roles.get(&id) == Some(&Role::Launcher) {
+                                let mut sent = 0u32;
+                                for (&node, cid) in &node_conn {
+                                    if pool.cluster_of(node) != cluster {
+                                        continue;
+                                    }
+                                    if count > 0 && sent >= count {
+                                        break;
+                                    }
+                                    if let Some(c) = conns.get(cid) {
+                                        c.send(Message::Perturb {
+                                            cluster,
+                                            count,
+                                            speed,
+                                            inter_frac,
+                                        });
+                                        sent += 1;
+                                    }
+                                }
+                                println!("EVENT perturbed {cluster} workers {sent}");
+                            }
+                        }
                         // Hub-outbound messages arriving inbound, and
                         // steal-plane traffic (worker ↔ worker, never through
                         // the hub): ignore.
                         Message::JoinAck { .. }
-                        | Message::SignalLeave { .. }
                         | Message::CrashNotice { .. }
                         | Message::SpawnWorker { .. }
                         | Message::PeerDirectory { .. }

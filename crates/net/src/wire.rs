@@ -81,7 +81,9 @@ pub struct StealJob {
 /// `Leaving`/`PeerAnnounce`; the hub sends `JoinAck`/`SignalLeave`/
 /// `SpawnWorker`/`CrashNotice`/`PeerDirectory`/`Shutdown`; the
 /// out-of-process coordinator sends `CoordinatorHello`/`Grow`/`Shrink`;
-/// the launcher sends `LauncherHello` and `Shutdown`. The steal plane
+/// the launcher sends `LauncherHello`, `Shutdown` and — when driving a
+/// scenario file — `Perturb`, `Grow` (an external capacity grant) and
+/// `SignalLeave` (a graceful scenario shrink). The steal plane
 /// (`StealRequest`/`StealReply`/`StealResult`) travels worker ↔ worker on
 /// dedicated connections, not through the hub.
 #[derive(Clone, Debug, PartialEq)]
@@ -207,6 +209,24 @@ pub enum Message {
         /// The computed value.
         value: u64,
     },
+    /// Launcher → hub → workers: a scenario perturbation. The hub fans the
+    /// message out to (the first `count` of) the cluster's connected
+    /// workers; each applies whichever knobs are set. This is how a
+    /// declarative scenario file's `cpu_load` / `uplink_bandwidth` events
+    /// reach real worker processes mid-run.
+    Perturb {
+        /// The cluster whose workers are perturbed.
+        cluster: ClusterId,
+        /// How many of the cluster's workers to hit (0 = every one).
+        count: u32,
+        /// New emulated CPU speed in `(0, 1]` (a `cpu_load` factor `f`
+        /// maps to speed `1/f`; `1.0` restores full speed).
+        speed: Option<f64>,
+        /// Fraction of each monitoring period to report as synthetic
+        /// inter-cluster communication wait (emulates a saturated uplink;
+        /// `0.0` restores).
+        inter_frac: Option<f64>,
+    },
 }
 
 const TAG_JOIN: u8 = 0x01;
@@ -227,6 +247,7 @@ const TAG_PEER_DIRECTORY: u8 = 0x0f;
 const TAG_STEAL_REQUEST: u8 = 0x10;
 const TAG_STEAL_REPLY: u8 = 0x11;
 const TAG_STEAL_RESULT: u8 = 0x12;
+const TAG_PERTURB: u8 = 0x13;
 
 /// Smallest possible encoding of one [`PeerInfo`] (node + cluster + empty
 /// string), used to bound hostile directory length prefixes.
@@ -528,6 +549,18 @@ impl Message {
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *value);
             }
+            Message::Perturb {
+                cluster,
+                count,
+                speed,
+                inter_frac,
+            } => {
+                out.push(TAG_PERTURB);
+                put_u16(&mut out, cluster.0);
+                put_u32(&mut out, *count);
+                put_opt_f64(&mut out, *speed);
+                put_opt_f64(&mut out, *inter_frac);
+            }
         }
         out
     }
@@ -625,6 +658,12 @@ impl Message {
             TAG_STEAL_RESULT => Message::StealResult {
                 id: c.u64()?,
                 value: c.u64()?,
+            },
+            TAG_PERTURB => Message::Perturb {
+                cluster: ClusterId(c.u16()?),
+                count: c.u32()?,
+                speed: c.opt_f64()?,
+                inter_frac: c.opt_f64()?,
             },
             t => return Err(WireError::BadTag(t)),
         };
@@ -800,6 +839,18 @@ mod tests {
             Message::StealResult {
                 id: 99,
                 value: u64::MAX,
+            },
+            Message::Perturb {
+                cluster: ClusterId(2),
+                count: 0,
+                speed: Some(0.1),
+                inter_frac: None,
+            },
+            Message::Perturb {
+                cluster: ClusterId(0),
+                count: 6,
+                speed: None,
+                inter_frac: Some(0.45),
             },
         ]
     }

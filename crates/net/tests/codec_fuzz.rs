@@ -114,6 +114,18 @@ fn every_message() -> Vec<Message> {
             id: 99,
             value: u64::MAX,
         },
+        Message::Perturb {
+            cluster: ClusterId(1),
+            count: 0,
+            speed: Some(0.25),
+            inter_frac: None,
+        },
+        Message::Perturb {
+            cluster: ClusterId(4),
+            count: 3,
+            speed: None,
+            inter_frac: Some(0.4),
+        },
     ]
 }
 

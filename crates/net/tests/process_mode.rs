@@ -27,6 +27,95 @@ fn grid_local_crash_scenario_passes() {
     std::fs::remove_dir_all(&out).ok();
 }
 
+/// The checked-in paper scenario 3 (overloaded CPUs) drives real worker
+/// processes from its declarative file, and the run's composed JSONL
+/// stream satisfies the adaptation invariants: exit code 0.
+#[test]
+fn grid_local_scenario_file_s3_passes() {
+    let out = std::env::temp_dir().join(format!("grid_local_s3_test_{}", std::process::id()));
+    let scenario = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/s3.json");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))
+        .args([
+            "--scenario-file",
+            scenario,
+            "--out",
+            out.to_str().expect("utf8 temp path"),
+        ])
+        .status()
+        .expect("launch grid-local");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "scenario-file run should pass every invariant check"
+    );
+    // The launcher wrote the composed injection+decision stream it judged.
+    assert!(out.join("scenario_stream.jsonl").exists());
+    std::fs::remove_dir_all(&out).ok();
+}
+
+/// Exit codes separate the three failure classes: 4 = infrastructure
+/// timeout (the grid never came up), 2 = infrastructure/usage error,
+/// 1 = a check failed on an otherwise healthy run. CI keys off this to
+/// tell "the adaptation broke" from "the host was too slow".
+#[test]
+fn grid_local_scenario_file_exit_codes_distinguish_failure_classes() {
+    let out = std::env::temp_dir().join(format!("grid_local_exit_test_{}", std::process::id()));
+    let scenario = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/s3.json");
+
+    // A 1 ms join timeout can never see the hub come up: timeout, exit 4.
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))
+        .args([
+            "--scenario-file",
+            scenario,
+            "--join-timeout-ms",
+            "1",
+            "--out",
+            out.to_str().expect("utf8 temp path"),
+        ])
+        .status()
+        .expect("launch grid-local");
+    assert_eq!(status.code(), Some(4), "infrastructure timeout must exit 4");
+
+    // An unreadable scenario file is an infrastructure error, exit 2.
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))
+        .args([
+            "--scenario-file",
+            "/nonexistent/scenario.json",
+            "--out",
+            out.to_str().expect("utf8 temp path"),
+        ])
+        .status()
+        .expect("launch grid-local");
+    assert_eq!(status.code(), Some(2), "infrastructure error must exit 2");
+
+    // A healthy run that misses a check (an impossible decision quota on a
+    // tiny undisturbed grid) is a verdict, exit 1.
+    let tiny = out.join("tiny.json");
+    std::fs::create_dir_all(&out).expect("create temp out dir");
+    std::fs::write(
+        &tiny,
+        r#"{"name": "tiny", "grid": {"clusters": 2, "nodes_per_cluster": 6},
+            "layout": [[0, 2], [1, 2]], "iterations": 4, "seed": 1,
+            "target_nodes": 4, "target_iter_secs": 1, "events": []}"#,
+    )
+    .expect("write tiny scenario");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))
+        .args([
+            "--scenario-file",
+            tiny.to_str().expect("utf8 temp path"),
+            "--workers-per-cluster",
+            "1",
+            "--min-decisions",
+            "100000",
+            "--out",
+            out.to_str().expect("utf8 temp path"),
+        ])
+        .status()
+        .expect("launch grid-local");
+    assert_eq!(status.code(), Some(1), "failed check must exit 1");
+    std::fs::remove_dir_all(&out).ok();
+}
+
 #[test]
 fn grid_local_steal_scenario_passes() {
     let out = std::env::temp_dir().join(format!("grid_local_steal_test_{}", std::process::id()));

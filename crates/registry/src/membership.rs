@@ -75,10 +75,11 @@ impl Membership {
         }
     }
 
-    /// Registers a node as alive. Re-joining after leaving/dying is allowed
-    /// only for never-seen ids — node ids are not reused (see `sagrid-core`).
-    ///
-    /// Panics if the id is already registered: that indicates an engine bug.
+    /// Registers a node as alive. An id whose previous incarnation left
+    /// gracefully may register again — the pool releases such nodes and a
+    /// later grant can hand the same machine back. Joining while alive
+    /// (or after a crash: crashed nodes are never re-granted) indicates an
+    /// engine bug.
     pub fn join(&mut self, now: SimTime, node: NodeId, cluster: ClusterId) {
         let prev = self.members.insert(
             node,
@@ -88,7 +89,10 @@ impl Membership {
                 last_heartbeat: now,
             },
         );
-        assert!(prev.is_none(), "node {node} joined twice");
+        assert!(
+            prev.is_none_or(|p| p.state == MemberState::Left),
+            "node {node} joined twice"
+        );
         self.events.push(RegistryEvent::Joined(node, cluster));
     }
 
@@ -302,6 +306,32 @@ mod tests {
         let mut r = reg();
         r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
         r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+    }
+
+    #[test]
+    fn rejoin_after_graceful_leave_is_allowed() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.leave(NodeId(1));
+        r.join(SimTime::from_secs(10), NodeId(1), ClusterId(0));
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Alive));
+        let joins = r
+            .take_events()
+            .iter()
+            .filter(|e| matches!(e, RegistryEvent::Joined(_, _)))
+            .count();
+        assert_eq!(joins, 2, "both incarnations are logged");
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn rejoin_after_crash_panics() {
+        // Crashed nodes are marked lost in the pool and never re-granted;
+        // a join for one can only be an engine bookkeeping bug.
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.report_crash(NodeId(1));
+        r.join(SimTime::from_secs(10), NodeId(1), ClusterId(0));
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! Adaptation invariants, checked from a run's JSONL stream alone.
+//!
+//! The checker never looks at in-memory engine state: it re-reads the
+//! same `MetricsReport::to_jsonl` text a human (or CI) would, so a pass
+//! here certifies that the *emitted* record of a run is self-consistent.
+//! Four invariants, from the paper's claims:
+//!
+//! 1. **Efficiency recovery** — after the last disturbance the weighted
+//!    average efficiency seen by the coordinator climbs back above a
+//!    threshold (the adaptation loop actually repairs the damage).
+//! 2. **Blacklist permanence** — blacklists only grow, and no blacklisted
+//!    node (or node of a blacklisted cluster) ever joins again.
+//! 3. **Provenance completeness** — every `decision` line reconstructs
+//!    losslessly, and every pool change is justified: a join traces to an
+//!    add decision / grow injection exactly one join-delay earlier (or is
+//!    part of the initial t = 0 wave), a leave follows some removal
+//!    decision or shrink injection, a crash coincides with a crash
+//!    injection.
+//! 4. **Work conservation** — the counters agree with the event stream
+//!    (joins/leaves/crashes/injections/decisions), the alive-node gauge
+//!    balances the membership flow, and a completed run finished every
+//!    iteration it was asked to run.
+
+use sagrid_core::json::{parse_json, JsonValue};
+use sagrid_simgrid::provenance::reconstruct_decision;
+use std::collections::BTreeSet;
+
+/// Tunables of the invariant checker.
+#[derive(Clone, Debug)]
+pub struct InvariantConfig {
+    /// Efficiency the run must climb back to after its last disturbance.
+    /// Kept below the coordinator's default `e_min = 0.30`: the invariant
+    /// is "adaptation repaired the damage", not "the run was ideal".
+    pub recovery_eff: f64,
+    /// Recovery is only demanded if the run kept going at least this long
+    /// past the last disturbance (microseconds); shorter tails can't have
+    /// seen a post-disturbance coordinator evaluation yet.
+    pub settle_us: u64,
+    /// The engine's grant→join delay (microseconds): a join at `t` is
+    /// justified by an add/grow at exactly `t - join_delay_us`.
+    pub join_delay_us: u64,
+    /// Check join/leave/crash membership provenance (DES streams carry
+    /// the full membership record; process-mode decision-only streams
+    /// don't, so the launcher disables this part).
+    pub check_membership: bool,
+    /// Check counter/gauge conservation (requires the instrument records
+    /// that only the DES teardown emits).
+    pub check_conservation: bool,
+    /// Iterations the workload was asked to run, if known: conservation
+    /// then also requires the iteration histogram to account for all of
+    /// them.
+    pub expected_iterations: Option<u64>,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        Self {
+            recovery_eff: 0.25,
+            // Two default monitoring periods (2 × 180 s).
+            settle_us: 360_000_000,
+            join_delay_us: 5_000_000,
+            check_membership: true,
+            check_conservation: true,
+            expected_iterations: None,
+        }
+    }
+}
+
+/// One failed invariant.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key).and_then(|x| x.as_u64())
+}
+
+fn u64_set(v: &JsonValue, key: &str) -> BTreeSet<u64> {
+    v.get(key)
+        .and_then(|x| x.as_arr())
+        .map(|arr| arr.iter().filter_map(|e| e.as_u64()).collect())
+        .unwrap_or_default()
+}
+
+/// Everything the checker extracted from one JSONL stream.
+struct Stream {
+    /// `(at_us, kind, parsed line)` for every event record, in order.
+    events: Vec<(u64, String, JsonValue)>,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    /// `(name, sample count)` per histogram.
+    histograms: Vec<(String, u64)>,
+}
+
+impl Stream {
+    fn parse(jsonl: &str) -> Result<Stream, String> {
+        let mut s = Stream {
+            events: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        for (lineno, line) in jsonl.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let ty = v.get("type").and_then(|t| t.as_str()).unwrap_or("");
+            match ty {
+                "event" => {
+                    let at = u64_field(&v, "at_us")
+                        .ok_or_else(|| format!("line {}: event without at_us", lineno + 1))?;
+                    let kind = v
+                        .get("kind")
+                        .and_then(|k| k.as_str())
+                        .unwrap_or("")
+                        .to_string();
+                    s.events.push((at, kind, v));
+                }
+                "counter" | "gauge" | "histogram" => {
+                    let name = v
+                        .get("name")
+                        .and_then(|n| n.as_str())
+                        .unwrap_or("")
+                        .to_string();
+                    match ty {
+                        "counter" => s.counters.push((name, u64_field(&v, "value").unwrap_or(0))),
+                        "gauge" => s.gauges.push((
+                            name,
+                            v.get("value").and_then(|x| x.as_f64()).unwrap_or(0.0) as i64,
+                        )),
+                        _ => s
+                            .histograms
+                            .push((name, u64_field(&v, "count").unwrap_or(0))),
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "line {}: unknown record type {other:?}",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a (u64, String, JsonValue)> {
+        self.events.iter().filter(move |(_, k, _)| k == kind)
+    }
+}
+
+/// Checks every adaptation invariant against one JSONL stream. Returns
+/// the (possibly empty) list of violations; a malformed stream is itself
+/// reported as a violation rather than an `Err`, so callers treat "can't
+/// even parse the record" and "record contradicts itself" uniformly.
+pub fn check_jsonl(jsonl: &str, cfg: &InvariantConfig) -> Vec<Violation> {
+    let stream = match Stream::parse(jsonl) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![Violation {
+                invariant: "well-formed-stream",
+                detail: e,
+            }]
+        }
+    };
+    let mut out = Vec::new();
+    check_efficiency_recovery(&stream, cfg, &mut out);
+    check_blacklist_permanence(&stream, cfg, &mut out);
+    check_provenance(&stream, cfg, &mut out);
+    if cfg.check_conservation {
+        check_conservation(&stream, cfg, &mut out);
+    }
+    out
+}
+
+fn check_efficiency_recovery(stream: &Stream, cfg: &InvariantConfig, out: &mut Vec<Violation>) {
+    let Some(t_last) = stream.of_kind("injection").map(|&(at, ..)| at).max() else {
+        return; // undisturbed run: nothing to recover from
+    };
+    let t_end = stream.events.iter().map(|&(at, ..)| at).max().unwrap_or(0);
+    if t_end < t_last.saturating_add(cfg.settle_us) {
+        return; // run ended before a recovery could be observed
+    }
+    let best = stream
+        .of_kind("decision")
+        .filter(|&&(at, ..)| at > t_last)
+        .filter_map(|(_, _, v)| v.get("wa_eff").and_then(|e| e.as_f64()))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if best < cfg.recovery_eff {
+        out.push(Violation {
+            invariant: "efficiency-recovery",
+            detail: format!(
+                "after the last disturbance at {:.1}s the best coordinator-seen \
+                 efficiency was {best:.3} (< {:.3}) though the run continued to {:.1}s",
+                t_last as f64 / 1e6,
+                cfg.recovery_eff,
+                t_end as f64 / 1e6,
+            ),
+        });
+    }
+}
+
+fn check_blacklist_permanence(stream: &Stream, cfg: &InvariantConfig, out: &mut Vec<Violation>) {
+    // Blacklists only grow across the decision sequence.
+    let mut nodes: BTreeSet<u64> = BTreeSet::new();
+    let mut clusters: BTreeSet<u64> = BTreeSet::new();
+    // `(at_us, nodes, clusters)` snapshots for the join check below.
+    let mut timeline: Vec<(u64, BTreeSet<u64>, BTreeSet<u64>)> = Vec::new();
+    for (at, _, v) in stream.of_kind("decision") {
+        let n = u64_set(v, "blacklist_nodes");
+        let c = u64_set(v, "blacklist_clusters");
+        if !n.is_superset(&nodes) || !c.is_superset(&clusters) {
+            out.push(Violation {
+                invariant: "blacklist-permanence",
+                detail: format!(
+                    "blacklist shrank at decision t={:.1}s (nodes {} -> {}, clusters {} -> {})",
+                    *at as f64 / 1e6,
+                    nodes.len(),
+                    n.len(),
+                    clusters.len(),
+                    c.len()
+                ),
+            });
+            return;
+        }
+        nodes = n;
+        clusters = c;
+        timeline.push((*at, nodes.clone(), clusters.clone()));
+    }
+    if !cfg.check_membership {
+        return;
+    }
+    // No blacklisted node — and no node of a blacklisted cluster — ever
+    // joins after the blacklisting decision.
+    for (at, _, v) in stream.of_kind("join") {
+        let (Some(node), Some(cluster)) = (u64_field(v, "node"), u64_field(v, "cluster")) else {
+            continue;
+        };
+        let Some((_, bl_nodes, bl_clusters)) = timeline.iter().rev().find(|&&(t, ..)| t < *at)
+        else {
+            continue;
+        };
+        if bl_nodes.contains(&node) || bl_clusters.contains(&cluster) {
+            out.push(Violation {
+                invariant: "blacklist-permanence",
+                detail: format!(
+                    "node {node} (cluster {cluster}) joined at t={:.1}s while blacklisted",
+                    *at as f64 / 1e6
+                ),
+            });
+        }
+    }
+}
+
+fn injection_sub_kind(v: &JsonValue) -> &str {
+    v.get("injection").and_then(|k| k.as_str()).unwrap_or("")
+}
+
+fn check_provenance(stream: &Stream, cfg: &InvariantConfig, out: &mut Vec<Violation>) {
+    // Every decision line reconstructs losslessly.
+    for (at, _, v) in stream.of_kind("decision") {
+        if let Err(e) = reconstruct_decision(v) {
+            out.push(Violation {
+                invariant: "decision-provenance",
+                detail: format!(
+                    "decision at t={:.1}s failed reconstruction: {e}",
+                    *at as f64 / 1e6
+                ),
+            });
+        }
+    }
+    if !cfg.check_membership {
+        return;
+    }
+    // Times at which an add-like source fired: a join at source+delay is
+    // justified.
+    let add_times: BTreeSet<u64> = stream
+        .of_kind("decision")
+        .filter(|(_, _, v)| {
+            matches!(
+                v.get("decision").and_then(|d| d.as_str()),
+                Some("add") | Some("opportunistic-swap")
+            )
+        })
+        .map(|&(at, ..)| at)
+        .chain(
+            stream
+                .of_kind("injection")
+                .filter(|(_, _, v)| injection_sub_kind(v) == "grow")
+                .map(|&(at, ..)| at),
+        )
+        .collect();
+    for (at, _, _) in stream.of_kind("join") {
+        if *at == 0 {
+            continue; // initial t = 0 activation wave
+        }
+        let source = at.checked_sub(cfg.join_delay_us);
+        if source.is_none_or(|s| !add_times.contains(&s)) {
+            out.push(Violation {
+                invariant: "decision-provenance",
+                detail: format!(
+                    "join at t={:.1}s has no add decision or grow injection at t={:.1}s",
+                    *at as f64 / 1e6,
+                    at.saturating_sub(cfg.join_delay_us) as f64 / 1e6
+                ),
+            });
+        }
+    }
+    // A leave must follow SOME removal source (nodes drain at their own
+    // pace after the signal, so the match is "a source fired earlier",
+    // not an exact time).
+    let removal_times: Vec<u64> = stream
+        .of_kind("decision")
+        .filter(|(_, _, v)| {
+            matches!(
+                v.get("decision").and_then(|d| d.as_str()),
+                Some("remove-nodes") | Some("remove-cluster") | Some("opportunistic-swap")
+            )
+        })
+        .map(|&(at, ..)| at)
+        .chain(
+            stream
+                .of_kind("injection")
+                .filter(|(_, _, v)| injection_sub_kind(v) == "shrink")
+                .map(|&(at, ..)| at),
+        )
+        .collect();
+    for (at, _, v) in stream.of_kind("leave") {
+        if !removal_times.iter().any(|&t| t <= *at) {
+            out.push(Violation {
+                invariant: "decision-provenance",
+                detail: format!(
+                    "node {} left at t={:.1}s with no prior removal decision or shrink injection",
+                    u64_field(v, "node").unwrap_or(u64::MAX),
+                    *at as f64 / 1e6
+                ),
+            });
+        }
+    }
+    // A crash burst coincides with a crash injection.
+    let crash_injection_times: BTreeSet<u64> = stream
+        .of_kind("injection")
+        .filter(|(_, _, v)| matches!(injection_sub_kind(v), "crash_cluster" | "crash_nodes"))
+        .map(|&(at, ..)| at)
+        .collect();
+    for (at, _, _) in stream.of_kind("crash") {
+        if !crash_injection_times.contains(at) {
+            out.push(Violation {
+                invariant: "decision-provenance",
+                detail: format!(
+                    "crash at t={:.1}s matches no crash injection",
+                    *at as f64 / 1e6
+                ),
+            });
+        }
+    }
+}
+
+fn check_conservation(stream: &Stream, cfg: &InvariantConfig, out: &mut Vec<Violation>) {
+    let mut expect = |name: &'static str, counter: &str, got: u64| {
+        let want = stream.counter(counter);
+        if want != got {
+            out.push(Violation {
+                invariant: "work-conservation",
+                detail: format!("counter {counter}={want} but the event stream records {got}"),
+            });
+        }
+        let _ = name;
+    };
+    let joins = stream.of_kind("join").count() as u64;
+    let leaves = stream.of_kind("leave").count() as u64;
+    let crashes: u64 = stream
+        .of_kind("crash")
+        .map(|(_, _, v)| u64_set(v, "victims").len() as u64)
+        .sum();
+    expect("joins", "des.node_joins", joins);
+    expect("leaves", "des.node_leaves", leaves);
+    expect("crashes", "des.node_crashes", crashes);
+    expect(
+        "injections",
+        "des.injections",
+        stream.of_kind("injection").count() as u64,
+    );
+    expect(
+        "decisions",
+        "des.decisions",
+        stream.of_kind("decision").count() as u64,
+    );
+    // Membership flow balance: what joined and never left or crashed is
+    // exactly what's still alive.
+    let alive = stream
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "des.nodes_alive")
+        .map_or(0, |&(_, v)| v);
+    if joins as i64 - leaves as i64 - crashes as i64 != alive {
+        out.push(Violation {
+            invariant: "work-conservation",
+            detail: format!(
+                "membership flow does not balance: {joins} joins - {leaves} leaves - \
+                 {crashes} crashes != {alive} alive"
+            ),
+        });
+    }
+    if let Some(want) = cfg.expected_iterations {
+        let done = stream
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "des.iteration_secs")
+            .map_or(0, |&(_, c)| c);
+        if done != want {
+            out.push(Violation {
+                invariant: "work-conservation",
+                detail: format!("run completed {done} of {want} iterations"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagrid_core::metrics::Metrics;
+    use sagrid_simgrid::{AdaptMode, GridSim};
+
+    use crate::spec::{EventKind, GridSpec, ScenarioSpec, TimedEvent};
+
+    fn base_spec(events: Vec<TimedEvent>) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "inv".into(),
+            description: String::new(),
+            grid: GridSpec::Uniform {
+                clusters: 3,
+                nodes_per_cluster: 12,
+            },
+            layout: vec![(0, 12), (1, 12), (2, 12)],
+            iterations: 6,
+            seed: 11,
+            target_nodes: 36,
+            target_iter_secs: 4.0,
+            monitoring_period_secs: Some(30),
+            events,
+        }
+    }
+
+    fn run_jsonl(spec: &ScenarioSpec) -> (String, InvariantConfig) {
+        let cfg = spec.sim_config(AdaptMode::Adapt).unwrap();
+        let expected_iterations = spec.iterations as u64;
+        let metrics = Metrics::enabled();
+        let result = GridSim::try_run_with_metrics(cfg, metrics).unwrap();
+        assert!(!result.timed_out);
+        let jsonl = result.metrics.expect("metrics enabled").to_jsonl();
+        let inv = InvariantConfig {
+            settle_us: 60_000_000,
+            expected_iterations: Some(expected_iterations),
+            ..InvariantConfig::default()
+        };
+        (jsonl, inv)
+    }
+
+    #[test]
+    fn clean_crash_run_passes_every_invariant() {
+        let spec = base_spec(vec![TimedEvent {
+            at_us: 20_000_000,
+            event: EventKind::CrashCluster { cluster: 2 },
+        }]);
+        let (jsonl, inv) = run_jsonl(&spec);
+        let violations = check_jsonl(&jsonl, &inv);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn grow_and_shrink_membership_changes_are_accounted() {
+        let spec = base_spec(vec![
+            TimedEvent {
+                at_us: 15_000_000,
+                event: EventKind::Grow {
+                    count: 4,
+                    prefer: Some(0),
+                },
+            },
+            TimedEvent {
+                at_us: 25_000_000,
+                event: EventKind::Shrink {
+                    cluster: 1,
+                    count: 3,
+                },
+            },
+        ]);
+        let (jsonl, inv) = run_jsonl(&spec);
+        let violations = check_jsonl(&jsonl, &inv);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+        // The stream really contains what the invariants certify.
+        assert!(jsonl.contains("\"injection\":\"grow\""));
+        assert!(jsonl.contains("\"injection\":\"shrink\""));
+    }
+
+    #[test]
+    fn doctored_streams_are_caught() {
+        let spec = base_spec(vec![TimedEvent {
+            at_us: 20_000_000,
+            event: EventKind::CrashNodes {
+                cluster: 1,
+                count: 4,
+            },
+        }]);
+        let (jsonl, inv) = run_jsonl(&spec);
+
+        // Remove the crash injection record: the crash event loses its
+        // justification AND the injection counter stops matching.
+        let no_injection: String = jsonl
+            .lines()
+            .filter(|l| !l.contains("\"injection\":\"crash_nodes\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let v = check_jsonl(&no_injection, &inv);
+        assert!(
+            v.iter().any(|v| v.invariant == "decision-provenance"),
+            "missing injection must break crash provenance: {v:?}"
+        );
+        assert!(v.iter().any(|v| v.invariant == "work-conservation"));
+
+        // Drop a join event: flow balance and the join counter both break.
+        let mut dropped = false;
+        let no_join: String = jsonl
+            .lines()
+            .filter(|l| {
+                if !dropped && l.contains("\"kind\":\"join\"") {
+                    dropped = true;
+                    return false;
+                }
+                true
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let v = check_jsonl(&no_join, &inv);
+        assert!(
+            v.iter().any(|v| v.invariant == "work-conservation"),
+            "missing join must break conservation: {v:?}"
+        );
+
+        // A garbage line fails the stream itself.
+        let v = check_jsonl("not json\n", &inv);
+        assert_eq!(v[0].invariant, "well-formed-stream");
+    }
+}

@@ -1,0 +1,23 @@
+//! Declarative scenario engine and adaptation-invariant fuzzer.
+//!
+//! The paper's evaluation perturbs a running application with hand-coded
+//! schedules; this crate replaces those scripts with *data*. A scenario
+//! file (hand-parsed JSON, [`spec`]) names a grid, a layout, a workload
+//! size and a list of timed events — crashes, speed changes, load ramps
+//! and square waves, grow/shrink, link brownouts — and compiles onto
+//! [`sagrid_simnet::InjectionSchedule`] for the DES twin and onto the
+//! `grid-local` process launcher for the wire twin, so one file drives
+//! both.
+//!
+//! On top sit the adaptation *invariants* ([`invariants`]) — efficiency
+//! recovery, blacklist permanence, decision provenance completeness and
+//! work conservation — checked from a run's JSONL stream alone, and a
+//! seeded fuzzer ([`fuzz`]) that composes random bounded event streams
+//! and asserts those invariants on every generated run.
+
+pub mod fuzz;
+pub mod invariants;
+pub mod spec;
+
+pub use invariants::{check_jsonl, InvariantConfig, Violation};
+pub use spec::{EventKind, GridSpec, ScenarioSpec, TimedEvent};

@@ -589,9 +589,15 @@ impl GridSim {
         if self.cfg.record_trace {
             node.trace = Some(crate::trace::NodeTrace::default());
         }
+        // A node that left gracefully is released back to the pool and may
+        // be granted again later (e.g. a grow request after a shrink); its
+        // old incarnation — activity `Gone`, stats already merged into the
+        // aggregate at leave time — is simply replaced. Activating a node
+        // that is still alive would be a pool bookkeeping bug.
+        let prev = self.nodes[id.index()].replace(node);
         assert!(
-            self.nodes[id.index()].replace(node).is_none(),
-            "node {id} activated twice"
+            prev.is_none_or(|p| matches!(p.activity, NodeActivity::Gone)),
+            "node {id} activated while still alive"
         );
         self.alive.insert(id, cluster);
         self.registry.join(now, id, cluster);
@@ -1269,6 +1275,38 @@ impl GridSim {
                         );
                     }
                     self.crash_many(now, victims);
+                }
+                Injection::Grow { count, prefer } => {
+                    // An externally granted capacity increase rides the same
+                    // path as a coordinator Add: blacklists are honored and
+                    // the nodes activate after the join delay.
+                    let prefer: Vec<ClusterId> = prefer.into_iter().collect();
+                    self.request_nodes(now, count, LearnedRequirements::default(), &prefer);
+                    if self.metrics.is_enabled() {
+                        self.metrics.emit(
+                            MetricEvent::new(now.0, "injection")
+                                .with("injection", Value::Str("grow".to_string()))
+                                .with("count", Value::U64(count as u64)),
+                        );
+                    }
+                }
+                Injection::Shrink { cluster, count } => {
+                    let victims: Vec<NodeId> = self
+                        .alive
+                        .members(cluster)
+                        .iter()
+                        .copied()
+                        .take(count)
+                        .collect();
+                    if self.metrics.is_enabled() {
+                        self.metrics.emit(
+                            MetricEvent::new(now.0, "injection")
+                                .with("injection", Value::Str("shrink".to_string()))
+                                .with("cluster", Value::U64(u64::from(cluster.0)))
+                                .with("nodes", Value::U64(victims.len() as u64)),
+                        );
+                    }
+                    self.signal_leave(now, &victims);
                 }
             }
         }

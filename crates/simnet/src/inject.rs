@@ -46,6 +46,25 @@ pub enum Injection {
         /// Number of nodes to crash.
         count: usize,
     },
+    /// Ask the resource pool for `count` additional nodes, as if an
+    /// external scheduler granted more capacity (a flash crowd of donated
+    /// machines). Honors blacklists and the join delay like any
+    /// coordinator-initiated add.
+    Grow {
+        /// Number of nodes to request.
+        count: usize,
+        /// Cluster to prefer when allocating (`None` = scheduler's choice).
+        prefer: Option<ClusterId>,
+    },
+    /// Politely withdraw `count` nodes of `cluster` (reservation expiry /
+    /// administrative drain): the nodes finish their current work, hand
+    /// their queues back and leave — unlike a crash, nothing is lost.
+    Shrink {
+        /// Affected cluster.
+        cluster: ClusterId,
+        /// Number of nodes asked to leave.
+        count: usize,
+    },
 }
 
 /// An [`Injection`] bound to its firing time.

@@ -1,0 +1,167 @@
+//! Edge cases of [`InjectionSchedule`] driven through a real [`EventQueue`]
+//! the way the simulation engine drives it: one wake-up event per distinct
+//! injection time, `pop_due(now)` at each wake-up.
+//!
+//! Covers injections at t = 0, multiple injections sharing a timestamp
+//! (deterministic submission order), and the interaction with the kernel's
+//! past-time clamp — all on both queue backends.
+
+use sagrid_core::ids::ClusterId;
+use sagrid_core::time::SimTime;
+use sagrid_simnet::{EventQueue, Injection, InjectionSchedule, QueueBackend, ScheduledInjection};
+use std::collections::BTreeSet;
+
+fn load(cluster: u16, factor: f64) -> Injection {
+    Injection::CpuLoad {
+        cluster: ClusterId(cluster),
+        count: None,
+        factor,
+    }
+}
+
+fn sched(entries: Vec<(u64, Injection)>) -> InjectionSchedule {
+    InjectionSchedule::new(
+        entries
+            .into_iter()
+            .map(|(secs, injection)| ScheduledInjection {
+                at: SimTime::from_secs(secs),
+                injection,
+            })
+            .collect(),
+    )
+}
+
+/// Replays a schedule through an event queue exactly like
+/// `GridSim::start()` + the event loop: one wake-up per distinct time
+/// (deduplicated through a `BTreeSet`), `pop_due` at each pop.
+fn replay(backend: QueueBackend, mut s: InjectionSchedule) -> Vec<(SimTime, Injection)> {
+    let mut q: EventQueue<()> = EventQueue::with_backend(backend);
+    let times: BTreeSet<SimTime> = s.upcoming_times().collect();
+    for t in times {
+        q.push(t, ());
+    }
+    let mut fired = Vec::new();
+    while let Some((now, ())) = q.pop() {
+        for e in s.pop_due(now) {
+            fired.push((e.at, e.injection));
+        }
+    }
+    assert_eq!(s.remaining(), 0, "every injection fired");
+    fired
+}
+
+#[test]
+fn injection_at_t_zero_fires_on_the_first_wakeup_on_both_backends() {
+    for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+        let s = sched(vec![(0, load(0, 2.0)), (5, load(1, 3.0))]);
+        let fired = replay(backend, s);
+        assert_eq!(
+            fired,
+            vec![
+                (SimTime::ZERO, load(0, 2.0)),
+                (SimTime::from_secs(5), load(1, 3.0)),
+            ],
+            "{backend:?}"
+        );
+    }
+}
+
+#[test]
+fn same_timestamp_injections_fire_once_in_submission_order_on_both_backends() {
+    // Three perturbations share t = 7 s (submitted out of cluster order so
+    // ordering-by-cluster would be caught) around two other times; the
+    // engine deduplicates wake-ups, so the shared time gets ONE queue event
+    // that must surface all three, in submission order.
+    let entries = vec![
+        (7, load(2, 4.0)),
+        (1, load(0, 2.0)),
+        (7, load(0, 5.0)),
+        (
+            7,
+            Injection::CrashCluster {
+                cluster: ClusterId(1),
+            },
+        ),
+        (9, load(1, 1.0)),
+    ];
+    let mut expected = entries.clone();
+    expected.sort_by_key(|&(secs, _)| secs); // stable: ties keep submission order
+    let expected: Vec<(SimTime, Injection)> = expected
+        .into_iter()
+        .map(|(secs, i)| (SimTime::from_secs(secs), i))
+        .collect();
+
+    let runs: Vec<_> = [QueueBackend::Heap, QueueBackend::Wheel]
+        .into_iter()
+        .map(|b| replay(b, sched(entries.clone())))
+        .collect();
+    assert_eq!(runs[0], expected);
+    assert_eq!(runs[0], runs[1], "backends must agree pop-for-pop");
+}
+
+#[test]
+fn late_wakeup_drains_every_due_injection_exactly_once_on_both_backends() {
+    // The clamp contract: a wake-up scheduled for a time the clock already
+    // passed runs at `now()` (kernel clamps in release, asserts in debug —
+    // so this test applies the documented `max(now)` clamp itself). One
+    // late wake-up must drain EVERY injection due by then, in order, and a
+    // later on-time wake-up must not re-deliver any of them.
+    for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+        let mut q: EventQueue<&str> = EventQueue::with_backend(backend);
+        let mut s = sched(vec![
+            (2, load(0, 2.0)),
+            (4, load(1, 3.0)),
+            (30, load(2, 4.0)),
+        ]);
+
+        // The clock jumps straight to 10 s before the injection wake-ups
+        // get scheduled (e.g. a handler that discovered the schedule late).
+        q.push(SimTime::from_secs(10), "jump");
+        let (now, _) = q.pop().unwrap();
+        assert_eq!(now, SimTime::from_secs(10));
+
+        for t in s.upcoming_times().collect::<BTreeSet<SimTime>>() {
+            q.push(t.max(q.now()), "inject"); // 2 s and 4 s clamp to 10 s
+        }
+        let mut fired = Vec::new();
+        while let Some((now, tag)) = q.pop() {
+            assert_eq!(tag, "inject");
+            fired.extend(s.pop_due(now).into_iter().map(|e| (now, e.injection)));
+        }
+        assert_eq!(
+            fired,
+            vec![
+                // Both overdue injections drain on the FIRST clamped
+                // wake-up; the second clamped wake-up finds nothing due.
+                (SimTime::from_secs(10), load(0, 2.0)),
+                (SimTime::from_secs(10), load(1, 3.0)),
+                (SimTime::from_secs(30), load(2, 4.0)),
+            ],
+            "{backend:?}"
+        );
+        assert_eq!(s.remaining(), 0);
+    }
+}
+
+// In release builds the kernel itself clamps past-time pushes (debug builds
+// assert instead, see `scheduling_into_the_past_asserts_in_debug`); verify
+// the injection replay survives the real clamp path there.
+#[test]
+#[cfg(not(debug_assertions))]
+fn kernel_clamp_delivers_past_wakeups_at_now_on_both_backends() {
+    for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+        let mut q: EventQueue<&str> = EventQueue::with_backend(backend);
+        let mut s = sched(vec![(2, load(0, 2.0)), (4, load(1, 3.0))]);
+        q.push(SimTime::from_secs(10), "jump");
+        q.pop();
+        for t in s.upcoming_times().collect::<BTreeSet<SimTime>>() {
+            q.push(t, "inject"); // genuinely in the past: kernel clamps to 10 s
+        }
+        let mut fired = Vec::new();
+        while let Some((now, _)) = q.pop() {
+            assert_eq!(now, SimTime::from_secs(10), "{backend:?}");
+            fired.extend(s.pop_due(now).into_iter().map(|e| e.injection));
+        }
+        assert_eq!(fired, vec![load(0, 2.0), load(1, 3.0)], "{backend:?}");
+    }
+}

@@ -107,4 +107,22 @@ diff target/ci_serial.txt target/ci_emit.txt
 echo "stdout is byte-identical with --emit-metrics"
 ./target/release/validate_metrics target/ci_metrics
 
+echo "== scenario fuzz smoke (25 seeded adaptation-invariant runs) =="
+# Each seed deterministically generates a random scenario (grid, layout,
+# timed perturbations), runs it through the DES, and asserts the four
+# adaptation invariants on the emitted JSONL alone. A failing seed prints
+# its exact re-run command, and the same seed always regenerates a
+# byte-identical scenario file.
+timeout 600 ./target/release/experiments --fuzz 25
+
+echo "== scenario parity (one file drives both twins) =="
+# The checked-in paper crash scenario runs through the DES and through
+# real processes over loopback TCP from the *same* declarative file, and
+# both runs are judged by the same invariant checker. Exit code 4 from
+# grid-local would mean infrastructure timeout (not an invariant verdict).
+./target/release/experiments --scenario scenarios/s6.json
+rm -rf target/ci_scenario_parity
+timeout 90 ./target/release/grid-local --scenario-file scenarios/s6.json \
+    --min-decisions 3 --out target/ci_scenario_parity
+
 echo "CI OK"

@@ -14,6 +14,13 @@
 //!   launcher verifies jobs migrated between processes (steal counters),
 //!   the distributed sum matches the sequential reference, and the
 //!   thieves' `inter_comm` overhead is real measured wire time.
+//! * `--scenario hub-crash` — starts a standby hub replicating from the
+//!   primary, crashes a worker (so there is a blacklist worth inheriting),
+//!   then SIGKILLs the *primary hub* and verifies the standby wins the
+//!   deterministic election, promotes under a bumped epoch, keeps the
+//!   blacklist/peer-directory/bandwidth state, re-admits the survivors and
+//!   still refuses the victim — all re-certified offline from the composed
+//!   JSONL by the crates/scenario `hub-failover` invariant.
 //!
 //! With `--scenario-file <path>` the launcher instead drives a declarative
 //! scenario (crates/scenario format — the same file the DES twin runs):
@@ -908,6 +915,511 @@ fn run_scenario_file(sa: ScenarioArgs) -> Result<Vec<String>, Failure> {
     Ok(checks.failures)
 }
 
+/// The `hub-crash` scenario: the control plane itself fails. A standby hub
+/// tails the primary's replication log from the start of the run; once the
+/// grid is busy (and one worker has already crashed and been blacklisted
+/// on the primary's watch) the launcher SIGKILLs the *primary*. The
+/// standby must win the deterministic election, promote in place on its
+/// pre-advertised port under a bumped epoch, and serve the replicated
+/// state: surviving workers fail over through their `--hub` lists, the
+/// blacklisted victim's rejoin is still refused (permanence across the
+/// epoch boundary), the peer directory and learned bandwidth arrive
+/// without re-measurement, and the coordinator redials and stamps
+/// post-failover decisions with the new epoch. The launcher then composes
+/// its injection records with the standby's and the coordinator's JSONL
+/// and runs the crates/scenario checker over the merged stream, so the
+/// takeover is certified from JSONL alone (`hub-failover` invariant:
+/// exactly one takeover per injected hub crash).
+fn run_hub_crash(
+    workers: usize,
+    duration: Duration,
+    kill_index: u32,
+    out: &str,
+    bin_dir: &Path,
+) -> Result<Vec<String>, Failure> {
+    let hub_args = |extra: &[&str]| -> Vec<String> {
+        [
+            "--port",
+            "0",
+            "--clusters",
+            "1",
+            "--nodes-per-cluster",
+            &(workers * 2 + 4).to_string(),
+            "--heartbeat-timeout-ms",
+            "700",
+            "--detect-interval-ms",
+            "100",
+            "--out",
+            out,
+        ]
+        .iter()
+        .copied()
+        .chain(extra.iter().copied())
+        .map(str::to_string)
+        .collect()
+    };
+
+    // --- Primary hub ------------------------------------------------------
+    let mut primary_child = Command::new(bin_dir.join("sagrid-hub"))
+        .args(hub_args(&[]))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn sagrid-hub: {e}"))?;
+    let (port_tx, port_rx) = channel::<u16>();
+    let died: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    {
+        let died = Arc::clone(&died);
+        let stdout = primary_child.stdout.take().expect("piped stdout");
+        pump("hub0".to_string(), stdout, move |line| {
+            if let Some(rest) = line.strip_prefix("HUB_PORT=") {
+                if let Ok(p) = rest.trim().parse() {
+                    let _ = port_tx.send(p);
+                }
+            } else if let Some(rest) = line.strip_prefix("EVENT died n") {
+                if let Ok(n) = rest.trim().parse() {
+                    died.lock().expect("died set").insert(n);
+                }
+            }
+        });
+    }
+    let primary_port = port_rx
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| Failure::Timeout("primary hub never printed HUB_PORT=".to_string()))?;
+    let primary_addr = format!("127.0.0.1:{primary_port}");
+
+    // --- Standby hub (replica 1, same cluster geometry) -------------------
+    let mut standby_child = Command::new(bin_dir.join("sagrid-hub"))
+        .args(hub_args(&[
+            "--standby",
+            "1",
+            "--replicate-from",
+            &primary_addr,
+        ]))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn standby sagrid-hub: {e}"))?;
+    let (sport_tx, sport_rx) = channel::<u16>();
+    let attached = Arc::new(AtomicBool::new(false));
+    let takeover_epoch: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+    let standby_joined: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    {
+        let attached = Arc::clone(&attached);
+        let takeover = Arc::clone(&takeover_epoch);
+        let joined = Arc::clone(&standby_joined);
+        let stdout = standby_child.stdout.take().expect("piped stdout");
+        pump("hub1".to_string(), stdout, move |line| {
+            if let Some(rest) = line.strip_prefix("HUB_PORT=") {
+                if let Ok(p) = rest.trim().parse() {
+                    let _ = sport_tx.send(p);
+                }
+            } else if line.starts_with("EVENT standby attached") {
+                attached.store(true, Ordering::Release);
+            } else if let Some(rest) = line.strip_prefix("EVENT takeover epoch=") {
+                if let Some(e) = rest.split_whitespace().next().and_then(|v| v.parse().ok()) {
+                    *takeover.lock().expect("takeover epoch") = Some(e);
+                }
+            } else if let Some(rest) = line.strip_prefix("EVENT joined n") {
+                if let Ok(n) = rest.trim().parse() {
+                    joined.lock().expect("standby joined").insert(n);
+                }
+            }
+        });
+    }
+    let standby_port = sport_rx
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| Failure::Timeout("standby hub never printed HUB_PORT=".to_string()))?;
+    let standby_addr = format!("127.0.0.1:{standby_port}");
+    // Everyone carries the full failover list; the primary is first, so all
+    // traffic lands there until it dies.
+    let hub_list = format!("{primary_addr},{standby_addr}");
+    println!("grid-local: primary {primary_addr}, standby {standby_addr}");
+
+    // The snapshot must be aboard before the grid starts filling the log.
+    let attach_deadline = Instant::now() + Duration::from_secs(10);
+    while !attached.load(Ordering::Acquire) {
+        if Instant::now() > attach_deadline {
+            return Err(Failure::Timeout(
+                "standby never attached to the primary".to_string(),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // --- Coordinator daemon (dials through the same failover list) --------
+    let coord_out = format!("{out}/run_coordinatord.jsonl");
+    // The warmup outlasts the whole disruption window (worker crash ~3.5s,
+    // hub crash ~5s, takeover ~6s): the adaptation loop judges only the
+    // NEW primary's steady state, so a transient efficiency dip during the
+    // failover cannot shrink a surviving worker out from under the
+    // "all survivors failed over" check.
+    let mut coord_child = Command::new(bin_dir.join("sagrid-coordinatord"))
+        .args([
+            "--hub",
+            &hub_list,
+            "--period-ms",
+            "600",
+            "--warmup-ms",
+            "8000",
+            "--out",
+            &coord_out,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn sagrid-coordinatord: {e}"))?;
+    let provenance_ok = Arc::new(AtomicBool::new(false));
+    // Highest hub epoch the daemon reported seeing (from HUB_EPOCH lines):
+    // proves post-failover decisions run under the new primary.
+    let coord_hub_epoch: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let coord_up = {
+        let (tx, rx) = channel::<()>();
+        let flag = Arc::clone(&provenance_ok);
+        let epoch_seen = Arc::clone(&coord_hub_epoch);
+        let stdout = coord_child.stdout.take().expect("piped stdout");
+        pump("coord".to_string(), stdout, move |line| {
+            if line.starts_with("COORDINATOR_UP") {
+                let _ = tx.send(());
+            } else if line.starts_with("PROVENANCE_OK") {
+                flag.store(true, Ordering::Release);
+            } else if let Some(rest) = line.strip_prefix("HUB_EPOCH epoch=") {
+                if let Some(e) = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                {
+                    let mut seen = epoch_seen.lock().expect("coord epoch");
+                    *seen = (*seen).max(e);
+                }
+            }
+        });
+        rx
+    };
+    coord_up
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| Failure::Timeout("coordinator daemon never came up".to_string()))?;
+    // Injection records rebase onto the daemon's decision axis, exactly as
+    // in run_scenario_file.
+    let coord_epoch = Instant::now();
+
+    // --- Workers: failover lists, steal plane on ---------------------------
+    let wa = WorkerArgs {
+        duty: 0.4,
+        period_ms: 300,
+        heartbeat_ms: 100,
+    };
+    let extra: Vec<String> = ["--steal", "on"].iter().map(|s| s.to_string()).collect();
+    let mut worker_children: Vec<(u32, Child)> = Vec::new();
+    for i in 0..workers {
+        let (child, joined) = spawn_worker(
+            bin_dir,
+            &hub_list,
+            &wa,
+            0,
+            None,
+            None,
+            &extra,
+            format!("w{i}"),
+            |_| {},
+        )?;
+        let node = joined
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| Failure::Timeout(format!("worker {i} never joined")))?;
+        worker_children.push((node, child));
+    }
+    let start = Instant::now();
+    println!("grid-local: {workers} workers up on the primary");
+
+    // Let stats reports flow: the first benchmarks replicate as Bandwidth
+    // deltas and the steal announcements fill the peer directory, so the
+    // standby has real learned state to inherit.
+    std::thread::sleep(Duration::from_millis(2000));
+
+    let mut checks = Checks {
+        failures: Vec::new(),
+    };
+    let mut records: Vec<String> = Vec::new();
+
+    // --- Phase 1: a worker crashes on the primary's watch ------------------
+    let victim = kill_index;
+    let victim_child = worker_children
+        .iter_mut()
+        .find(|(n, _)| *n == victim)
+        .ok_or(format!("no worker holds node id {victim} to kill"))?;
+    victim_child.1.kill().map_err(|e| format!("kill: {e}"))?;
+    victim_child.1.wait().map_err(|e| format!("reap: {e}"))?;
+    records.push(
+        MetricEvent::new(coord_epoch.elapsed().as_micros() as u64, "injection")
+            .with("injection", Value::Str("crash_nodes".to_string()))
+            .with("cluster", Value::U64(0))
+            .to_json(),
+    );
+    println!("grid-local: SIGKILLed worker n{victim}");
+
+    let detect_deadline = Instant::now() + Duration::from_secs(6);
+    let detected = loop {
+        if died.lock().expect("died set").contains(&victim) {
+            break true;
+        }
+        if Instant::now() > detect_deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    checks.assert(
+        detected,
+        "primary detected the SIGKILLed worker via heartbeat timeout",
+    );
+    // Let the blacklist delta reach the standby's log before the primary
+    // is allowed to die.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // --- Phase 2: the primary itself dies ----------------------------------
+    primary_child
+        .kill()
+        .map_err(|e| format!("kill primary: {e}"))?;
+    primary_child
+        .wait()
+        .map_err(|e| format!("reap primary: {e}"))?;
+    records.push(
+        MetricEvent::new(coord_epoch.elapsed().as_micros() as u64, "injection")
+            .with("injection", Value::Str("crash_hub".to_string()))
+            .to_json(),
+    );
+    println!("grid-local: SIGKILLed the primary hub");
+
+    let takeover_deadline = Instant::now() + Duration::from_secs(10);
+    let epoch_won = loop {
+        if let Some(e) = *takeover_epoch.lock().expect("takeover epoch") {
+            break Some(e);
+        }
+        if Instant::now() > takeover_deadline {
+            break None;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    checks.assert(
+        epoch_won == Some(2),
+        &format!("standby won the election and promoted under epoch 2 (got {epoch_won:?})"),
+    );
+
+    // --- Phase 3: survivors fail over, the blacklist holds -----------------
+    let survivors: BTreeSet<u32> = worker_children
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| *n != victim)
+        .collect();
+    if epoch_won.is_some() {
+        let failover_deadline = Instant::now() + Duration::from_secs(10);
+        let rejoined = loop {
+            if survivors.is_subset(&standby_joined.lock().expect("standby joined")) {
+                break true;
+            }
+            if Instant::now() > failover_deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        checks.assert(
+            rejoined,
+            &format!(
+                "all {} surviving workers failed over to the standby",
+                survivors.len()
+            ),
+        );
+
+        // The victim's id must stay refused under the NEW epoch: blacklist
+        // permanence is exactly what replication exists to guarantee.
+        let (mut rejoin_child, _) = spawn_worker(
+            bin_dir,
+            &standby_addr,
+            &wa,
+            0,
+            None,
+            Some(victim),
+            &[],
+            format!("w{victim}-rejoin"),
+            |_| {},
+        )?;
+        let rejoin_status = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match rejoin_child.try_wait() {
+                    Ok(Some(status)) => break Some(status),
+                    Ok(None) if Instant::now() > deadline => {
+                        let _ = rejoin_child.kill();
+                        let _ = rejoin_child.wait();
+                        break None;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                    Err(_) => break None,
+                }
+            }
+        };
+        checks.assert(
+            rejoin_status.and_then(|s| s.code()) == Some(3),
+            "blacklisted victim's rejoin was refused by the NEW primary (epoch 2)",
+        );
+    }
+
+    // --- Let the adaptation loop settle under the new primary, shut down ---
+    let remaining = duration.saturating_sub(start.elapsed());
+    std::thread::sleep(remaining);
+    // The launcher's shutdown goes to the new primary; the old one is gone.
+    let (events_tx, _events_rx) = channel::<NetEvent>();
+    match TcpStream::connect(&standby_addr) {
+        Ok(stream) => {
+            let control = Connection::spawn(1, stream, events_tx, None)
+                .map_err(|e| format!("control conn: {e}"))?;
+            control.send(Message::LauncherHello);
+            control.send(Message::Shutdown);
+            // Give the frames a moment to flush before the reap loop below
+            // starts judging exits.
+            std::thread::sleep(Duration::from_millis(300));
+        }
+        Err(e) => checks.assert(
+            false,
+            &format!("could dial the new primary for shutdown: {e}"),
+        ),
+    }
+
+    let mut all: Vec<Tracked> = vec![
+        Tracked {
+            name: "standby-hub".to_string(),
+            child: standby_child,
+        },
+        Tracked {
+            name: "coordinatord".to_string(),
+            child: coord_child,
+        },
+    ];
+    for (n, child) in worker_children {
+        all.push(Tracked {
+            name: format!("worker-{n}"),
+            child,
+        });
+    }
+    let reap_deadline = Instant::now() + Duration::from_secs(10);
+    let mut orphans = Vec::new();
+    for t in &mut all {
+        loop {
+            match t.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() > reap_deadline => {
+                    let _ = t.child.kill();
+                    let _ = t.child.wait();
+                    orphans.push(t.name.clone());
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => return Err(Failure::Infra(format!("wait for {}: {e}", t.name))),
+            }
+        }
+    }
+    checks.assert(
+        orphans.is_empty(),
+        &format!("all children exited after shutdown (orphans: {orphans:?})"),
+    );
+    checks.assert(
+        provenance_ok.load(Ordering::Acquire),
+        "coordinator self-verified its provenance stream (PROVENANCE_OK)",
+    );
+    checks.assert(
+        *coord_hub_epoch.lock().expect("coord epoch") >= 2,
+        "coordinator observed the bumped hub epoch after failover",
+    );
+
+    // --- Judge the takeover from JSONL alone --------------------------------
+    // The standby's stream holds the hub_failover event and replica
+    // counters; the launcher knows nothing the files don't say.
+    let standby_out = format!("{out}/run_hub_standby1.jsonl");
+    let standby_text =
+        std::fs::read_to_string(&standby_out).map_err(|e| format!("read {standby_out}: {e}"))?;
+    let mut takeovers_counter = 0u64;
+    let mut failover_event = None;
+    for (i, line) in standby_text.lines().enumerate() {
+        let value =
+            parse_json(line).map_err(|e| format!("{standby_out}:{}: bad JSON: {e}", i + 1))?;
+        match value.get("type").and_then(|t| t.as_str()) {
+            Some("counter")
+                if value.get("name").and_then(|n| n.as_str()) == Some("net.replica.takeovers") =>
+            {
+                takeovers_counter = value.get("value").and_then(|v| v.as_u64()).unwrap_or(0);
+            }
+            Some("event") if value.get("kind").and_then(|k| k.as_str()) == Some("hub_failover") => {
+                failover_event = Some(value);
+            }
+            _ => {}
+        }
+    }
+    checks.assert(
+        takeovers_counter == 1,
+        &format!(
+            "standby counted exactly one takeover (net.replica.takeovers={takeovers_counter})"
+        ),
+    );
+    let field = |key: &str| {
+        failover_event
+            .as_ref()
+            .and_then(|v| v.get(key))
+            .and_then(|v| v.as_u64())
+    };
+    checks.assert(
+        field("epoch") == Some(2),
+        "hub_failover event records the bumped epoch",
+    );
+    checks.assert(
+        field("bandwidth_nodes").is_some_and(|n| n >= 1),
+        "learned bandwidth survived the failover without re-measurement",
+    );
+    checks.assert(
+        field("peers").is_some_and(|n| n >= 1),
+        "the steal-plane peer directory survived the failover",
+    );
+    checks.assert(
+        failover_event
+            .as_ref()
+            .and_then(|v| v.get("blacklisted_nodes"))
+            .and_then(|v| v.as_arr())
+            .is_some_and(|ids| ids.iter().any(|id| id.as_u64() == Some(u64::from(victim)))),
+        "the victim's blacklist entry crossed the epoch boundary",
+    );
+
+    // Composed stream: launcher injections + the standby hub's events +
+    // the coordinator's decisions — the artifact the crates/scenario
+    // checker certifies, including the hub-failover invariant (exactly one
+    // takeover per injected hub crash, no blacklisted join afterwards).
+    let coord_text =
+        std::fs::read_to_string(&coord_out).map_err(|e| format!("read {coord_out}: {e}"))?;
+    let mut composed = records.join("\n");
+    composed.push('\n');
+    composed.push_str(&standby_text);
+    composed.push_str(&coord_text);
+    let stream_path = format!("{out}/hubcrash_stream.jsonl");
+    std::fs::write(&stream_path, &composed).map_err(|e| format!("write {stream_path}: {e}"))?;
+    let cfg = InvariantConfig {
+        recovery_eff: 0.25,
+        settle_us: 2_000_000,
+        join_delay_us: 0,
+        // Membership/conservation are the DES twin's to certify; this
+        // composed stream spans two hub processes and the coordinator.
+        check_membership: false,
+        check_conservation: false,
+        expected_iterations: None,
+    };
+    let violations = check_jsonl(&composed, &cfg);
+    checks.assert(
+        violations.is_empty(),
+        "adaptation + hub-failover invariants hold on the composed stream",
+    );
+    for v in &violations {
+        println!("grid-local: violation {v}");
+    }
+
+    Ok(checks.failures)
+}
+
 fn run() -> Result<Vec<String>, Failure> {
     let args = Args::parse(
         std::env::args().skip(1),
@@ -949,13 +1461,14 @@ fn run() -> Result<Vec<String>, Failure> {
     }
     let workers: usize = args.get_or("workers", 4)?;
     let scenario: String = args.get_or("scenario", "crash".to_string())?;
-    let (full, steal) = match scenario.as_str() {
-        "crash" => (false, false),
-        "full" => (true, false),
-        "steal" => (false, true),
+    let (full, steal, hub_crash) = match scenario.as_str() {
+        "crash" => (false, false, false),
+        "full" => (true, false, false),
+        "steal" => (false, true, false),
+        "hub-crash" => (false, false, true),
         other => {
             return Err(Failure::Infra(format!(
-                "unknown scenario {other:?} (crash|full|steal)"
+                "unknown scenario {other:?} (crash|full|steal|hub-crash)"
             )))
         }
     };
@@ -964,6 +1477,8 @@ fn run() -> Result<Vec<String>, Failure> {
     }
     let default_duration = if steal {
         30_000u64
+    } else if hub_crash {
+        15_000
     } else if full {
         12_000
     } else {
@@ -982,6 +1497,9 @@ fn run() -> Result<Vec<String>, Failure> {
 
     if steal {
         return run_steal(workers, duration, &out, &bin_dir).map_err(Failure::Infra);
+    }
+    if hub_crash {
+        return run_hub_crash(workers, duration, kill_index, &out, &bin_dir);
     }
 
     // Full scenario math (defaults: E_MIN 0.30, E_MAX 0.50): healthy duty

@@ -15,11 +15,11 @@
 
 use sagrid_adapt::{AdaptPolicy, Coordinator, Decision, SpeedTracker};
 use sagrid_core::json::parse_json;
-use sagrid_core::metrics::Metrics;
+use sagrid_core::metrics::{Metrics, Value};
 use sagrid_core::time::{SimDuration, SimTime};
 use sagrid_net::conn::{Connection, NetEvent};
 use sagrid_net::wire::Message;
-use sagrid_net::{Args, Backoff};
+use sagrid_net::{Args, Backoff, HubSet};
 use sagrid_simgrid::provenance::{decision_event, reconstruct_decision};
 use std::io::Write;
 use std::net::TcpStream;
@@ -31,7 +31,8 @@ fn run() -> Result<(), String> {
         std::env::args().skip(1),
         &["hub", "period-ms", "warmup-ms", "out"],
     )?;
-    let hub: String = args.require("hub")?;
+    // Like the worker's, `--hub` takes a comma-separated failover list.
+    let hubs = HubSet::parse(&args.require::<String>("hub")?)?;
     let period = Duration::from_millis(args.get_or("period-ms", 600u64)?);
     let warmup = Duration::from_millis(args.get_or("warmup-ms", 0u64)?);
     let out = args.get("out").map(str::to_string);
@@ -43,21 +44,31 @@ fn run() -> Result<(), String> {
         0xc00d,
     );
     let mut next_conn = 0u64;
-    let dial = |next_conn: &mut u64, backoff: &mut Backoff| -> Result<Connection, String> {
+    let mut hubs_dial = hubs.clone();
+    let mut dial = |next_conn: &mut u64, backoff: &mut Backoff| -> Result<Connection, String> {
+        // A standby answers the dial but stays silent (it closes new
+        // connections until it wins an election); the Closed event then
+        // drives another dial, which rotates onward. Only dials that fail
+        // outright burn backoff attempts.
         loop {
-            match TcpStream::connect(&hub) {
+            match TcpStream::connect(hubs_dial.current()) {
                 Ok(s) => {
                     backoff.reset();
                     *next_conn += 1;
                     let conn = Connection::spawn(*next_conn, s, events_tx.clone(), None)
                         .map_err(|e| format!("connection setup: {e}"))?;
                     conn.send(Message::CoordinatorHello);
+                    hubs_dial.advance();
                     return Ok(conn);
                 }
                 Err(e) => {
-                    if backoff.attempts() >= 12 {
-                        return Err(format!("cannot reach hub at {hub}: {e}"));
+                    if backoff.attempts() >= 12 * hubs_dial.len() as u32 {
+                        return Err(format!(
+                            "cannot reach any hub of {:?}: {e}",
+                            hubs_dial.addrs()
+                        ));
                     }
+                    hubs_dial.advance();
                     std::thread::sleep(backoff.next_delay());
                 }
             }
@@ -74,6 +85,11 @@ fn run() -> Result<(), String> {
     let epoch = Instant::now();
     let started = Instant::now();
     let mut last_eval = Instant::now();
+    // Highest hub epoch seen (the hub stamps every CoordinatorHello with
+    // one). Carried on every decision event so the JSONL distinguishes
+    // pre- from post-failover decisions; a *lower* epoch marks a fenced
+    // stale primary and forces a redial through the list.
+    let mut hub_epoch = 0u64;
 
     let shutdown = loop {
         match events_rx.recv_timeout(Duration::from_millis(50)) {
@@ -93,6 +109,23 @@ fn run() -> Result<(), String> {
                     coordinator.record_crashed(&[node], None);
                     speeds.remove(node);
                     println!("CRASH_RECORDED node={}", node.0);
+                }
+                Message::HubEpoch { epoch: e, leader } => {
+                    if e > hub_epoch {
+                        hub_epoch = e;
+                        println!("HUB_EPOCH epoch={e} leader={leader}");
+                        std::io::stdout().flush().ok();
+                    } else if e < hub_epoch {
+                        println!("STALE_HUB epoch={e} known={hub_epoch}");
+                        std::io::stdout().flush().ok();
+                        match dial(&mut next_conn, &mut backoff) {
+                            Ok(c) => conn = c,
+                            Err(_) => {
+                                println!("HUB_GONE");
+                                break false;
+                            }
+                        }
+                    }
                 }
                 Message::Shutdown => break true,
                 _ => {}
@@ -159,7 +192,9 @@ fn run() -> Result<(), String> {
             // Emit provenance events for every new log entry, exactly as
             // the in-process engines do.
             for entry in &coordinator.log()[emitted..] {
-                metrics.emit(decision_event(entry));
+                // The hub epoch distinguishes pre- from post-failover
+                // decisions; reconstruction ignores unknown fields.
+                metrics.emit(decision_event(entry).with("hub_epoch", Value::U64(hub_epoch)));
                 println!(
                     "DECISION kind={} wa={:.3} nodes={}",
                     entry.decision.kind(),

@@ -3,11 +3,33 @@
 //! Prints `HUB_PORT=<port>` on stdout once bound (machine-parsed by
 //! `grid-local`), then `EVENT joined/left/died <node>` lines as membership
 //! changes, and writes a `run_hub.jsonl` metrics stream on shutdown.
+//!
+//! With `--standby <id> --replicate-from <addr>` the binary starts as a
+//! *standby* hub instead: it binds its port immediately (so workers can be
+//! pointed at it from the start; joins are refused with a `"standby"`
+//! reason until a takeover), tails the primary's replication log, and on
+//! primary death runs the deterministic election. If it wins it promotes
+//! in place — same listener, same port — seeded from the replicated state,
+//! serving under a bumped hub epoch. Standby metrics land in
+//! `run_hub_standby<id>.jsonl`.
 
 use sagrid_core::metrics::Metrics;
-use sagrid_net::{Args, Hub, HubConfig};
+use sagrid_net::{
+    run_standby, Args, Hub, HubConfig, StandbyConfig, StandbyOutcome, StandbyRefuser,
+};
 use std::io::Write;
+use std::net::TcpListener;
 use std::time::Duration;
+
+fn write_report(out: Option<&str>, file: &str, metrics: &Metrics) -> Result<(), String> {
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+        let path = format!("{dir}/{file}");
+        std::fs::write(&path, metrics.report().to_jsonl())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(())
+}
 
 fn run() -> Result<(), String> {
     let args = Args::parse(
@@ -19,6 +41,9 @@ fn run() -> Result<(), String> {
             "heartbeat-timeout-ms",
             "detect-interval-ms",
             "out",
+            "standby",
+            "replicate-from",
+            "advertise",
         ],
     )?;
     let port: u16 = args.get_or("port", 0)?;
@@ -30,18 +55,65 @@ fn run() -> Result<(), String> {
     };
     let out = args.get("out").map(str::to_string);
 
+    if let Some(replica_id) = args.get("standby") {
+        let replica_id: u32 = replica_id
+            .parse()
+            .map_err(|_| format!("--standby: cannot parse {replica_id:?}"))?;
+        if replica_id == 0 {
+            return Err("--standby id must be nonzero (0 is the original primary)".into());
+        }
+        let primary: String = args.require("replicate-from")?;
+        // Bind up front: workers can carry this address in their hub list
+        // from the very start of the run.
+        let listener = TcpListener::bind(format!("127.0.0.1:{port}"))
+            .map_err(|e| format!("bind failed: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?
+            .port();
+        println!("HUB_PORT={bound}");
+        std::io::stdout().flush().ok();
+        let advertise = args
+            .get("advertise")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("127.0.0.1:{bound}"));
+
+        let metrics = Metrics::enabled();
+        let refuser = StandbyRefuser::spawn(listener).map_err(|e| format!("refuser spawn: {e}"))?;
+        let standby_cfg = StandbyConfig {
+            replica_id,
+            primary,
+            advertise,
+            heartbeat_timeout: cfg.heartbeat_timeout,
+            detect_interval: cfg.detect_interval,
+        };
+        let report = format!("run_hub_standby{replica_id}.jsonl");
+        match run_standby(&standby_cfg, &metrics).map_err(|e| format!("standby: {e}"))? {
+            StandbyOutcome::Takeover(takeover) => {
+                // Promote in place: recover the listener the refuser held
+                // and serve the replicated state under the bumped epoch.
+                let listener = refuser.stop();
+                let hub = Hub::from_listener(listener, cfg, metrics.clone())
+                    .with_takeover(takeover, replica_id);
+                let metrics = hub.run();
+                write_report(out.as_deref(), &report, &metrics)?;
+            }
+            StandbyOutcome::Shutdown => {
+                // Graceful deployment shutdown while still standby: the
+                // JSONL still records the replication tail.
+                write_report(out.as_deref(), &report, &metrics)?;
+            }
+        }
+        return Ok(());
+    }
+
     let hub = Hub::bind(&format!("127.0.0.1:{port}"), cfg, Metrics::enabled())
         .map_err(|e| format!("bind failed: {e}"))?;
     println!("HUB_PORT={}", hub.port());
     std::io::stdout().flush().ok();
 
     let metrics = hub.run();
-    if let Some(dir) = out {
-        std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
-        let path = format!("{dir}/run_hub.jsonl");
-        std::fs::write(&path, metrics.report().to_jsonl())
-            .map_err(|e| format!("write {path}: {e}"))?;
-    }
+    write_report(out.as_deref(), "run_hub.jsonl", &metrics)?;
     Ok(())
 }
 

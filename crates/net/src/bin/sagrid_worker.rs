@@ -25,7 +25,7 @@ use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
 use sagrid_net::conn::{Connection, NetEvent};
 use sagrid_net::steal::{spawn_steal_server, ExportPool, NetStealHook, StealClient, StealMetrics};
 use sagrid_net::wire::Message;
-use sagrid_net::{Args, Backoff};
+use sagrid_net::{Args, Backoff, HubSet};
 use sagrid_runtime::{Runtime, RuntimeConfig};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
@@ -40,24 +40,35 @@ const MAX_CONNECT_ATTEMPTS: u32 = 12;
 /// the thief died and re-pends it.
 const RECLAIM_AFTER: Duration = Duration::from_secs(5);
 
-fn connect(hub: &str, backoff: &mut Backoff) -> Result<TcpStream, String> {
+fn connect(hubs: &mut HubSet, backoff: &mut Backoff) -> Result<TcpStream, String> {
+    // The attempt budget scales with the hub list: during a failover the
+    // dead primary burns one failed dial per rotation, and the standby
+    // needs a full heartbeat-timeout of silence before it takes over.
+    let budget = MAX_CONNECT_ATTEMPTS * hubs.len() as u32;
     loop {
-        match TcpStream::connect(hub) {
+        match TcpStream::connect(hubs.current()) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if backoff.attempts() >= MAX_CONNECT_ATTEMPTS {
-                    return Err(format!("cannot reach hub at {hub}: {e}"));
+                if backoff.attempts() >= budget {
+                    return Err(format!("cannot reach any hub of {:?}: {e}", hubs.addrs()));
                 }
+                hubs.advance();
                 std::thread::sleep(backoff.next_delay());
             }
         }
     }
 }
 
-/// Dials the hub, joins (fresh or claiming a specific node id) and waits
-/// for the verdict. Returns the connection and the granted node id.
+/// Dials through the hub list, joins (fresh or claiming a specific node
+/// id) and waits for the verdict. Returns the connection and the granted
+/// node id.
+///
+/// A refusal whose reason starts with `"standby"` is *transient* — the
+/// address answered but is not (yet) the primary — so the worker rotates
+/// to the next hub and retries instead of exiting. Every other refusal
+/// (e.g. blacklisted after a crash) is fatal: exit 3.
 fn join(
-    hub: &str,
+    hubs: &mut HubSet,
     cluster: ClusterId,
     claim: Option<NodeId>,
     backoff: &mut Backoff,
@@ -65,35 +76,91 @@ fn join(
     inbox: &Receiver<NetEvent>,
     next_conn: &mut u64,
 ) -> Result<(Connection, NodeId), String> {
-    let stream = connect(hub, backoff)?;
-    backoff.reset();
-    *next_conn += 1;
-    let conn = Connection::spawn(*next_conn, stream, events.clone(), None)
-        .map_err(|e| format!("connection setup: {e}"))?;
-    conn.send(Message::Join { cluster, claim });
-    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut soft_refusals = 0u32;
     loop {
-        let left = deadline.saturating_duration_since(Instant::now());
-        match inbox.recv_timeout(left) {
-            Ok(NetEvent::Message(
-                id,
-                Message::JoinAck {
-                    node,
-                    accepted,
-                    reason,
-                },
-            )) if id == conn.id() => {
-                if accepted {
-                    return Ok((conn, node));
-                }
+        let stream = connect(hubs, backoff)?;
+        *next_conn += 1;
+        let conn = Connection::spawn(*next_conn, stream, events.clone(), None)
+            .map_err(|e| format!("connection setup: {e}"))?;
+        conn.send(Message::Join { cluster, claim });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // None = the connection dropped before a verdict arrived (a hub
+        // torn down mid-dial); treated like a standby refusal below.
+        let verdict = loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match inbox.recv_timeout(left) {
+                Ok(NetEvent::Message(
+                    id,
+                    Message::JoinAck {
+                        node,
+                        accepted,
+                        reason,
+                    },
+                )) if id == conn.id() => break Some((node, accepted, reason)),
+                Ok(NetEvent::Closed(id)) if id == conn.id() => break None,
+                // Stale events from a previous connection: ignore.
+                Ok(_) => continue,
+                Err(_) => return Err("timed out waiting for join ack".to_string()),
+            }
+        };
+        match verdict {
+            Some((node, true, _)) => {
+                backoff.reset();
+                return Ok((conn, node));
+            }
+            Some((_, false, reason)) if reason.starts_with("standby") => {
+                println!("JOIN_DEFERRED {reason}");
+            }
+            Some((_, false, reason)) => {
                 println!("JOIN_REFUSED {reason}");
                 std::io::stdout().flush().ok();
                 std::process::exit(3);
             }
-            // Stale events from a previous connection: ignore.
-            Ok(_) => continue,
-            Err(_) => return Err("timed out waiting for join ack".to_string()),
+            None => {}
         }
+        soft_refusals += 1;
+        if soft_refusals > MAX_CONNECT_ATTEMPTS * hubs.len() as u32 {
+            return Err("no hub accepted the join (all standby or closing)".to_string());
+        }
+        hubs.advance();
+        std::thread::sleep(backoff.next_delay());
+    }
+}
+
+/// Reconnects (claiming `node`) through the hub list after a transport
+/// drop or a stale-primary disconnect, re-announcing the steal listener
+/// once in. `None` means no hub answered — the session is over.
+#[allow(clippy::too_many_arguments)]
+fn failover(
+    hubs: &mut HubSet,
+    cluster: ClusterId,
+    node: NodeId,
+    seed: u64,
+    events: &Sender<NetEvent>,
+    inbox: &Receiver<NetEvent>,
+    next_conn: &mut u64,
+    steal_plane: Option<&StealPlane>,
+) -> Option<Connection> {
+    let mut rb = Backoff::new(
+        Duration::from_millis(50),
+        Duration::from_millis(250),
+        seed ^ 0xdead,
+    );
+    match join(hubs, cluster, Some(node), &mut rb, events, inbox, next_conn) {
+        Ok((conn, n)) => {
+            assert_eq!(n, node, "hub re-assigned a claimed id");
+            println!("REJOINED node={}", node.0);
+            if let Some(plane) = steal_plane {
+                // The hub pruned us from the directory if it declared us
+                // dead; re-announcing is idempotent.
+                conn.send(Message::PeerAnnounce {
+                    node,
+                    steal_addr: plane.addr.clone(),
+                });
+            }
+            Some(conn)
+        }
+        Err(_) => None,
     }
 }
 
@@ -123,7 +190,9 @@ fn run() -> Result<(), String> {
             "out",
         ],
     )?;
-    let hub: String = args.require("hub")?;
+    // `--hub` takes a comma-separated address list: the primary first,
+    // then any standby hubs to fail over to when the primary dies.
+    let mut hubs = HubSet::parse(&args.require::<String>("hub")?)?;
     let cluster = ClusterId(args.get_or("cluster", 0u16)?);
     let claim = args
         .get("claim-node")
@@ -164,7 +233,7 @@ fn run() -> Result<(), String> {
     let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(1), seed);
     let mut next_conn = 0u64;
     let (mut conn, node) = join(
-        &hub,
+        &mut hubs,
         cluster,
         claim,
         &mut backoff,
@@ -387,6 +456,9 @@ fn run() -> Result<(), String> {
 
     let mut last_heartbeat = Instant::now();
     let mut last_report = Instant::now();
+    // Highest hub epoch observed; a hub announcing a *lower* one is a
+    // stale primary that survived a failover, and we must not follow it.
+    let mut hub_epoch = 0u64;
     loop {
         match events_rx.recv_timeout(Duration::from_millis(20)) {
             Ok(NetEvent::Message(_, msg)) => match msg {
@@ -415,6 +487,37 @@ fn run() -> Result<(), String> {
                         println!("PEERS {}", plane.client.peers());
                     }
                 }
+                Message::HubEpoch { epoch, leader } => {
+                    if epoch > hub_epoch {
+                        hub_epoch = epoch;
+                        println!("HUB_EPOCH epoch={epoch} leader={leader}");
+                        std::io::stdout().flush().ok();
+                    } else if epoch < hub_epoch {
+                        // A fenced-off stale primary is still feeding us
+                        // frames: drop it and fail over through the list.
+                        println!("STALE_HUB epoch={epoch} known={hub_epoch}");
+                        std::io::stdout().flush().ok();
+                        hubs.advance();
+                        match failover(
+                            &mut hubs,
+                            cluster,
+                            node,
+                            seed,
+                            &events_tx,
+                            &events_rx,
+                            &mut next_conn,
+                            steal_plane.as_ref(),
+                        ) {
+                            Some(c) => conn = c,
+                            None => {
+                                println!("HUB_GONE");
+                                stop.store(true, Ordering::Release);
+                                finish(inter_total_us);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
                 Message::Perturb {
                     speed, inter_frac, ..
                 } => {
@@ -438,39 +541,25 @@ fn run() -> Result<(), String> {
                 _ => {}
             },
             Ok(NetEvent::Closed(id)) if id == conn.id() => {
-                // Transport dropped: reconnect with backoff, claiming our
-                // node id so the registry treats it as the same member. A
-                // hub that stays unreachable means the session is over (a
-                // shutdown's RST can outrun the Shutdown frame itself) —
-                // that is a normal exit, not an error.
-                let mut rb = Backoff::new(
-                    Duration::from_millis(50),
-                    Duration::from_millis(250),
-                    seed ^ 0xdead,
-                );
-                match join(
-                    &hub,
+                // Transport dropped: reconnect with backoff through the hub
+                // list, claiming our node id so the registry treats it as
+                // the same member. A dead primary's standby needs a full
+                // heartbeat timeout of silence before it takes over, so the
+                // rotation keeps trying until the budget runs out. No hub
+                // answering means the session is over (a shutdown's RST can
+                // outrun the Shutdown frame itself) — a normal exit.
+                match failover(
+                    &mut hubs,
                     cluster,
-                    Some(node),
-                    &mut rb,
+                    node,
+                    seed,
                     &events_tx,
                     &events_rx,
                     &mut next_conn,
+                    steal_plane.as_ref(),
                 ) {
-                    Ok((c, n)) => {
-                        assert_eq!(n, node, "hub re-assigned a claimed id");
-                        conn = c;
-                        println!("REJOINED node={}", node.0);
-                        if let Some(plane) = &steal_plane {
-                            // The hub pruned us from the directory if it
-                            // declared us dead; re-announcing is idempotent.
-                            conn.send(Message::PeerAnnounce {
-                                node,
-                                steal_addr: plane.addr.clone(),
-                            });
-                        }
-                    }
-                    Err(_) => {
+                    Some(c) => conn = c,
+                    None => {
                         println!("HUB_GONE");
                         stop.store(true, Ordering::Release);
                         finish(inter_total_us);

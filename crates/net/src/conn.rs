@@ -388,7 +388,13 @@ mod tests {
         let conn = Connection::spawn(4242, stream, events_tx, None).unwrap();
         let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(matches!(evt, NetEvent::Opened(_)));
-        assert!(live_thread_names().iter().any(|n| n == "net-writer-4242"));
+        // The writer is spawned before `Opened` is enqueued, but its name
+        // may not yet be visible in /proc — poll rather than assert once.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !live_thread_names().iter().any(|n| n == "net-writer-4242") {
+            assert!(Instant::now() < deadline, "writer thread never appeared");
+            std::thread::sleep(Duration::from_millis(10));
+        }
 
         // Peer closes: reader sees EOF and must take the writer down with
         // it, while `conn` still holds the outbox open.

@@ -15,6 +15,8 @@
 //! heartbeat timeout declares a node dead.
 
 use crate::conn::{ConnId, Connection, NetEvent, NetMetrics};
+use crate::replica::Takeover;
+use crate::replog::{ControlState, MemberPhase, RepLog, ReplicaOp};
 use crate::wire::{Message, PeerInfo};
 use sagrid_core::config::GridConfig;
 use sagrid_core::ids::{ClusterId, NodeId};
@@ -60,6 +62,8 @@ enum Role {
     Worker(NodeId),
     Coordinator,
     Launcher,
+    /// A standby hub tailing the replication log.
+    Replica(u32),
 }
 
 /// Hub-side pre-resolved counters (`net.*` namespace, shared with the
@@ -74,6 +78,9 @@ struct HubCounters {
     grow_requests: std::sync::Arc<sagrid_core::metrics::Counter>,
     spawns_requested: std::sync::Arc<sagrid_core::metrics::Counter>,
     shrink_requests: std::sync::Arc<sagrid_core::metrics::Counter>,
+    replica_deltas_sent: std::sync::Arc<sagrid_core::metrics::Counter>,
+    replica_snapshots_sent: std::sync::Arc<sagrid_core::metrics::Counter>,
+    replica_fenced: std::sync::Arc<sagrid_core::metrics::Counter>,
 }
 
 impl HubCounters {
@@ -88,7 +95,47 @@ impl HubCounters {
             grow_requests: m.counter("net.grow_requests").expect("enabled"),
             spawns_requested: m.counter("net.spawns_requested").expect("enabled"),
             shrink_requests: m.counter("net.shrink_requests").expect("enabled"),
+            replica_deltas_sent: m.counter("net.replica.deltas_sent").expect("enabled"),
+            replica_snapshots_sent: m.counter("net.replica.snapshots_sent").expect("enabled"),
+            replica_fenced: m.counter("net.replica.fenced").expect("enabled"),
         })
+    }
+}
+
+/// Applies one control-plane transition to the primary's materialised
+/// state, appends it to the replication log, and fans it out to every
+/// attached standby. The primary goes through the *same*
+/// [`ControlState::apply`] as the standbys, so convergence is by
+/// construction, not by parallel bookkeeping.
+#[allow(clippy::too_many_arguments)]
+fn replicate(
+    op: ReplicaOp,
+    epoch: u64,
+    control: &mut ControlState,
+    replog: &mut RepLog,
+    replicas: &BTreeMap<ConnId, u32>,
+    conns: &BTreeMap<ConnId, Connection>,
+    hc: &Option<HubCounters>,
+) {
+    control.apply(&op);
+    let log_offset = replog.append();
+    if replicas.is_empty() {
+        return;
+    }
+    let msg = Message::StateDelta {
+        epoch,
+        log_offset,
+        op,
+    };
+    let mut sent = 0u64;
+    for cid in replicas.keys() {
+        if let Some(c) = conns.get(cid) {
+            c.send(msg.clone());
+            sent += 1;
+        }
+    }
+    if let Some(hc) = hc {
+        hc.replica_deltas_sent.add(sent);
     }
 }
 
@@ -117,18 +164,48 @@ pub struct Hub {
     listener: TcpListener,
     cfg: HubConfig,
     metrics: Metrics,
+    /// The hub epoch this instance serves under (1 for an original
+    /// primary; a takeover bumps it).
+    epoch: u64,
+    /// Replica id of this hub (0 = original primary).
+    leader: u32,
+    /// Replicated control-plane state to seed from after a takeover.
+    seed: Option<ControlState>,
+    /// Log offset the seed state is current as of.
+    seed_offset: u64,
 }
 
 impl Hub {
     /// Binds the listening socket (use port 0 for an ephemeral port).
     pub fn bind(addr: &str, cfg: HubConfig, metrics: Metrics) -> io::Result<Hub> {
-        assert!(cfg.clusters > 0 && cfg.nodes_per_cluster > 0);
         let listener = TcpListener::bind(addr)?;
-        Ok(Hub {
+        Ok(Hub::from_listener(listener, cfg, metrics))
+    }
+
+    /// Wraps an already-bound listener (a standby binds its port long
+    /// before it wins an election, so workers can be pointed at it from
+    /// the start).
+    pub fn from_listener(listener: TcpListener, cfg: HubConfig, metrics: Metrics) -> Hub {
+        assert!(cfg.clusters > 0 && cfg.nodes_per_cluster > 0);
+        Hub {
             listener,
             cfg,
             metrics,
-        })
+            epoch: 1,
+            leader: 0,
+            seed: None,
+            seed_offset: 0,
+        }
+    }
+
+    /// Seeds this hub from a won election: the replicated control-plane
+    /// state, the bumped epoch, and this hub's replica id as the leader.
+    pub fn with_takeover(mut self, takeover: Takeover, replica_id: u32) -> Hub {
+        self.epoch = takeover.epoch;
+        self.leader = replica_id;
+        self.seed_offset = takeover.log_offset;
+        self.seed = Some(takeover.state);
+        self
     }
 
     /// The bound port.
@@ -138,7 +215,7 @@ impl Hub {
 
     /// Serves until a launcher sends [`Message::Shutdown`]. Returns the
     /// metrics handle so the caller can write the final report.
-    pub fn run(self) -> Metrics {
+    pub fn run(mut self) -> Metrics {
         let (events_tx, events_rx) = channel::<NetEvent>();
         let nm = NetMetrics::resolve(&self.metrics);
 
@@ -197,6 +274,82 @@ impl Hub {
         let mut peer_dir: BTreeMap<NodeId, PeerInfo> = BTreeMap::new();
         let mut last_detect = Instant::now();
 
+        // Replication plane: the primary's own materialised copy of the
+        // replicated state, the log, and the attached standbys.
+        let hub_epoch = self.epoch;
+        let leader = self.leader;
+        let mut control = ControlState::default();
+        let mut replog = RepLog::new();
+        for _ in 0..self.seed_offset {
+            replog.append(); // resume the offset sequence after a takeover
+        }
+        let mut replicas: BTreeMap<ConnId, u32> = BTreeMap::new();
+        let mut fenced_out = false;
+
+        // A takeover seeds everything a new primary cannot re-learn from
+        // reconnecting workers: membership phases, both blacklists, the
+        // peer directory and learned bandwidth. Pool occupancy is derived
+        // (live members reserve their ids; dead/blacklisted are lost), and
+        // the replay's registry events are drained — they describe the old
+        // primary's history, not fresh transitions.
+        if let Some(seed) = self.seed.take() {
+            let t = now(epoch);
+            for (&node, &(cluster, phase)) in &seed.members {
+                match phase {
+                    MemberPhase::Alive | MemberPhase::Leaving => {
+                        membership.join(t, node, cluster);
+                        if phase == MemberPhase::Leaving {
+                            membership.signal_leave(node);
+                        }
+                        pool.reserve(node);
+                    }
+                    MemberPhase::Left => {}
+                    MemberPhase::Dead => {
+                        membership.join(t, node, cluster);
+                        membership.report_crash(node);
+                        pool.mark_lost(node);
+                    }
+                }
+            }
+            let _ = membership.take_events();
+            let _ = membership.take_signals();
+            blacklisted_nodes = seed.blacklisted_nodes.clone();
+            blacklisted_clusters = seed.blacklisted_clusters.clone();
+            for n in &blacklisted_nodes {
+                pool.mark_lost(*n);
+            }
+            peer_dir = seed.peers.clone();
+            control = seed;
+            self.metrics.emit(
+                MetricEvent::new(t.0, "hub_failover")
+                    .with("epoch", Value::U64(hub_epoch))
+                    .with("leader", Value::U64(u64::from(leader)))
+                    .with("members_alive", Value::U64(membership.alive_count() as u64))
+                    // The ids themselves (not a count): the invariant
+                    // checker proves blacklist permanence across the epoch
+                    // boundary from this list alone.
+                    .with(
+                        "blacklisted_nodes",
+                        Value::Raw(format!(
+                            "[{}]",
+                            blacklisted_nodes
+                                .iter()
+                                .map(|n| n.0.to_string())
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        )),
+                    )
+                    .with(
+                        "bandwidth_nodes",
+                        Value::U64(control.bandwidth.len() as u64),
+                    )
+                    .with("peers", Value::U64(peer_dir.len() as u64))
+                    .with("log_offset", Value::U64(replog.offset()))
+                    .with("digest", Value::Str(format!("{:016x}", control.digest()))),
+            );
+        }
+        println!("EVENT serving epoch={hub_epoch} leader={leader}");
+
         'serve: loop {
             let event = match events_rx.recv_timeout(self.cfg.detect_interval) {
                 Ok(e) => Some(e),
@@ -232,6 +385,13 @@ impl Hub {
                                     launcher = None;
                                 }
                             }
+                            // The standby set in `control.replicas` is kept:
+                            // a standby losing its socket is a transport
+                            // blip and it will re-attach; only the live
+                            // delta fan-out forgets the connection.
+                            Role::Replica(_) => {
+                                replicas.remove(&id);
+                            }
                             Role::Unknown => {}
                         }
                     }
@@ -245,7 +405,7 @@ impl Hub {
                                     } else if pending_spawns.remove(&node) {
                                         let c = pool.cluster_of(node);
                                         membership.join(t, node, c);
-                                        Ok(node)
+                                        Ok((node, true))
                                     } else if matches!(
                                         membership.state(node),
                                         Some(
@@ -257,7 +417,7 @@ impl Hub {
                                         // member that never missed enough
                                         // heartbeats to be declared dead.
                                         membership.heartbeat(t, node);
-                                        Ok(node)
+                                        Ok((node, false))
                                     } else {
                                         Err(format!("node {node} is blacklisted, dead or unknown"))
                                     }
@@ -288,7 +448,7 @@ impl Hub {
                                         {
                                             Some(grant) => {
                                                 membership.join(t, grant.node, grant.cluster);
-                                                Ok(grant.node)
+                                                Ok((grant.node, true))
                                             }
                                             None => {
                                                 Err(format!("cluster {cluster} has no free nodes"))
@@ -298,14 +458,34 @@ impl Hub {
                                 }
                             };
                             match verdict {
-                                Ok(node) => {
+                                Ok((node, fresh)) => {
                                     roles.insert(id, Role::Worker(node));
                                     node_conn.insert(node, id);
+                                    if fresh {
+                                        replicate(
+                                            ReplicaOp::Join {
+                                                node,
+                                                cluster: pool.cluster_of(node),
+                                            },
+                                            hub_epoch,
+                                            &mut control,
+                                            &mut replog,
+                                            &replicas,
+                                            &conns,
+                                            &hc,
+                                        );
+                                    }
                                     if let Some(c) = conns.get(&id) {
                                         c.send(Message::JoinAck {
                                             node,
                                             accepted: true,
                                             reason: String::new(),
+                                        });
+                                        // Epoch stamp: lets the worker spot
+                                        // a stale primary after a failover.
+                                        c.send(Message::HubEpoch {
+                                            epoch: hub_epoch,
+                                            leader,
                                         });
                                         // Bring the newcomer up to date on
                                         // the steal plane right away; later
@@ -353,6 +533,25 @@ impl Hub {
                             // removed worker can never re-enter the
                             // coordinator's report set through a stale socket.
                             if !blacklisted_nodes.contains(&report.node) {
+                                // Learned bandwidth is control-plane state a
+                                // new primary must not have to re-measure:
+                                // replicate the latest benchmark per node.
+                                if bench_micros > 0
+                                    && control.bandwidth.get(&report.node) != Some(&bench_micros)
+                                {
+                                    replicate(
+                                        ReplicaOp::Bandwidth {
+                                            node: report.node,
+                                            bench_micros,
+                                        },
+                                        hub_epoch,
+                                        &mut control,
+                                        &mut replog,
+                                        &replicas,
+                                        &conns,
+                                        &hc,
+                                    );
+                                }
                                 if let Some(cid) = coordinator {
                                     if let Some(c) = conns.get(&cid) {
                                         c.send(Message::StatsReport {
@@ -368,6 +567,15 @@ impl Hub {
                         }
                         Message::Leaving { node } => {
                             membership.leave(node);
+                            replicate(
+                                ReplicaOp::Leave { node },
+                                hub_epoch,
+                                &mut control,
+                                &mut replog,
+                                &replicas,
+                                &conns,
+                                &hc,
+                            );
                             // Blacklisted (shrink-removed) nodes never return
                             // to the pool; voluntary leavers do.
                             if !blacklisted_nodes.contains(&node) {
@@ -376,6 +584,17 @@ impl Hub {
                             node_conn.remove(&node);
                             if peer_dir.remove(&node).is_some() {
                                 broadcast_directory(&peer_dir, &node_conn, &conns);
+                                replicate(
+                                    ReplicaOp::PeerDir {
+                                        peers: peer_dir.values().cloned().collect(),
+                                    },
+                                    hub_epoch,
+                                    &mut control,
+                                    &mut replog,
+                                    &replicas,
+                                    &conns,
+                                    &hc,
+                                );
                             }
                             if let Some(hc) = &hc {
                                 hc.leaves.inc();
@@ -385,6 +604,14 @@ impl Hub {
                         Message::CoordinatorHello => {
                             roles.insert(id, Role::Coordinator);
                             coordinator = Some(id);
+                            if let Some(c) = conns.get(&id) {
+                                // The coordinator carries the epoch in its
+                                // decision provenance events.
+                                c.send(Message::HubEpoch {
+                                    epoch: hub_epoch,
+                                    leader,
+                                });
+                            }
                         }
                         Message::LauncherHello => {
                             roles.insert(id, Role::Launcher);
@@ -454,8 +681,28 @@ impl Hub {
                                     hc.shrink_requests.inc();
                                 }
                                 blacklisted_nodes.extend(nodes.iter().copied());
+                                for &node in &nodes {
+                                    replicate(
+                                        ReplicaOp::BlacklistNode { node },
+                                        hub_epoch,
+                                        &mut control,
+                                        &mut replog,
+                                        &replicas,
+                                        &conns,
+                                        &hc,
+                                    );
+                                }
                                 if let Some(c) = cluster {
                                     blacklisted_clusters.insert(c);
+                                    replicate(
+                                        ReplicaOp::BlacklistCluster { cluster: c },
+                                        hub_epoch,
+                                        &mut control,
+                                        &mut replog,
+                                        &replicas,
+                                        &conns,
+                                        &hc,
+                                    );
                                 }
                                 for node in nodes {
                                     membership.signal_leave(node);
@@ -494,6 +741,18 @@ impl Hub {
                                     },
                                 );
                                 broadcast_directory(&peer_dir, &node_conn, &conns);
+                                replicate(
+                                    ReplicaOp::PeerDir {
+                                        peers: peer_dir.values().cloned().collect(),
+                                    },
+                                    hub_epoch,
+                                    &mut control,
+                                    &mut replog,
+                                    &replicas,
+                                    &conns,
+                                    &hc,
+                                );
+                                println!("EVENT peers {}", peer_dir.len());
                             }
                         }
                         // A scenario file's graceful `shrink` event: signal
@@ -544,6 +803,67 @@ impl Hub {
                                 println!("EVENT perturbed {cluster} workers {sent}");
                             }
                         }
+                        // A standby hub attaches: log it to the standby set
+                        // (so every replica learns where the others serve),
+                        // register the connection, and bring it current with
+                        // a full snapshot. Snapshots are idempotent, so a
+                        // reattach at any offset is just another snapshot.
+                        Message::ReplicaHello { replica, addr, .. } => {
+                            replicate(
+                                ReplicaOp::ReplicaJoined { replica, addr },
+                                hub_epoch,
+                                &mut control,
+                                &mut replog,
+                                &replicas,
+                                &conns,
+                                &hc,
+                            );
+                            roles.insert(id, Role::Replica(replica));
+                            replicas.insert(id, replica);
+                            if let Some(c) = conns.get(&id) {
+                                c.send(Message::StateSnapshot {
+                                    epoch: hub_epoch,
+                                    log_offset: replog.offset(),
+                                    state: control.snapshot(),
+                                });
+                                if let Some(hc) = &hc {
+                                    hc.replica_snapshots_sent.inc();
+                                }
+                            }
+                            println!("EVENT replica {replica} attached");
+                        }
+                        Message::ReplicaAck {
+                            replica,
+                            log_offset,
+                        } => {
+                            replog.ack(replica, log_offset);
+                        }
+                        // Epoch fencing. A write-bearing frame from an older
+                        // epoch is a stale primary that limped back after a
+                        // failover: refuse the write and answer with the
+                        // current epoch so it can stand down. A *newer*
+                        // epoch means WE are the stale primary — stop
+                        // serving immediately rather than split the brain.
+                        Message::StateDelta { epoch: e, .. }
+                        | Message::StateSnapshot { epoch: e, .. }
+                        | Message::HubEpoch { epoch: e, .. } => {
+                            if e < hub_epoch {
+                                if let Some(c) = conns.get(&id) {
+                                    c.send(Message::HubEpoch {
+                                        epoch: hub_epoch,
+                                        leader,
+                                    });
+                                }
+                                if let Some(hc) = &hc {
+                                    hc.replica_fenced.inc();
+                                }
+                                println!("EVENT fenced stale epoch={e}");
+                            } else if e > hub_epoch {
+                                println!("EVENT fenced by newer epoch={e}");
+                                fenced_out = true;
+                                break 'serve;
+                            }
+                        }
                         // Hub-outbound messages arriving inbound, and
                         // steal-plane traffic (worker ↔ worker, never through
                         // the hub): ignore.
@@ -569,6 +889,24 @@ impl Hub {
                     blacklisted_nodes.insert(dead);
                     node_conn.remove(&dead);
                     dir_changed |= peer_dir.remove(&dead).is_some();
+                    replicate(
+                        ReplicaOp::Death { node: dead },
+                        hub_epoch,
+                        &mut control,
+                        &mut replog,
+                        &replicas,
+                        &conns,
+                        &hc,
+                    );
+                    replicate(
+                        ReplicaOp::BlacklistNode { node: dead },
+                        hub_epoch,
+                        &mut control,
+                        &mut replog,
+                        &replicas,
+                        &conns,
+                        &hc,
+                    );
                     if let Some(hc) = &hc {
                         hc.deaths.inc();
                     }
@@ -582,6 +920,28 @@ impl Hub {
                 }
                 if dir_changed {
                     broadcast_directory(&peer_dir, &node_conn, &conns);
+                    replicate(
+                        ReplicaOp::PeerDir {
+                            peers: peer_dir.values().cloned().collect(),
+                        },
+                        hub_epoch,
+                        &mut control,
+                        &mut replog,
+                        &replicas,
+                        &conns,
+                        &hc,
+                    );
+                }
+                // Replication keepalive: standbys declare the primary dead
+                // on *silence*, so an idle control plane must still tick.
+                let keepalive = Message::HubEpoch {
+                    epoch: hub_epoch,
+                    leader,
+                };
+                for cid in replicas.keys() {
+                    if let Some(c) = conns.get(cid) {
+                        c.send(keepalive.clone());
+                    }
                 }
             }
 
@@ -605,6 +965,13 @@ impl Hub {
             }
         }
 
+        if fenced_out {
+            self.metrics.emit(
+                MetricEvent::new(now(epoch).0, "hub_fenced")
+                    .with("epoch", Value::U64(hub_epoch))
+                    .with("leader", Value::U64(u64::from(leader))),
+            );
+        }
         self.metrics.clone()
     }
 }

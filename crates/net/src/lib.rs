@@ -27,12 +27,18 @@
 pub mod backoff;
 pub mod conn;
 pub mod hub;
+pub mod replica;
+pub mod replog;
 pub mod steal;
 pub mod wire;
 
 pub use backoff::Backoff;
 pub use conn::{ConnId, Connection, NetEvent, NetMetrics};
 pub use hub::{Hub, HubConfig};
+pub use replica::{
+    elect_primary, run_standby, HubSet, StandbyConfig, StandbyOutcome, StandbyRefuser, Takeover,
+};
+pub use replog::{ControlSnapshot, ControlState, MemberPhase, RepLog, ReplicaOp};
 pub use steal::{ExportPool, NetStealHook, StealClient, StealMetrics};
 pub use wire::Message;
 

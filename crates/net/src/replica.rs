@@ -1,0 +1,442 @@
+//! Standby hubs: replication tailing, primary-death detection, election
+//! and takeover.
+//!
+//! A standby hub dials the primary, introduces itself with
+//! [`Message::ReplicaHello`], and materialises the replication stream
+//! (snapshot on attach, [`Message::StateDelta`]s after) into a
+//! [`ControlState`]. The same heartbeat discipline the hub applies to
+//! workers applies here in reverse: a dropped socket is a reconnectable
+//! transport blip, and only *silence* — no frame from any primary for the
+//! heartbeat timeout — declares the primary dead. The primary keeps the
+//! link warm with periodic [`Message::HubEpoch`] frames, so silence is
+//! unambiguous.
+//!
+//! On primary death every standby runs the same deterministic election —
+//! lowest replica id over the replicated standby set, delegated to the
+//! already-tested [`sagrid_registry::Membership::elect_coordinator`] — so
+//! all survivors agree on the winner without exchanging a single message.
+//! The winner bumps the hub epoch (fencing any stale primary that limps
+//! back) and serves; losers re-attach to the winner's advertised address.
+
+use crate::backoff::Backoff;
+use crate::replog::ControlState;
+use crate::wire::{recv_message, send_message, Message};
+use sagrid_core::ids::{ClusterId, NodeId};
+use sagrid_core::metrics::{Counter, MetricEvent, Metrics, Value};
+use sagrid_core::time::SimTime;
+use sagrid_registry::{Membership, RegistryConfig};
+use std::collections::BTreeSet;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A parsed, ordered hub address list (`primary,standby1,standby2,…`).
+/// Workers and the coordinator dial through it round-robin when failing
+/// over; their per-address reconnect backoff rides on top.
+#[derive(Clone, Debug)]
+pub struct HubSet {
+    addrs: Vec<String>,
+    next: usize,
+}
+
+impl HubSet {
+    /// Parses a comma-separated address list. At least one address.
+    pub fn parse(s: &str) -> Result<HubSet, String> {
+        let addrs: Vec<String> = s
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(str::to_string)
+            .collect();
+        if addrs.is_empty() {
+            return Err(format!("empty hub list {s:?}"));
+        }
+        Ok(HubSet { addrs, next: 0 })
+    }
+
+    /// Every address, in the order given.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// The address the next dial should try.
+    pub fn current(&self) -> &str {
+        &self.addrs[self.next]
+    }
+
+    /// Rotates to the following address (wraps).
+    pub fn advance(&mut self) {
+        self.next = (self.next + 1) % self.addrs.len();
+    }
+
+    /// Number of addresses.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Always false (parse rejects empty lists); mirrors `len`.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// Deterministic primary election over a standby set: lowest replica id,
+/// via the registry's tested coordinator election (each standby id joins a
+/// throwaway [`Membership`] and [`Membership::elect_coordinator`] picks).
+/// Every survivor computes the same winner from the same replicated set —
+/// no messages are exchanged.
+pub fn elect_primary(standbys: &BTreeSet<u32>) -> Option<u32> {
+    let mut m = Membership::new(RegistryConfig::default());
+    for &r in standbys {
+        m.join(SimTime(0), NodeId(r), ClusterId(0));
+    }
+    let _ = m.take_events();
+    m.elect_coordinator().map(|n| n.0)
+}
+
+/// A standby's pre-takeover front door.
+///
+/// The standby binds its listener the moment it starts — long before any
+/// election — so launchers can hand its address to workers from day one.
+/// Until a takeover, this thread owns the listener and politely turns
+/// clients away: a [`Message::Join`] gets an explicit refusal whose reason
+/// starts with `"standby"` (workers treat that prefix as *transient* and
+/// rotate to the next hub address instead of exiting), and anything else
+/// gets an immediate close, which clients already handle as a redial.
+/// [`StandbyRefuser::stop`] hands the still-bound listener back so the
+/// takeover hub serves on the very address workers were already dialling.
+pub struct StandbyRefuser {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<TcpListener>,
+    port: u16,
+}
+
+impl StandbyRefuser {
+    /// Takes ownership of the bound listener and starts refusing.
+    pub fn spawn(listener: TcpListener) -> io::Result<StandbyRefuser> {
+        let port = listener.local_addr()?.port();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("standby-refuse".to_string())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stop2.load(Ordering::SeqCst) {
+                            drop(stream); // the stop() wake-up connect
+                            return listener;
+                        }
+                        std::thread::spawn(move || refuse_one(stream));
+                    }
+                    Err(_) => {
+                        if stop2.load(Ordering::SeqCst) {
+                            return listener;
+                        }
+                    }
+                }
+            })?;
+        Ok(StandbyRefuser { stop, handle, port })
+    }
+
+    /// Stops refusing and recovers the (still-bound) listener.
+    pub fn stop(self) -> TcpListener {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() with a throwaway self-connect.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        self.handle.join().expect("standby refuser thread panicked")
+    }
+}
+
+/// One-shot connection handler while standby: read the first frame, refuse
+/// a `Join` explicitly, drop everything else.
+fn refuse_one(mut stream: TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    if let Ok(Some(Message::Join { .. })) = recv_message(&mut stream) {
+        let _ = send_message(
+            &mut stream,
+            &Message::JoinAck {
+                node: NodeId(0),
+                accepted: false,
+                reason: "standby: not primary".to_string(),
+            },
+        );
+    }
+}
+
+/// Standby-side configuration.
+#[derive(Clone, Debug)]
+pub struct StandbyConfig {
+    /// This standby's replica id (must be unique and nonzero; the original
+    /// primary is implicitly 0, so lower standby ids win elections sooner).
+    pub replica_id: u32,
+    /// Address of the primary to replicate from.
+    pub primary: String,
+    /// `host:port` this standby serves on after a takeover (advertised to
+    /// the whole standby set through the replication log).
+    pub advertise: String,
+    /// No frame from the primary for this long ⇒ the primary is dead.
+    pub heartbeat_timeout: Duration,
+    /// Socket read timeout / liveness check interval.
+    pub detect_interval: Duration,
+}
+
+/// What [`run_standby`] resolved to.
+#[derive(Debug)]
+pub enum StandbyOutcome {
+    /// The primary died and this standby won the election: serve, fencing
+    /// older epochs.
+    Takeover(Takeover),
+    /// The deployment shut down gracefully while we were still standby.
+    Shutdown,
+}
+
+/// Everything the winner needs to become the primary.
+#[derive(Debug)]
+pub struct Takeover {
+    /// The new, bumped hub epoch.
+    pub epoch: u64,
+    /// The replicated control-plane state to seed the hub with.
+    pub state: ControlState,
+    /// Replication log offset the state is current as of.
+    pub log_offset: u64,
+}
+
+struct ReplicaCounters {
+    snapshots: Arc<Counter>,
+    deltas: Arc<Counter>,
+    acks: Arc<Counter>,
+    elections: Arc<Counter>,
+    takeovers: Arc<Counter>,
+}
+
+impl ReplicaCounters {
+    fn resolve(m: &Metrics) -> Option<Self> {
+        m.is_enabled().then(|| Self {
+            snapshots: m
+                .counter("net.replica.snapshots_received")
+                .expect("enabled"),
+            deltas: m.counter("net.replica.deltas_applied").expect("enabled"),
+            acks: m.counter("net.replica.acks_sent").expect("enabled"),
+            elections: m.counter("net.replica.elections").expect("enabled"),
+            takeovers: m.counter("net.replica.takeovers").expect("enabled"),
+        })
+    }
+}
+
+/// Tails the primary until it dies or the deployment shuts down.
+///
+/// Blocks for the standby's whole tailing life. On primary death it runs
+/// the election: if this standby wins, returns
+/// [`StandbyOutcome::Takeover`] (the caller seeds a hub from the state and
+/// serves); if it loses, it re-attaches to the winner and keeps tailing.
+pub fn run_standby(cfg: &StandbyConfig, metrics: &Metrics) -> io::Result<StandbyOutcome> {
+    let rc = ReplicaCounters::resolve(metrics);
+    let started = Instant::now();
+    let mut state = ControlState::default();
+    let mut epoch: u64 = 0;
+    let mut log_offset: u64 = 0;
+    let mut primary_addr = cfg.primary.clone();
+    // Deterministic-jitter backoff for redials, seeded from the replica id
+    // like workers seed theirs from the node id.
+    let mut backoff = Backoff::new(
+        Duration::from_millis(50),
+        Duration::from_millis(250),
+        0x5eed_0000 ^ u64::from(cfg.replica_id),
+    );
+    let mut last_frame = Instant::now();
+
+    'attach: loop {
+        // Dial (and redial) the current primary. EOF and connect failures
+        // are transport blips; only heartbeat-timeout silence is death.
+        let stream = loop {
+            match TcpStream::connect(&primary_addr) {
+                Ok(s) => break Some(s),
+                Err(_) if last_frame.elapsed() < cfg.heartbeat_timeout => {
+                    std::thread::sleep(backoff.next_delay());
+                }
+                Err(_) => break None,
+            }
+        };
+
+        if let Some(mut stream) = stream {
+            backoff.reset();
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(cfg.detect_interval)).ok();
+            let hello = Message::ReplicaHello {
+                replica: cfg.replica_id,
+                addr: cfg.advertise.clone(),
+                log_offset,
+            };
+            if send_message(&mut stream, &hello).is_ok() {
+                loop {
+                    match recv_message(&mut stream) {
+                        Ok(Some(Message::StateSnapshot {
+                            epoch: e,
+                            log_offset: off,
+                            state: snap,
+                        })) => {
+                            if e < epoch {
+                                // A stale primary answered: fence it off and
+                                // treat the link as dead traffic.
+                                break;
+                            }
+                            last_frame = Instant::now();
+                            epoch = e;
+                            log_offset = off;
+                            state = ControlState::from_snapshot(&snap);
+                            if let Some(rc) = &rc {
+                                rc.snapshots.inc();
+                            }
+                            println!(
+                                "EVENT standby attached epoch={e} offset={off} digest={:016x}",
+                                state.digest()
+                            );
+                            let ack = Message::ReplicaAck {
+                                replica: cfg.replica_id,
+                                log_offset,
+                            };
+                            if send_message(&mut stream, &ack).is_ok() {
+                                if let Some(rc) = &rc {
+                                    rc.acks.inc();
+                                }
+                            }
+                        }
+                        Ok(Some(Message::StateDelta {
+                            epoch: e,
+                            log_offset: off,
+                            op,
+                        })) => {
+                            if e < epoch {
+                                break; // stale primary
+                            }
+                            last_frame = Instant::now();
+                            epoch = e;
+                            state.apply(&op);
+                            log_offset = off + 1;
+                            if let Some(rc) = &rc {
+                                rc.deltas.inc();
+                            }
+                            let ack = Message::ReplicaAck {
+                                replica: cfg.replica_id,
+                                log_offset,
+                            };
+                            if send_message(&mut stream, &ack).is_ok() {
+                                if let Some(rc) = &rc {
+                                    rc.acks.inc();
+                                }
+                            }
+                        }
+                        Ok(Some(Message::HubEpoch { epoch: e, .. })) => {
+                            // The replication keepalive.
+                            if e >= epoch {
+                                last_frame = Instant::now();
+                                epoch = e;
+                            }
+                        }
+                        Ok(Some(Message::Shutdown)) => {
+                            return Ok(StandbyOutcome::Shutdown);
+                        }
+                        Ok(Some(_)) => {
+                            // Frames a standby has no business with; ignore.
+                            last_frame = Instant::now();
+                        }
+                        Ok(None) => break, // EOF: redial
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            if last_frame.elapsed() >= cfg.heartbeat_timeout {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        // Out of the read loop: either the socket dropped or we timed out.
+        if last_frame.elapsed() < cfg.heartbeat_timeout {
+            std::thread::sleep(backoff.next_delay());
+            continue 'attach;
+        }
+
+        // Heartbeat silence: the primary is dead. Elect over the
+        // replicated standby set (which includes us — the primary logged
+        // our ReplicaJoined).
+        let mut standbys: BTreeSet<u32> = state.replicas.keys().copied().collect();
+        standbys.insert(cfg.replica_id);
+        let winner = elect_primary(&standbys).expect("standby set contains self");
+        if let Some(rc) = &rc {
+            rc.elections.inc();
+        }
+        metrics.emit(
+            MetricEvent::new(started.elapsed().as_micros() as u64, "hub_election")
+                .with("winner", Value::U64(u64::from(winner)))
+                .with("standbys", Value::U64(standbys.len() as u64))
+                .with("old_epoch", Value::U64(epoch)),
+        );
+
+        if winner == cfg.replica_id {
+            let new_epoch = epoch + 1;
+            if let Some(rc) = &rc {
+                rc.takeovers.inc();
+            }
+            println!(
+                "EVENT takeover epoch={new_epoch} replica={}",
+                cfg.replica_id
+            );
+            return Ok(StandbyOutcome::Takeover(Takeover {
+                epoch: new_epoch,
+                state,
+                log_offset,
+            }));
+        }
+
+        // Lost the election: the winner is about to serve on its
+        // advertised address. Re-attach there and keep tailing; reset the
+        // silence clock so the winner gets a full timeout to come up.
+        primary_addr = state
+            .replicas
+            .get(&winner)
+            .cloned()
+            .unwrap_or_else(|| cfg.primary.clone());
+        last_frame = Instant::now();
+        backoff.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn election_is_deterministic_lowest_id() {
+        let set: BTreeSet<u32> = [9, 3, 5].into_iter().collect();
+        // Same winner regardless of how many times (or who) computes it.
+        for _ in 0..3 {
+            assert_eq!(elect_primary(&set), Some(3));
+        }
+        let single: BTreeSet<u32> = [7].into_iter().collect();
+        assert_eq!(elect_primary(&single), Some(7));
+        assert_eq!(elect_primary(&BTreeSet::new()), None);
+    }
+
+    #[test]
+    fn hub_set_parses_and_rotates() {
+        let mut hs = HubSet::parse("127.0.0.1:1, 127.0.0.1:2 ,127.0.0.1:3").unwrap();
+        assert_eq!(hs.len(), 3);
+        assert_eq!(hs.current(), "127.0.0.1:1");
+        hs.advance();
+        assert_eq!(hs.current(), "127.0.0.1:2");
+        hs.advance();
+        hs.advance();
+        assert_eq!(hs.current(), "127.0.0.1:1", "wraps");
+        assert!(HubSet::parse("  , ,").is_err());
+        assert_eq!(HubSet::parse("a:1").unwrap().addrs(), &["a:1".to_string()]);
+    }
+}

@@ -6,6 +6,7 @@
 //! patterns, so values round-trip exactly). The format is documented in
 //! DESIGN.md §"Wire protocol"; no external serialisation crate is used.
 
+use crate::replog::{ControlSnapshot, MemberPhase, ReplicaOp};
 use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
 use sagrid_core::time::{SimDuration, SimTime};
@@ -209,6 +210,57 @@ pub enum Message {
         /// The computed value.
         value: u64,
     },
+    /// Standby hub → primary: first message on a replication connection.
+    /// `log_offset` is the standby's resume point (0 on a fresh attach);
+    /// the primary always answers with a full [`Message::StateSnapshot`] —
+    /// snapshots are idempotent, so a reattach never needs a history replay.
+    ReplicaHello {
+        /// The standby's replica id (the original primary is implicitly 0).
+        replica: u32,
+        /// `host:port` the standby will serve on after a takeover
+        /// (replicated to the whole standby set so losers of an election
+        /// can find the winner).
+        addr: String,
+        /// Highest log offset the standby has applied.
+        log_offset: u64,
+    },
+    /// Primary → standby: full control-plane state at `log_offset`, sent
+    /// once on attach. Deltas follow from that offset.
+    StateSnapshot {
+        /// The primary's hub epoch (fences stale primaries).
+        epoch: u64,
+        /// Log offset the snapshot is current as of.
+        log_offset: u64,
+        /// The flattened control-plane state.
+        state: ControlSnapshot,
+    },
+    /// Primary → standby: one replicated control-plane transition.
+    StateDelta {
+        /// The primary's hub epoch. A standby (or, after a failover, the
+        /// new primary) rejects deltas from an older epoch.
+        epoch: u64,
+        /// This op's log offset.
+        log_offset: u64,
+        /// The transition itself.
+        op: ReplicaOp,
+    },
+    /// Standby → primary: acknowledgement high-water mark.
+    ReplicaAck {
+        /// The acknowledging replica.
+        replica: u32,
+        /// Highest applied log offset.
+        log_offset: u64,
+    },
+    /// Hub epoch announcement: the primary stamps every worker/coordinator
+    /// connection after accepting it, keeps replica links alive with it,
+    /// and answers stale-epoch writes with it (the fencing response). A
+    /// peer that knows a newer epoch treats the sender as a stale primary.
+    HubEpoch {
+        /// The monotonic hub epoch (bumped by every takeover).
+        epoch: u64,
+        /// Replica id of the hub serving this epoch (0 = original primary).
+        leader: u32,
+    },
     /// Launcher → hub → workers: a scenario perturbation. The hub fans the
     /// message out to (the first `count` of) the cluster's connected
     /// workers; each applies whichever knobs are set. This is how a
@@ -248,10 +300,31 @@ const TAG_STEAL_REQUEST: u8 = 0x10;
 const TAG_STEAL_REPLY: u8 = 0x11;
 const TAG_STEAL_RESULT: u8 = 0x12;
 const TAG_PERTURB: u8 = 0x13;
+const TAG_REPLICA_HELLO: u8 = 0x14;
+const TAG_STATE_SNAPSHOT: u8 = 0x15;
+const TAG_STATE_DELTA: u8 = 0x16;
+const TAG_REPLICA_ACK: u8 = 0x17;
+const TAG_HUB_EPOCH: u8 = 0x18;
 
 /// Smallest possible encoding of one [`PeerInfo`] (node + cluster + empty
 /// string), used to bound hostile directory length prefixes.
 const PEER_INFO_MIN_BYTES: usize = 4 + 2 + 4;
+/// Smallest snapshot member record (node + cluster + phase byte).
+const MEMBER_MIN_BYTES: usize = 4 + 2 + 1;
+/// Smallest bandwidth record (node + u64 micros).
+const BANDWIDTH_MIN_BYTES: usize = 4 + 8;
+/// Smallest replica record (id + empty address string).
+const REPLICA_MIN_BYTES: usize = 4 + 4;
+
+/// Nested op tags inside a [`Message::StateDelta`] payload.
+const OP_JOIN: u8 = 0;
+const OP_LEAVE: u8 = 1;
+const OP_DEATH: u8 = 2;
+const OP_BLACKLIST_NODE: u8 = 3;
+const OP_BLACKLIST_CLUSTER: u8 = 4;
+const OP_PEER_DIR: u8 = 5;
+const OP_BANDWIDTH: u8 = 6;
+const OP_REPLICA_JOINED: u8 = 7;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -308,6 +381,86 @@ fn put_report(out: &mut Vec<u8>, r: &MonitoringReport) {
     put_u64(out, r.breakdown.inter_comm.0);
     put_u64(out, r.breakdown.benchmark.0);
     put_f64(out, r.speed);
+}
+
+fn put_peer(out: &mut Vec<u8>, p: &PeerInfo) {
+    put_u32(out, p.node.0);
+    put_u16(out, p.cluster.0);
+    put_str(out, &p.steal_addr);
+}
+
+fn put_op(out: &mut Vec<u8>, op: &ReplicaOp) {
+    match op {
+        ReplicaOp::Join { node, cluster } => {
+            out.push(OP_JOIN);
+            put_u32(out, node.0);
+            put_u16(out, cluster.0);
+        }
+        ReplicaOp::Leave { node } => {
+            out.push(OP_LEAVE);
+            put_u32(out, node.0);
+        }
+        ReplicaOp::Death { node } => {
+            out.push(OP_DEATH);
+            put_u32(out, node.0);
+        }
+        ReplicaOp::BlacklistNode { node } => {
+            out.push(OP_BLACKLIST_NODE);
+            put_u32(out, node.0);
+        }
+        ReplicaOp::BlacklistCluster { cluster } => {
+            out.push(OP_BLACKLIST_CLUSTER);
+            put_u16(out, cluster.0);
+        }
+        ReplicaOp::PeerDir { peers } => {
+            out.push(OP_PEER_DIR);
+            put_u32(out, peers.len() as u32);
+            for p in peers {
+                put_peer(out, p);
+            }
+        }
+        ReplicaOp::Bandwidth { node, bench_micros } => {
+            out.push(OP_BANDWIDTH);
+            put_u32(out, node.0);
+            put_u64(out, *bench_micros);
+        }
+        ReplicaOp::ReplicaJoined { replica, addr } => {
+            out.push(OP_REPLICA_JOINED);
+            put_u32(out, *replica);
+            put_str(out, addr);
+        }
+    }
+}
+
+fn put_snapshot(out: &mut Vec<u8>, s: &ControlSnapshot) {
+    put_u32(out, s.members.len() as u32);
+    for (n, c, p) in &s.members {
+        put_u32(out, n.0);
+        put_u16(out, c.0);
+        out.push(p.to_byte());
+    }
+    put_u32(out, s.blacklisted_nodes.len() as u32);
+    for n in &s.blacklisted_nodes {
+        put_u32(out, n.0);
+    }
+    put_u32(out, s.blacklisted_clusters.len() as u32);
+    for c in &s.blacklisted_clusters {
+        put_u16(out, c.0);
+    }
+    put_u32(out, s.peers.len() as u32);
+    for p in &s.peers {
+        put_peer(out, p);
+    }
+    put_u32(out, s.bandwidth.len() as u32);
+    for (n, b) in &s.bandwidth {
+        put_u32(out, n.0);
+        put_u64(out, *b);
+    }
+    put_u32(out, s.replicas.len() as u32);
+    for (r, a) in &s.replicas {
+        put_u32(out, *r);
+        put_str(out, a);
+    }
 }
 
 /// Byte cursor over a frame payload.
@@ -412,6 +565,94 @@ impl<'a> Cursor<'a> {
             node: NodeId(self.u32()?),
             cluster: ClusterId(self.u16()?),
             steal_addr: self.string()?,
+        })
+    }
+
+    fn member_phase(&mut self) -> Result<MemberPhase, WireError> {
+        let b = self.u8()?;
+        MemberPhase::from_byte(b).ok_or(WireError::BadBool(b))
+    }
+
+    fn replica_op(&mut self) -> Result<ReplicaOp, WireError> {
+        Ok(match self.u8()? {
+            OP_JOIN => ReplicaOp::Join {
+                node: NodeId(self.u32()?),
+                cluster: ClusterId(self.u16()?),
+            },
+            OP_LEAVE => ReplicaOp::Leave {
+                node: NodeId(self.u32()?),
+            },
+            OP_DEATH => ReplicaOp::Death {
+                node: NodeId(self.u32()?),
+            },
+            OP_BLACKLIST_NODE => ReplicaOp::BlacklistNode {
+                node: NodeId(self.u32()?),
+            },
+            OP_BLACKLIST_CLUSTER => ReplicaOp::BlacklistCluster {
+                cluster: ClusterId(self.u16()?),
+            },
+            OP_PEER_DIR => {
+                let n = self.list_len(PEER_INFO_MIN_BYTES)?;
+                let mut peers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    peers.push(self.peer_info()?);
+                }
+                ReplicaOp::PeerDir { peers }
+            }
+            OP_BANDWIDTH => ReplicaOp::Bandwidth {
+                node: NodeId(self.u32()?),
+                bench_micros: self.u64()?,
+            },
+            OP_REPLICA_JOINED => ReplicaOp::ReplicaJoined {
+                replica: self.u32()?,
+                addr: self.string()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn snapshot(&mut self) -> Result<ControlSnapshot, WireError> {
+        let n = self.list_len(MEMBER_MIN_BYTES)?;
+        let mut members = Vec::with_capacity(n);
+        for _ in 0..n {
+            members.push((
+                NodeId(self.u32()?),
+                ClusterId(self.u16()?),
+                self.member_phase()?,
+            ));
+        }
+        let n = self.list_len(4)?; // NodeId = 4 bytes
+        let mut blacklisted_nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            blacklisted_nodes.push(NodeId(self.u32()?));
+        }
+        let n = self.list_len(2)?; // ClusterId = 2 bytes
+        let mut blacklisted_clusters = Vec::with_capacity(n);
+        for _ in 0..n {
+            blacklisted_clusters.push(ClusterId(self.u16()?));
+        }
+        let n = self.list_len(PEER_INFO_MIN_BYTES)?;
+        let mut peers = Vec::with_capacity(n);
+        for _ in 0..n {
+            peers.push(self.peer_info()?);
+        }
+        let n = self.list_len(BANDWIDTH_MIN_BYTES)?;
+        let mut bandwidth = Vec::with_capacity(n);
+        for _ in 0..n {
+            bandwidth.push((NodeId(self.u32()?), self.u64()?));
+        }
+        let n = self.list_len(REPLICA_MIN_BYTES)?;
+        let mut replicas = Vec::with_capacity(n);
+        for _ in 0..n {
+            replicas.push((self.u32()?, self.string()?));
+        }
+        Ok(ControlSnapshot {
+            members,
+            blacklisted_nodes,
+            blacklisted_clusters,
+            peers,
+            bandwidth,
+            replicas,
         })
     }
 
@@ -549,6 +790,49 @@ impl Message {
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *value);
             }
+            Message::ReplicaHello {
+                replica,
+                addr,
+                log_offset,
+            } => {
+                out.push(TAG_REPLICA_HELLO);
+                put_u32(&mut out, *replica);
+                put_str(&mut out, addr);
+                put_u64(&mut out, *log_offset);
+            }
+            Message::StateSnapshot {
+                epoch,
+                log_offset,
+                state,
+            } => {
+                out.push(TAG_STATE_SNAPSHOT);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *log_offset);
+                put_snapshot(&mut out, state);
+            }
+            Message::StateDelta {
+                epoch,
+                log_offset,
+                op,
+            } => {
+                out.push(TAG_STATE_DELTA);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *log_offset);
+                put_op(&mut out, op);
+            }
+            Message::ReplicaAck {
+                replica,
+                log_offset,
+            } => {
+                out.push(TAG_REPLICA_ACK);
+                put_u32(&mut out, *replica);
+                put_u64(&mut out, *log_offset);
+            }
+            Message::HubEpoch { epoch, leader } => {
+                out.push(TAG_HUB_EPOCH);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, *leader);
+            }
             Message::Perturb {
                 cluster,
                 count,
@@ -658,6 +942,29 @@ impl Message {
             TAG_STEAL_RESULT => Message::StealResult {
                 id: c.u64()?,
                 value: c.u64()?,
+            },
+            TAG_REPLICA_HELLO => Message::ReplicaHello {
+                replica: c.u32()?,
+                addr: c.string()?,
+                log_offset: c.u64()?,
+            },
+            TAG_STATE_SNAPSHOT => Message::StateSnapshot {
+                epoch: c.u64()?,
+                log_offset: c.u64()?,
+                state: c.snapshot()?,
+            },
+            TAG_STATE_DELTA => Message::StateDelta {
+                epoch: c.u64()?,
+                log_offset: c.u64()?,
+                op: c.replica_op()?,
+            },
+            TAG_REPLICA_ACK => Message::ReplicaAck {
+                replica: c.u32()?,
+                log_offset: c.u64()?,
+            },
+            TAG_HUB_EPOCH => Message::HubEpoch {
+                epoch: c.u64()?,
+                leader: c.u32()?,
             },
             TAG_PERTURB => Message::Perturb {
                 cluster: ClusterId(c.u16()?),
@@ -852,6 +1159,102 @@ mod tests {
                 speed: None,
                 inter_frac: Some(0.45),
             },
+            Message::ReplicaHello {
+                replica: 2,
+                addr: "127.0.0.1:7002".to_string(),
+                log_offset: 0,
+            },
+            Message::StateSnapshot {
+                epoch: 1,
+                log_offset: 0,
+                state: ControlSnapshot::default(),
+            },
+            Message::StateSnapshot {
+                epoch: 3,
+                log_offset: 42,
+                state: ControlSnapshot {
+                    members: vec![
+                        (NodeId(0), ClusterId(0), MemberPhase::Alive),
+                        (NodeId(1), ClusterId(1), MemberPhase::Leaving),
+                        (NodeId(2), ClusterId(0), MemberPhase::Left),
+                        (NodeId(3), ClusterId(1), MemberPhase::Dead),
+                    ],
+                    blacklisted_nodes: vec![NodeId(3)],
+                    blacklisted_clusters: vec![ClusterId(4)],
+                    peers: vec![PeerInfo {
+                        node: NodeId(0),
+                        cluster: ClusterId(0),
+                        steal_addr: "127.0.0.1:9001".to_string(),
+                    }],
+                    bandwidth: vec![(NodeId(0), 1500), (NodeId(1), u64::MAX)],
+                    replicas: vec![(2, "127.0.0.1:7002".to_string())],
+                },
+            },
+            Message::StateDelta {
+                epoch: 3,
+                log_offset: 43,
+                op: ReplicaOp::Join {
+                    node: NodeId(9),
+                    cluster: ClusterId(1),
+                },
+            },
+            Message::StateDelta {
+                epoch: 3,
+                log_offset: 44,
+                op: ReplicaOp::Leave { node: NodeId(9) },
+            },
+            Message::StateDelta {
+                epoch: 3,
+                log_offset: 45,
+                op: ReplicaOp::Death { node: NodeId(2) },
+            },
+            Message::StateDelta {
+                epoch: 3,
+                log_offset: 46,
+                op: ReplicaOp::BlacklistNode { node: NodeId(2) },
+            },
+            Message::StateDelta {
+                epoch: 3,
+                log_offset: 47,
+                op: ReplicaOp::BlacklistCluster {
+                    cluster: ClusterId(1),
+                },
+            },
+            Message::StateDelta {
+                epoch: 3,
+                log_offset: 48,
+                op: ReplicaOp::PeerDir {
+                    peers: vec![PeerInfo {
+                        node: NodeId(5),
+                        cluster: ClusterId(1),
+                        steal_addr: "10.0.0.7:9002".to_string(),
+                    }],
+                },
+            },
+            Message::StateDelta {
+                epoch: 3,
+                log_offset: 49,
+                op: ReplicaOp::Bandwidth {
+                    node: NodeId(5),
+                    bench_micros: 2750,
+                },
+            },
+            Message::StateDelta {
+                epoch: 3,
+                log_offset: 50,
+                op: ReplicaOp::ReplicaJoined {
+                    replica: 4,
+                    addr: "127.0.0.1:7004".to_string(),
+                },
+            },
+            Message::ReplicaAck {
+                replica: 2,
+                log_offset: 50,
+            },
+            Message::HubEpoch {
+                epoch: 2,
+                leader: 2,
+            },
         ]
     }
 
@@ -945,6 +1348,37 @@ mod tests {
         put_u32(&mut dir, 1); // a few stray bytes
         assert_eq!(Message::decode(&dir), Err(WireError::Truncated));
 
+        // StateSnapshot: a hostile member-list count (7-byte elements) with
+        // a near-empty body must be bounded before any reservation...
+        let mut snap = vec![TAG_STATE_SNAPSHOT];
+        put_u64(&mut snap, 1); // epoch
+        put_u64(&mut snap, 0); // log_offset
+        put_u32(&mut snap, 1_000_000); // claims 1M members (7 MB)
+        put_u32(&mut snap, 0); // ...but only stray bytes follow
+        assert_eq!(Message::decode(&snap), Err(WireError::Truncated));
+
+        // ...and so must every later snapshot list (bandwidth: 12-byte
+        // elements after valid empty leading lists).
+        let mut snap = vec![TAG_STATE_SNAPSHOT];
+        put_u64(&mut snap, 1);
+        put_u64(&mut snap, 0);
+        put_u32(&mut snap, 0); // members
+        put_u32(&mut snap, 0); // blacklisted nodes
+        put_u32(&mut snap, 0); // blacklisted clusters
+        put_u32(&mut snap, 0); // peers
+        put_u32(&mut snap, u32::MAX); // bandwidth: hostile count
+        put_u32(&mut snap, 0);
+        assert_eq!(Message::decode(&snap), Err(WireError::Truncated));
+
+        // A StateDelta PeerDir op is bounded like the directory itself.
+        let mut delta = vec![TAG_STATE_DELTA];
+        put_u64(&mut delta, 1);
+        put_u64(&mut delta, 0);
+        delta.push(5); // OP_PEER_DIR
+        put_u32(&mut delta, 500_000); // hostile peer count
+        put_u32(&mut delta, 0);
+        assert_eq!(Message::decode(&delta), Err(WireError::Truncated));
+
         // The bound must still admit legitimate maximal lists: n elements
         // in exactly n * min_element_size remaining bytes.
         let mut ok = vec![TAG_SHRINK];
@@ -954,6 +1388,29 @@ mod tests {
         }
         ok.push(0); // cluster: None
         assert!(Message::decode(&ok).is_ok());
+    }
+
+    #[test]
+    fn bad_member_phase_and_op_tag_are_rejected() {
+        // StateDelta with an unknown nested op tag.
+        let mut delta = vec![TAG_STATE_DELTA];
+        put_u64(&mut delta, 1);
+        put_u64(&mut delta, 0);
+        delta.push(0x7f); // no such op
+        assert_eq!(Message::decode(&delta), Err(WireError::BadTag(0x7f)));
+
+        // StateSnapshot with a member phase byte outside 0..=3.
+        let mut snap = vec![TAG_STATE_SNAPSHOT];
+        put_u64(&mut snap, 1);
+        put_u64(&mut snap, 0);
+        put_u32(&mut snap, 1); // one member
+        put_u32(&mut snap, 9); // node
+        put_u16(&mut snap, 0); // cluster
+        snap.push(9); // invalid phase
+        for _ in 0..5 {
+            put_u32(&mut snap, 0); // remaining empty lists
+        }
+        assert_eq!(Message::decode(&snap), Err(WireError::BadBool(9)));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use sagrid_core::rng::{Rng64, SplitMix64};
 use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
 use sagrid_core::time::{SimDuration, SimTime};
 use sagrid_net::wire::{Message, PeerInfo, StealJob};
+use sagrid_net::{ControlSnapshot, MemberPhase, ReplicaOp};
 
 /// One representative encoding of every variant (and every interesting
 /// shape within a variant: `None`/`Some` options, empty/filled lists,
@@ -125,6 +126,86 @@ fn every_message() -> Vec<Message> {
             count: 3,
             speed: None,
             inter_frac: Some(0.4),
+        },
+        // Replication plane: hello/snapshot/delta/ack/epoch.
+        Message::ReplicaHello {
+            replica: 1,
+            addr: "127.0.0.1:61001".to_string(),
+            log_offset: 0,
+        },
+        Message::StateSnapshot {
+            epoch: 1,
+            log_offset: 0,
+            state: ControlSnapshot::default(),
+        },
+        Message::StateSnapshot {
+            epoch: 3,
+            log_offset: 77,
+            state: ControlSnapshot {
+                members: vec![
+                    (NodeId(0), ClusterId(0), MemberPhase::Alive),
+                    (NodeId(1), ClusterId(0), MemberPhase::Leaving),
+                    (NodeId(2), ClusterId(1), MemberPhase::Left),
+                    (NodeId(3), ClusterId(1), MemberPhase::Dead),
+                ],
+                blacklisted_nodes: vec![NodeId(3)],
+                blacklisted_clusters: vec![ClusterId(2)],
+                peers: vec![PeerInfo {
+                    node: NodeId(0),
+                    cluster: ClusterId(0),
+                    steal_addr: "127.0.0.1:9001".to_string(),
+                }],
+                bandwidth: vec![(NodeId(0), 1500), (NodeId(1), u64::MAX)],
+                replicas: vec![(1, "127.0.0.1:61001".to_string())],
+            },
+        },
+        Message::StateDelta {
+            epoch: 1,
+            log_offset: 4,
+            op: ReplicaOp::Join {
+                node: NodeId(9),
+                cluster: ClusterId(1),
+            },
+        },
+        Message::StateDelta {
+            epoch: 1,
+            log_offset: 5,
+            op: ReplicaOp::BlacklistNode { node: NodeId(9) },
+        },
+        Message::StateDelta {
+            epoch: 2,
+            log_offset: 6,
+            op: ReplicaOp::PeerDir {
+                peers: vec![PeerInfo {
+                    node: NodeId(4),
+                    cluster: ClusterId(0),
+                    steal_addr: "10.0.0.4:9004".to_string(),
+                }],
+            },
+        },
+        Message::StateDelta {
+            epoch: 2,
+            log_offset: 7,
+            op: ReplicaOp::Bandwidth {
+                node: NodeId(4),
+                bench_micros: 2500,
+            },
+        },
+        Message::StateDelta {
+            epoch: 2,
+            log_offset: 8,
+            op: ReplicaOp::ReplicaJoined {
+                replica: 2,
+                addr: "127.0.0.1:61002".to_string(),
+            },
+        },
+        Message::ReplicaAck {
+            replica: 1,
+            log_offset: 8,
+        },
+        Message::HubEpoch {
+            epoch: 2,
+            leader: 1,
         },
     ]
 }

@@ -39,7 +39,19 @@ impl Client {
         send_message(&mut self.stream, &msg).expect("send to hub");
     }
 
+    /// Receives the next frame, transparently skipping `HubEpoch` stamps
+    /// (the hub stamps joins/hellos with its epoch and ticks keepalives;
+    /// tests that care about epochs use [`Client::recv_raw`]).
     fn recv(&mut self) -> Message {
+        loop {
+            match self.recv_raw() {
+                Message::HubEpoch { .. } => continue,
+                msg => return msg,
+            }
+        }
+    }
+
+    fn recv_raw(&mut self) -> Message {
         recv_message(&mut self.stream)
             .expect("recv from hub")
             .expect("hub closed the connection")
@@ -424,6 +436,132 @@ fn leave_farewell_is_flushed_before_the_connection_is_torn_down() {
     assert_eq!(dir[0].node, na);
 
     shutdown(port, hub);
+}
+
+/// Skips keepalives and other traffic until the next replication frame of
+/// interest. The hub ticks `HubEpoch` keepalives every detect interval, so
+/// a replica-side reader must be prepared to discard them.
+fn next_matching(c: &mut Client, pred: impl Fn(&Message) -> bool) -> Message {
+    loop {
+        let msg = c.recv_raw();
+        if pred(&msg) {
+            return msg;
+        }
+    }
+}
+
+#[test]
+fn replica_gets_snapshot_then_deltas_mirroring_the_control_plane() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+
+    // Attach as a standby: the hello is answered with a full snapshot of
+    // the (still empty) control plane at the current epoch.
+    let mut replica = Client::connect(port);
+    replica.send(Message::ReplicaHello {
+        replica: 7,
+        addr: "127.0.0.1:61007".to_string(),
+        log_offset: 0,
+    });
+    match next_matching(&mut replica, |m| matches!(m, Message::StateSnapshot { .. })) {
+        Message::StateSnapshot { epoch, state, .. } => {
+            assert_eq!(epoch, 1);
+            assert!(state.members.is_empty());
+            assert_eq!(state.replicas, vec![(7, "127.0.0.1:61007".to_string())]);
+        }
+        _ => unreachable!(),
+    }
+
+    // Every membership change now streams to the replica as a delta.
+    let mut worker = Client::connect(port);
+    let node = worker.join(0, None).unwrap();
+    match next_matching(&mut replica, |m| matches!(m, Message::StateDelta { .. })) {
+        Message::StateDelta { epoch, op, .. } => {
+            assert_eq!(epoch, 1);
+            assert_eq!(
+                op,
+                sagrid_net::ReplicaOp::Join {
+                    node,
+                    cluster: ClusterId(0)
+                }
+            );
+        }
+        _ => unreachable!(),
+    }
+
+    let metrics = shutdown(port, hub);
+    let report = metrics.report();
+    assert_eq!(report.counter("net.replica.snapshots_sent"), 1);
+    // The ReplicaJoined op precedes the replica's own registration (no one
+    // attached to fan it to), so only the worker's Join delta counts.
+    assert!(report.counter("net.replica.deltas_sent") >= 1);
+}
+
+#[test]
+fn stale_primary_writes_are_fenced_not_applied() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut worker = Client::connect(port);
+    let node = worker.join(0, None).unwrap();
+
+    // A stale primary (fenced off by a failover it has not noticed yet)
+    // limps back and tries to push a write under its old epoch: the hub
+    // must refuse the write and answer with the current epoch so the
+    // stale peer can stand down.
+    let mut stale = Client::connect(port);
+    stale.send(Message::StateDelta {
+        epoch: 0,
+        log_offset: 99,
+        op: sagrid_net::ReplicaOp::BlacklistNode { node },
+    });
+    match next_matching(&mut stale, |m| matches!(m, Message::HubEpoch { .. })) {
+        Message::HubEpoch { epoch, leader } => {
+            assert_eq!(epoch, 1);
+            assert_eq!(leader, 0);
+        }
+        _ => unreachable!(),
+    }
+
+    // The refused blacklist never landed: a fresh replica's snapshot shows
+    // a clean blacklist and the worker's membership intact...
+    let mut replica = Client::connect(port);
+    replica.send(Message::ReplicaHello {
+        replica: 2,
+        addr: "127.0.0.1:61002".to_string(),
+        log_offset: 0,
+    });
+    match next_matching(&mut replica, |m| matches!(m, Message::StateSnapshot { .. })) {
+        Message::StateSnapshot { state, .. } => {
+            assert!(state.blacklisted_nodes.is_empty());
+            assert!(state.members.iter().any(|&(n, ..)| n == node));
+        }
+        _ => unreachable!(),
+    }
+    // ...and the grid keeps serving joins as if nothing happened.
+    let mut probe = Client::connect(port);
+    probe.join(0, None).unwrap();
+
+    let metrics = shutdown(port, hub);
+    assert_eq!(metrics.report().counter("net.replica.fenced"), 1);
+}
+
+#[test]
+fn newer_epoch_fences_the_hub_out_of_service() {
+    let (port, hub) = start_hub(Duration::from_secs(5));
+    let mut worker = Client::connect(port);
+    worker.join(0, None).unwrap();
+
+    // A frame from a NEWER epoch means this hub lost a failover it never
+    // saw: it must stop serving immediately instead of splitting the
+    // brain — no launcher shutdown required.
+    let mut winner = Client::connect(port);
+    winner.send(Message::HubEpoch {
+        epoch: 5,
+        leader: 3,
+    });
+    let metrics = hub.join().expect("hub thread");
+    let report = metrics.report();
+    let fenced: Vec<_> = report.events_of_kind("hub_fenced").collect();
+    assert_eq!(fenced.len(), 1, "exactly one hub_fenced event");
+    // After a fence-out the port is dead; there is nothing to shut down.
 }
 
 #[test]

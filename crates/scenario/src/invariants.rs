@@ -185,10 +185,59 @@ pub fn check_jsonl(jsonl: &str, cfg: &InvariantConfig) -> Vec<Violation> {
     check_efficiency_recovery(&stream, cfg, &mut out);
     check_blacklist_permanence(&stream, cfg, &mut out);
     check_provenance(&stream, cfg, &mut out);
+    check_hub_failover(&stream, &mut out);
     if cfg.check_conservation {
         check_conservation(&stream, cfg, &mut out);
     }
     out
+}
+
+/// **Hub failover** — a control-plane takeover is accounted and safe:
+/// exactly one `hub_failover` event per injected `crash_hub`, and no node
+/// the promoted hub inherited as blacklisted ever joins under the new
+/// epoch. Streams without hub crashes or takeovers pass trivially, so the
+/// check always runs (DES streams simply have nothing to judge).
+fn check_hub_failover(stream: &Stream, out: &mut Vec<Violation>) {
+    let hub_crashes = stream
+        .of_kind("injection")
+        .filter(|(_, _, v)| injection_sub_kind(v) == "crash_hub")
+        .count();
+    let takeovers: Vec<&(u64, String, JsonValue)> = stream.of_kind("hub_failover").collect();
+    if takeovers.len() != hub_crashes {
+        out.push(Violation {
+            invariant: "hub-failover",
+            detail: format!(
+                "{} hub_failover takeover(s) recorded for {} crash_hub injection(s) \
+                 — expected exactly one takeover per injected hub crash",
+                takeovers.len(),
+                hub_crashes
+            ),
+        });
+    }
+    // Blacklist permanence across the epoch boundary: the takeover event
+    // names the blacklisted ids the new primary inherited; none of them
+    // may appear in a later membership join on the same stream (the
+    // promoted hub's own time axis, so ordering is well-defined).
+    for (at, _, v) in &takeovers {
+        let inherited = u64_set(v, "blacklisted_nodes");
+        for (jat, _, jv) in stream.of_kind("member") {
+            let joined = jv.get("state").and_then(|s| s.as_str()) == Some("joined");
+            let Some(node) = u64_field(jv, "node") else {
+                continue;
+            };
+            if joined && jat >= at && inherited.contains(&node) {
+                out.push(Violation {
+                    invariant: "hub-failover",
+                    detail: format!(
+                        "node {node} was blacklisted at the epoch-{} takeover yet joined \
+                         the promoted hub at t={:.1}s",
+                        u64_field(v, "epoch").unwrap_or(0),
+                        *jat as f64 / 1e6
+                    ),
+                });
+            }
+        }
+    }
 }
 
 fn check_efficiency_recovery(stream: &Stream, cfg: &InvariantConfig, out: &mut Vec<Violation>) {
@@ -560,5 +609,40 @@ mod tests {
         // A garbage line fails the stream itself.
         let v = check_jsonl("not json\n", &inv);
         assert_eq!(v[0].invariant, "well-formed-stream");
+    }
+
+    #[test]
+    fn hub_failover_takeovers_match_injections_and_blacklists_persist() {
+        let inv = InvariantConfig {
+            check_membership: false,
+            check_conservation: false,
+            ..InvariantConfig::default()
+        };
+        let crash =
+            r#"{"type":"event","at_us":1000000,"kind":"injection","injection":"crash_hub"}"#;
+        let takeover = r#"{"type":"event","at_us":100,"kind":"hub_failover","epoch":2,"leader":1,"blacklisted_nodes":[3]}"#;
+        let clean_join =
+            r#"{"type":"event","at_us":200,"kind":"member","node":5,"state":"joined"}"#;
+        let bad_join = r#"{"type":"event","at_us":300,"kind":"member","node":3,"state":"joined"}"#;
+
+        // One crash, one takeover, blacklisted node stays out: passes.
+        let good = format!("{crash}\n{takeover}\n{clean_join}\n");
+        assert!(check_jsonl(&good, &inv).is_empty());
+
+        // A takeover with no crash_hub injection (or vice versa) is caught.
+        let unmatched = format!("{takeover}\n{clean_join}\n");
+        assert!(check_jsonl(&unmatched, &inv)
+            .iter()
+            .any(|v| v.invariant == "hub-failover"));
+        let lost = format!("{crash}\n");
+        assert!(check_jsonl(&lost, &inv)
+            .iter()
+            .any(|v| v.invariant == "hub-failover"));
+
+        // An inherited-blacklist node joining the promoted hub is caught.
+        let rejoined = format!("{crash}\n{takeover}\n{bad_join}\n");
+        assert!(check_jsonl(&rejoined, &inv)
+            .iter()
+            .any(|v| v.invariant == "hub-failover" && v.detail.contains("node 3")));
     }
 }

@@ -111,6 +111,13 @@ pub enum EventKind {
         /// Number of victims.
         count: usize,
     },
+    /// SIGKILL the primary hub: a control-plane (not compute) failure.
+    /// The DES has no out-of-process hub, so this compiles to no
+    /// primitive injection there; process mode (`grid-local`) kills the
+    /// hub process and expects a standby to take over. The invariant
+    /// checker pairs each injected hub crash with exactly one
+    /// `hub_failover` takeover event.
+    CrashHub,
     /// Grant `count` extra nodes from the pool (external capacity).
     Grow {
         /// Number of nodes to request.
@@ -374,6 +381,7 @@ impl ScenarioSpec {
                 cluster: need_cluster(e, &ctx)?,
                 count: need_u64(e, "count", &ctx)? as usize,
             },
+            "crash_hub" => EventKind::CrashHub,
             "grow" => EventKind::Grow {
                 count: need_u64(e, "count", &ctx)? as usize,
                 prefer: e.get("prefer").and_then(|v| v.as_u64()).map(|c| c as u16),
@@ -517,6 +525,9 @@ impl ScenarioSpec {
                     "\"crash_nodes\", \"cluster\": {cluster}, \"count\": {count}"
                 );
             }
+            EventKind::CrashHub => {
+                out.push_str("\"crash_hub\"");
+            }
             EventKind::Grow { count, prefer } => {
                 let _ = write!(out, "\"grow\", \"count\": {count}");
                 if let Some(p) = prefer {
@@ -659,6 +670,11 @@ impl ScenarioSpec {
                         count,
                     },
                 ),
+                // The in-process DES *is* its own control plane — there is
+                // no hub process to kill — so a hub crash lowers to no
+                // primitive injection and the DES twin trivially satisfies
+                // the hub-failover invariant (no injection, no takeover).
+                EventKind::CrashHub => {}
                 EventKind::Grow { count, prefer } => {
                     let prefer = match prefer {
                         Some(c) => Some(cluster_of(c)?),

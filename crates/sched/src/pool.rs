@@ -284,6 +284,15 @@ impl ResourcePool {
         }
     }
 
+    /// Removes a specific node from the free set without a grant — a hub
+    /// that took over from a replicated control-plane snapshot seeds its
+    /// pool this way, so ids already held by live workers are never granted
+    /// a second time. Returns whether the node was actually free.
+    pub fn reserve(&mut self, node: NodeId) -> bool {
+        let cid = self.cluster_of(node);
+        self.clusters[cid.index()].free.remove(&node)
+    }
+
     /// Marks a node permanently unavailable (crashed hardware).
     pub fn mark_lost(&mut self, node: NodeId) {
         let cid = self.cluster_of(node);

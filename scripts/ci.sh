@@ -99,6 +99,30 @@ awk '
     }
 ' target/ci_grid_steal/steal_thief*_metrics.jsonl
 
+echo "== hub-crash smoke (standby hub takes over a SIGKILLed primary) =="
+# Bounded end-to-end hub failover: a standby hub tails the primary's
+# replication log; grid-local crashes a worker (so there is a blacklist
+# worth inheriting), SIGKILLs the PRIMARY, and asserts the standby wins
+# the deterministic election, promotes under a bumped fenced epoch,
+# re-admits the survivors, still refuses the blacklisted victim, and the
+# composed JSONL passes the hub-failover invariant. The gate additionally
+# requires exactly one takeover counted in the standby's own metrics.
+rm -rf target/ci_grid_hubcrash
+timeout 55 ./target/release/grid-local --workers 4 --scenario hub-crash \
+    --duration-ms 12000 --out target/ci_grid_hubcrash
+./target/release/validate_metrics target/ci_grid_hubcrash
+awk '
+    /"name":"net.replica.takeovers"/ {
+        n = $0
+        sub(/.*"value":/, "", n); sub(/[,}].*/, "", n)
+        total += n
+    }
+    END {
+        printf "  net.replica.takeovers total across standbys: %d\n", total
+        if (total != 1) { print "  FAIL: expected exactly one takeover"; exit 1 }
+    }
+' target/ci_grid_hubcrash/run_hub_standby*.jsonl
+
 echo "== emit-metrics smoke (JSONL well-formed, stdout unperturbed) =="
 rm -rf target/ci_metrics
 ./target/release/experiments --quick --serial --emit-metrics target/ci_metrics \

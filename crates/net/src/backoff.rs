@@ -97,6 +97,59 @@ mod tests {
         assert!(b.next_delay() <= cap);
     }
 
+    /// Regression: the cap must hold for arbitrarily long outages. A hub
+    /// that stays down for hundreds of attempts once overflowed the shift
+    /// into a zero multiplier; the schedule must stay pinned in
+    /// `[cap/2, cap]` forever, never wrap, and never stall at zero.
+    #[test]
+    fn cap_holds_across_hundreds_of_attempts() {
+        let cap = Duration::from_millis(250);
+        let mut b = Backoff::new(Duration::from_millis(50), cap, 0x5eed_0000 + 17);
+        for k in 0..300u32 {
+            let d = b.next_delay();
+            assert!(d <= cap, "attempt {k}: {d:?} exceeded cap {cap:?}");
+            assert!(d > Duration::ZERO, "attempt {k}: delay collapsed to zero");
+            if k >= 3 {
+                // 50ms * 2^3 already clears the cap: from here on the
+                // jittered delay is bounded below by cap/2.
+                assert!(d >= cap / 2, "attempt {k}: {d:?} below half-cap");
+            }
+        }
+        assert_eq!(b.attempts(), 300);
+    }
+
+    /// Regression: a worker's failover jitter is seeded from its *node id*,
+    /// so a respawned process claiming the same node replays the identical
+    /// reconnect schedule across the `--hub` failover rotation — pid or
+    /// spawn order must not perturb it.
+    #[test]
+    fn failover_schedule_is_a_pure_function_of_the_node_id() {
+        let node_seed = |node: u64| 0x5eed_0000 + node;
+        // Two "incarnations" of node 12 (e.g. before and after a SIGKILL
+        // respawn) walk the same hub rotation with the same delays.
+        let mut first = Backoff::new(
+            Duration::from_millis(50),
+            Duration::from_millis(250),
+            node_seed(12) ^ 0xdead,
+        );
+        let mut respawned = Backoff::new(
+            Duration::from_millis(50),
+            Duration::from_millis(250),
+            node_seed(12) ^ 0xdead,
+        );
+        let a: Vec<Duration> = (0..32).map(|_| first.next_delay()).collect();
+        let b: Vec<Duration> = (0..32).map(|_| respawned.next_delay()).collect();
+        assert_eq!(a, b, "same node id must mean the same failover schedule");
+        // Distinct nodes must not dial in lockstep.
+        let mut other = Backoff::new(
+            Duration::from_millis(50),
+            Duration::from_millis(250),
+            node_seed(13) ^ 0xdead,
+        );
+        let c: Vec<Duration> = (0..32).map(|_| other.next_delay()).collect();
+        assert_ne!(a, c, "distinct node ids must jitter apart");
+    }
+
     #[test]
     fn reset_restarts_the_schedule() {
         let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 3);

@@ -21,6 +21,16 @@
 //!   blacklist/peer-directory/bandwidth state, re-admits the survivors and
 //!   still refuses the victim — all re-certified offline from the composed
 //!   JSONL by the crates/scenario `hub-failover` invariant.
+//! * `--scenario churn-soak` — the reactor's scale proof: one hub process
+//!   serves `--workers` (default 5000) protocol-complete loopback workers
+//!   driven by a single in-process reactor swarm (real worker *processes*
+//!   at that count would exhaust the box, and the hub cannot tell the
+//!   difference — same sockets, same frames, same heartbeat cadence).
+//!   Waves of churn (disconnect + claim-rejoin inside the heartbeat
+//!   window), silent crashes (must be declared dead and blacklisted) and
+//!   a launcher-driven grow roll through while the launcher asserts the
+//!   hub's OS thread count stays flat — independent of connection count —
+//!   and the teardown leaves no orphans.
 //!
 //! With `--scenario-file <path>` the launcher instead drives a declarative
 //! scenario (crates/scenario format — the same file the DES twin runs):
@@ -45,16 +55,16 @@
 //! 2 infrastructure/usage error, 4 infrastructure *timeout* (a child never
 //! came up — the grid never reached the state the checks judge).
 
-use sagrid_core::ids::NodeId;
+use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::json::parse_json;
-use sagrid_core::metrics::{MetricEvent, Value};
+use sagrid_core::metrics::{MetricEvent, Metrics, Value};
 use sagrid_net::conn::{Connection, NetEvent};
 use sagrid_net::wire::Message;
-use sagrid_net::Args;
+use sagrid_net::{Args, Reactor, ReactorEvent, Token};
 use sagrid_scenario::{check_jsonl, InvariantConfig, ScenarioSpec};
 use sagrid_simgrid::provenance::{reconstruct_decision, DecisionProvenance};
 use sagrid_simnet::Injection;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, BufReader};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
@@ -448,6 +458,488 @@ fn run_steal(
             .map(|m| m.len() > 0)
             .unwrap_or(false),
         "root dumped a non-empty metrics JSONL",
+    );
+
+    Ok(checks.failures)
+}
+
+/// One synthetic worker inside the churn-soak swarm. `node` is the id the
+/// hub granted; `None` until the `JoinAck` lands.
+struct SoakClient {
+    node: Option<u32>,
+}
+
+/// A swarm of protocol-complete synthetic workers multiplexed on ONE
+/// client-side [`Reactor`] — the only way to put thousands of concurrent
+/// workers in front of the hub on a single box. Each client joins, holds
+/// an ~800ms heartbeat cadence (sharded so every turn sends 1/8th of the
+/// beats), and is individually disconnectable/reclaimable, which is what
+/// the churn and crash waves need.
+struct Swarm {
+    reactor: Reactor,
+    clients: BTreeMap<Token, SoakClient>,
+    /// Joins sent whose `JoinAck` has not come back yet.
+    pending_join: usize,
+    accepted: u64,
+    /// Refusal reasons, in arrival order (the blacklist proof reads them).
+    refusals: Vec<String>,
+    /// Tokens we closed on purpose; their `Closed` events are expected.
+    expect_close: BTreeSet<Token>,
+    /// Connections the *hub* dropped without us asking — must stay zero:
+    /// a healthy hub never hangs up on a live, heartbeating worker.
+    unexpected_closes: u64,
+    ev: Vec<ReactorEvent>,
+    hb_pass: u64,
+    last_hb: Instant,
+}
+
+impl Swarm {
+    fn new() -> Result<Self, Failure> {
+        Ok(Self {
+            reactor: Reactor::new(&Metrics::disabled())
+                .map_err(|e| Failure::Infra(format!("swarm reactor: {e}")))?,
+            clients: BTreeMap::new(),
+            pending_join: 0,
+            accepted: 0,
+            refusals: Vec::new(),
+            expect_close: BTreeSet::new(),
+            unexpected_closes: 0,
+            ev: Vec::new(),
+            hb_pass: 0,
+            last_hb: Instant::now(),
+        })
+    }
+
+    /// Dials the hub and sends a `Join` (fresh or claiming `claim`). The
+    /// ack is collected later by [`Swarm::turn`].
+    fn join_one(
+        &mut self,
+        hub_addr: &str,
+        cluster: u16,
+        claim: Option<u32>,
+    ) -> Result<Token, Failure> {
+        let t = self
+            .reactor
+            .connect(hub_addr)
+            .map_err(|e| Failure::Infra(format!("swarm connect: {e}")))?;
+        self.reactor.send(
+            t,
+            &Message::Join {
+                cluster: ClusterId(cluster),
+                claim: claim.map(NodeId),
+            },
+        );
+        self.clients.insert(t, SoakClient { node: None });
+        self.pending_join += 1;
+        Ok(t)
+    }
+
+    /// Disconnects a client on purpose (its `Closed` becomes expected).
+    /// From the hub's view this is exactly what a SIGKILLed worker process
+    /// looks like: a clean TCP close followed by heartbeat silence.
+    fn drop_client(&mut self, t: Token) {
+        self.clients.remove(&t);
+        self.expect_close.insert(t);
+        self.reactor.close(t);
+    }
+
+    /// One event-loop turn: poll, absorb acks/closes, and keep the
+    /// heartbeat cadence going. Every wait in the scenario funnels through
+    /// here so the swarm never starves while the launcher watches for
+    /// something else.
+    fn turn(&mut self, wait: Duration) -> Result<(), Failure> {
+        self.reactor
+            .poll(&mut self.ev, wait)
+            .map_err(|e| Failure::Infra(format!("swarm poll: {e}")))?;
+        let events: Vec<ReactorEvent> = self.ev.drain(..).collect();
+        for ev in events {
+            match ev {
+                ReactorEvent::Frame(
+                    t,
+                    Message::JoinAck {
+                        node,
+                        accepted,
+                        reason,
+                    },
+                ) => {
+                    self.pending_join = self.pending_join.saturating_sub(1);
+                    if accepted {
+                        if let Some(c) = self.clients.get_mut(&t) {
+                            c.node = Some(node.0);
+                        }
+                        self.accepted += 1;
+                    } else {
+                        self.refusals.push(reason);
+                        self.drop_client(t);
+                    }
+                }
+                // Epoch stamps and peer directories are protocol-legal
+                // noise for a swarm that runs no steal plane.
+                ReactorEvent::Frame(..) => {}
+                ReactorEvent::Closed(t) => {
+                    if !self.expect_close.remove(&t) && self.clients.remove(&t).is_some() {
+                        self.unexpected_closes += 1;
+                    }
+                }
+                ReactorEvent::Accepted(..) | ReactorEvent::Timer(_) => {}
+            }
+        }
+        // Sharded heartbeats: one pass per ~100ms beats token-shard
+        // `pass % 8`, so each live client beats about every 800ms against
+        // the hub's 3000ms timeout — slow enough to matter at 5000 clients,
+        // fast enough that only true silence kills a node.
+        if self.last_hb.elapsed() >= Duration::from_millis(100) {
+            self.last_hb = Instant::now();
+            self.hb_pass = self.hb_pass.wrapping_add(1);
+            let shard = self.hb_pass % 8;
+            let beats: Vec<(Token, u32)> = self
+                .clients
+                .iter()
+                .filter(|(t, c)| *t % 8 == shard && c.node.is_some())
+                .map(|(t, c)| (*t, c.node.expect("filtered")))
+                .collect();
+            for (t, n) in beats {
+                self.reactor
+                    .send(t, &Message::Heartbeat { node: NodeId(n) });
+            }
+        }
+        Ok(())
+    }
+
+    /// Turns until every outstanding join is answered or the deadline hits.
+    fn settle_joins(&mut self, what: &str, deadline: Instant) -> Result<(), Failure> {
+        while self.pending_join > 0 {
+            if Instant::now() > deadline {
+                return Err(Failure::Timeout(format!(
+                    "{what}: {} joins still unanswered",
+                    self.pending_join
+                )));
+            }
+            self.turn(Duration::from_millis(10))?;
+        }
+        Ok(())
+    }
+}
+
+/// The hub process's live OS thread count (`/proc/<pid>/status`). This is
+/// the number the whole reactor exists for: it must not scale with the
+/// connection count.
+fn os_threads_of(pid: u32) -> Option<u64> {
+    std::fs::read_to_string(format!("/proc/{pid}/status"))
+        .ok()?
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// The `churn-soak` scenario: the reactor's scale and lifecycle proof.
+/// See the module docs for the wave structure.
+fn run_churn_soak(
+    workers: usize,
+    duration: Duration,
+    out: &str,
+    bin_dir: &Path,
+) -> Result<Vec<String>, Failure> {
+    const CLUSTERS: usize = 8;
+    /// Ceiling on the hub's OS threads at full load. The hub needs one
+    /// serve thread; the slack covers runtime helpers, never connections.
+    const HUB_THREAD_BOUND: u64 = 16;
+    if workers < 64 {
+        return Err(Failure::Infra(
+            "churn-soak needs at least 64 workers".into(),
+        ));
+    }
+    let overall_deadline = Instant::now() + duration;
+    let crash_count = 32.min(workers / 8);
+    let churn_count = (workers / 25).clamp(8, 256);
+    let grow_count: u32 = 64;
+    // Capacity: the initial population, plus ids consumed by blacklisted
+    // crash victims, plus room for the grow wave (spread over clusters —
+    // budgeted as if one cluster absorbed them all).
+    let per_cluster = workers.div_ceil(CLUSTERS) + crash_count + grow_count as usize;
+
+    // --- Hub -------------------------------------------------------------
+    let mut hub_child = Command::new(bin_dir.join("sagrid-hub"))
+        .args([
+            "--port",
+            "0",
+            "--clusters",
+            &CLUSTERS.to_string(),
+            "--nodes-per-cluster",
+            &per_cluster.to_string(),
+            "--heartbeat-timeout-ms",
+            "3000",
+            "--detect-interval-ms",
+            "200",
+            "--out",
+            out,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| Failure::Infra(format!("spawn sagrid-hub: {e}")))?;
+    let hub_pid = hub_child.id();
+    let (port_tx, port_rx) = channel::<u16>();
+    let died: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    {
+        let stdout = hub_child.stdout.take().expect("piped stdout");
+        let died = Arc::clone(&died);
+        pump("hub".to_string(), stdout, move |line| {
+            if let Some(rest) = line.strip_prefix("HUB_PORT=") {
+                if let Ok(p) = rest.trim().parse() {
+                    let _ = port_tx.send(p);
+                }
+            } else if let Some(rest) = line.strip_prefix("EVENT died ") {
+                if let Ok(n) = rest.trim().trim_start_matches('n').parse::<u32>() {
+                    died.lock().expect("died set").insert(n);
+                }
+            }
+        });
+    }
+    let port = port_rx
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| Failure::Timeout("hub never printed HUB_PORT=".into()))?;
+    let hub_addr = format!("127.0.0.1:{port}");
+    println!("grid-local: hub on {hub_addr} (churn-soak, {workers} synthetic workers)");
+
+    // --- Launcher control connection (Grow grants, final Shutdown) -------
+    let (events_tx, events_rx) = channel::<NetEvent>();
+    let stream = TcpStream::connect(&hub_addr)
+        .map_err(|e| Failure::Infra(format!("connect to hub: {e}")))?;
+    let control = Connection::spawn(1, stream, events_tx, None)
+        .map_err(|e| Failure::Infra(format!("control conn: {e}")))?;
+    control.send(Message::LauncherHello);
+
+    let mut checks = Checks {
+        failures: Vec::new(),
+    };
+
+    // --- Wave 0: the join storm ------------------------------------------
+    // The listen backlog is 128, so connects go out in paced batches with
+    // poll turns between them — the hub accepts and acks while the swarm
+    // keeps dialing, exactly how a real fleet arrives.
+    let mut swarm = Swarm::new()?;
+    let storm_start = Instant::now();
+    for i in 0..workers {
+        swarm.join_one(&hub_addr, (i % CLUSTERS) as u16, None)?;
+        if swarm.pending_join >= 100 {
+            while swarm.pending_join >= 100 {
+                if Instant::now() > overall_deadline {
+                    return Err(Failure::Timeout("join storm stalled".into()));
+                }
+                swarm.turn(Duration::from_millis(2))?;
+            }
+        }
+    }
+    swarm.settle_joins("join storm", overall_deadline)?;
+    println!(
+        "grid-local: {} workers joined in {:?}",
+        swarm.accepted,
+        storm_start.elapsed()
+    );
+    checks.assert(
+        swarm.accepted == workers as u64 && swarm.refusals.is_empty(),
+        &format!(
+            "all {workers} workers joined ({} accepted, {} refused)",
+            swarm.accepted,
+            swarm.refusals.len()
+        ),
+    );
+
+    // The tentpole number: thousands of live connections, a flat hub
+    // thread count.
+    let threads_full = os_threads_of(hub_pid).unwrap_or(u64::MAX);
+    checks.assert(
+        threads_full <= HUB_THREAD_BOUND,
+        &format!(
+            "hub serves {} connections on {threads_full} OS threads (bound {HUB_THREAD_BOUND}, \
+             independent of worker count)",
+            swarm.clients.len()
+        ),
+    );
+
+    // --- Wave 1: churn — disconnect and reclaim inside the window --------
+    // An unexpected close is NOT a death: the node keeps its id as long as
+    // it claim-rejoins before heartbeat silence condemns it.
+    let churn_victims: Vec<(Token, u32)> = swarm
+        .clients
+        .iter()
+        .filter_map(|(t, c)| c.node.map(|n| (*t, n)))
+        .take(churn_count)
+        .collect();
+    for (t, _) in &churn_victims {
+        swarm.drop_client(*t);
+    }
+    let accepted_before = swarm.accepted;
+    for (_, node) in &churn_victims {
+        swarm.join_one(&hub_addr, 0, Some(*node))?;
+    }
+    swarm.settle_joins("churn reclaim", Instant::now() + Duration::from_secs(30))?;
+    checks.assert(
+        swarm.accepted - accepted_before == churn_victims.len() as u64,
+        &format!(
+            "all {} churned workers reclaimed their node ids after reconnect",
+            churn_victims.len()
+        ),
+    );
+
+    // --- Wave 2: silent crashes — death by heartbeat timeout -------------
+    let crash_victims: Vec<(Token, u32)> = swarm
+        .clients
+        .iter()
+        .filter_map(|(t, c)| c.node.map(|n| (*t, n)))
+        .take(crash_count)
+        .collect();
+    let dead_ids: BTreeSet<u32> = crash_victims.iter().map(|&(_, n)| n).collect();
+    for (t, _) in &crash_victims {
+        swarm.drop_client(*t);
+    }
+    // 3000ms of silence + a detect sweep; the rest of the swarm keeps
+    // heartbeating through the same turns, proving detection is selective.
+    let death_deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let all_dead = dead_ids.is_subset(&died.lock().expect("died set"));
+        if all_dead {
+            break;
+        }
+        if Instant::now() > death_deadline {
+            return Err(Failure::Timeout(format!(
+                "hub never declared all {} silent workers dead (got {:?})",
+                dead_ids.len(),
+                died.lock().expect("died set")
+            )));
+        }
+        swarm.turn(Duration::from_millis(20))?;
+    }
+    let died_now = died.lock().expect("died set").clone();
+    checks.assert(
+        died_now == dead_ids,
+        &format!(
+            "exactly the {} silent workers were declared dead (no collateral deaths among \
+             {} heartbeating survivors)",
+            dead_ids.len(),
+            swarm.clients.len()
+        ),
+    );
+    // Blacklist proof: a dead node's id must be refused on claim-rejoin.
+    let refusals_before = swarm.refusals.len();
+    let victim = *dead_ids.iter().next().expect("at least one crash victim");
+    swarm.join_one(&hub_addr, 0, Some(victim))?;
+    swarm.settle_joins("blacklist probe", Instant::now() + Duration::from_secs(10))?;
+    let refusal = swarm
+        .refusals
+        .get(refusals_before)
+        .cloned()
+        .unwrap_or_default();
+    checks.assert(
+        refusal.contains("blacklist"),
+        &format!("dead node n{victim} is refused on rejoin (reason: {refusal:?})"),
+    );
+
+    // --- Wave 3: grow — launcher-driven capacity grants ------------------
+    control.send(Message::Grow {
+        count: grow_count,
+        prefer: vec![],
+        min_uplink_bps: None,
+        min_speed: None,
+    });
+    let mut grants: Vec<(u32, u16)> = Vec::new();
+    let grant_deadline = Instant::now() + Duration::from_secs(10);
+    while grants.len() < grow_count as usize && Instant::now() < grant_deadline {
+        swarm.turn(Duration::from_millis(10))?;
+        while let Ok(ev) = events_rx.try_recv() {
+            if let NetEvent::Message(_, Message::SpawnWorker { node, cluster }) = ev {
+                grants.push((node.0, cluster.0));
+            }
+        }
+    }
+    checks.assert(
+        grants.len() == grow_count as usize,
+        &format!(
+            "grow produced {} spawn grants of {grow_count} requested",
+            grants.len()
+        ),
+    );
+    let accepted_before = swarm.accepted;
+    for &(node, cluster) in &grants {
+        swarm.join_one(&hub_addr, cluster, Some(node))?;
+    }
+    swarm.settle_joins("grow claims", Instant::now() + Duration::from_secs(30))?;
+    checks.assert(
+        swarm.accepted - accepted_before == grants.len() as u64,
+        &format!(
+            "every grow grant claim-joined ({} new workers)",
+            grants.len()
+        ),
+    );
+
+    // --- Steady-state dwell, then the flat-thread re-check ---------------
+    let dwell_end = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < dwell_end {
+        swarm.turn(Duration::from_millis(50))?;
+    }
+    let threads_dwell = os_threads_of(hub_pid).unwrap_or(u64::MAX);
+    checks.assert(
+        threads_dwell <= HUB_THREAD_BOUND,
+        &format!(
+            "hub thread count still {threads_dwell} after churn/crash/grow waves \
+             ({} live connections)",
+            swarm.clients.len()
+        ),
+    );
+    checks.assert(
+        swarm.unexpected_closes == 0,
+        &format!(
+            "the hub never hung up on a live worker (unexpected closes: {})",
+            swarm.unexpected_closes
+        ),
+    );
+
+    // --- Teardown: farewells, shutdown, orphan sweep ----------------------
+    let leavers: Vec<(Token, u32)> = swarm
+        .clients
+        .iter()
+        .filter_map(|(t, c)| c.node.map(|n| (*t, n)))
+        .collect();
+    for &(t, n) in &leavers {
+        swarm.reactor.send(t, &Message::Leaving { node: NodeId(n) });
+    }
+    // Push every farewell onto the wire before the shutdown races them.
+    swarm.reactor.drain(Duration::from_secs(5));
+    control.send(Message::Shutdown);
+
+    let mut orphans = Vec::new();
+    let mut hub_status = None;
+    let reap_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match hub_child.try_wait() {
+            Ok(Some(status)) => {
+                hub_status = Some(status);
+                break;
+            }
+            Ok(None) if Instant::now() > reap_deadline => {
+                let _ = hub_child.kill();
+                let _ = hub_child.wait();
+                orphans.push("hub".to_string());
+                break;
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => return Err(Failure::Infra(format!("wait for hub: {e}"))),
+        }
+    }
+    checks.assert(
+        orphans.is_empty(),
+        &format!("all children exited after shutdown (orphans: {orphans:?})"),
+    );
+    checks.assert(
+        hub_status.map(|s| s.success()).unwrap_or(false),
+        &format!("hub exited cleanly ({hub_status:?})"),
+    );
+    let hub_jsonl = format!("{out}/run_hub.jsonl");
+    let body = std::fs::read_to_string(&hub_jsonl).unwrap_or_default();
+    checks.assert(
+        body.contains("net.reactor.accepts") && body.contains("net.reactor.loop_latency_us"),
+        "hub metrics JSONL carries the net.reactor.* instruments",
     );
 
     Ok(checks.failures)
@@ -1459,8 +1951,23 @@ fn run() -> Result<Vec<String>, Failure> {
             bin_dir,
         });
     }
-    let workers: usize = args.get_or("workers", 4)?;
     let scenario: String = args.get_or("scenario", "crash".to_string())?;
+    if scenario == "churn-soak" {
+        // The soak defaults to the headline population; `--workers` scales
+        // it down for bounded CI smokes. `--duration-ms` is the overall
+        // budget, not a dwell time — the waves finish as fast as they can.
+        let workers: usize = args.get_or("workers", 5000)?;
+        let duration = Duration::from_millis(args.get_or("duration-ms", 180_000u64)?);
+        let out: String = args.get_or("out", "target/grid_local_out".to_string())?;
+        std::fs::create_dir_all(&out).map_err(|e| format!("create {out}: {e}"))?;
+        let bin_dir: PathBuf = std::env::current_exe()
+            .map_err(|e| format!("current_exe: {e}"))?
+            .parent()
+            .ok_or_else(|| "current_exe has no parent".to_string())?
+            .to_path_buf();
+        return run_churn_soak(workers, duration, &out, &bin_dir);
+    }
+    let workers: usize = args.get_or("workers", 4)?;
     let (full, steal, hub_crash) = match scenario.as_str() {
         "crash" => (false, false, false),
         "full" => (true, false, false),
@@ -1468,7 +1975,7 @@ fn run() -> Result<Vec<String>, Failure> {
         "hub-crash" => (false, false, true),
         other => {
             return Err(Failure::Infra(format!(
-                "unknown scenario {other:?} (crash|full|steal|hub-crash)"
+                "unknown scenario {other:?} (crash|full|steal|hub-crash|churn-soak)"
             )))
         }
     };

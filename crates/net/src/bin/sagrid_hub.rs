@@ -14,9 +14,7 @@
 //! `run_hub_standby<id>.jsonl`.
 
 use sagrid_core::metrics::Metrics;
-use sagrid_net::{
-    run_standby, Args, Hub, HubConfig, StandbyConfig, StandbyOutcome, StandbyRefuser,
-};
+use sagrid_net::{run_standby, Args, Hub, HubConfig, StandbyConfig, StandbyOutcome};
 use std::io::Write;
 use std::net::TcpListener;
 use std::time::Duration;
@@ -79,7 +77,6 @@ fn run() -> Result<(), String> {
             .unwrap_or_else(|| format!("127.0.0.1:{bound}"));
 
         let metrics = Metrics::enabled();
-        let refuser = StandbyRefuser::spawn(listener).map_err(|e| format!("refuser spawn: {e}"))?;
         let standby_cfg = StandbyConfig {
             replica_id,
             primary,
@@ -88,17 +85,18 @@ fn run() -> Result<(), String> {
             detect_interval: cfg.detect_interval,
         };
         let report = format!("run_hub_standby{replica_id}.jsonl");
-        match run_standby(&standby_cfg, &metrics).map_err(|e| format!("standby: {e}"))? {
-            StandbyOutcome::Takeover(takeover) => {
-                // Promote in place: recover the listener the refuser held
-                // and serve the replicated state under the bumped epoch.
-                let listener = refuser.stop();
+        // The standby reactor owns the listener (refusing walk-in joins)
+        // for its whole tailing life and hands it back with the outcome.
+        match run_standby(listener, &standby_cfg, &metrics).map_err(|e| format!("standby: {e}"))? {
+            (StandbyOutcome::Takeover(takeover), listener) => {
+                // Promote in place: serve the replicated state on the same
+                // listener under the bumped epoch.
                 let hub = Hub::from_listener(listener, cfg, metrics.clone())
                     .with_takeover(takeover, replica_id);
                 let metrics = hub.run();
                 write_report(out.as_deref(), &report, &metrics)?;
             }
-            StandbyOutcome::Shutdown => {
+            (StandbyOutcome::Shutdown, _) => {
                 // Graceful deployment shutdown while still standby: the
                 // JSONL still records the replication tail.
                 write_report(out.as_deref(), &report, &metrics)?;

@@ -224,13 +224,18 @@ fn run() -> Result<(), String> {
     }
 
     let (events_tx, events_rx) = channel::<NetEvent>();
-    let seed = 0x5eed_0000
+    // Before a node id is granted only the claim (if any) is stable, so the
+    // first-join jitter falls back to the pid; once joined, every later
+    // failover derives its jitter from the *granted* node id, making the
+    // reconnect schedule deterministic per node across the --hub rotation
+    // (a respawned worker claiming the same node replays the same delays).
+    let join_seed = 0x5eed_0000
         + u64::from(
             claim
                 .map(|n| n.0)
                 .unwrap_or(u32::from(std::process::id() as u16)),
         );
-    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(1), seed);
+    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(1), join_seed);
     let mut next_conn = 0u64;
     let (mut conn, node) = join(
         &mut hubs,
@@ -247,6 +252,7 @@ fn run() -> Result<(), String> {
         std::process::exit(4);
     })
     .unwrap();
+    let seed = 0x5eed_0000 + u64::from(node.0);
     println!("JOINED node={}", node.0);
     std::io::stdout().flush().ok();
 

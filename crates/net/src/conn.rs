@@ -1,32 +1,34 @@
-//! Per-connection reader/writer threads over a `TcpStream`.
+//! A client-side connection handle over one [`Reactor`]-driven thread.
 //!
-//! Each [`Connection`] owns two detached threads: the writer drains an
-//! outbox channel and frames messages onto the socket; the reader decodes
-//! frames and forwards them as [`NetEvent`]s into a shared sink channel
-//! (the hub's or client's single event loop). Dropping the `Connection`
-//! closes the outbox, which makes the writer shut the socket down, which
-//! unblocks the reader — no join handles, no leaked sockets.
+//! Each [`Connection`] owns a single detached `net-io-{id}` thread running
+//! a listener-less [`Reactor`] with exactly one registered stream: the
+//! thread drains a command channel (sends and flush requests, woken
+//! through the reactor's [`Waker`]), pumps the socket, and forwards every
+//! decoded frame as a [`NetEvent`] into a shared sink channel (the
+//! client's single event loop). The old transport spent two OS threads per
+//! connection (a blocking reader and a blocking writer); the reactor
+//! multiplexes both directions on one.
 //!
-//! The reader symmetrically signals the writer: when it exits (EOF, decode
-//! error, transport failure) it enqueues [`Outgoing::ReaderGone`] through a
-//! `Weak` handle, so a writer parked on an idle outbox terminates promptly
-//! instead of leaking until the next outgoing send. The handle is `Weak`
-//! deliberately — a strong `Sender` clone in the reader would keep the
-//! outbox open after every public handle is dropped, deadlocking both
-//! threads against each other.
+//! Dropping the last `Connection` handle closes the command channel, which
+//! makes the thread drain whatever is queued onto the wire, close the
+//! socket, report [`NetEvent::Closed`] and exit — no join handles, no
+//! leaked sockets, and a farewell frame queued before the drop still gets
+//! delivered.
 
-use crate::wire::{read_frame, Message};
+use crate::reactor::{Reactor, ReactorEvent, Waker};
+use crate::wire::Message;
 use sagrid_core::metrics::{Counter, Metrics};
-use std::io::{self, BufReader, BufWriter};
-use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Weak};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender, TryRecvError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Identifier of a connection within one process (monotonic, never reused).
 pub type ConnId = u64;
 
-/// What a connection's reader thread reports into the owning event loop.
+/// What a connection's I/O thread reports into the owning event loop.
 #[derive(Debug)]
 pub enum NetEvent {
     /// A new connection was established (sent by accept loops / dialers,
@@ -39,37 +41,27 @@ pub enum NetEvent {
     Closed(ConnId),
 }
 
-/// What travels through the outbox to the writer thread. FIFO ordering is
-/// load-bearing: a [`Outgoing::Flush`] ack means every frame queued before
-/// it has been written and flushed to the socket.
-enum Outgoing {
+/// What travels through the command channel to the I/O thread. FIFO
+/// ordering is load-bearing: a flush ack means every frame queued before
+/// it has been written to the socket.
+enum Cmd {
     /// A message to frame onto the socket.
     Msg(Message),
-    /// Ack on the carried channel once all previously queued frames have
-    /// hit the socket ([`crate::wire::write_frame`] flushes per frame).
-    Flush(Sender<()>),
-    /// The reader thread exited: drain what is queued, then terminate.
-    ReaderGone,
-}
-
-impl std::fmt::Debug for Outgoing {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Outgoing::Msg(m) => f.debug_tuple("Msg").field(m).finish(),
-            Outgoing::Flush(_) => f.write_str("Flush"),
-            Outgoing::ReaderGone => f.write_str("ReaderGone"),
-        }
-    }
+    /// Drain the write queue (bounded by the duration), then ack.
+    Flush(Duration, Sender<()>),
 }
 
 /// Pre-resolved `net.*` counters, so the per-frame hot path never does a
 /// name lookup (same idiom as the scheduler's and runtime's metrics).
+/// `decode_errors` is counted by server-side reactors; a client connection
+/// surfaces an undecodable peer as a plain close.
 #[derive(Clone, Debug)]
 pub struct NetMetrics {
     frames_sent: Arc<Counter>,
     frames_received: Arc<Counter>,
     bytes_sent: Arc<Counter>,
     bytes_received: Arc<Counter>,
+    #[allow(dead_code)]
     decode_errors: Arc<Counter>,
 }
 
@@ -87,15 +79,26 @@ impl NetMetrics {
 }
 
 /// The shared core of a connection handle. Held strongly by every public
-/// [`Connection`] clone and weakly by the reader thread; when the last
-/// strong reference drops, the outbox closes and the writer winds down.
-#[derive(Debug)]
+/// [`Connection`] clone; when the last strong reference drops, the command
+/// channel closes and the I/O thread winds down.
 struct ConnInner {
-    outbox: Sender<Outgoing>,
+    cmds: Sender<Cmd>,
+    waker: Waker,
+    /// Cleared by the I/O thread *before* it reports `Closed`, so a caller
+    /// that observed the close never gets a `true` from `send`.
+    alive: Arc<AtomicBool>,
 }
 
-/// A live connection: a handle to send messages, plus two background
-/// threads pumping the socket.
+impl std::fmt::Debug for ConnInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnInner")
+            .field("alive", &self.alive.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A live connection: a handle to send messages, plus one background
+/// thread pumping the socket through a reactor.
 #[derive(Clone, Debug)]
 pub struct Connection {
     id: ConnId,
@@ -104,11 +107,11 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Takes ownership of `stream` and starts the reader/writer threads.
-    /// Every inbound message and the final close surface on `events`.
+    /// Takes ownership of `stream` and starts the I/O thread. Every
+    /// inbound message and the final close surface on `events`.
     ///
     /// An [`NetEvent::Opened`] carrying a clone of the handle is enqueued
-    /// *before* the reader thread starts, so an event loop always sees
+    /// *before* the I/O thread starts, so an event loop always sees
     /// `Opened` before any `Message` from the same connection — without
     /// this guarantee a fast peer's first message could race the accept
     /// loop's registration and be processed against an unknown connection.
@@ -118,92 +121,88 @@ impl Connection {
         events: Sender<NetEvent>,
         nm: Option<NetMetrics>,
     ) -> io::Result<Connection> {
-        stream.set_nodelay(true)?;
         let peer = stream.peer_addr()?;
-        let reader_stream = stream.try_clone()?;
-        let (outbox, inbox) = channel::<Outgoing>();
+        // The reactor is private to this connection's thread; transport
+        // counters are maintained here against the caller's registry, so
+        // the reactor itself runs unmetered.
+        let mut reactor = Reactor::new(&Metrics::disabled())?;
+        let token = reactor.register(stream)?;
+        let waker = reactor.waker()?;
+        let (cmds, inbox) = channel::<Cmd>();
+        let alive = Arc::new(AtomicBool::new(true));
         let conn = Connection {
             id,
             peer,
-            inner: Arc::new(ConnInner { outbox }),
+            inner: Arc::new(ConnInner {
+                cmds,
+                waker,
+                alive: Arc::clone(&alive),
+            }),
         };
-        // Weak: must not keep the outbox alive once every public handle is
-        // dropped (see module docs).
-        let reader_signal: Weak<ConnInner> = Arc::downgrade(&conn.inner);
         let _ = events.send(NetEvent::Opened(conn.clone()));
 
-        let writer_nm = nm.clone();
         std::thread::Builder::new()
-            .name(format!("net-writer-{id}"))
+            .name(format!("net-io-{id}"))
             .spawn(move || {
-                let mut w = BufWriter::new(&stream);
-                while let Ok(out) = inbox.recv() {
-                    match out {
-                        Outgoing::Msg(msg) => {
-                            let payload = msg.encode();
-                            if crate::wire::write_frame(&mut w, &payload).is_err() {
-                                break;
+                let mut out: Vec<ReactorEvent> = Vec::new();
+                'life: loop {
+                    // Drain commands queued since the last turn.
+                    loop {
+                        match inbox.try_recv() {
+                            Ok(Cmd::Msg(msg)) => {
+                                let frame = Reactor::encode_frame(&msg);
+                                let len = frame.len() as u64;
+                                if reactor.send_frame(token, frame) {
+                                    if let Some(nm) = &nm {
+                                        nm.frames_sent.inc();
+                                        nm.bytes_sent.add(len);
+                                    }
+                                }
                             }
-                            if let Some(nm) = &writer_nm {
-                                nm.frames_sent.inc();
-                                nm.bytes_sent.add(payload.len() as u64 + 4);
+                            Ok(Cmd::Flush(timeout, ack)) => {
+                                if reactor.flush(token, timeout) {
+                                    let _ = ack.send(());
+                                }
                             }
-                        }
-                        Outgoing::Flush(ack) => {
-                            // write_frame flushes per frame, so reaching this
-                            // queue position means everything before it is
-                            // already on the socket.
-                            let _ = ack.send(());
-                        }
-                        Outgoing::ReaderGone => break,
-                    }
-                }
-                // Outbox closed, write failed or reader gone: tear the socket
-                // down so the reader thread (ours and the peer's) unblocks.
-                // Dropping `inbox` here also makes every later `send`/`flush`
-                // on surviving handles return `false` instead of queueing
-                // into the void.
-                let _ = stream.shutdown(Shutdown::Both);
-            })
-            .expect("spawn net writer thread");
-
-        std::thread::Builder::new()
-            .name(format!("net-reader-{id}"))
-            .spawn(move || {
-                let mut r = BufReader::new(reader_stream);
-                while let Ok(Some(payload)) = read_frame(&mut r) {
-                    if let Some(nm) = &nm {
-                        nm.frames_received.inc();
-                        nm.bytes_received.add(payload.len() as u64 + 4);
-                    }
-                    match Message::decode(&payload) {
-                        Ok(msg) => {
-                            if events.send(NetEvent::Message(id, msg)).is_err() {
-                                break;
+                            Err(TryRecvError::Empty) => break,
+                            Err(TryRecvError::Disconnected) => {
+                                // Every handle is gone: put what is queued
+                                // on the wire, then close. A farewell frame
+                                // queued right before the drop still lands.
+                                reactor.flush(token, Duration::from_secs(5));
+                                break 'life;
                             }
-                        }
-                        Err(_) => {
-                            // Protocol violation: drop the peer.
-                            if let Some(nm) = &nm {
-                                nm.decode_errors.inc();
-                            }
-                            break;
                         }
                     }
+                    if reactor.poll(&mut out, Duration::from_millis(50)).is_err() {
+                        break 'life;
+                    }
+                    for ev in out.drain(..) {
+                        match ev {
+                            ReactorEvent::Frame(_, msg) => {
+                                if let Some(nm) = &nm {
+                                    nm.frames_received.inc();
+                                    // encode() is deterministic, so this is
+                                    // exactly the frame size read off the
+                                    // wire (payload + 4-byte prefix).
+                                    nm.bytes_received.add(msg.encode().len() as u64 + 4);
+                                }
+                                if events.send(NetEvent::Message(id, msg)).is_err() {
+                                    break 'life; // sink gone: nobody listening
+                                }
+                            }
+                            ReactorEvent::Closed(_) => break 'life,
+                            // No listener, no timers on this reactor.
+                            ReactorEvent::Accepted(..) | ReactorEvent::Timer(_) => {}
+                        }
+                    }
                 }
-                if let Ok(s) = r.into_inner().try_clone() {
-                    let _ = s.shutdown(Shutdown::Both);
-                }
-                // Wake a writer parked on an idle outbox so it terminates
-                // now rather than at the next outgoing send. If the upgrade
-                // fails every public handle is already gone and the closed
-                // channel has woken the writer by itself.
-                if let Some(inner) = reader_signal.upgrade() {
-                    let _ = inner.outbox.send(Outgoing::ReaderGone);
-                }
+                // Ordering matters: a caller that saw Closed must never
+                // observe a subsequent send() succeeding.
+                alive.store(false, Ordering::SeqCst);
                 let _ = events.send(NetEvent::Closed(id));
             })
-            .expect("spawn net reader thread");
+            .expect("spawn net io thread");
 
         Ok(conn)
     }
@@ -218,23 +217,34 @@ impl Connection {
         self.peer
     }
 
-    /// Queues a message for the writer thread. Returns `false` when the
+    /// Queues a message for the I/O thread. Returns `false` when the
     /// connection is already gone (the caller will observe a
     /// [`NetEvent::Closed`] too).
     pub fn send(&self, msg: Message) -> bool {
-        self.inner.outbox.send(Outgoing::Msg(msg)).is_ok()
+        if !self.inner.alive.load(Ordering::SeqCst) {
+            return false;
+        }
+        if self.inner.cmds.send(Cmd::Msg(msg)).is_err() {
+            return false;
+        }
+        self.inner.waker.wake();
+        true
     }
 
     /// Blocks until every message queued before this call has been written
-    /// and flushed to the socket, or `timeout` elapses. Returns `true` on a
-    /// confirmed drain; `false` on timeout or when the connection is
-    /// already gone. This is how a departing process guarantees its
-    /// farewell frame is on the wire before exiting — a sleep only hopes.
+    /// to the socket, or `timeout` elapses. Returns `true` on a confirmed
+    /// drain; `false` on timeout or when the connection is already gone.
+    /// This is how a departing process guarantees its farewell frame is on
+    /// the wire before exiting — a sleep only hopes.
     pub fn flush(&self, timeout: Duration) -> bool {
-        let (ack_tx, ack_rx) = channel();
-        if self.inner.outbox.send(Outgoing::Flush(ack_tx)).is_err() {
+        if !self.inner.alive.load(Ordering::SeqCst) {
             return false;
         }
+        let (ack_tx, ack_rx) = channel();
+        if self.inner.cmds.send(Cmd::Flush(timeout, ack_tx)).is_err() {
+            return false;
+        }
+        self.inner.waker.wake();
         ack_rx.recv_timeout(timeout).is_ok()
     }
 }
@@ -244,6 +254,7 @@ mod tests {
     use super::*;
     use crate::wire::send_message;
     use sagrid_core::ids::NodeId;
+    use std::io::{BufReader, BufWriter};
     use std::net::TcpListener;
     use std::time::Instant;
 
@@ -303,7 +314,7 @@ mod tests {
             panic!("expected Opened first, got {evt:?}")
         };
         drop(registered);
-        drop(conn); // both handles gone → writer flushes and shuts down
+        drop(conn); // both handles gone → the I/O thread drains and exits
         let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(matches!(evt, NetEvent::Closed(9)));
         server.join().unwrap();
@@ -332,7 +343,8 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         let conn = Connection::spawn(2, stream, events_tx, None).unwrap();
         // Drain the Opened event and drop the handle clone it carries —
-        // otherwise it keeps the outbox open past the final drop below.
+        // otherwise it keeps the command channel open past the final drop
+        // below.
         let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         let NetEvent::Opened(registered) = evt else {
             panic!("expected Opened first, got {evt:?}")
@@ -346,8 +358,8 @@ mod tests {
             conn.flush(Duration::from_secs(5)),
             "flush must ack within the timeout"
         );
-        // The ack guarantees the frames were written and flushed; a live
-        // loopback socket delivers them promptly after that.
+        // The ack guarantees the frames were written; a live loopback
+        // socket delivers them promptly after that.
         let mut got = Vec::new();
         while got.len() < 21 {
             got.push(got_rx.recv_timeout(Duration::from_secs(5)).unwrap());
@@ -372,47 +384,49 @@ mod tests {
         names
     }
 
-    /// Regression: the reader exiting (peer EOF) must terminate the writer
-    /// too, even while a public handle keeps the outbox open and idle —
-    /// previously the writer stayed parked on `recv()` forever.
+    /// A connection costs exactly ONE thread, and peer EOF terminates it
+    /// even while a public handle keeps the command channel open and idle
+    /// (the thread-pair transport this replaced needed a reader→writer
+    /// shutdown signal to achieve the same).
     #[test]
     #[cfg(target_os = "linux")]
-    fn reader_exit_terminates_both_threads() {
+    fn peer_eof_terminates_the_io_thread() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let (events_tx, events_rx) = channel();
 
         let stream = TcpStream::connect(addr).unwrap();
         let (server_side, _) = listener.accept().unwrap();
-        // Thread names are capped at 15 chars; id 4242 keeps both unique.
+        // Thread names are capped at 15 chars; id 4242 keeps it unique.
         let conn = Connection::spawn(4242, stream, events_tx, None).unwrap();
         let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(matches!(evt, NetEvent::Opened(_)));
-        // The writer is spawned before `Opened` is enqueued, but its name
-        // may not yet be visible in /proc — poll rather than assert once.
+        // The thread is spawned after `Opened` is enqueued; poll for its
+        // name rather than asserting once.
         let deadline = Instant::now() + Duration::from_secs(5);
-        while !live_thread_names().iter().any(|n| n == "net-writer-4242") {
-            assert!(Instant::now() < deadline, "writer thread never appeared");
+        while !live_thread_names().iter().any(|n| n == "net-io-4242") {
+            assert!(Instant::now() < deadline, "io thread never appeared");
             std::thread::sleep(Duration::from_millis(10));
         }
+        // One thread per connection — the old net-reader/net-writer pair
+        // must not exist.
+        let names = live_thread_names();
+        assert!(
+            !names
+                .iter()
+                .any(|n| n.starts_with("net-reader") || n.starts_with("net-writer")),
+            "thread-pair transport resurrected: {names:?}"
+        );
 
-        // Peer closes: reader sees EOF and must take the writer down with
-        // it, while `conn` still holds the outbox open.
+        // Peer closes: the io thread must observe EOF and exit, while
+        // `conn` still holds the command channel open.
         drop(server_side);
         let evt = events_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(matches!(evt, NetEvent::Closed(4242)), "got {evt:?}");
 
         let deadline = Instant::now() + Duration::from_secs(5);
-        loop {
-            let names = live_thread_names();
-            let alive = |n: &str| names.iter().any(|x| x == n);
-            if !alive("net-reader-4242") && !alive("net-writer-4242") {
-                break;
-            }
-            assert!(
-                Instant::now() < deadline,
-                "connection threads still alive: {names:?}"
-            );
+        while live_thread_names().iter().any(|n| n == "net-io-4242") {
+            assert!(Instant::now() < deadline, "io thread still alive");
             std::thread::sleep(Duration::from_millis(10));
         }
 

@@ -7,6 +7,14 @@
 //! out-of-process coordinator, relays its grow/shrink decisions, and runs
 //! the heartbeat failure detector.
 //!
+//! Since PR 9 the hub is a single [`Reactor`] loop: one thread owns the
+//! listener, every connection, the frame decoding, the write queues and
+//! the failure-detection timers. Thread count is independent of worker
+//! count (the old transport spent two OS threads per connection), peer-
+//! directory broadcasts are coalesced onto a timer instead of firing per
+//! announce, and membership is keyed through a [`ShardedMap`] so observers
+//! never serialize dispatch on one lock.
+//!
 //! A deliberately subtle point: an *unexpected connection close is not a
 //! death*. SIGKILL closes the victim's socket immediately, long before any
 //! heartbeat is missed; treating EOF as a crash would short-circuit the
@@ -14,7 +22,7 @@
 //! lost a TCP connection and will reconnect with backoff). Only the
 //! heartbeat timeout declares a node dead.
 
-use crate::conn::{ConnId, Connection, NetEvent, NetMetrics};
+use crate::reactor::{Reactor, ReactorEvent, ShardedMap, Token};
 use crate::replica::Takeover;
 use crate::replog::{ControlState, MemberPhase, RepLog, ReplicaOp};
 use crate::wire::{Message, PeerInfo};
@@ -27,7 +35,6 @@ use sagrid_sched::{AllocPolicy, Requirements, ResourcePool};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::TcpListener;
-use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
 /// Hub tuning knobs (wall-clock durations; the hub converts them to
@@ -55,6 +62,11 @@ impl Default for HubConfig {
     }
 }
 
+/// Timer key: the failure-detection sweep (re-armed every tick).
+const TIMER_DETECT: u64 = 1;
+/// Timer key: the coalesced peer-directory broadcast.
+const TIMER_DIR: u64 = 2;
+
 /// What a connection has identified itself as.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Role {
@@ -67,7 +79,7 @@ enum Role {
 }
 
 /// Hub-side pre-resolved counters (`net.*` namespace, shared with the
-/// transport counters from [`NetMetrics`]).
+/// reactor's transport counters).
 struct HubCounters {
     joins: std::sync::Arc<sagrid_core::metrics::Counter>,
     join_refusals: std::sync::Arc<sagrid_core::metrics::Counter>,
@@ -107,14 +119,13 @@ impl HubCounters {
 /// attached standby. The primary goes through the *same*
 /// [`ControlState::apply`] as the standbys, so convergence is by
 /// construction, not by parallel bookkeeping.
-#[allow(clippy::too_many_arguments)]
 fn replicate(
     op: ReplicaOp,
     epoch: u64,
     control: &mut ControlState,
     replog: &mut RepLog,
-    replicas: &BTreeMap<ConnId, u32>,
-    conns: &BTreeMap<ConnId, Connection>,
+    replicas: &BTreeMap<Token, u32>,
+    reactor: &mut Reactor,
     hc: &Option<HubCounters>,
 ) {
     control.apply(&op);
@@ -122,15 +133,15 @@ fn replicate(
     if replicas.is_empty() {
         return;
     }
-    let msg = Message::StateDelta {
+    // Broadcast economics: encode the delta once, share the frame.
+    let frame = Reactor::encode_frame(&Message::StateDelta {
         epoch,
         log_offset,
         op,
-    };
+    });
     let mut sent = 0u64;
-    for cid in replicas.keys() {
-        if let Some(c) = conns.get(cid) {
-            c.send(msg.clone());
+    for t in replicas.keys() {
+        if reactor.send_frame(*t, frame.clone()) {
             sent += 1;
         }
     }
@@ -146,17 +157,50 @@ fn replicate(
 /// leaving a worker with a permanently stale view.
 fn broadcast_directory(
     peer_dir: &BTreeMap<NodeId, PeerInfo>,
-    node_conn: &BTreeMap<NodeId, ConnId>,
-    conns: &BTreeMap<ConnId, Connection>,
+    node_conn: &ShardedMap<NodeId, Token>,
+    reactor: &mut Reactor,
 ) {
-    let snapshot = Message::PeerDirectory {
+    let frame = Reactor::encode_frame(&Message::PeerDirectory {
         peers: peer_dir.values().cloned().collect(),
-    };
-    for cid in node_conn.values() {
-        if let Some(c) = conns.get(cid) {
-            c.send(snapshot.clone());
-        }
+    });
+    for t in node_conn.snapshot().values() {
+        reactor.send_frame(*t, frame.clone());
     }
+}
+
+/// Pushes the pending coalesced directory broadcast out now (and clears
+/// the dirty flag). Called from the coalescing timer, and *before pruning
+/// an entry*: an announce and a leave landing in the same coalescing
+/// window must not cancel out invisibly — every addition is witnessable
+/// in at least one snapshot before its removal is broadcast.
+#[allow(clippy::too_many_arguments)] // the hub loop's shared state, threaded explicitly
+fn flush_directory(
+    dir_dirty: &mut bool,
+    peer_dir: &BTreeMap<NodeId, PeerInfo>,
+    node_conn: &ShardedMap<NodeId, Token>,
+    reactor: &mut Reactor,
+    hub_epoch: u64,
+    control: &mut ControlState,
+    replog: &mut RepLog,
+    replicas: &BTreeMap<Token, u32>,
+    hc: &Option<HubCounters>,
+) {
+    if !*dir_dirty {
+        return;
+    }
+    *dir_dirty = false;
+    broadcast_directory(peer_dir, node_conn, reactor);
+    replicate(
+        ReplicaOp::PeerDir {
+            peers: peer_dir.values().cloned().collect(),
+        },
+        hub_epoch,
+        control,
+        replog,
+        replicas,
+        reactor,
+        hc,
+    );
 }
 
 /// A bound, not-yet-running hub. [`Hub::bind`] then [`Hub::run`].
@@ -216,30 +260,8 @@ impl Hub {
     /// Serves until a launcher sends [`Message::Shutdown`]. Returns the
     /// metrics handle so the caller can write the final report.
     pub fn run(mut self) -> Metrics {
-        let (events_tx, events_rx) = channel::<NetEvent>();
-        let nm = NetMetrics::resolve(&self.metrics);
-
-        // Accept loop: hand every connection to the event loop as Opened.
-        {
-            let listener = self.listener.try_clone().expect("clone listener");
-            let events_tx = events_tx.clone();
-            let nm = nm.clone();
-            std::thread::Builder::new()
-                .name("hub-accept".to_string())
-                .spawn(move || {
-                    let mut next_id: ConnId = 1;
-                    while let Ok((stream, _)) = listener.accept() {
-                        // spawn() itself enqueues the Opened event before
-                        // the reader starts, so the event loop registers
-                        // the connection before its first message.
-                        if Connection::spawn(next_id, stream, events_tx.clone(), nm.clone()).is_ok()
-                        {
-                            next_id += 1;
-                        }
-                    }
-                })
-                .expect("spawn hub accept thread");
-        }
+        let mut reactor =
+            Reactor::with_listener(self.listener, &self.metrics).expect("hub reactor");
 
         let hc = HubCounters::resolve(&self.metrics);
         let epoch = Instant::now();
@@ -256,11 +278,10 @@ impl Hub {
         ));
         pool.set_metrics(&self.metrics);
 
-        let mut conns: BTreeMap<ConnId, Connection> = BTreeMap::new();
-        let mut roles: BTreeMap<ConnId, Role> = BTreeMap::new();
-        let mut node_conn: BTreeMap<NodeId, ConnId> = BTreeMap::new();
-        let mut coordinator: Option<ConnId> = None;
-        let mut launcher: Option<ConnId> = None;
+        let mut roles: BTreeMap<Token, Role> = BTreeMap::new();
+        let node_conn: ShardedMap<NodeId, Token> = ShardedMap::new();
+        let mut coordinator: Option<Token> = None;
+        let mut launcher: Option<Token> = None;
         let mut pending_spawns: BTreeSet<NodeId> = BTreeSet::new();
         // Grow grants made while no launcher is connected wait here instead
         // of being dropped (the launcher's hello may race the coordinator's
@@ -269,10 +290,13 @@ impl Hub {
         let mut blacklisted_nodes: BTreeSet<NodeId> = BTreeSet::new();
         let mut blacklisted_clusters: BTreeSet<ClusterId> = BTreeSet::new();
         // Steal-plane peer directory: node → where its steal listener is.
-        // Populated by PeerAnnounce, pruned on leave/death, pushed to every
-        // worker as a full snapshot whenever it changes.
+        // Populated by PeerAnnounce, pruned on leave/death. Broadcasts are
+        // coalesced: changes mark the directory dirty and TIMER_DIR pushes
+        // one snapshot for however many changes accumulated (a 5,000-worker
+        // join wave must not trigger 5,000 full-directory broadcasts).
         let mut peer_dir: BTreeMap<NodeId, PeerInfo> = BTreeMap::new();
-        let mut last_detect = Instant::now();
+        let mut dir_dirty = false;
+        let dir_interval = self.cfg.detect_interval.min(Duration::from_millis(50));
 
         // Replication plane: the primary's own materialised copy of the
         // replicated state, the log, and the attached standbys.
@@ -283,7 +307,7 @@ impl Hub {
         for _ in 0..self.seed_offset {
             replog.append(); // resume the offset sequence after a takeover
         }
-        let mut replicas: BTreeMap<ConnId, u32> = BTreeMap::new();
+        let mut replicas: BTreeMap<Token, u32> = BTreeMap::new();
         let mut fenced_out = false;
 
         // A takeover seeds everything a new primary cannot re-learn from
@@ -350,30 +374,27 @@ impl Hub {
         }
         println!("EVENT serving epoch={hub_epoch} leader={leader}");
 
-        'serve: loop {
-            let event = match events_rx.recv_timeout(self.cfg.detect_interval) {
-                Ok(e) => Some(e),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => break 'serve,
-            };
+        let mut out: Vec<ReactorEvent> = Vec::new();
+        reactor.arm_timer(TIMER_DETECT, Instant::now() + self.cfg.detect_interval);
+        reactor.arm_timer(TIMER_DIR, Instant::now() + dir_interval);
 
-            if let Some(event) = event {
+        'serve: loop {
+            if reactor.poll(&mut out, self.cfg.detect_interval).is_err() {
+                break 'serve;
+            }
+            for event in out.drain(..) {
                 match event {
-                    NetEvent::Opened(conn) => {
-                        roles.insert(conn.id(), Role::Unknown);
-                        conns.insert(conn.id(), conn);
+                    ReactorEvent::Accepted(id, _) => {
+                        roles.insert(id, Role::Unknown);
                     }
-                    NetEvent::Closed(id) => {
+                    ReactorEvent::Closed(id) => {
                         let role = roles.remove(&id).unwrap_or(Role::Unknown);
-                        conns.remove(&id);
                         match role {
                             // NOT a death: the worker may reconnect (and a
                             // SIGKILL'd one must be caught by the heartbeat
                             // timeout, not by EOF — see module docs).
                             Role::Worker(node) => {
-                                if node_conn.get(&node) == Some(&id) {
-                                    node_conn.remove(&node);
-                                }
+                                node_conn.remove_if(&node, |t| *t == id);
                             }
                             Role::Coordinator => {
                                 if coordinator == Some(id) {
@@ -395,7 +416,92 @@ impl Hub {
                             Role::Unknown => {}
                         }
                     }
-                    NetEvent::Message(id, msg) => match msg {
+                    ReactorEvent::Timer(TIMER_DIR) => {
+                        flush_directory(
+                            &mut dir_dirty,
+                            &peer_dir,
+                            &node_conn,
+                            &mut reactor,
+                            hub_epoch,
+                            &mut control,
+                            &mut replog,
+                            &replicas,
+                            &hc,
+                        );
+                        reactor.arm_timer(TIMER_DIR, Instant::now() + dir_interval);
+                    }
+                    // Failure detection on the reactor clock, independent of
+                    // traffic (an idle control plane still sweeps).
+                    ReactorEvent::Timer(_) => {
+                        let t = now(epoch);
+                        for dead in membership.detect_failures(t) {
+                            let cluster = membership.cluster_of(dead).unwrap_or(ClusterId(0));
+                            pool.mark_lost(dead);
+                            blacklisted_nodes.insert(dead);
+                            node_conn.remove(&dead);
+                            if peer_dir.contains_key(&dead) {
+                                flush_directory(
+                                    &mut dir_dirty,
+                                    &peer_dir,
+                                    &node_conn,
+                                    &mut reactor,
+                                    hub_epoch,
+                                    &mut control,
+                                    &mut replog,
+                                    &replicas,
+                                    &hc,
+                                );
+                                peer_dir.remove(&dead);
+                                dir_dirty = true;
+                            }
+                            replicate(
+                                ReplicaOp::Death { node: dead },
+                                hub_epoch,
+                                &mut control,
+                                &mut replog,
+                                &replicas,
+                                &mut reactor,
+                                &hc,
+                            );
+                            replicate(
+                                ReplicaOp::BlacklistNode { node: dead },
+                                hub_epoch,
+                                &mut control,
+                                &mut replog,
+                                &replicas,
+                                &mut reactor,
+                                &hc,
+                            );
+                            if let Some(hc) = &hc {
+                                hc.deaths.inc();
+                            }
+                            println!("EVENT died {dead}");
+                            if let Some(cid) = coordinator {
+                                reactor.send(
+                                    cid,
+                                    &Message::CrashNotice {
+                                        node: dead,
+                                        cluster,
+                                    },
+                                );
+                            }
+                        }
+                        // Replication keepalive: standbys declare the primary
+                        // dead on *silence*, so an idle control plane must
+                        // still tick.
+                        if !replicas.is_empty() {
+                            let keepalive = Reactor::encode_frame(&Message::HubEpoch {
+                                epoch: hub_epoch,
+                                leader,
+                            });
+                            let targets: Vec<Token> = replicas.keys().copied().collect();
+                            for t in targets {
+                                reactor.send_frame(t, keepalive.clone());
+                            }
+                        }
+                        reactor.arm_timer(TIMER_DETECT, Instant::now() + self.cfg.detect_interval);
+                    }
+                    ReactorEvent::Frame(id, msg) => match msg {
                         Message::Join { cluster, claim } => {
                             let t = now(epoch);
                             let verdict = match claim {
@@ -471,34 +577,40 @@ impl Hub {
                                             &mut control,
                                             &mut replog,
                                             &replicas,
-                                            &conns,
+                                            &mut reactor,
                                             &hc,
                                         );
                                     }
-                                    if let Some(c) = conns.get(&id) {
-                                        c.send(Message::JoinAck {
+                                    reactor.send(
+                                        id,
+                                        &Message::JoinAck {
                                             node,
                                             accepted: true,
                                             reason: String::new(),
-                                        });
-                                        // Epoch stamp: lets the worker spot
-                                        // a stale primary after a failover.
-                                        c.send(Message::HubEpoch {
+                                        },
+                                    );
+                                    // Epoch stamp: lets the worker spot a
+                                    // stale primary after a failover.
+                                    reactor.send(
+                                        id,
+                                        &Message::HubEpoch {
                                             epoch: hub_epoch,
                                             leader,
-                                        });
-                                        // Bring the newcomer up to date on
-                                        // the steal plane right away; later
-                                        // changes rebroadcast to everyone.
-                                        // An empty directory conveys
-                                        // nothing, so skip the frame (and
-                                        // keep non-stealing deployments
-                                        // free of directory traffic).
-                                        if !peer_dir.is_empty() {
-                                            c.send(Message::PeerDirectory {
+                                        },
+                                    );
+                                    // Bring the newcomer up to date on the
+                                    // steal plane right away; later changes
+                                    // rebroadcast (coalesced) to everyone.
+                                    // An empty directory conveys nothing, so
+                                    // skip the frame (and keep non-stealing
+                                    // deployments free of directory traffic).
+                                    if !peer_dir.is_empty() {
+                                        reactor.send(
+                                            id,
+                                            &Message::PeerDirectory {
                                                 peers: peer_dir.values().cloned().collect(),
-                                            });
-                                        }
+                                            },
+                                        );
                                     }
                                     if let Some(hc) = &hc {
                                         hc.joins.inc();
@@ -506,13 +618,14 @@ impl Hub {
                                     println!("EVENT joined {node}");
                                 }
                                 Err(reason) => {
-                                    if let Some(c) = conns.get(&id) {
-                                        c.send(Message::JoinAck {
+                                    reactor.send(
+                                        id,
+                                        &Message::JoinAck {
                                             node: NodeId(u32::MAX),
                                             accepted: false,
                                             reason,
-                                        });
-                                    }
+                                        },
+                                    );
                                     if let Some(hc) = &hc {
                                         hc.join_refusals.inc();
                                     }
@@ -548,16 +661,18 @@ impl Hub {
                                         &mut control,
                                         &mut replog,
                                         &replicas,
-                                        &conns,
+                                        &mut reactor,
                                         &hc,
                                     );
                                 }
                                 if let Some(cid) = coordinator {
-                                    if let Some(c) = conns.get(&cid) {
-                                        c.send(Message::StatsReport {
+                                    if reactor.send(
+                                        cid,
+                                        &Message::StatsReport {
                                             report,
                                             bench_micros,
-                                        });
+                                        },
+                                    ) {
                                         if let Some(hc) = &hc {
                                             hc.stats_forwarded.inc();
                                         }
@@ -573,7 +688,7 @@ impl Hub {
                                 &mut control,
                                 &mut replog,
                                 &replicas,
-                                &conns,
+                                &mut reactor,
                                 &hc,
                             );
                             // Blacklisted (shrink-removed) nodes never return
@@ -582,19 +697,20 @@ impl Hub {
                                 pool.release(node);
                             }
                             node_conn.remove(&node);
-                            if peer_dir.remove(&node).is_some() {
-                                broadcast_directory(&peer_dir, &node_conn, &conns);
-                                replicate(
-                                    ReplicaOp::PeerDir {
-                                        peers: peer_dir.values().cloned().collect(),
-                                    },
+                            if peer_dir.contains_key(&node) {
+                                flush_directory(
+                                    &mut dir_dirty,
+                                    &peer_dir,
+                                    &node_conn,
+                                    &mut reactor,
                                     hub_epoch,
                                     &mut control,
                                     &mut replog,
                                     &replicas,
-                                    &conns,
                                     &hc,
                                 );
+                                peer_dir.remove(&node);
+                                dir_dirty = true;
                             }
                             if let Some(hc) = &hc {
                                 hc.leaves.inc();
@@ -604,25 +720,24 @@ impl Hub {
                         Message::CoordinatorHello => {
                             roles.insert(id, Role::Coordinator);
                             coordinator = Some(id);
-                            if let Some(c) = conns.get(&id) {
-                                // The coordinator carries the epoch in its
-                                // decision provenance events.
-                                c.send(Message::HubEpoch {
+                            // The coordinator carries the epoch in its
+                            // decision provenance events.
+                            reactor.send(
+                                id,
+                                &Message::HubEpoch {
                                     epoch: hub_epoch,
                                     leader,
-                                });
-                            }
+                                },
+                            );
                         }
                         Message::LauncherHello => {
                             roles.insert(id, Role::Launcher);
                             launcher = Some(id);
-                            if let Some(lc) = conns.get(&id) {
-                                for (node, cluster) in pending_grants.drain(..) {
-                                    pending_spawns.insert(node);
-                                    lc.send(Message::SpawnWorker { node, cluster });
-                                    if let Some(hc) = &hc {
-                                        hc.spawns_requested.inc();
-                                    }
+                            for (node, cluster) in pending_grants.drain(..) {
+                                pending_spawns.insert(node);
+                                reactor.send(id, &Message::SpawnWorker { node, cluster });
+                                if let Some(hc) = &hc {
+                                    hc.spawns_requested.inc();
                                 }
                             }
                         }
@@ -653,14 +768,17 @@ impl Hub {
                                     &blacklisted_clusters,
                                     &prefer,
                                 );
-                                match launcher.and_then(|l| conns.get(&l)) {
-                                    Some(lc) => {
+                                match launcher {
+                                    Some(l) => {
                                         for g in grants {
                                             pending_spawns.insert(g.node);
-                                            lc.send(Message::SpawnWorker {
-                                                node: g.node,
-                                                cluster: g.cluster,
-                                            });
+                                            reactor.send(
+                                                l,
+                                                &Message::SpawnWorker {
+                                                    node: g.node,
+                                                    cluster: g.cluster,
+                                                },
+                                            );
                                             if let Some(hc) = &hc {
                                                 hc.spawns_requested.inc();
                                             }
@@ -688,7 +806,7 @@ impl Hub {
                                         &mut control,
                                         &mut replog,
                                         &replicas,
-                                        &conns,
+                                        &mut reactor,
                                         &hc,
                                     );
                                 }
@@ -700,7 +818,7 @@ impl Hub {
                                         &mut control,
                                         &mut replog,
                                         &replicas,
-                                        &conns,
+                                        &mut reactor,
                                         &hc,
                                     );
                                 }
@@ -708,22 +826,24 @@ impl Hub {
                                     membership.signal_leave(node);
                                 }
                                 for node in membership.take_signals() {
-                                    if let Some(c) =
-                                        node_conn.get(&node).and_then(|cid| conns.get(cid))
-                                    {
-                                        c.send(Message::SignalLeave { node });
+                                    if let Some(t) = node_conn.get(&node) {
+                                        reactor.send(t, &Message::SignalLeave { node });
                                     }
                                 }
                             }
                         }
                         Message::Shutdown => {
                             if roles.get(&id) == Some(&Role::Launcher) {
-                                for c in conns.values() {
-                                    c.send(Message::Shutdown);
+                                let frame = Reactor::encode_frame(&Message::Shutdown);
+                                let targets: Vec<Token> = roles.keys().copied().collect();
+                                for t in targets {
+                                    reactor.send_frame(t, frame.clone());
                                 }
-                                // Give the writer threads a moment to flush
-                                // before the process tears the sockets down.
-                                std::thread::sleep(Duration::from_millis(150));
+                                // Drain the write queues so every peer gets
+                                // its final frame before the process tears
+                                // the sockets down (the old transport slept
+                                // and hoped; the reactor flushes for real).
+                                reactor.drain(Duration::from_millis(500));
                                 break 'serve;
                             }
                         }
@@ -740,18 +860,7 @@ impl Hub {
                                         steal_addr,
                                     },
                                 );
-                                broadcast_directory(&peer_dir, &node_conn, &conns);
-                                replicate(
-                                    ReplicaOp::PeerDir {
-                                        peers: peer_dir.values().cloned().collect(),
-                                    },
-                                    hub_epoch,
-                                    &mut control,
-                                    &mut replog,
-                                    &replicas,
-                                    &conns,
-                                    &hc,
-                                );
+                                dir_dirty = true;
                                 println!("EVENT peers {}", peer_dir.len());
                             }
                         }
@@ -765,10 +874,8 @@ impl Hub {
                             if roles.get(&id) == Some(&Role::Launcher) {
                                 membership.signal_leave(node);
                                 for node in membership.take_signals() {
-                                    if let Some(c) =
-                                        node_conn.get(&node).and_then(|cid| conns.get(cid))
-                                    {
-                                        c.send(Message::SignalLeave { node });
+                                    if let Some(t) = node_conn.get(&node) {
+                                        reactor.send(t, &Message::SignalLeave { node });
                                     }
                                 }
                             }
@@ -783,20 +890,22 @@ impl Hub {
                         } => {
                             if roles.get(&id) == Some(&Role::Launcher) {
                                 let mut sent = 0u32;
-                                for (&node, cid) in &node_conn {
+                                for (node, t) in node_conn.snapshot() {
                                     if pool.cluster_of(node) != cluster {
                                         continue;
                                     }
                                     if count > 0 && sent >= count {
                                         break;
                                     }
-                                    if let Some(c) = conns.get(cid) {
-                                        c.send(Message::Perturb {
+                                    if reactor.send(
+                                        t,
+                                        &Message::Perturb {
                                             cluster,
                                             count,
                                             speed,
                                             inter_frac,
-                                        });
+                                        },
+                                    ) {
                                         sent += 1;
                                     }
                                 }
@@ -815,17 +924,19 @@ impl Hub {
                                 &mut control,
                                 &mut replog,
                                 &replicas,
-                                &conns,
+                                &mut reactor,
                                 &hc,
                             );
                             roles.insert(id, Role::Replica(replica));
                             replicas.insert(id, replica);
-                            if let Some(c) = conns.get(&id) {
-                                c.send(Message::StateSnapshot {
+                            if reactor.send(
+                                id,
+                                &Message::StateSnapshot {
                                     epoch: hub_epoch,
                                     log_offset: replog.offset(),
                                     state: control.snapshot(),
-                                });
+                                },
+                            ) {
                                 if let Some(hc) = &hc {
                                     hc.replica_snapshots_sent.inc();
                                 }
@@ -848,12 +959,13 @@ impl Hub {
                         | Message::StateSnapshot { epoch: e, .. }
                         | Message::HubEpoch { epoch: e, .. } => {
                             if e < hub_epoch {
-                                if let Some(c) = conns.get(&id) {
-                                    c.send(Message::HubEpoch {
+                                reactor.send(
+                                    id,
+                                    &Message::HubEpoch {
                                         epoch: hub_epoch,
                                         leader,
-                                    });
-                                }
+                                    },
+                                );
                                 if let Some(hc) = &hc {
                                     hc.replica_fenced.inc();
                                 }
@@ -875,73 +987,6 @@ impl Hub {
                         | Message::StealReply { .. }
                         | Message::StealResult { .. } => {}
                     },
-                }
-            }
-
-            // Failure detection on the wall clock, independent of traffic.
-            if last_detect.elapsed() >= self.cfg.detect_interval {
-                last_detect = Instant::now();
-                let t = now(epoch);
-                let mut dir_changed = false;
-                for dead in membership.detect_failures(t) {
-                    let cluster = membership.cluster_of(dead).unwrap_or(ClusterId(0));
-                    pool.mark_lost(dead);
-                    blacklisted_nodes.insert(dead);
-                    node_conn.remove(&dead);
-                    dir_changed |= peer_dir.remove(&dead).is_some();
-                    replicate(
-                        ReplicaOp::Death { node: dead },
-                        hub_epoch,
-                        &mut control,
-                        &mut replog,
-                        &replicas,
-                        &conns,
-                        &hc,
-                    );
-                    replicate(
-                        ReplicaOp::BlacklistNode { node: dead },
-                        hub_epoch,
-                        &mut control,
-                        &mut replog,
-                        &replicas,
-                        &conns,
-                        &hc,
-                    );
-                    if let Some(hc) = &hc {
-                        hc.deaths.inc();
-                    }
-                    println!("EVENT died {dead}");
-                    if let Some(c) = coordinator.and_then(|cid| conns.get(&cid)) {
-                        c.send(Message::CrashNotice {
-                            node: dead,
-                            cluster,
-                        });
-                    }
-                }
-                if dir_changed {
-                    broadcast_directory(&peer_dir, &node_conn, &conns);
-                    replicate(
-                        ReplicaOp::PeerDir {
-                            peers: peer_dir.values().cloned().collect(),
-                        },
-                        hub_epoch,
-                        &mut control,
-                        &mut replog,
-                        &replicas,
-                        &conns,
-                        &hc,
-                    );
-                }
-                // Replication keepalive: standbys declare the primary dead
-                // on *silence*, so an idle control plane must still tick.
-                let keepalive = Message::HubEpoch {
-                    epoch: hub_epoch,
-                    leader,
-                };
-                for cid in replicas.keys() {
-                    if let Some(c) = conns.get(cid) {
-                        c.send(keepalive.clone());
-                    }
                 }
             }
 

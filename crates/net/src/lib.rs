@@ -7,8 +7,10 @@
 //!
 //! Per the workspace policy it uses **only** `std::net` and `std::thread` —
 //! no async runtime, no serde. Messages travel as length-prefixed binary
-//! frames with a hand-rolled codec ([`wire`]); each socket gets dedicated
-//! reader/writer threads ([`conn`]); reconnects use exponential backoff with
+//! frames with a hand-rolled codec ([`wire`]); sockets are multiplexed on a
+//! std-only epoll reactor ([`reactor`]) — server loops drive thousands of
+//! connections from one thread, and each client-side [`conn::Connection`]
+//! costs a single I/O thread; reconnects use exponential backoff with
 //! deterministic jitter from the workspace RNG ([`backoff`]); and the hub
 //! ([`hub`]) maps wall-clock heartbeats onto the `SimTime`-driven
 //! [`sagrid_registry::Membership`] state machine.
@@ -27,6 +29,7 @@
 pub mod backoff;
 pub mod conn;
 pub mod hub;
+pub mod reactor;
 pub mod replica;
 pub mod replog;
 pub mod steal;
@@ -35,9 +38,8 @@ pub mod wire;
 pub use backoff::Backoff;
 pub use conn::{ConnId, Connection, NetEvent, NetMetrics};
 pub use hub::{Hub, HubConfig};
-pub use replica::{
-    elect_primary, run_standby, HubSet, StandbyConfig, StandbyOutcome, StandbyRefuser, Takeover,
-};
+pub use reactor::{FrameDecoder, Reactor, ReactorEvent, ReactorMetrics, ShardedMap, Token, Waker};
+pub use replica::{elect_primary, run_standby, HubSet, StandbyConfig, StandbyOutcome, Takeover};
 pub use replog::{ControlSnapshot, ControlState, MemberPhase, RepLog, ReplicaOp};
 pub use steal::{ExportPool, NetStealHook, StealClient, StealMetrics};
 pub use wire::Message;

@@ -11,6 +11,17 @@
 //! link warm with periodic [`Message::HubEpoch`] frames, so silence is
 //! unambiguous.
 //!
+//! The standby's whole life runs on one [`Reactor`]: the same loop tails
+//! the replication link, ticks the silence detector, and serves the
+//! standby's pre-takeover front door — the listener is bound from day one
+//! (so launchers can hand its address to workers immediately) and clients
+//! that wander in are politely refused: a [`Message::Join`] gets an
+//! explicit refusal whose reason starts with `"standby"` (workers treat
+//! that prefix as *transient* and rotate to the next hub address instead
+//! of exiting), anything else gets a close. On takeover the listener is
+//! detached from the reactor and handed to the hub, which serves on the
+//! very address workers were already dialling.
+//!
 //! On primary death every standby runs the same deterministic election —
 //! lowest replica id over the replicated standby set, delegated to the
 //! already-tested [`sagrid_registry::Membership::elect_coordinator`] — so
@@ -19,16 +30,16 @@
 //! back) and serves; losers re-attach to the winner's advertised address.
 
 use crate::backoff::Backoff;
+use crate::reactor::{Reactor, ReactorEvent, Token};
 use crate::replog::ControlState;
-use crate::wire::{recv_message, send_message, Message};
+use crate::wire::Message;
 use sagrid_core::ids::{ClusterId, NodeId};
 use sagrid_core::metrics::{Counter, MetricEvent, Metrics, Value};
 use sagrid_core::time::SimTime;
 use sagrid_registry::{Membership, RegistryConfig};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -96,77 +107,6 @@ pub fn elect_primary(standbys: &BTreeSet<u32>) -> Option<u32> {
     m.elect_coordinator().map(|n| n.0)
 }
 
-/// A standby's pre-takeover front door.
-///
-/// The standby binds its listener the moment it starts — long before any
-/// election — so launchers can hand its address to workers from day one.
-/// Until a takeover, this thread owns the listener and politely turns
-/// clients away: a [`Message::Join`] gets an explicit refusal whose reason
-/// starts with `"standby"` (workers treat that prefix as *transient* and
-/// rotate to the next hub address instead of exiting), and anything else
-/// gets an immediate close, which clients already handle as a redial.
-/// [`StandbyRefuser::stop`] hands the still-bound listener back so the
-/// takeover hub serves on the very address workers were already dialling.
-pub struct StandbyRefuser {
-    stop: Arc<AtomicBool>,
-    handle: std::thread::JoinHandle<TcpListener>,
-    port: u16,
-}
-
-impl StandbyRefuser {
-    /// Takes ownership of the bound listener and starts refusing.
-    pub fn spawn(listener: TcpListener) -> io::Result<StandbyRefuser> {
-        let port = listener.local_addr()?.port();
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("standby-refuse".to_string())
-            .spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if stop2.load(Ordering::SeqCst) {
-                            drop(stream); // the stop() wake-up connect
-                            return listener;
-                        }
-                        std::thread::spawn(move || refuse_one(stream));
-                    }
-                    Err(_) => {
-                        if stop2.load(Ordering::SeqCst) {
-                            return listener;
-                        }
-                    }
-                }
-            })?;
-        Ok(StandbyRefuser { stop, handle, port })
-    }
-
-    /// Stops refusing and recovers the (still-bound) listener.
-    pub fn stop(self) -> TcpListener {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept() with a throwaway self-connect.
-        let _ = TcpStream::connect(("127.0.0.1", self.port));
-        self.handle.join().expect("standby refuser thread panicked")
-    }
-}
-
-/// One-shot connection handler while standby: read the first frame, refuse
-/// a `Join` explicitly, drop everything else.
-fn refuse_one(mut stream: TcpStream) {
-    stream
-        .set_read_timeout(Some(Duration::from_millis(500)))
-        .ok();
-    if let Ok(Some(Message::Join { .. })) = recv_message(&mut stream) {
-        let _ = send_message(
-            &mut stream,
-            &Message::JoinAck {
-                node: NodeId(0),
-                accepted: false,
-                reason: "standby: not primary".to_string(),
-            },
-        );
-    }
-}
-
 /// Standby-side configuration.
 #[derive(Clone, Debug)]
 pub struct StandbyConfig {
@@ -180,7 +120,7 @@ pub struct StandbyConfig {
     pub advertise: String,
     /// No frame from the primary for this long ⇒ the primary is dead.
     pub heartbeat_timeout: Duration,
-    /// Socket read timeout / liveness check interval.
+    /// Liveness check / guest reap interval.
     pub detect_interval: Duration,
 }
 
@@ -227,15 +167,28 @@ impl ReplicaCounters {
     }
 }
 
-/// Tails the primary until it dies or the deployment shuts down.
+/// The standby's liveness/reap tick.
+const TIMER_LIVE: u64 = 1;
+
+/// How long an accepted client may sit frameless before being reaped.
+const GUEST_PATIENCE: Duration = Duration::from_millis(500);
+
+/// Tails the primary until it dies or the deployment shuts down, serving
+/// the standby front door on `listener` the whole time.
 ///
 /// Blocks for the standby's whole tailing life. On primary death it runs
-/// the election: if this standby wins, returns
-/// [`StandbyOutcome::Takeover`] (the caller seeds a hub from the state and
-/// serves); if it loses, it re-attaches to the winner and keeps tailing.
-pub fn run_standby(cfg: &StandbyConfig, metrics: &Metrics) -> io::Result<StandbyOutcome> {
+/// the election: if this standby wins, it returns
+/// [`StandbyOutcome::Takeover`] together with the still-bound listener
+/// (the caller seeds a hub from the state and serves on it); if it loses,
+/// it re-attaches to the winner and keeps tailing.
+pub fn run_standby(
+    listener: TcpListener,
+    cfg: &StandbyConfig,
+    metrics: &Metrics,
+) -> io::Result<(StandbyOutcome, TcpListener)> {
     let rc = ReplicaCounters::resolve(metrics);
     let started = Instant::now();
+    let mut reactor = Reactor::with_listener(listener, metrics)?;
     let mut state = ControlState::default();
     let mut epoch: u64 = 0;
     let mut log_offset: u64 = 0;
@@ -248,165 +201,217 @@ pub fn run_standby(cfg: &StandbyConfig, metrics: &Metrics) -> io::Result<Standby
         0x5eed_0000 ^ u64::from(cfg.replica_id),
     );
     let mut last_frame = Instant::now();
+    // The replication link's token, when attached.
+    let mut primary: Option<Token> = None;
+    let mut next_dial = Instant::now();
+    // Clients accepted on the front door, by accept time (reaped if they
+    // never send the Join we are waiting to refuse).
+    let mut guests: BTreeMap<Token, Instant> = BTreeMap::new();
 
-    'attach: loop {
-        // Dial (and redial) the current primary. EOF and connect failures
-        // are transport blips; only heartbeat-timeout silence is death.
-        let stream = loop {
-            match TcpStream::connect(&primary_addr) {
-                Ok(s) => break Some(s),
-                Err(_) if last_frame.elapsed() < cfg.heartbeat_timeout => {
-                    std::thread::sleep(backoff.next_delay());
+    let take_listener = |reactor: &mut Reactor| {
+        reactor
+            .take_listener()
+            .expect("standby reactor owns the listener")
+    };
+
+    reactor.arm_timer(TIMER_LIVE, Instant::now() + cfg.detect_interval);
+    let mut out: Vec<ReactorEvent> = Vec::new();
+    loop {
+        // (Re)dial the primary when due. EOF and connect failures are
+        // transport blips; only heartbeat-timeout silence is death.
+        if primary.is_none() && Instant::now() >= next_dial {
+            match reactor.connect(&primary_addr) {
+                Ok(t) => {
+                    backoff.reset();
+                    primary = Some(t);
+                    reactor.send(
+                        t,
+                        &Message::ReplicaHello {
+                            replica: cfg.replica_id,
+                            addr: cfg.advertise.clone(),
+                            log_offset,
+                        },
+                    );
                 }
-                Err(_) => break None,
+                Err(_) => next_dial = Instant::now() + backoff.next_delay(),
             }
-        };
+        }
 
-        if let Some(mut stream) = stream {
-            backoff.reset();
-            stream.set_nodelay(true).ok();
-            stream.set_read_timeout(Some(cfg.detect_interval)).ok();
-            let hello = Message::ReplicaHello {
-                replica: cfg.replica_id,
-                addr: cfg.advertise.clone(),
-                log_offset,
-            };
-            if send_message(&mut stream, &hello).is_ok() {
-                loop {
-                    match recv_message(&mut stream) {
-                        Ok(Some(Message::StateSnapshot {
-                            epoch: e,
-                            log_offset: off,
-                            state: snap,
-                        })) => {
-                            if e < epoch {
-                                // A stale primary answered: fence it off and
-                                // treat the link as dead traffic.
-                                break;
-                            }
-                            last_frame = Instant::now();
-                            epoch = e;
-                            log_offset = off;
-                            state = ControlState::from_snapshot(&snap);
-                            if let Some(rc) = &rc {
-                                rc.snapshots.inc();
-                            }
-                            println!(
-                                "EVENT standby attached epoch={e} offset={off} digest={:016x}",
-                                state.digest()
-                            );
-                            let ack = Message::ReplicaAck {
-                                replica: cfg.replica_id,
-                                log_offset,
-                            };
-                            if send_message(&mut stream, &ack).is_ok() {
-                                if let Some(rc) = &rc {
-                                    rc.acks.inc();
-                                }
-                            }
-                        }
-                        Ok(Some(Message::StateDelta {
-                            epoch: e,
-                            log_offset: off,
-                            op,
-                        })) => {
-                            if e < epoch {
-                                break; // stale primary
-                            }
-                            last_frame = Instant::now();
-                            epoch = e;
-                            state.apply(&op);
-                            log_offset = off + 1;
-                            if let Some(rc) = &rc {
-                                rc.deltas.inc();
-                            }
-                            let ack = Message::ReplicaAck {
-                                replica: cfg.replica_id,
-                                log_offset,
-                            };
-                            if send_message(&mut stream, &ack).is_ok() {
-                                if let Some(rc) = &rc {
-                                    rc.acks.inc();
-                                }
-                            }
-                        }
-                        Ok(Some(Message::HubEpoch { epoch: e, .. })) => {
-                            // The replication keepalive.
-                            if e >= epoch {
-                                last_frame = Instant::now();
-                                epoch = e;
-                            }
-                        }
-                        Ok(Some(Message::Shutdown)) => {
-                            return Ok(StandbyOutcome::Shutdown);
-                        }
-                        Ok(Some(_)) => {
-                            // Frames a standby has no business with; ignore.
-                            last_frame = Instant::now();
-                        }
-                        Ok(None) => break, // EOF: redial
-                        Err(e)
-                            if e.kind() == io::ErrorKind::WouldBlock
-                                || e.kind() == io::ErrorKind::TimedOut =>
-                        {
-                            if last_frame.elapsed() >= cfg.heartbeat_timeout {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
+        reactor.poll(&mut out, cfg.detect_interval)?;
+        for ev in out.drain(..) {
+            match ev {
+                ReactorEvent::Accepted(t, _) => {
+                    guests.insert(t, Instant::now());
+                }
+                ReactorEvent::Closed(t) => {
+                    guests.remove(&t);
+                    if primary == Some(t) {
+                        primary = None;
+                        next_dial = Instant::now() + backoff.next_delay();
                     }
                 }
+                ReactorEvent::Frame(t, msg) if primary == Some(t) => match msg {
+                    Message::StateSnapshot {
+                        epoch: e,
+                        log_offset: off,
+                        state: snap,
+                    } => {
+                        if e < epoch {
+                            // A stale primary answered: fence it off and
+                            // treat the link as dead traffic.
+                            reactor.close(t);
+                            continue;
+                        }
+                        last_frame = Instant::now();
+                        epoch = e;
+                        log_offset = off;
+                        state = ControlState::from_snapshot(&snap);
+                        if let Some(rc) = &rc {
+                            rc.snapshots.inc();
+                        }
+                        println!(
+                            "EVENT standby attached epoch={e} offset={off} digest={:016x}",
+                            state.digest()
+                        );
+                        if reactor.send(
+                            t,
+                            &Message::ReplicaAck {
+                                replica: cfg.replica_id,
+                                log_offset,
+                            },
+                        ) {
+                            if let Some(rc) = &rc {
+                                rc.acks.inc();
+                            }
+                        }
+                    }
+                    Message::StateDelta {
+                        epoch: e,
+                        log_offset: off,
+                        op,
+                    } => {
+                        if e < epoch {
+                            reactor.close(t); // stale primary
+                            continue;
+                        }
+                        last_frame = Instant::now();
+                        epoch = e;
+                        state.apply(&op);
+                        log_offset = off + 1;
+                        if let Some(rc) = &rc {
+                            rc.deltas.inc();
+                        }
+                        if reactor.send(
+                            t,
+                            &Message::ReplicaAck {
+                                replica: cfg.replica_id,
+                                log_offset,
+                            },
+                        ) {
+                            if let Some(rc) = &rc {
+                                rc.acks.inc();
+                            }
+                        }
+                    }
+                    Message::HubEpoch { epoch: e, .. } => {
+                        // The replication keepalive.
+                        if e >= epoch {
+                            last_frame = Instant::now();
+                            epoch = e;
+                        }
+                    }
+                    Message::Shutdown => {
+                        return Ok((StandbyOutcome::Shutdown, take_listener(&mut reactor)));
+                    }
+                    _ => {
+                        // Frames a standby has no business with; ignore.
+                        last_frame = Instant::now();
+                    }
+                },
+                // A front-door client: refuse a Join explicitly (the
+                // refusal drains before the close), drop everything else.
+                ReactorEvent::Frame(t, msg) => {
+                    if matches!(msg, Message::Join { .. }) {
+                        reactor.send(
+                            t,
+                            &Message::JoinAck {
+                                node: NodeId(0),
+                                accepted: false,
+                                reason: "standby: not primary".to_string(),
+                            },
+                        );
+                    }
+                    reactor.close(t);
+                }
+                ReactorEvent::Timer(_) => {
+                    // Reap guests that connected but never spoke.
+                    let now = Instant::now();
+                    let stale: Vec<Token> = guests
+                        .iter()
+                        .filter(|(_, at)| now.duration_since(**at) >= GUEST_PATIENCE)
+                        .map(|(t, _)| *t)
+                        .collect();
+                    for t in stale {
+                        guests.remove(&t);
+                        reactor.close(t);
+                    }
+
+                    if last_frame.elapsed() >= cfg.heartbeat_timeout {
+                        // Heartbeat silence: the primary is dead. Elect over
+                        // the replicated standby set (which includes us —
+                        // the primary logged our ReplicaJoined).
+                        let mut standbys: BTreeSet<u32> = state.replicas.keys().copied().collect();
+                        standbys.insert(cfg.replica_id);
+                        let winner = elect_primary(&standbys).expect("standby set contains self");
+                        if let Some(rc) = &rc {
+                            rc.elections.inc();
+                        }
+                        metrics.emit(
+                            MetricEvent::new(started.elapsed().as_micros() as u64, "hub_election")
+                                .with("winner", Value::U64(u64::from(winner)))
+                                .with("standbys", Value::U64(standbys.len() as u64))
+                                .with("old_epoch", Value::U64(epoch)),
+                        );
+
+                        if winner == cfg.replica_id {
+                            let new_epoch = epoch + 1;
+                            if let Some(rc) = &rc {
+                                rc.takeovers.inc();
+                            }
+                            println!(
+                                "EVENT takeover epoch={new_epoch} replica={}",
+                                cfg.replica_id
+                            );
+                            return Ok((
+                                StandbyOutcome::Takeover(Takeover {
+                                    epoch: new_epoch,
+                                    state,
+                                    log_offset,
+                                }),
+                                take_listener(&mut reactor),
+                            ));
+                        }
+
+                        // Lost the election: the winner is about to serve on
+                        // its advertised address. Re-attach there and keep
+                        // tailing; reset the silence clock so the winner
+                        // gets a full timeout to come up.
+                        primary_addr = state
+                            .replicas
+                            .get(&winner)
+                            .cloned()
+                            .unwrap_or_else(|| cfg.primary.clone());
+                        last_frame = Instant::now();
+                        backoff.reset();
+                        if let Some(t) = primary.take() {
+                            reactor.close(t);
+                        }
+                        next_dial = Instant::now();
+                    }
+                    reactor.arm_timer(TIMER_LIVE, Instant::now() + cfg.detect_interval);
+                }
             }
         }
-
-        // Out of the read loop: either the socket dropped or we timed out.
-        if last_frame.elapsed() < cfg.heartbeat_timeout {
-            std::thread::sleep(backoff.next_delay());
-            continue 'attach;
-        }
-
-        // Heartbeat silence: the primary is dead. Elect over the
-        // replicated standby set (which includes us — the primary logged
-        // our ReplicaJoined).
-        let mut standbys: BTreeSet<u32> = state.replicas.keys().copied().collect();
-        standbys.insert(cfg.replica_id);
-        let winner = elect_primary(&standbys).expect("standby set contains self");
-        if let Some(rc) = &rc {
-            rc.elections.inc();
-        }
-        metrics.emit(
-            MetricEvent::new(started.elapsed().as_micros() as u64, "hub_election")
-                .with("winner", Value::U64(u64::from(winner)))
-                .with("standbys", Value::U64(standbys.len() as u64))
-                .with("old_epoch", Value::U64(epoch)),
-        );
-
-        if winner == cfg.replica_id {
-            let new_epoch = epoch + 1;
-            if let Some(rc) = &rc {
-                rc.takeovers.inc();
-            }
-            println!(
-                "EVENT takeover epoch={new_epoch} replica={}",
-                cfg.replica_id
-            );
-            return Ok(StandbyOutcome::Takeover(Takeover {
-                epoch: new_epoch,
-                state,
-                log_offset,
-            }));
-        }
-
-        // Lost the election: the winner is about to serve on its
-        // advertised address. Re-attach there and keep tailing; reset the
-        // silence clock so the winner gets a full timeout to come up.
-        primary_addr = state
-            .replicas
-            .get(&winner)
-            .cloned()
-            .unwrap_or_else(|| cfg.primary.clone());
-        last_frame = Instant::now();
-        backoff.reset();
     }
 }
 
@@ -438,5 +443,52 @@ mod tests {
         assert_eq!(hs.current(), "127.0.0.1:1", "wraps");
         assert!(HubSet::parse("  , ,").is_err());
         assert_eq!(HubSet::parse("a:1").unwrap().addrs(), &["a:1".to_string()]);
+    }
+
+    #[test]
+    fn standby_front_door_refuses_joins_while_tailing() {
+        use crate::wire::{recv_message, send_message};
+        use std::net::TcpStream;
+
+        // No primary exists at this address; the standby keeps redialling
+        // while its front door refuses walk-in joins.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let cfg = StandbyConfig {
+            replica_id: 1,
+            primary: "127.0.0.1:1".to_string(),
+            advertise: format!("127.0.0.1:{port}"),
+            heartbeat_timeout: Duration::from_secs(30),
+            detect_interval: Duration::from_millis(20),
+        };
+        let metrics = Metrics::disabled();
+        let standby = std::thread::spawn(move || run_standby(listener, &cfg, &metrics));
+
+        let mut client = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        send_message(
+            &mut client,
+            &Message::Join {
+                cluster: ClusterId(0),
+                claim: None,
+            },
+        )
+        .unwrap();
+        match recv_message(&mut client).unwrap().unwrap() {
+            Message::JoinAck {
+                accepted: false,
+                reason,
+                ..
+            } => assert!(reason.starts_with("standby"), "reason: {reason}"),
+            other => panic!("expected a standby refusal, got {other:?}"),
+        }
+        // The refusal is followed by a close, not a hang.
+        assert_eq!(recv_message(&mut client).unwrap(), None);
+        // The standby is still tailing (blocked on its dead primary):
+        // killing the thread isn't worth plumbing a stop signal for a unit
+        // test, so just verify it hasn't crashed and leave it detached.
+        assert!(!standby.is_finished() || standby.join().is_ok());
     }
 }

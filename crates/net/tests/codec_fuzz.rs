@@ -18,7 +18,7 @@ use sagrid_core::rng::{Rng64, SplitMix64};
 use sagrid_core::stats::{MonitoringReport, OverheadBreakdown};
 use sagrid_core::time::{SimDuration, SimTime};
 use sagrid_net::wire::{Message, PeerInfo, StealJob};
-use sagrid_net::{ControlSnapshot, MemberPhase, ReplicaOp};
+use sagrid_net::{ControlSnapshot, FrameDecoder, MemberPhase, Reactor, ReplicaOp};
 
 /// One representative encoding of every variant (and every interesting
 /// shape within a variant: `None`/`Some` options, empty/filled lists,
@@ -273,6 +273,80 @@ fn random_garbage_never_panics() {
             assert_eq!(Message::decode(&m.encode()).as_ref(), Ok(&m));
         }
     }
+}
+
+/// The reactor's incremental [`FrameDecoder`] must agree byte-for-byte
+/// with the one-shot path, no matter how the kernel slices the stream.
+/// Every variant is fed one byte at a time: nothing may surface before
+/// the final byte, and the surfaced message must equal the original.
+#[test]
+fn incremental_decode_byte_at_a_time_matches_one_shot() {
+    for msg in every_message() {
+        let frame = Reactor::encode_frame(&msg);
+        let one_shot = Message::decode(&frame[4..]).expect("one-shot decode");
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for (i, b) in frame.iter().enumerate() {
+            dec.feed(std::slice::from_ref(b), &mut got)
+                .unwrap_or_else(|e| panic!("{msg:?} byte {i}: {e:?}"));
+            if i + 1 < frame.len() {
+                assert!(got.is_empty(), "{msg:?} surfaced early at byte {i}");
+                assert!(!dec.at_boundary(), "{msg:?} claimed boundary mid-frame");
+            }
+        }
+        assert_eq!(got, vec![one_shot], "{msg:?} byte-at-a-time mismatch");
+        assert_eq!(got[0], msg);
+        assert!(dec.at_boundary(), "{msg:?} not at a frame boundary after");
+    }
+}
+
+/// The whole fixture set concatenated into one stream, then replayed
+/// under seeded random split points (the shapes `read(2)` actually
+/// produces: short reads straddling length prefixes and frame bodies).
+/// Every trial must reproduce the exact message sequence.
+#[test]
+fn incremental_decode_survives_randomized_split_points() {
+    let msgs = every_message();
+    let mut stream: Vec<u8> = Vec::new();
+    for m in &msgs {
+        stream.extend_from_slice(&Reactor::encode_frame(m));
+    }
+    let mut rng = SplitMix64::new(0x0DEC_0DE5_5EED);
+    for trial in 0..200usize {
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        // Vary the chunk-size regime per trial so both dribbles and
+        // near-whole-frame reads are covered.
+        let max_chunk = 1 + trial % 97;
+        while pos < stream.len() {
+            let chunk = 1 + rng.gen_index((stream.len() - pos).min(max_chunk));
+            dec.feed(&stream[pos..pos + chunk], &mut got)
+                .unwrap_or_else(|e| panic!("trial {trial} at {pos}: {e:?}"));
+            pos += chunk;
+        }
+        assert_eq!(got, msgs, "trial {trial}: stream did not reproduce");
+        assert!(dec.at_boundary(), "trial {trial}: dangling partial frame");
+    }
+}
+
+/// An over-claiming length prefix must be rejected as soon as the header
+/// completes — before any payload allocation — even when the header
+/// itself arrives one byte at a time.
+#[test]
+fn incremental_decode_rejects_oversized_frames_at_the_header() {
+    let huge = ((1u32 << 20) + 1).to_le_bytes();
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    for (i, b) in huge.iter().enumerate() {
+        let fed = dec.feed(std::slice::from_ref(b), &mut got);
+        if i < 3 {
+            assert!(fed.is_ok(), "rejected before the length was known");
+        } else {
+            assert!(fed.is_err(), "accepted a frame beyond the bound");
+        }
+    }
+    assert!(got.is_empty());
 }
 
 #[test]

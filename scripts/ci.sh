@@ -99,6 +99,29 @@ awk '
     }
 ' target/ci_grid_steal/steal_thief*_metrics.jsonl
 
+echo "== churn-soak smoke (one hub thread serves 1000 reactor workers) =="
+# Bounded scale proof of the epoll reactor: 1000 protocol-complete
+# synthetic workers join from a single client-side reactor, ride out
+# churn (disconnect + claim-rejoin), silent crashes (heartbeat-timeout
+# deaths + blacklist) and a launcher-driven grow, while grid-local
+# asserts the hub's OS thread count stays flat — independent of the
+# connection count — and the teardown reaps everything orphan-free.
+rm -rf target/ci_grid_churn
+timeout 90 ./target/release/grid-local --workers 1000 --scenario churn-soak \
+    --duration-ms 80000 --out target/ci_grid_churn
+./target/release/validate_metrics target/ci_grid_churn
+awk '
+    /"name":"net.reactor.accepts"/ {
+        n = $0
+        sub(/.*"value":/, "", n); sub(/[,}].*/, "", n)
+        total += n
+    }
+    END {
+        printf "  net.reactor.accepts on the hub: %d\n", total
+        if (total < 1000) { print "  FAIL: hub reactor accepted fewer than the fleet"; exit 1 }
+    }
+' target/ci_grid_churn/run_hub.jsonl
+
 echo "== hub-crash smoke (standby hub takes over a SIGKILLed primary) =="
 # Bounded end-to-end hub failover: a standby hub tails the primary's
 # replication log; grid-local crashes a worker (so there is a blacklist

@@ -138,6 +138,14 @@ pub struct DecisionLogEntry {
     pub blacklisted_clusters: Vec<ClusterId>,
     /// Learned requirements after this decision.
     pub learned: LearnedRequirements,
+    /// Members that were Suspect (silent but not yet declared dead) when
+    /// this evaluation ran (sorted). Their reports were excluded from the
+    /// efficiency denominator and the badness ranking.
+    pub suspect_ids: Vec<NodeId>,
+    /// When a removal decision was withheld because suspicion was
+    /// outstanding, the human-readable reason; `None` otherwise. A
+    /// `Some` here always pairs with `Decision::None`.
+    pub hold_fire: Option<String>,
 }
 
 /// The adaptation coordinator state machine.
@@ -181,6 +189,13 @@ pub struct Coordinator {
     uplink_observations: BTreeMap<ClusterId, f64>,
     learned: LearnedRequirements,
     log: Vec<DecisionLogEntry>,
+    /// Members whose liveness is currently unresolved: the failure
+    /// detector has seen suspicious silence but has not yet promoted them
+    /// to dead. Their stale reports must not poison the efficiency
+    /// denominator, and no shrink may fire while this set is non-empty
+    /// (the hold-fire rule) — removal would otherwise target survivors
+    /// on the basis of a disturbance that is still being resolved.
+    suspects: BTreeSet<NodeId>,
 }
 
 impl Coordinator {
@@ -197,6 +212,7 @@ impl Coordinator {
             uplink_observations: BTreeMap::new(),
             learned: LearnedRequirements::default(),
             log: Vec::new(),
+            suspects: BTreeSet::new(),
         }
     }
 
@@ -211,13 +227,49 @@ impl Coordinator {
     }
 
     /// Stores a node's end-of-period report (overwrites the previous one).
+    /// A fresh report from a Suspect member is proof of life: the
+    /// suspicion is cleared in place.
     pub fn record_report(&mut self, report: MonitoringReport) {
+        self.suspects.remove(&report.node);
         self.latest.insert(report.node, report);
     }
 
     /// Forgets a node that left or died.
     pub fn node_gone(&mut self, node: NodeId) {
         self.latest.remove(&node);
+        self.suspects.remove(&node);
+    }
+
+    /// Marks a member as Suspect: the failure detector has observed
+    /// suspicious silence but has not yet declared it dead. The member's
+    /// stale report stops counting toward the efficiency denominator and
+    /// no shrink decision fires until the suspicion resolves (a fresh
+    /// report / [`Self::clear_suspect`] confirms life, or
+    /// [`Self::record_crashed`] / [`Self::node_gone`] confirms death).
+    pub fn mark_suspect(&mut self, node: NodeId) {
+        // Deliberately unconditional: a member can fall silent before its
+        // first report ever arrives, and its unresolved liveness must
+        // still hold fire.
+        self.suspects.insert(node);
+    }
+
+    /// Marks a batch of members Suspect (mass-crash detection windows).
+    pub fn mark_suspects(&mut self, nodes: &[NodeId]) {
+        for &node in nodes {
+            self.mark_suspect(node);
+        }
+    }
+
+    /// Clears a suspicion after the member proved to be alive (resumed
+    /// heartbeats). Returns whether the node was actually suspect. The
+    /// member is NOT blacklisted — suspicion is not a verdict.
+    pub fn clear_suspect(&mut self, node: NodeId) -> bool {
+        self.suspects.remove(&node)
+    }
+
+    /// Members currently under suspicion.
+    pub fn suspects(&self) -> &BTreeSet<NodeId> {
+        &self.suspects
     }
 
     /// Records a bandwidth observation for a cluster's uplink (bytes/s),
@@ -256,9 +308,15 @@ impl Coordinator {
         &self.log
     }
 
-    /// Weighted average efficiency over the currently known reports.
+    /// Weighted average efficiency over the currently known reports,
+    /// excluding Suspect members — efficiency is only defined over
+    /// members confirmed alive.
     pub fn current_wa_efficiency(&self) -> f64 {
-        wa_efficiency_of_reports(self.latest.values())
+        wa_efficiency_of_reports(
+            self.latest
+                .values()
+                .filter(|r| !self.suspects.contains(&r.node)),
+        )
     }
 
     /// One walk of the Figure-2 flowchart.
@@ -269,9 +327,25 @@ impl Coordinator {
     /// (the paper's grid schedulers could not provide such notifications —
     /// ours can, which is exactly the §7 future-work experiment).
     pub fn evaluate(&mut self, now: SimTime, fastest_available_speed: Option<f64>) -> Decision {
-        let reports: Vec<MonitoringReport> = self.latest.values().copied().collect();
+        // Suspicion-aware monitoring: only members confirmed alive feed
+        // the efficiency denominator and the badness ranking. A Suspect
+        // member's stale report would otherwise drag wa_efficiency down
+        // and make the flowchart shrink away survivors during the
+        // crash-detection window.
+        let reports: Vec<MonitoringReport> = self
+            .latest
+            .values()
+            .filter(|r| !self.suspects.contains(&r.node))
+            .copied()
+            .collect();
         if reports.is_empty() {
-            return self.log_and_return(now, 0.0, 0, Vec::new(), Decision::None);
+            let hold_fire = (!self.suspects.is_empty()).then(|| {
+                format!(
+                    "no alive-confirmed reports: all {} known members are suspect",
+                    self.suspects.len()
+                )
+            });
+            return self.log_and_return(now, 0.0, 0, Vec::new(), Decision::None, hold_fire);
         }
         let wa_eff = wa_efficiency_of_reports(&reports);
         let n = reports.len();
@@ -307,6 +381,19 @@ impl Coordinator {
             {
                 let cluster = bad.cluster;
                 let nodes = bad.nodes.clone();
+                // Hold-fire: removal decisions wait out unresolved
+                // silence. Checked before any side effect so a withheld
+                // decision leaves no blacklist or report-set trace.
+                if let Some(reason) = self.hold_fire_reason("remove-cluster") {
+                    return self.log_and_return(
+                        now,
+                        wa_eff,
+                        n,
+                        provenance,
+                        Decision::None,
+                        Some(reason),
+                    );
+                }
                 if self.policy.blacklist_removed {
                     self.blacklisted_clusters.insert(cluster);
                 }
@@ -325,6 +412,7 @@ impl Coordinator {
                     n,
                     provenance,
                     Decision::RemoveCluster { cluster, nodes },
+                    None,
                 );
             }
         }
@@ -341,7 +429,9 @@ impl Coordinator {
                 requirements: self.learned,
                 prefer,
             };
-            return self.log_and_return(now, wa_eff, n, provenance, decision);
+            // Growth is safe during a suspicion window — adding capacity
+            // never amputates a survivor — so Add is NOT held.
+            return self.log_and_return(now, wa_eff, n, provenance, decision, None);
         }
 
         // Step 3: efficiency below E_MIN ⇒ performance problem (or simply
@@ -351,9 +441,19 @@ impl Coordinator {
         // median): when one cluster's processors are overloaded, all of them
         // go in one decision, as in the paper's scenario 3.
         if wa_eff < self.policy.e_min {
+            if let Some(reason) = self.hold_fire_reason("remove-nodes") {
+                return self.log_and_return(
+                    now,
+                    wa_eff,
+                    n,
+                    provenance,
+                    Decision::None,
+                    Some(reason),
+                );
+            }
             let count = self.policy.shrink_size(wa_eff, n);
             if count == 0 {
-                return self.log_and_return(now, wa_eff, n, provenance, Decision::None);
+                return self.log_and_return(now, wa_eff, n, provenance, Decision::None, None);
             }
             let median = provenance[provenance.len() / 2].badness;
             let outliers = provenance
@@ -375,6 +475,7 @@ impl Coordinator {
                 n,
                 provenance,
                 Decision::RemoveNodes { nodes },
+                None,
             );
         }
 
@@ -389,6 +490,16 @@ impl Coordinator {
                     .map(|r| (r.node, r.speed))
                     .collect();
                 if !slow.is_empty() {
+                    if let Some(reason) = self.hold_fire_reason("opportunistic-swap") {
+                        return self.log_and_return(
+                            now,
+                            wa_eff,
+                            n,
+                            provenance,
+                            Decision::None,
+                            Some(reason),
+                        );
+                    }
                     // Slowest first; cap at the growth budget.
                     slow.sort_by(|a, b| {
                         a.1.partial_cmp(&b.1)
@@ -410,12 +521,26 @@ impl Coordinator {
                         add,
                         requirements,
                     };
-                    return self.log_and_return(now, wa_eff, n, provenance, decision);
+                    return self.log_and_return(now, wa_eff, n, provenance, decision, None);
                 }
             }
         }
 
-        self.log_and_return(now, wa_eff, n, provenance, Decision::None)
+        self.log_and_return(now, wa_eff, n, provenance, Decision::None, None)
+    }
+
+    /// The hold-fire rule (suspicion-aware shrink): while any member's
+    /// liveness is unresolved, removal decisions are withheld. Returns
+    /// the reason string to record in the decision's provenance, or
+    /// `None` when firing is allowed.
+    fn hold_fire_reason(&self, withheld_kind: &str) -> Option<String> {
+        if self.suspects.is_empty() {
+            return None;
+        }
+        Some(format!(
+            "withheld {withheld_kind}: {} member(s) suspect, liveness unresolved",
+            self.suspects.len()
+        ))
     }
 
     /// Notes that `nodes` crashed (fail-stop failure, paper §5 scenario 6).
@@ -429,6 +554,7 @@ impl Coordinator {
     pub fn record_crashed(&mut self, nodes: &[NodeId], cluster: Option<ClusterId>) {
         for node in nodes {
             self.latest.remove(node);
+            self.suspects.remove(node);
             if self.policy.blacklist_removed {
                 self.blacklisted_nodes.insert(*node);
             }
@@ -447,6 +573,7 @@ impl Coordinator {
         nodes: usize,
         badness: Vec<NodeBadnessRecord>,
         decision: Decision,
+        hold_fire: Option<String>,
     ) -> Decision {
         self.log.push(DecisionLogEntry {
             at,
@@ -457,6 +584,8 @@ impl Coordinator {
             blacklisted_nodes: self.blacklisted_nodes.iter().copied().collect(),
             blacklisted_clusters: self.blacklisted_clusters.iter().copied().collect(),
             learned: self.learned,
+            suspect_ids: self.suspects.iter().copied().collect(),
+            hold_fire,
         });
         decision
     }
@@ -783,6 +912,119 @@ mod tests {
         assert!(c.blacklisted_nodes().is_empty());
         assert!(c.blacklisted_clusters().is_empty());
         assert_eq!(c.known_nodes(), 0, "reports still dropped");
+    }
+
+    /// The PR-9 bug, distilled: a mass crash leaves stale reports from the
+    /// dead and collapsed efficiency on the survivors. Without suspicion
+    /// the flowchart shrinks — and badness ranks the (slower) survivors
+    /// worst, so the decision amputates exactly the nodes still alive.
+    #[test]
+    fn silence_blind_policy_shrinks_survivors_in_the_detection_window() {
+        let mut c = coordinator();
+        // Nodes 2,3 (fast) crashed mid-thrash; their last reports linger.
+        // Survivors 0,1 (slower) report collapsed efficiency.
+        c.record_report(report(0, 0, 0.5, 0.05, 0.0));
+        c.record_report(report(1, 0, 0.5, 0.05, 0.0));
+        c.record_report(report(2, 0, 1.0, 0.1, 0.0));
+        c.record_report(report(3, 0, 1.0, 0.1, 0.0));
+        match c.evaluate(SimTime::ZERO, None) {
+            Decision::RemoveNodes { nodes } => {
+                // The victims are the survivors, not the dead.
+                assert!(
+                    nodes.contains(&NodeId(0)) || nodes.contains(&NodeId(1)),
+                    "expected a survivor among the victims, got {nodes:?}"
+                );
+            }
+            d => panic!("the silence-blind policy should shrink, got {d:?}"),
+        }
+    }
+
+    /// Same window, suspicion-aware: the dead-but-undetected members are
+    /// Suspect, their reports leave the denominator, and the hold-fire
+    /// rule withholds the shrink until liveness resolves.
+    #[test]
+    fn hold_fire_withholds_shrink_while_suspects_outstanding() {
+        let mut c = coordinator();
+        c.record_report(report(0, 0, 0.5, 0.05, 0.0));
+        c.record_report(report(1, 0, 0.5, 0.05, 0.0));
+        c.record_report(report(2, 0, 1.0, 0.1, 0.0));
+        c.record_report(report(3, 0, 1.0, 0.1, 0.0));
+        c.mark_suspects(&[NodeId(2), NodeId(3)]);
+        assert_eq!(c.evaluate(SimTime::ZERO, None), Decision::None);
+        let entry = c.log().last().unwrap();
+        assert_eq!(entry.suspect_ids, vec![NodeId(2), NodeId(3)]);
+        assert!(entry.hold_fire.is_some(), "provenance records the hold");
+        assert_eq!(entry.nodes, 2, "denominator counts alive-confirmed only");
+        assert!(
+            c.blacklisted_nodes().is_empty(),
+            "a hold has no side effects"
+        );
+        // The detector resolves the silence into deaths: suspicion clears,
+        // the next evaluation is free to act on the survivors alone.
+        c.record_crashed(&[NodeId(2), NodeId(3)], None);
+        assert!(c.suspects().is_empty());
+        let d = c.evaluate(SimTime::from_secs(180), None);
+        assert!(
+            c.log().last().unwrap().hold_fire.is_none(),
+            "no hold once resolved, got {d:?}"
+        );
+    }
+
+    /// When every known member is suspect there is nothing confirmed
+    /// alive to evaluate: no action, and the hold is recorded.
+    #[test]
+    fn all_members_suspect_holds_with_empty_denominator() {
+        let mut c = coordinator();
+        c.record_report(report(0, 0, 1.0, 0.1, 0.0));
+        c.mark_suspect(NodeId(0));
+        assert_eq!(c.evaluate(SimTime::ZERO, None), Decision::None);
+        let entry = c.log().last().unwrap();
+        assert_eq!(entry.nodes, 0);
+        assert!(entry.hold_fire.is_some());
+    }
+
+    /// A Suspect member that resumes reporting is alive: suspicion clears
+    /// in place and it is never blacklisted for having been silent.
+    #[test]
+    fn resumed_report_clears_suspicion_without_blacklist() {
+        let mut c = coordinator();
+        for i in 0..4 {
+            c.record_report(report(i, 0, 1.0, 0.4, 0.0));
+        }
+        c.mark_suspect(NodeId(2));
+        assert!(c.suspects().contains(&NodeId(2)));
+        c.record_report(report(2, 0, 1.0, 0.4, 0.0));
+        assert!(c.suspects().is_empty(), "a fresh report is proof of life");
+        assert!(c.blacklisted_nodes().is_empty());
+        assert_eq!(c.known_nodes(), 4);
+    }
+
+    /// Flapping (repeated Suspect → Alive) never triggers a shrink and
+    /// never blacklists the flapper: every window either holds fire or
+    /// sees a healthy, fully-confirmed report set.
+    #[test]
+    fn flapping_suspicion_never_triggers_shrink() {
+        let mut c = coordinator();
+        let mut t = SimTime::ZERO;
+        for round in 0..5 {
+            for i in 0..4 {
+                c.record_report(report(i, 0, 1.0, 0.4, 0.0));
+            }
+            c.mark_suspect(NodeId(3));
+            let d = c.evaluate(t, None);
+            assert_eq!(d, Decision::None, "round {round}: suspect window");
+            // The flapper resumes before the next period.
+            c.record_report(report(3, 0, 1.0, 0.4, 0.0));
+            t += sagrid_core::time::SimDuration::from_secs(180);
+            let d = c.evaluate(t, None);
+            assert_eq!(d, Decision::None, "round {round}: healthy in-band set");
+            t += sagrid_core::time::SimDuration::from_secs(180);
+        }
+        assert!(c.blacklisted_nodes().is_empty());
+        assert!(c
+            .log()
+            .iter()
+            .all(|e| !matches!(e.decision, Decision::RemoveNodes { .. })));
     }
 
     #[test]

@@ -136,10 +136,35 @@ impl HierarchicalCoordinator {
     /// Routes a node's report to its cluster's sub-coordinator (created on
     /// demand — clusters join as the application expands).
     pub fn record_report(&mut self, report: MonitoringReport) {
+        // A fresh report is proof of life no matter which level it enters
+        // at: clear any suspicion on the main coordinator immediately (the
+        // digest replay at evaluation time deliberately does not).
+        self.main.clear_suspect(report.node);
         self.subs
             .entry(report.cluster)
             .or_insert_with(|| SubCoordinator::new(report.cluster))
             .record_report(report);
+    }
+
+    /// Marks a member Suspect (see [`Coordinator::mark_suspect`]).
+    pub fn mark_suspect(&mut self, node: NodeId) {
+        self.main.mark_suspect(node);
+    }
+
+    /// Marks a batch of members Suspect.
+    pub fn mark_suspects(&mut self, nodes: &[NodeId]) {
+        self.main.mark_suspects(nodes);
+    }
+
+    /// Clears a suspicion after proof of life (see
+    /// [`Coordinator::clear_suspect`]).
+    pub fn clear_suspect(&mut self, node: NodeId) -> bool {
+        self.main.clear_suspect(node)
+    }
+
+    /// Members currently under suspicion.
+    pub fn suspects(&self) -> &std::collections::BTreeSet<NodeId> {
+        self.main.suspects()
     }
 
     /// A node left or died.
@@ -179,6 +204,13 @@ impl HierarchicalCoordinator {
         self.digests_received += digests.len() as u64;
         for d in digests {
             for s in d.nodes {
+                // A digest replays the last report each sub kept. For a
+                // Suspect member that is a stale echo of a pre-silence
+                // period, not proof of life — replaying it through
+                // `record_report` would wrongly clear the suspicion.
+                if self.main.suspects().contains(&s.node) {
+                    continue;
+                }
                 self.main.record_report(reconstruct(d.cluster, now, s));
             }
         }
@@ -310,6 +342,34 @@ mod tests {
                 .map(|i| report(i, (i % 3) as u16, 1.0, 0.4, 0.01))
                 .collect(),
         );
+    }
+
+    /// The hold-fire branch is identical across the two designs: with a
+    /// member Suspect, neither shrinks, and both record the hold in the
+    /// decision log.
+    #[test]
+    fn equivalent_on_hold_fire_branch() {
+        let mut flat = Coordinator::new(AdaptPolicy::default());
+        let mut hier = HierarchicalCoordinator::new(AdaptPolicy::default());
+        let rs: Vec<_> = (0..4).map(|i| report(i, 0, 1.0, 0.1, 0.0)).collect();
+        for r in &rs {
+            flat.record_report(*r);
+            hier.record_report(*r);
+        }
+        flat.mark_suspect(NodeId(3));
+        hier.mark_suspect(NodeId(3));
+        let t = SimTime::from_secs(180);
+        assert_eq!(flat.evaluate(t, None), hier.evaluate(t, None));
+        assert_eq!(flat.evaluate(t, None), Decision::None);
+        let fe = flat.log().last().unwrap();
+        let he = hier.main().log().last().unwrap();
+        assert!(fe.hold_fire.is_some() && he.hold_fire.is_some());
+        assert_eq!(fe.suspect_ids, he.suspect_ids);
+        // A fresh report entering at the hierarchy's edge clears the
+        // suspicion just as a direct report to the flat design does.
+        flat.record_report(rs[3]);
+        hier.record_report(rs[3]);
+        assert!(flat.suspects().is_empty() && hier.suspects().is_empty());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Regression for the crash-detection window (the bug this suite pins:
+//! between a mass crash and its heartbeat-timeout detection the
+//! coordinator used to see collapsed efficiency from not-yet-detected
+//! dead members and shrink away survivors, failing efficiency recovery).
+//!
+//! The checked-in `scenarios/mass_crash.json` crashes 2 of 3 sites two
+//! seconds before a coordinator tick (ticks fire at exact multiples of
+//! the 30 s monitoring period), so an evaluation deterministically lands
+//! *inside* the 3 s `fault_detection_delay` window. The suspicion
+//! machinery must (a) actually be exercised — some decision carries a
+//! non-empty suspect snapshot — and (b) never let a removal target a
+//! suspect, certified by the `no-suspect-shrink` invariant from the JSONL
+//! stream alone. The coordinator-level counterpart (the *old* policy
+//! really does shrink survivors on the same inputs) lives in
+//! `sagrid-adapt`'s `silence_blind_policy_shrinks_survivors_in_the_detection_window`.
+
+use sagrid_core::json::parse_json;
+use sagrid_core::metrics::Metrics;
+use sagrid_scenario::{check_jsonl, InvariantConfig, ScenarioSpec};
+use sagrid_simgrid::{AdaptMode, GridSim};
+use std::path::PathBuf;
+
+fn run_mass_crash() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/mass_crash.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let spec = ScenarioSpec::parse(&text).expect("mass_crash.json parses");
+    let cfg = spec.sim_config(AdaptMode::Adapt).expect("valid config");
+    let result = GridSim::try_run_with_metrics(cfg, Metrics::enabled()).expect("run completes");
+    assert!(!result.timed_out, "mass-crash run timed out");
+    result.metrics.expect("metrics enabled").to_jsonl()
+}
+
+#[test]
+fn mass_crash_window_holds_fire_and_recovers() {
+    let jsonl = run_mass_crash();
+
+    // The full invariant suite — including efficiency recovery after the
+    // crash and the fifth (no-suspect-shrink) invariant — passes on the
+    // emitted stream alone.
+    let inv = InvariantConfig {
+        // Two monitoring periods past the crash (the run continues for
+        // roughly a minute after it).
+        settle_us: 60_000_000,
+        expected_iterations: Some(12),
+        ..InvariantConfig::default()
+    };
+    let violations = check_jsonl(&jsonl, &inv);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+
+    // The window was really exercised: at least one evaluation ran while
+    // victims were suspect (crash at 28 s, detection at 31 s, a tick at
+    // 30 s), and no removal decision ever named a suspect.
+    let mut suspect_decisions = 0usize;
+    let mut suspect_marked = 0u64;
+    let mut suspect_cleared = 0u64;
+    for line in jsonl.lines() {
+        let v = parse_json(line).expect("stream line parses");
+        match v.get("type").and_then(|t| t.as_str()) {
+            Some("event")
+                if v.get("kind").and_then(|k| k.as_str()) == Some("decision")
+                    && v.get("suspects")
+                        .and_then(|s| s.as_arr())
+                        .is_some_and(|a| !a.is_empty()) =>
+            {
+                suspect_decisions += 1;
+            }
+            Some("counter") => {
+                let value = v.get("value").and_then(|x| x.as_u64()).unwrap_or(0);
+                match v.get("name").and_then(|n| n.as_str()) {
+                    Some("adapt.suspect.marked") => suspect_marked = value,
+                    Some("adapt.suspect.cleared") => suspect_cleared = value,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        suspect_decisions > 0,
+        "no coordinator evaluation landed inside the detection window — \
+         the regression no longer exercises the bug"
+    );
+    // 24 victims (two full 12-node sites) went suspect at injection time
+    // and every suspicion resolved at detection time.
+    assert_eq!(suspect_marked, 24, "suspicions marked");
+    assert_eq!(suspect_cleared, 24, "suspicions resolved");
+}
+
+#[test]
+fn mass_crash_run_is_deterministic() {
+    // Same seed ⇒ byte-identical stream: the regression is replayable.
+    assert_eq!(run_mass_crash(), run_mass_crash());
+}

@@ -25,6 +25,7 @@ const ALL_FILES: &[&str] = &[
     "flash_crowd.json",
     "correlated_failure.json",
     "brownout.json",
+    "mass_crash.json",
 ];
 
 fn read(file: &str) -> String {

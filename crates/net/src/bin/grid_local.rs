@@ -134,6 +134,7 @@ fn spawn_worker(
     let mut child = cmd
         .spawn()
         .map_err(|e| format!("spawn sagrid-worker: {e}"))?;
+    track_child("worker", &child);
     let stdout = child.stdout.take().expect("piped stdout");
     let (tx, rx) = channel();
     pump(tag, stdout, move |line| {
@@ -151,6 +152,58 @@ fn spawn_worker(
 struct Tracked {
     name: String,
     child: Child,
+}
+
+/// Every child PID ever spawned, for the exit-path reaper. The happy path
+/// reaps children in each scenario's teardown sweep; *failure* paths
+/// (`Err` returns, infra timeouts) unwind straight past that sweep, and
+/// `std::process::exit` runs no destructors — so `main` holds a
+/// [`ReapGuard`] across `run()` and drops it before choosing an exit
+/// code. Without it, an exit-4 run (say, a worker that never joins)
+/// leaked the hub process.
+static SPAWNED_PIDS: Mutex<Vec<(&'static str, u32)>> = Mutex::new(Vec::new());
+
+/// Records a freshly spawned child in the reaper's PID registry and
+/// prints the pid so tests can verify post-exit that it is gone.
+fn track_child(name: &'static str, child: &Child) {
+    println!("grid-local: spawned {name} pid={}", child.id());
+    SPAWNED_PIDS
+        .lock()
+        .expect("pid registry")
+        .push((name, child.id()));
+}
+
+/// True when `/proc/<pid>` names a live (non-zombie) process. A child the
+/// teardown already `wait()`ed has no `/proc` entry at all; one that
+/// exited but was never reaped shows state `Z` and dies with the launcher.
+fn is_running(pid: u32) -> bool {
+    let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+        return false;
+    };
+    // State is the first field after the parenthesised comm (which may
+    // itself contain spaces or parens — hence rfind).
+    let Some(idx) = stat.rfind(')') else {
+        return false;
+    };
+    !matches!(
+        stat[idx + 1..].trim_start().chars().next(),
+        Some('Z') | None
+    )
+}
+
+/// Kills every tracked child still running when dropped.
+struct ReapGuard;
+
+impl Drop for ReapGuard {
+    fn drop(&mut self) {
+        for (name, pid) in SPAWNED_PIDS.lock().expect("pid registry").drain(..) {
+            if !is_running(pid) {
+                continue;
+            }
+            let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+            println!("grid-local: reaper killed leaked {name} pid={pid}");
+        }
+    }
 }
 
 /// Why a run could not even produce a verdict. `Infra` is a broken
@@ -242,6 +295,7 @@ fn run_steal(
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("spawn sagrid-hub: {e}"))?;
+    track_child("hub", &hub_child);
     let (port_tx, port_rx) = channel::<u16>();
     {
         let stdout = hub_child.stdout.take().expect("piped stdout");
@@ -678,6 +732,7 @@ fn run_churn_soak(
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| Failure::Infra(format!("spawn sagrid-hub: {e}")))?;
+    track_child("hub", &hub_child);
     let hub_pid = hub_child.id();
     let (port_tx, port_rx) = channel::<u16>();
     let died: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(BTreeSet::new()));
@@ -1031,6 +1086,7 @@ fn run_scenario_file(sa: ScenarioArgs) -> Result<Vec<String>, Failure> {
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("spawn sagrid-hub: {e}"))?;
+    track_child("hub", &hub_child);
     let (port_tx, port_rx) = channel::<u16>();
     {
         let stdout = hub_child.stdout.take().expect("piped stdout");
@@ -1068,6 +1124,7 @@ fn run_scenario_file(sa: ScenarioArgs) -> Result<Vec<String>, Failure> {
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("spawn sagrid-coordinatord: {e}"))?;
+    track_child("coordinatord", &coord_child);
     let provenance_ok = Arc::new(AtomicBool::new(false));
     let coord_up = {
         let (tx, rx) = channel::<()>();
@@ -1458,6 +1515,7 @@ fn run_hub_crash(
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("spawn sagrid-hub: {e}"))?;
+    track_child("primary-hub", &primary_child);
     let (port_tx, port_rx) = channel::<u16>();
     let died: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(BTreeSet::new()));
     {
@@ -1492,6 +1550,7 @@ fn run_hub_crash(
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("spawn standby sagrid-hub: {e}"))?;
+    track_child("standby-hub", &standby_child);
     let (sport_tx, sport_rx) = channel::<u16>();
     let attached = Arc::new(AtomicBool::new(false));
     let takeover_epoch: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
@@ -1561,6 +1620,7 @@ fn run_hub_crash(
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("spawn sagrid-coordinatord: {e}"))?;
+    track_child("coordinatord", &coord_child);
     let provenance_ok = Arc::new(AtomicBool::new(false));
     // Highest hub epoch the daemon reported seeing (from HUB_EPOCH lines):
     // proves post-failover decisions run under the new primary.
@@ -2040,6 +2100,7 @@ fn run() -> Result<Vec<String>, Failure> {
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("spawn sagrid-hub: {e}"))?;
+    track_child("hub", &hub_child);
     let (port_tx, port_rx) = channel::<u16>();
     let died: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(BTreeSet::new()));
     {
@@ -2080,6 +2141,7 @@ fn run() -> Result<Vec<String>, Failure> {
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("spawn sagrid-coordinatord: {e}"))?;
+    track_child("coordinatord", &coord_child);
     let provenance_ok = Arc::new(AtomicBool::new(false));
     let coord_up = {
         let (tx, rx) = channel::<()>();
@@ -2336,7 +2398,14 @@ fn run() -> Result<Vec<String>, Failure> {
 }
 
 fn main() {
-    match run() {
+    // Hold the reaper across `run()` and drop it explicitly before the
+    // `process::exit` calls below: `exit` skips destructors, so every
+    // failure path used to leak whatever children the run had spawned
+    // (most visibly the hub on the exit-4 timeout path).
+    let reaper = ReapGuard;
+    let verdict = run();
+    drop(reaper);
+    match verdict {
         Ok(failures) if failures.is_empty() => {
             println!("grid-local: PASS");
         }

@@ -79,6 +79,11 @@ fn run() -> Result<(), String> {
     std::io::stdout().flush().ok();
 
     let metrics = Metrics::enabled();
+    let suspect_marked = metrics.counter("adapt.suspect.marked").expect("enabled");
+    let suspect_cleared = metrics.counter("adapt.suspect.cleared").expect("enabled");
+    let holdfire_decisions = metrics
+        .counter("adapt.holdfire.decisions")
+        .expect("enabled");
     let mut coordinator = Coordinator::new(AdaptPolicy::default());
     let mut speeds = SpeedTracker::new();
     let mut emitted = 0usize;
@@ -101,6 +106,20 @@ fn run() -> Result<(), String> {
                     speeds.record(report.node, SimDuration::from_micros(bench_micros.max(1)));
                     report.speed = speeds.relative_speed(report.node).unwrap_or(1.0);
                     coordinator.record_report(report);
+                }
+                Message::SuspectNotice { node, suspected } => {
+                    // The hub's failure detector crossed (or un-crossed) the
+                    // suspicion threshold for this member. Until the verdict
+                    // resolves — CrashNotice or a resume — the coordinator
+                    // holds fire on shrink decisions.
+                    if suspected {
+                        coordinator.mark_suspect(node);
+                        suspect_marked.inc();
+                        println!("SUSPECT_MARKED node={}", node.0);
+                    } else if coordinator.clear_suspect(node) {
+                        suspect_cleared.inc();
+                        println!("SUSPECT_CLEARED node={}", node.0);
+                    }
                 }
                 Message::CrashNotice { node, .. } => {
                     // Single-node fail-stop: blacklist the node, keep its
@@ -195,11 +214,15 @@ fn run() -> Result<(), String> {
                 // The hub epoch distinguishes pre- from post-failover
                 // decisions; reconstruction ignores unknown fields.
                 metrics.emit(decision_event(entry).with("hub_epoch", Value::U64(hub_epoch)));
+                if entry.hold_fire.is_some() {
+                    holdfire_decisions.inc();
+                }
                 println!(
-                    "DECISION kind={} wa={:.3} nodes={}",
+                    "DECISION kind={} wa={:.3} nodes={} suspects={}",
                     entry.decision.kind(),
                     entry.wa_efficiency,
-                    entry.nodes
+                    entry.nodes,
+                    entry.suspect_ids.len()
                 );
             }
             emitted = coordinator.log().len();

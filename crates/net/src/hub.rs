@@ -86,6 +86,8 @@ struct HubCounters {
     heartbeats: std::sync::Arc<sagrid_core::metrics::Counter>,
     stats_forwarded: std::sync::Arc<sagrid_core::metrics::Counter>,
     deaths: std::sync::Arc<sagrid_core::metrics::Counter>,
+    suspects: std::sync::Arc<sagrid_core::metrics::Counter>,
+    resumes: std::sync::Arc<sagrid_core::metrics::Counter>,
     leaves: std::sync::Arc<sagrid_core::metrics::Counter>,
     grow_requests: std::sync::Arc<sagrid_core::metrics::Counter>,
     spawns_requested: std::sync::Arc<sagrid_core::metrics::Counter>,
@@ -103,6 +105,8 @@ impl HubCounters {
             heartbeats: m.counter("net.heartbeats").expect("enabled"),
             stats_forwarded: m.counter("net.stats_forwarded").expect("enabled"),
             deaths: m.counter("net.deaths").expect("enabled"),
+            suspects: m.counter("net.suspects").expect("enabled"),
+            resumes: m.counter("net.suspect_resumes").expect("enabled"),
             leaves: m.counter("net.leaves").expect("enabled"),
             grow_requests: m.counter("net.grow_requests").expect("enabled"),
             spawns_requested: m.counter("net.spawns_requested").expect("enabled"),
@@ -267,11 +271,13 @@ impl Hub {
         let epoch = Instant::now();
         let now = |epoch: Instant| SimTime::from_micros(epoch.elapsed().as_micros() as u64);
 
-        let mut membership = Membership::new(RegistryConfig {
-            heartbeat_timeout: SimDuration::from_micros(
-                self.cfg.heartbeat_timeout.as_micros() as u64
-            ),
-        });
+        // Three-state liveness: silence past half the timeout marks a
+        // member Suspect (coordinator holds fire on shrink), silence past
+        // the full timeout kills it. Workers heartbeat several times per
+        // half-timeout, so a healthy member never trips the window.
+        let mut membership = Membership::new(RegistryConfig::with_timeout(
+            SimDuration::from_micros(self.cfg.heartbeat_timeout.as_micros() as u64),
+        ));
         let mut pool = ResourcePool::new(&GridConfig::uniform(
             self.cfg.clusters,
             self.cfg.nodes_per_cluster,
@@ -517,11 +523,15 @@ impl Hub {
                                         Some(
                                             sagrid_registry::MemberState::Alive
                                                 | sagrid_registry::MemberState::Leaving
+                                                | sagrid_registry::MemberState::Suspect
                                         )
                                     ) {
                                         // Transport-level reconnect of a
                                         // member that never missed enough
                                         // heartbeats to be declared dead.
+                                        // A Suspect resumes here without a
+                                        // blacklist mark: the heartbeat is
+                                        // proof of life.
                                         membership.heartbeat(t, node);
                                         Ok((node, false))
                                     } else {
@@ -981,6 +991,7 @@ impl Hub {
                         // the hub): ignore.
                         Message::JoinAck { .. }
                         | Message::CrashNotice { .. }
+                        | Message::SuspectNotice { .. }
                         | Message::SpawnWorker { .. }
                         | Message::PeerDirectory { .. }
                         | Message::StealRequest { .. }
@@ -990,14 +1001,54 @@ impl Hub {
                 }
             }
 
-            // Surface registry transitions as metric events.
-            if self.metrics.is_enabled() {
-                let t = now(epoch);
-                for evt in membership.take_events() {
+            // Surface registry transitions as metric events, and keep the
+            // coordinator's suspicion view current: Suspected/Resumed
+            // transitions go out as SuspectNotice frames (deaths already
+            // went out as CrashNotice from the detection sweep). The
+            // notices flow whether or not metrics are on — the hold-fire
+            // rule is policy, not observability.
+            let t = now(epoch);
+            for evt in membership.take_events() {
+                match evt {
+                    RegistryEvent::Suspected(n) => {
+                        if let Some(hc) = &hc {
+                            hc.suspects.inc();
+                        }
+                        println!("EVENT suspect {n}");
+                        if let Some(cid) = coordinator {
+                            reactor.send(
+                                cid,
+                                &Message::SuspectNotice {
+                                    node: n,
+                                    suspected: true,
+                                },
+                            );
+                        }
+                    }
+                    RegistryEvent::Resumed(n) => {
+                        if let Some(hc) = &hc {
+                            hc.resumes.inc();
+                        }
+                        println!("EVENT resumed {n}");
+                        if let Some(cid) = coordinator {
+                            reactor.send(
+                                cid,
+                                &Message::SuspectNotice {
+                                    node: n,
+                                    suspected: false,
+                                },
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+                if self.metrics.is_enabled() {
                     let (node, state) = match evt {
                         RegistryEvent::Joined(n, _) => (n, "joined"),
                         RegistryEvent::Left(n) => (n, "left"),
                         RegistryEvent::Died(n) => (n, "died"),
+                        RegistryEvent::Suspected(n) => (n, "suspect"),
+                        RegistryEvent::Resumed(n) => (n, "alive"),
                     };
                     self.metrics.emit(
                         MetricEvent::new(t.0, "member")
@@ -1005,8 +1056,6 @@ impl Hub {
                             .with("state", Value::Str(state.to_string())),
                     );
                 }
-            } else {
-                let _ = membership.take_events();
             }
         }
 

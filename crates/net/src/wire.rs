@@ -139,6 +139,18 @@ pub enum Message {
         /// Its cluster.
         cluster: ClusterId,
     },
+    /// The hub tells the coordinator a member's liveness changed at the
+    /// suspicion level: `suspected = true` means the member fell
+    /// suspiciously silent (Alive → Suspect, shrink decisions hold
+    /// fire); `false` means it resumed heartbeating (Suspect → Alive,
+    /// no blacklist entry). A Suspect that dies resolves via
+    /// [`Message::CrashNotice`] instead.
+    SuspectNotice {
+        /// The member whose liveness is (un)resolved.
+        node: NodeId,
+        /// Entering (`true`) or leaving (`false`) suspicion.
+        suspected: bool,
+    },
     /// First message on a coordinator connection.
     CoordinatorHello,
     /// First message on a launcher connection.
@@ -305,6 +317,7 @@ const TAG_STATE_SNAPSHOT: u8 = 0x15;
 const TAG_STATE_DELTA: u8 = 0x16;
 const TAG_REPLICA_ACK: u8 = 0x17;
 const TAG_HUB_EPOCH: u8 = 0x18;
+const TAG_SUSPECT_NOTICE: u8 = 0x19;
 
 /// Smallest possible encoding of one [`PeerInfo`] (node + cluster + empty
 /// string), used to bound hostile directory length prefixes.
@@ -718,6 +731,11 @@ impl Message {
                 put_u32(&mut out, node.0);
                 put_u16(&mut out, cluster.0);
             }
+            Message::SuspectNotice { node, suspected } => {
+                out.push(TAG_SUSPECT_NOTICE);
+                put_u32(&mut out, node.0);
+                put_bool(&mut out, *suspected);
+            }
             Message::CoordinatorHello => out.push(TAG_COORD_HELLO),
             Message::LauncherHello => out.push(TAG_LAUNCHER_HELLO),
             Message::Grow {
@@ -878,6 +896,10 @@ impl Message {
             TAG_CRASH_NOTICE => Message::CrashNotice {
                 node: NodeId(c.u32()?),
                 cluster: ClusterId(c.u16()?),
+            },
+            TAG_SUSPECT_NOTICE => Message::SuspectNotice {
+                node: NodeId(c.u32()?),
+                suspected: c.boolean()?,
             },
             TAG_COORD_HELLO => Message::CoordinatorHello,
             TAG_LAUNCHER_HELLO => Message::LauncherHello,
@@ -1088,6 +1110,14 @@ mod tests {
             Message::CrashNotice {
                 node: NodeId(8),
                 cluster: ClusterId(1),
+            },
+            Message::SuspectNotice {
+                node: NodeId(8),
+                suspected: true,
+            },
+            Message::SuspectNotice {
+                node: NodeId(8),
+                suspected: false,
             },
             Message::CoordinatorHello,
             Message::LauncherHello,

@@ -122,7 +122,16 @@ fn missed_heartbeats_declare_death_and_block_rejoin() {
     let mut worker = Client::connect(port);
     let node = worker.join(0, None).unwrap();
     // Go silent without closing the socket: only the heartbeat timeout —
-    // not an EOF — may declare the death.
+    // not an EOF — may declare the death, and the detector walks through
+    // Suspect first (silence > timeout/2 raises suspicion before death).
+    let notice = coord.recv();
+    assert_eq!(
+        notice,
+        Message::SuspectNotice {
+            node,
+            suspected: true
+        }
+    );
     let notice = coord.recv();
     assert_eq!(
         notice,

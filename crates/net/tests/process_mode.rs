@@ -53,6 +53,21 @@ fn grid_local_scenario_file_s3_passes() {
     std::fs::remove_dir_all(&out).ok();
 }
 
+/// True once `pid` no longer names a live (non-zombie) process. A zombie
+/// counts as dead: it has been killed and merely awaits init's reap.
+fn process_gone(pid: u32) -> bool {
+    match std::fs::read_to_string(format!("/proc/{pid}/stat")) {
+        Err(_) => true,
+        Ok(stat) => match stat.rfind(')') {
+            None => true,
+            Some(idx) => matches!(
+                stat[idx + 1..].trim_start().chars().next(),
+                Some('Z') | None
+            ),
+        },
+    }
+}
+
 /// Exit codes separate the three failure classes: 4 = infrastructure
 /// timeout (the grid never came up), 2 = infrastructure/usage error,
 /// 1 = a check failed on an otherwise healthy run. CI keys off this to
@@ -63,7 +78,7 @@ fn grid_local_scenario_file_exit_codes_distinguish_failure_classes() {
     let scenario = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/s3.json");
 
     // A 1 ms join timeout can never see the hub come up: timeout, exit 4.
-    let status = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))
         .args([
             "--scenario-file",
             scenario,
@@ -72,9 +87,39 @@ fn grid_local_scenario_file_exit_codes_distinguish_failure_classes() {
             "--out",
             out.to_str().expect("utf8 temp path"),
         ])
-        .status()
+        .output()
         .expect("launch grid-local");
-    assert_eq!(status.code(), Some(4), "infrastructure timeout must exit 4");
+    assert_eq!(
+        output.status.code(),
+        Some(4),
+        "infrastructure timeout must exit 4"
+    );
+
+    // The failure exit must not leak children: the launcher prints each
+    // spawned pid, and its Drop-based reaper runs before `process::exit`,
+    // so every such pid must be gone once grid-local itself has exited.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let spawned: Vec<u32> = stdout
+        .lines()
+        .filter_map(|l| l.strip_prefix("grid-local: spawned "))
+        .filter_map(|rest| rest.split("pid=").nth(1))
+        .filter_map(|p| p.trim().parse().ok())
+        .collect();
+    assert!(
+        !spawned.is_empty() && stdout.contains("spawned hub pid="),
+        "exit-4 run should have spawned (and reported) a hub before timing out: {stdout}"
+    );
+    for pid in spawned {
+        // SIGKILL is asynchronous; allow the victim a moment to die.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !process_gone(pid) && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        assert!(
+            process_gone(pid),
+            "child pid {pid} survived the exit-4 path (leaked process)"
+        );
+    }
 
     // An unreadable scenario file is an infrastructure error, exit 2.
     let status = std::process::Command::new(env!("CARGO_BIN_EXE_grid-local"))

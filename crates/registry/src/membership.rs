@@ -9,15 +9,30 @@ use std::collections::BTreeMap;
 pub struct RegistryConfig {
     /// A member that has not heartbeat for this long is declared dead.
     pub heartbeat_timeout: SimDuration,
+    /// A member silent for longer than this (but not yet past the
+    /// timeout) is marked [`MemberState::Suspect`]: liveness unresolved,
+    /// not yet a death verdict. Must be below `heartbeat_timeout` to be
+    /// meaningful; equal disables the Suspect window entirely.
+    pub suspect_after: SimDuration,
+}
+
+impl RegistryConfig {
+    /// Config with the given death timeout and the suspicion threshold at
+    /// half of it — silence past half the budget is already suspicious,
+    /// while an ordinarily-scheduled heartbeat never trips it.
+    pub fn with_timeout(heartbeat_timeout: SimDuration) -> Self {
+        Self {
+            heartbeat_timeout,
+            suspect_after: SimDuration(heartbeat_timeout.0 / 2),
+        }
+    }
 }
 
 impl Default for RegistryConfig {
     fn default() -> Self {
-        Self {
-            // Generous relative to the paper's multi-minute monitoring
-            // periods; failure detection should be much faster than a period.
-            heartbeat_timeout: SimDuration::from_secs(30),
-        }
+        // Generous relative to the paper's multi-minute monitoring
+        // periods; failure detection should be much faster than a period.
+        Self::with_timeout(SimDuration::from_secs(30))
     }
 }
 
@@ -26,6 +41,12 @@ impl Default for RegistryConfig {
 pub enum MemberState {
     /// Participating in the computation.
     Alive,
+    /// Suspiciously silent: past `suspect_after` without a heartbeat but
+    /// not yet past the death timeout. Still a member (holds resources),
+    /// but its liveness is unresolved — consumers must not treat its
+    /// monitoring data as current, and adaptation holds fire on shrink
+    /// decisions until the silence resolves into Alive or Dead.
+    Suspect,
     /// Asked (signalled) to leave; still alive until it confirms.
     Leaving,
     /// Left gracefully.
@@ -43,6 +64,11 @@ pub enum RegistryEvent {
     Left(NodeId),
     /// A node was declared dead.
     Died(NodeId),
+    /// A node fell suspiciously silent (Alive → Suspect).
+    Suspected(NodeId),
+    /// A suspect node resumed heartbeating (Suspect → Alive). No
+    /// blacklist entry is ever made for having been suspect.
+    Resumed(NodeId),
 }
 
 #[derive(Clone, Debug)]
@@ -98,19 +124,34 @@ impl Membership {
 
     /// Records a heartbeat from `node`. Heartbeats from unknown or
     /// non-alive members are ignored (they can race with failure
-    /// declarations — the paper notes clocks are unsynchronized).
+    /// declarations — the paper notes clocks are unsynchronized). A
+    /// heartbeat from a Suspect member is proof of life: it returns to
+    /// Alive and a [`RegistryEvent::Resumed`] is emitted — suspicion is
+    /// not a verdict and leaves no blacklist trace.
     pub fn heartbeat(&mut self, now: SimTime, node: NodeId) {
         if let Some(m) = self.members.get_mut(&node) {
-            if matches!(m.state, MemberState::Alive | MemberState::Leaving) {
-                m.last_heartbeat = now;
+            match m.state {
+                MemberState::Alive | MemberState::Leaving => {
+                    m.last_heartbeat = now;
+                }
+                MemberState::Suspect => {
+                    m.state = MemberState::Alive;
+                    m.last_heartbeat = now;
+                    self.events.push(RegistryEvent::Resumed(node));
+                }
+                MemberState::Left | MemberState::Dead => {}
             }
         }
     }
 
-    /// Graceful leave (e.g. in response to a signal).
+    /// Graceful leave (e.g. in response to a signal). A Suspect member
+    /// may still leave — the leave message itself resolves the silence.
     pub fn leave(&mut self, node: NodeId) {
         if let Some(m) = self.members.get_mut(&node) {
-            if matches!(m.state, MemberState::Alive | MemberState::Leaving) {
+            if matches!(
+                m.state,
+                MemberState::Alive | MemberState::Leaving | MemberState::Suspect
+            ) {
                 m.state = MemberState::Left;
                 self.events.push(RegistryEvent::Left(node));
             }
@@ -121,26 +162,52 @@ impl Membership {
     /// channel before the heartbeat timeout fired).
     pub fn report_crash(&mut self, node: NodeId) {
         if let Some(m) = self.members.get_mut(&node) {
-            if matches!(m.state, MemberState::Alive | MemberState::Leaving) {
+            if matches!(
+                m.state,
+                MemberState::Alive | MemberState::Leaving | MemberState::Suspect
+            ) {
                 m.state = MemberState::Dead;
                 self.events.push(RegistryEvent::Died(node));
             }
         }
     }
 
-    /// Runs the failure detector: every alive/leaving member whose last
-    /// heartbeat is older than the timeout is declared dead. Returns the
-    /// newly dead nodes.
+    /// Runs the failure detector's three-state sweep over silence
+    /// duration (both transitions use a strict `>` so a heartbeat landing
+    /// exactly on a boundary survives it):
+    ///
+    /// - silence > `heartbeat_timeout` ⇒ **Dead**, whatever the prior
+    ///   state — a member that was never seen Suspect (e.g. between
+    ///   coarse sweeps) still dies on time.
+    /// - `suspect_after` < silence ≤ `heartbeat_timeout` ⇒ an Alive
+    ///   member becomes **Suspect** ([`RegistryEvent::Suspected`]).
+    ///   Leaving members are not suspected — they are already on their
+    ///   way out and their silence resolves at the timeout regardless.
+    ///
+    /// Returns the newly dead nodes.
     pub fn detect_failures(&mut self, now: SimTime) -> Vec<NodeId> {
         let timeout = self.cfg.heartbeat_timeout;
+        let suspect_after = self.cfg.suspect_after;
         let mut died = Vec::new();
+        let mut suspected = Vec::new();
         for (&id, m) in self.members.iter_mut() {
-            if matches!(m.state, MemberState::Alive | MemberState::Leaving)
-                && now.saturating_since(m.last_heartbeat) > timeout
-            {
+            if !matches!(
+                m.state,
+                MemberState::Alive | MemberState::Leaving | MemberState::Suspect
+            ) {
+                continue;
+            }
+            let silence = now.saturating_since(m.last_heartbeat);
+            if silence > timeout {
                 m.state = MemberState::Dead;
                 died.push(id);
+            } else if silence > suspect_after && m.state == MemberState::Alive {
+                m.state = MemberState::Suspect;
+                suspected.push(id);
             }
+        }
+        for &id in &suspected {
+            self.events.push(RegistryEvent::Suspected(id));
         }
         for &id in &died {
             self.events.push(RegistryEvent::Died(id));
@@ -179,11 +246,25 @@ impl Membership {
         self.members.get(&node).map(|m| m.cluster)
     }
 
-    /// Iterator over alive (and leaving) members, in id order.
+    /// Iterator over alive (incl. leaving and suspect) members, in id
+    /// order. Suspect members still hold their resources and count as
+    /// members until the detector resolves their silence.
     pub fn alive(&self) -> impl Iterator<Item = (NodeId, ClusterId)> + '_ {
         self.members.iter().filter_map(|(&id, m)| {
-            matches!(m.state, MemberState::Alive | MemberState::Leaving).then_some((id, m.cluster))
+            matches!(
+                m.state,
+                MemberState::Alive | MemberState::Leaving | MemberState::Suspect
+            )
+            .then_some((id, m.cluster))
         })
+    }
+
+    /// Members currently Suspect, in id order.
+    pub fn suspects(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .filter_map(|(&id, m)| (m.state == MemberState::Suspect).then_some(id))
+            .collect()
     }
 
     /// Number of alive (incl. leaving) members.
@@ -217,9 +298,111 @@ mod tests {
         let mut r = reg();
         r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
         r.heartbeat(SimTime::from_secs(20), NodeId(1));
-        // 25s after last heartbeat: within the 30s timeout.
-        assert!(r.detect_failures(SimTime::from_secs(45)).is_empty());
+        // 10s after last heartbeat: within the 15s suspicion threshold.
+        assert!(r.detect_failures(SimTime::from_secs(30)).is_empty());
         assert_eq!(r.state(NodeId(1)), Some(MemberState::Alive));
+        // 25s of silence: past suspect_after (15s) but inside the 30s
+        // timeout — suspiciously silent, not dead.
+        assert!(r.detect_failures(SimTime::from_secs(45)).is_empty());
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Suspect));
+        assert_eq!(r.alive_count(), 1, "a suspect is still a member");
+    }
+
+    #[test]
+    fn suspect_resuming_heartbeats_returns_to_alive() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        assert!(r.detect_failures(SimTime::from_secs(20)).is_empty());
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Suspect));
+        // The next heartbeat is proof of life: back to Alive, and the
+        // round trip is visible as Suspected → Resumed in the event log.
+        r.heartbeat(SimTime::from_secs(22), NodeId(1));
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Alive));
+        assert_eq!(
+            r.take_events(),
+            vec![
+                RegistryEvent::Joined(NodeId(1), ClusterId(0)),
+                RegistryEvent::Suspected(NodeId(1)),
+                RegistryEvent::Resumed(NodeId(1)),
+            ]
+        );
+        // And it survives the next sweep on the refreshed clock.
+        assert!(r.detect_failures(SimTime::from_secs(30)).is_empty());
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Alive));
+    }
+
+    #[test]
+    fn suspect_promotes_to_dead_at_the_timeout() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        assert!(r.detect_failures(SimTime::from_secs(20)).is_empty());
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Suspect));
+        // Exactly at the timeout: strict `>` keeps it Suspect.
+        assert!(r.detect_failures(SimTime::from_secs(30)).is_empty());
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Suspect));
+        // Past it: promoted to Dead and reported exactly once.
+        assert_eq!(
+            r.detect_failures(SimTime::from_micros(30_000_001)),
+            vec![NodeId(1)]
+        );
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Dead));
+        assert!(r.detect_failures(SimTime::from_secs(60)).is_empty());
+    }
+
+    #[test]
+    fn coarse_sweep_skips_suspect_straight_to_dead() {
+        // A detector that only wakes after the full timeout has elapsed
+        // never observed the Suspect window — the member must still die
+        // on time (promotion is by silence duration, not by step count).
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        assert_eq!(r.detect_failures(SimTime::from_secs(50)), vec![NodeId(1)]);
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Dead));
+    }
+
+    #[test]
+    fn flapping_suspicion_emits_no_death_and_no_duplicate_events() {
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        let mut t = 0u64;
+        for _ in 0..4 {
+            // Silent long enough to be suspected...
+            t += 20;
+            assert!(r.detect_failures(SimTime::from_secs(t)).is_empty());
+            assert_eq!(r.state(NodeId(1)), Some(MemberState::Suspect));
+            // A second sweep while already Suspect is not re-reported.
+            assert!(r.detect_failures(SimTime::from_secs(t + 1)).is_empty());
+            // ...then resumes inside the death budget.
+            t += 5;
+            r.heartbeat(SimTime::from_secs(t), NodeId(1));
+            assert_eq!(r.state(NodeId(1)), Some(MemberState::Alive));
+        }
+        let events = r.take_events();
+        let suspected = events
+            .iter()
+            .filter(|e| matches!(e, RegistryEvent::Suspected(_)))
+            .count();
+        let resumed = events
+            .iter()
+            .filter(|e| matches!(e, RegistryEvent::Resumed(_)))
+            .count();
+        let died = events
+            .iter()
+            .filter(|e| matches!(e, RegistryEvent::Died(_)))
+            .count();
+        assert_eq!((suspected, resumed, died), (4, 4, 0));
+    }
+
+    #[test]
+    fn leaving_members_are_not_suspected() {
+        // A Leaving member is already on its way out: it skips the
+        // Suspect window and resolves at the death timeout directly.
+        let mut r = reg();
+        r.join(SimTime::ZERO, NodeId(1), ClusterId(0));
+        r.signal_leave(NodeId(1));
+        assert!(r.detect_failures(SimTime::from_secs(20)).is_empty());
+        assert_eq!(r.state(NodeId(1)), Some(MemberState::Leaving));
+        assert_eq!(r.detect_failures(SimTime::from_secs(31)), vec![NodeId(1)]);
     }
 
     #[test]

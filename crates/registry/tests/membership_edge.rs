@@ -8,27 +8,54 @@ use sagrid_core::time::{SimDuration, SimTime};
 use sagrid_registry::{MemberState, Membership, RegistryConfig, RegistryEvent};
 
 fn registry(timeout: SimDuration) -> Membership {
-    Membership::new(RegistryConfig {
-        heartbeat_timeout: timeout,
-    })
+    Membership::new(RegistryConfig::with_timeout(timeout))
 }
 
 #[test]
-fn heartbeat_exactly_at_the_timeout_boundary_survives() {
-    // The detector uses a strict `>` comparison: a member whose silence
-    // equals the timeout exactly is still alive; one microsecond more and
-    // it is dead. The hub's wall-clock mapping relies on this, otherwise
-    // a heartbeat arriving in the same detector tick would be a coin flip.
-    let timeout = SimDuration::from_micros(1_000);
+fn boundaries_are_strict_for_both_suspicion_and_death() {
+    // Both detector transitions use a strict `>` comparison: a member
+    // whose silence equals the suspicion threshold exactly is still
+    // Alive, one whose silence equals the timeout exactly is still (only)
+    // Suspect, and one microsecond more kills it. The hub's wall-clock
+    // mapping relies on this, otherwise a heartbeat arriving in the same
+    // detector tick would be a coin flip.
+    let timeout = SimDuration::from_micros(1_000); // suspect_after = 500
     let mut r = registry(timeout);
     r.join(SimTime::ZERO, NodeId(0), ClusterId(0));
 
-    assert!(r.detect_failures(SimTime::from_micros(1_000)).is_empty());
+    assert!(r.detect_failures(SimTime::from_micros(500)).is_empty());
     assert_eq!(r.state(NodeId(0)), Some(MemberState::Alive));
+
+    assert!(r.detect_failures(SimTime::from_micros(501)).is_empty());
+    assert_eq!(r.state(NodeId(0)), Some(MemberState::Suspect));
+
+    assert!(r.detect_failures(SimTime::from_micros(1_000)).is_empty());
+    assert_eq!(r.state(NodeId(0)), Some(MemberState::Suspect));
 
     let dead = r.detect_failures(SimTime::from_micros(1_001));
     assert_eq!(dead, vec![NodeId(0)]);
     assert_eq!(r.state(NodeId(0)), Some(MemberState::Dead));
+}
+
+#[test]
+fn suspect_resume_leaves_no_trace_and_full_death_budget() {
+    // A suspect that resumes gets its full death budget back from the
+    // resume heartbeat — suspicion is not a strike against it.
+    let timeout = SimDuration::from_micros(1_000);
+    let mut r = registry(timeout);
+    r.join(SimTime::ZERO, NodeId(0), ClusterId(0));
+    assert!(r.detect_failures(SimTime::from_micros(600)).is_empty());
+    assert_eq!(r.state(NodeId(0)), Some(MemberState::Suspect));
+    r.heartbeat(SimTime::from_micros(700), NodeId(0));
+    assert_eq!(r.state(NodeId(0)), Some(MemberState::Alive));
+    // 1_000 µs after the resume: exactly the full budget, still in.
+    assert!(r.detect_failures(SimTime::from_micros(1_700)).is_empty());
+    assert_ne!(r.state(NodeId(0)), Some(MemberState::Dead));
+    // Die only at resume + timeout + 1.
+    assert_eq!(
+        r.detect_failures(SimTime::from_micros(1_701)),
+        vec![NodeId(0)]
+    );
 }
 
 #[test]

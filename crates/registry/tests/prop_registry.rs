@@ -122,9 +122,7 @@ fn registry_state_machine_is_consistent() {
 fn failure_detection_matches_heartbeat_recency() {
     for case in 0..CASES {
         let mut rng = rng_for(2, case);
-        let cfg = RegistryConfig {
-            heartbeat_timeout: sagrid_core::time::SimDuration::from_secs(30),
-        };
+        let cfg = RegistryConfig::with_timeout(sagrid_core::time::SimDuration::from_secs(30));
         let mut reg = Membership::new(cfg);
         for n in 0..10u32 {
             reg.join(SimTime::ZERO, NodeId(n), ClusterId(0));

@@ -20,6 +20,10 @@
 //!    (joins/leaves/crashes/injections/decisions), the alive-node gauge
 //!    balances the membership flow, and a completed run finished every
 //!    iteration it was asked to run.
+//! 5. **No suspect shrink** — the hold-fire rule of the suspicion-aware
+//!    failure detector: no removal decision ever targets a member whose
+//!    liveness was unresolved (Suspect) at decision time, and a decision
+//!    that recorded a hold-fire reason decided nothing.
 
 use sagrid_core::json::{parse_json, JsonValue};
 use sagrid_simgrid::provenance::reconstruct_decision;
@@ -186,6 +190,7 @@ pub fn check_jsonl(jsonl: &str, cfg: &InvariantConfig) -> Vec<Violation> {
     check_blacklist_permanence(&stream, cfg, &mut out);
     check_provenance(&stream, cfg, &mut out);
     check_hub_failover(&stream, &mut out);
+    check_no_suspect_shrink(&stream, &mut out);
     if cfg.check_conservation {
         check_conservation(&stream, cfg, &mut out);
     }
@@ -233,6 +238,109 @@ fn check_hub_failover(stream: &Stream, out: &mut Vec<Violation>) {
                          the promoted hub at t={:.1}s",
                         u64_field(v, "epoch").unwrap_or(0),
                         *jat as f64 / 1e6
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// **No suspect shrink** — judged from the stream alone, three ways.
+///
+/// 1. Every removal decision's `remove` list is disjoint from the
+///    decision's own `suspects` snapshot (the coordinator must never
+///    shrink away a member it itself recorded as unresolved).
+/// 2. A decision carrying a `hold_fire` reason decided nothing — the
+///    reason exists precisely because a shrink was withheld.
+/// 3. On streams that carry `member` records sharing the decision time
+///    axis, a removal decision falling inside a member's open suspect
+///    interval (suspect at `t1`, not yet resumed/died/left by decision
+///    time) never targets that member.
+///
+/// Streams that predate suspicion (no `suspects` field, no `member`
+/// suspect records) pass trivially.
+fn check_no_suspect_shrink(stream: &Stream, out: &mut Vec<Violation>) {
+    let removal_kind = |kind: &str| {
+        matches!(
+            kind,
+            "remove-nodes" | "remove-cluster" | "opportunistic-swap"
+        )
+    };
+    for (at, _, v) in stream.of_kind("decision") {
+        let kind = v.get("decision").and_then(|d| d.as_str()).unwrap_or("");
+        if removal_kind(kind) {
+            let suspects = u64_set(v, "suspects");
+            let removed = u64_set(v, "remove");
+            let hit: Vec<u64> = removed.intersection(&suspects).copied().collect();
+            if !hit.is_empty() {
+                out.push(Violation {
+                    invariant: "no-suspect-shrink",
+                    detail: format!(
+                        "{kind} decision at t={:.1}s removes node(s) {hit:?} that its own \
+                         suspicion snapshot records as unresolved",
+                        *at as f64 / 1e6
+                    ),
+                });
+            }
+        }
+        if v.get("hold_fire").is_some() && kind != "none" {
+            out.push(Violation {
+                invariant: "no-suspect-shrink",
+                detail: format!(
+                    "decision at t={:.1}s records a hold-fire reason yet decided {kind:?} \
+                     — a withheld decision must decide nothing",
+                    *at as f64 / 1e6
+                ),
+            });
+        }
+    }
+    // Suspect intervals from membership records: `suspect` opens, any
+    // later state for the same node (alive / died / left) closes.
+    let mut open: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut intervals: Vec<(u64, u64, u64)> = Vec::new();
+    for (at, _, v) in stream.of_kind("member") {
+        let Some(node) = u64_field(v, "node") else {
+            continue;
+        };
+        match v.get("state").and_then(|s| s.as_str()) {
+            Some("suspect") => {
+                open.entry(node).or_insert(*at);
+            }
+            Some(_) => {
+                if let Some(start) = open.remove(&node) {
+                    intervals.push((node, start, *at));
+                }
+            }
+            None => {}
+        }
+    }
+    intervals.extend(
+        open.into_iter()
+            .map(|(node, start)| (node, start, u64::MAX)),
+    );
+    if intervals.is_empty() {
+        return;
+    }
+    for (at, _, v) in stream.of_kind("decision") {
+        let kind = v.get("decision").and_then(|d| d.as_str()).unwrap_or("");
+        if !removal_kind(kind) {
+            continue;
+        }
+        let removed = u64_set(v, "remove");
+        for &(node, start, end) in &intervals {
+            if removed.contains(&node) && *at >= start && *at < end {
+                out.push(Violation {
+                    invariant: "no-suspect-shrink",
+                    detail: format!(
+                        "{kind} decision at t={:.1}s removes node {node} inside its suspect \
+                         window [{:.1}s, {})",
+                        *at as f64 / 1e6,
+                        start as f64 / 1e6,
+                        if end == u64::MAX {
+                            "unresolved".to_string()
+                        } else {
+                            format!("{:.1}s", end as f64 / 1e6)
+                        },
                     ),
                 });
             }
@@ -609,6 +717,60 @@ mod tests {
         // A garbage line fails the stream itself.
         let v = check_jsonl("not json\n", &inv);
         assert_eq!(v[0].invariant, "well-formed-stream");
+    }
+
+    #[test]
+    fn suspect_shrink_is_caught_from_the_stream_alone() {
+        let inv = InvariantConfig {
+            check_membership: false,
+            check_conservation: false,
+            ..InvariantConfig::default()
+        };
+        // Reconstructible decision lines (the provenance invariant runs on
+        // every stream, so the fixtures carry the full evidence fields).
+        let base =
+            r#""wa_eff":0.5,"reports":4,"badness":[],"blacklist_nodes":[],"blacklist_clusters":[]"#;
+        // A removal whose own snapshot lists a removed node as suspect.
+        let bad_snapshot = format!(
+            r#"{{"type":"event","at_us":1000,"kind":"decision","decision":"remove-nodes",{base},"remove":[4,7],"suspects":[7]}}"#
+        );
+        let v = check_jsonl(&format!("{bad_snapshot}\n"), &inv);
+        assert!(
+            v.iter()
+                .any(|v| v.invariant == "no-suspect-shrink" && v.detail.contains("[7]")),
+            "snapshot overlap must be caught: {v:?}"
+        );
+
+        // A hold-fire reason on anything but a kind-none decision.
+        let bad_holdfire = format!(
+            r#"{{"type":"event","at_us":1000,"kind":"decision","decision":"remove-nodes",{base},"remove":[4],"suspects":[],"hold_fire":"withheld"}}"#
+        );
+        let v = check_jsonl(&format!("{bad_holdfire}\n"), &inv);
+        assert!(
+            v.iter().any(|v| v.invariant == "no-suspect-shrink"),
+            "hold_fire on a removal must be caught: {v:?}"
+        );
+
+        // A removal landing inside a member's open suspect interval.
+        let suspect = r#"{"type":"event","at_us":500,"kind":"member","node":9,"state":"suspect"}"#;
+        let in_window = format!(
+            r#"{{"type":"event","at_us":800,"kind":"decision","decision":"remove-nodes",{base},"remove":[9],"suspects":[]}}"#
+        );
+        let v = check_jsonl(&format!("{suspect}\n{in_window}\n"), &inv);
+        assert!(
+            v.iter()
+                .any(|v| v.invariant == "no-suspect-shrink" && v.detail.contains("node 9")),
+            "interval overlap must be caught: {v:?}"
+        );
+
+        // The same removal after the suspicion resolved is clean, and a
+        // held (kind-none) decision with suspects outstanding is clean.
+        let resumed = r#"{"type":"event","at_us":700,"kind":"member","node":9,"state":"alive"}"#;
+        let held = format!(
+            r#"{{"type":"event","at_us":600,"kind":"decision","decision":"none",{base},"suspects":[9],"hold_fire":"withheld remove-nodes: 1 member(s) suspect"}}"#
+        );
+        let good = format!("{suspect}\n{held}\n{resumed}\n{in_window}\n");
+        assert!(check_jsonl(&good, &inv).is_empty());
     }
 
     #[test]

@@ -95,7 +95,14 @@ enum Event {
     /// Scenario perturbations due now.
     ApplyInjections,
     /// The runtime noticed a crash: clean up and re-inject orphaned tasks.
-    RecoverCrash { victims: BatchId, tasks: BatchId },
+    /// Scheduled `fault_detection_delay` after the injection; until it
+    /// fires the victims are only *suspected*, so the coordinator holds
+    /// fire on shrink decisions instead of reacting to their silence.
+    RecoverCrash {
+        victims: BatchId,
+        tasks: BatchId,
+        cluster: Option<ClusterId>,
+    },
 }
 
 /// Sentinel for "no task" in [`Event::StealReply::task`].
@@ -158,6 +165,13 @@ impl Coord {
             Coord::Hierarchical(h) => h.record_crashed(nodes, cluster),
         }
     }
+
+    fn mark_suspects(&mut self, nodes: &[NodeId]) {
+        match self {
+            Coord::Flat(c) => c.mark_suspects(nodes),
+            Coord::Hierarchical(h) => h.mark_suspects(nodes),
+        }
+    }
 }
 
 /// Pre-resolved registry handles for the engine's membership- and
@@ -172,6 +186,9 @@ struct EngineMetrics {
     task_transfers: Arc<Counter>,
     injections: Arc<Counter>,
     decisions: Arc<Counter>,
+    suspects_marked: Arc<Counter>,
+    suspects_cleared: Arc<Counter>,
+    holdfire_decisions: Arc<Counter>,
     nodes_alive: Arc<Gauge>,
     iteration_secs: Arc<Histogram>,
 }
@@ -189,6 +206,11 @@ impl EngineMetrics {
             task_transfers: c("des.task_transfers"),
             injections: c("des.injections"),
             decisions: c("des.decisions"),
+            // Same names as the process-mode coordinatord, so scenario
+            // assertions work against either twin's JSONL.
+            suspects_marked: c("adapt.suspect.marked"),
+            suspects_cleared: c("adapt.suspect.cleared"),
+            holdfire_decisions: c("adapt.holdfire.decisions"),
             nodes_alive: metrics
                 .gauge("des.nodes_alive")
                 .expect("registry is enabled"),
@@ -565,10 +587,14 @@ impl GridSim {
             Event::RetrySteal { node, generation } => self.on_retry(now, node, generation),
             Event::CoordinatorTick => self.on_coordinator_tick(now),
             Event::ApplyInjections => self.on_injections(now),
-            Event::RecoverCrash { victims, tasks } => {
+            Event::RecoverCrash {
+                victims,
+                tasks,
+                cluster,
+            } => {
                 let victims = self.victim_batches.take(victims);
                 let tasks = self.task_batches.take(tasks);
-                self.on_recover(now, victims, tasks)
+                self.on_recover(now, victims, tasks, cluster)
             }
         }
     }
@@ -1175,9 +1201,22 @@ impl GridSim {
         tasks
     }
 
-    fn on_recover(&mut self, now: SimTime, victims: Vec<NodeId>, tasks: Vec<(u32, NodeId)>) {
+    fn on_recover(
+        &mut self,
+        now: SimTime,
+        victims: Vec<NodeId>,
+        tasks: Vec<(u32, NodeId)>,
+        cluster: Option<ClusterId>,
+    ) {
+        // The detection window closes here: the suspicion raised at
+        // injection time resolves into confirmed deaths, which clears the
+        // suspects and applies the blacklist policy (whole site for a
+        // cluster outage, just the victims otherwise).
+        self.coordinator.record_crashed(&victims, cluster);
+        if let Some(em) = &self.em {
+            em.suspects_cleared.add(victims.len() as u64);
+        }
         for v in victims {
-            self.coordinator.node_gone(v);
             self.speeds.remove(v);
         }
         self.adopt_tasks(now, tasks);
@@ -1241,11 +1280,16 @@ impl GridSim {
                 }
                 Injection::CrashCluster { cluster } => {
                     let victims = self.alive.members(cluster).to_vec();
-                    // Fail-stop site failure: the coordinator blacklists
-                    // the whole cluster so it is never re-added — re-granting
-                    // a failed site's survivors would just repeat the fault
-                    // detection round-trip (paper §5, scenario 6).
-                    self.coordinator.record_crashed(&victims, Some(cluster));
+                    // Fail-stop site failure. The coordinator does NOT learn
+                    // of the deaths yet — for `fault_detection_delay` it only
+                    // sees silence, so the victims are marked Suspect and the
+                    // hold-fire rule keeps survivors safe until RecoverCrash
+                    // confirms the deaths and blacklists the whole site
+                    // (paper §5, scenario 6).
+                    self.coordinator.mark_suspects(&victims);
+                    if let Some(em) = &self.em {
+                        em.suspects_marked.add(victims.len() as u64);
+                    }
                     if self.metrics.is_enabled() {
                         self.metrics.emit(
                             MetricEvent::new(now.0, "injection")
@@ -1254,7 +1298,7 @@ impl GridSim {
                                 .with("nodes", Value::U64(victims.len() as u64)),
                         );
                     }
-                    self.crash_many(now, victims);
+                    self.crash_many(now, victims, Some(cluster));
                 }
                 Injection::CrashNodes { cluster, count } => {
                     let victims: Vec<NodeId> = self
@@ -1264,8 +1308,12 @@ impl GridSim {
                         .copied()
                         .take(count)
                         .collect();
-                    // Partial failure: blacklist the victims, not the site.
-                    self.coordinator.record_crashed(&victims, None);
+                    // Partial failure: suspicion now, and at detection time
+                    // blacklist only the victims, not the site.
+                    self.coordinator.mark_suspects(&victims);
+                    if let Some(em) = &self.em {
+                        em.suspects_marked.add(victims.len() as u64);
+                    }
                     if self.metrics.is_enabled() {
                         self.metrics.emit(
                             MetricEvent::new(now.0, "injection")
@@ -1274,7 +1322,7 @@ impl GridSim {
                                 .with("nodes", Value::U64(victims.len() as u64)),
                         );
                     }
-                    self.crash_many(now, victims);
+                    self.crash_many(now, victims, None);
                 }
                 Injection::Grow { count, prefer } => {
                     // An externally granted capacity increase rides the same
@@ -1312,7 +1360,7 @@ impl GridSim {
         }
     }
 
-    fn crash_many(&mut self, now: SimTime, victims: Vec<NodeId>) {
+    fn crash_many(&mut self, now: SimTime, victims: Vec<NodeId>, cluster: Option<ClusterId>) {
         if victims.is_empty() {
             return;
         }
@@ -1337,6 +1385,7 @@ impl GridSim {
             Event::RecoverCrash {
                 victims: self.victim_batches.put(victims),
                 tasks: self.task_batches.put(tasks),
+                cluster,
             },
         );
     }
@@ -1433,6 +1482,9 @@ impl GridSim {
                 // per-node badness terms and blacklist/learned state that
                 // produced it, reconstructible from the JSONL stream alone.
                 if let Some(entry) = self.coordinator.main().log().last() {
+                    if entry.hold_fire.is_some() {
+                        em.holdfire_decisions.inc();
+                    }
                     self.metrics.emit(crate::provenance::decision_event(entry));
                 }
             }

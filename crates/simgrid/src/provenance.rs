@@ -69,6 +69,16 @@ pub fn decision_event(entry: &DecisionLogEntry) -> MetricEvent {
     if let Some(s) = entry.learned.min_speed {
         ev = ev.with("min_speed", Value::F64(s));
     }
+    // Suspicion snapshot: which members had unresolved liveness when this
+    // evaluation ran (always emitted, even when empty — an auditor must
+    // be able to tell "no suspects" from "field predates suspicion").
+    ev = ev.with(
+        "suspects",
+        Value::Raw(u64_array(entry.suspect_ids.iter().map(|n| u64::from(n.0)))),
+    );
+    if let Some(reason) = &entry.hold_fire {
+        ev = ev.with("hold_fire", Value::Str(reason.clone()));
+    }
     ev
 }
 
@@ -122,6 +132,11 @@ pub struct DecisionProvenance {
     pub blacklisted_clusters: Vec<ClusterId>,
     /// Learned requirements after the decision.
     pub learned: LearnedRequirements,
+    /// Members Suspect at evaluation time (empty on streams that predate
+    /// suspicion tracking — the parser is lenient).
+    pub suspect_ids: Vec<NodeId>,
+    /// Hold-fire reason when a removal was withheld under suspicion.
+    pub hold_fire: Option<String>,
 }
 
 impl DecisionProvenance {
@@ -151,6 +166,8 @@ impl DecisionProvenance {
             && self.blacklisted_nodes == entry.blacklisted_nodes
             && self.blacklisted_clusters == entry.blacklisted_clusters
             && self.learned == entry.learned
+            && self.suspect_ids == entry.suspect_ids
+            && self.hold_fire == entry.hold_fire
     }
 }
 
@@ -200,6 +217,13 @@ pub fn reconstruct_decision(line: &JsonValue) -> Result<DecisionProvenance, Stri
         min_uplink_bps: line.get("min_uplink_bps").and_then(JsonValue::as_f64),
         min_speed: line.get("min_speed").and_then(JsonValue::as_f64),
     };
+    // Lenient: streams recorded before suspicion tracking simply have no
+    // suspects field and reconstruct with an empty snapshot.
+    let suspect_ids = node_list(line.get("suspects"))?;
+    let hold_fire = line
+        .get("hold_fire")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
     Ok(DecisionProvenance {
         at,
         wa_efficiency,
@@ -213,6 +237,8 @@ pub fn reconstruct_decision(line: &JsonValue) -> Result<DecisionProvenance, Stri
         blacklisted_nodes,
         blacklisted_clusters,
         learned,
+        suspect_ids,
+        hold_fire,
     })
 }
 
@@ -312,6 +338,8 @@ mod tests {
                 min_uplink_bps: Some(100_000.5),
                 min_speed: None,
             },
+            suspect_ids: vec![NodeId(11), NodeId(13)],
+            hold_fire: None,
         }
     }
 
@@ -348,6 +376,26 @@ mod tests {
             let rec = round_trip(&e);
             assert!(rec.matches(&e), "mismatch for {:?}: {rec:?}", e.decision);
         }
+    }
+
+    #[test]
+    fn hold_fire_round_trips_and_old_streams_stay_parseable() {
+        // A withheld decision carries its suspicion snapshot and reason.
+        let mut e = entry(Decision::None);
+        e.hold_fire = Some("withheld remove-nodes: 2 member(s) suspect".to_string());
+        let rec = round_trip(&e);
+        assert!(rec.matches(&e));
+        assert_eq!(rec.suspect_ids, vec![NodeId(11), NodeId(13)]);
+        assert!(rec.hold_fire.is_some());
+        // A pre-suspicion stream (no suspects / hold_fire fields) still
+        // reconstructs, with an empty snapshot.
+        let old = "{\"type\":\"event\",\"at_us\":1,\"kind\":\"decision\",\
+                   \"decision\":\"none\",\"wa_eff\":0.4,\"reports\":2,\
+                   \"badness\":[],\"blacklist_nodes\":[],\"blacklist_clusters\":[]}";
+        let parsed = parse_json(old).unwrap();
+        let rec = reconstruct_decision(&parsed).expect("lenient parse");
+        assert!(rec.suspect_ids.is_empty());
+        assert!(rec.hold_fire.is_none());
     }
 
     #[test]
